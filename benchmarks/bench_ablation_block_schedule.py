@@ -1,0 +1,59 @@
+"""Ablation: geometric warm-up block schedule vs fixed-size blocks.
+
+The blocked engine starts with tiny blocks so the top-k threshold is
+established before any large vectorized batch is computed exhaustively
+(see ``repro.core.blocked.block_schedule``).  This bench quantifies the
+effect by monkeypatching the initial block size up to the cap, which
+degenerates the schedule to fixed-size blocks.
+"""
+
+import pytest
+
+from repro import FexiproIndex
+from repro.analysis import report
+from repro.analysis.workloads import describe, get_workload
+from repro.core import blocked
+
+
+def _time_queries(workload, k=1):
+    import time
+
+    index = FexiproIndex(workload.items, variant="F-SIR")
+    started = time.perf_counter()
+    results = [index.query(q, k) for q in workload.queries]
+    elapsed = time.perf_counter() - started
+    return elapsed, results
+
+
+def test_geometric_schedule_beats_fixed(benchmark, sink, monkeypatch):
+    workload = get_workload("movielens")
+
+    def run():
+        geometric_time, geometric_results = _time_queries(workload)
+        monkeypatch.setattr(blocked, "INITIAL_BLOCK_SIZE",
+                            blocked.DEFAULT_BLOCK_SIZE)
+        fixed_time, fixed_results = _time_queries(workload)
+        monkeypatch.undo()
+        agree = all(
+            a.ids == b.ids
+            for a, b in zip(geometric_results, fixed_results)
+        )
+        return geometric_time, fixed_time, agree
+
+    geometric_time, fixed_time, agree = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    with sink.section("ablation_block_schedule") as out:
+        report.print_header(
+            "Ablation - geometric vs fixed first-block size",
+            describe(workload), out=out,
+        )
+        report.print_table(
+            ["schedule", "retrieve (s)"],
+            [["geometric (32 -> 1024)", round(geometric_time, 4)],
+             ["fixed (1024)", round(fixed_time, 4)]],
+            out=out,
+        )
+    assert agree  # block boundaries never change answers
+    # The warm-up should not be slower beyond noise; typically much faster.
+    assert geometric_time <= fixed_time * 1.25 + 0.005

@@ -1,0 +1,86 @@
+"""Ablations on the integer-scaling design choices (DESIGN.md call-outs).
+
+1. Split (Eq. 7) vs uniform (Eq. 4) scaling: Section 6 argues the SVD skew
+   makes a single global maximum crush the tail integers; the split keeps
+   both partial bounds tight.
+2. int64 vs int8 storage (paper future work): identical pruning decisions,
+   8x smaller integer footprint.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex
+from repro.analysis import report
+from repro.analysis.workloads import describe, get_workload
+from repro.datasets import DATASET_ORDER
+
+
+@pytest.mark.parametrize("dataset", ("movielens", "netflix"))
+def test_split_vs_uniform_scaling(benchmark, sink, dataset, bench_queries):
+    workload = get_workload(dataset, query_cap=bench_queries)
+
+    def run():
+        rows = []
+        for split in (True, False):
+            index = FexiproIndex(workload.items, variant="F-SI",
+                                 split_scaling=split)
+            full = sum(index.query(q, 1).stats.full_products
+                       for q in workload.queries)
+            pruned_int = sum(
+                index.query(q, 1).stats.pruned_integer_partial
+                + index.query(q, 1).stats.pruned_integer_full
+                for q in workload.queries
+            )
+            rows.append({
+                "scaling": "split (Eq. 7)" if split else "uniform (Eq. 4)",
+                "avg_full": full / len(workload.queries),
+                "avg_int_pruned": pruned_int / len(workload.queries),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    with sink.section(f"ablation_scaling_{dataset}") as out:
+        report.print_header("Ablation - split vs uniform integer scaling",
+                            describe(workload), out=out)
+        report.print_table(
+            ["scaling", "avg entire products", "avg integer-pruned"],
+            [[r["scaling"], round(r["avg_full"], 2),
+              round(r["avg_int_pruned"], 2)] for r in rows],
+            out=out,
+        )
+    split_row, uniform_row = rows
+    assert split_row["avg_full"] <= uniform_row["avg_full"] + 1e-9
+
+
+def test_int8_storage_equivalence(benchmark, sink):
+    workload = get_workload("movielens")
+
+    def run():
+        wide = FexiproIndex(workload.items, variant="F-SIR")
+        narrow = FexiproIndex(workload.items, variant="F-SIR",
+                              integer_storage_dtype=np.int8)
+        mismatches = 0
+        for q in workload.queries:
+            a = wide.query(q, k=10)
+            b = narrow.query(q, k=10)
+            if a.ids != b.ids or a.stats.as_dict() != b.stats.as_dict():
+                mismatches += 1
+        return {
+            "mismatches": mismatches,
+            "int64_bytes": wide.scaled.integer_nbytes,
+            "int8_bytes": narrow.scaled.integer_nbytes,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    with sink.section("ablation_int8") as out:
+        report.print_header("Ablation - int8 vs int64 integer storage",
+                            describe(workload), out=out)
+        report.print_table(
+            ["storage", "bytes", "result/count mismatches"],
+            [["int64", result["int64_bytes"], result["mismatches"]],
+             ["int8", result["int8_bytes"], result["mismatches"]]],
+            out=out,
+        )
+    assert result["mismatches"] == 0
+    assert result["int8_bytes"] * 7 < result["int64_bytes"]

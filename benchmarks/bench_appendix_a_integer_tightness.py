@@ -1,0 +1,31 @@
+"""Appendix A (Theorem 5): the scaled integer bound's error is O(1/e).
+
+Paper shape: doubling e roughly halves the relative gap between the bound
+and the exact inner product; by e = 100 the bound is tight enough that
+pruning power converges (Figure 11).
+"""
+
+from repro.analysis import experiments, report
+
+ES = (5, 10, 25, 50, 100, 250, 500, 1000)
+
+
+def test_integer_bound_error_inverse_in_e(benchmark, sink):
+    rows = benchmark.pedantic(
+        lambda: experiments.run_integer_tightness(es=ES, trials=300),
+        rounds=1, iterations=1,
+    )
+    with sink.section("appendix_a") as out:
+        report.print_header(
+            "Appendix A - integer bound mean relative error vs e", out=out)
+        report.print_table(
+            ["e", "mean relative error"],
+            [[r["e"], round(r["mean_relative_error"], 4)] for r in rows],
+            out=out,
+        )
+    errors = {r["e"]: r["mean_relative_error"] for r in rows}
+    # Strictly improving with e.
+    values = [errors[e] for e in ES]
+    assert values == sorted(values, reverse=True)
+    # Inverse-linear: 100x more e buys at least ~20x less error.
+    assert errors[10] / errors[1000] > 20

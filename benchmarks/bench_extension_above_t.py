@@ -1,0 +1,62 @@
+"""Extension experiment: above-threshold retrieval (paper future work).
+
+The paper's conclusion proposes applying the FEXIPRO techniques to LEMP's
+above-t problem.  :meth:`repro.FexiproIndex.query_above` implements it with
+the same pruning cascade; this bench measures the work saved relative to an
+exhaustive scan at several threshold selectivities.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex
+from repro.analysis import report
+from repro.analysis.workloads import describe, get_workload
+
+QUANTILES = (99.9, 99.0, 95.0)
+
+
+@pytest.mark.parametrize("dataset", ("movielens", "yahoo"))
+def test_above_threshold_scaling(benchmark, sink, dataset, bench_queries):
+    workload = get_workload(dataset, query_cap=bench_queries)
+    index = FexiproIndex(workload.items, variant="F-SIR")
+    all_scores = workload.queries @ workload.items.T
+
+    def run():
+        rows = []
+        for quantile in QUANTILES:
+            scanned = results = matched = 0
+            for qi, q in enumerate(workload.queries):
+                threshold = float(np.percentile(all_scores[qi], quantile))
+                out = index.query_above(q, threshold)
+                truth = int(np.sum(all_scores[qi] > threshold))
+                scanned += out.stats.scanned
+                results += len(out.ids)
+                matched += int(len(out.ids) == truth)
+            m = len(workload.queries)
+            rows.append({
+                "quantile": quantile,
+                "avg_scanned": scanned / m,
+                "avg_results": results / m,
+                "all_exact": matched == m,
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    with sink.section(f"extension_above_t_{dataset}") as out:
+        report.print_header(
+            "Extension - above-t retrieval work vs selectivity",
+            describe(workload), out=out,
+        )
+        report.print_table(
+            ["score quantile", "avg scanned", "avg results", "exact"],
+            [[r["quantile"], round(r["avg_scanned"], 1),
+              round(r["avg_results"], 1), r["all_exact"]] for r in rows],
+            out=out,
+        )
+    assert all(r["all_exact"] for r in rows)
+    # Higher thresholds let the Cauchy-Schwarz cut stop earlier.
+    scanned = [r["avg_scanned"] for r in rows]
+    assert scanned[0] <= scanned[-1] + 1e-9
+    # Always a proper subset of the catalogue for selective thresholds.
+    assert rows[0]["avg_scanned"] < workload.dataset.n

@@ -1,0 +1,50 @@
+"""Extension experiment: batch query processing (paper future work).
+
+The paper proposes unifying single and batch retrieval.  Our batch path
+(:func:`repro.core.batch.batch_retrieve`) amortizes the query-side
+preprocessing of Algorithm 4 across the workload; this bench verifies the
+results are identical to the per-query loop and reports the time ratio.
+"""
+
+import time
+
+import pytest
+
+from repro import FexiproIndex
+from repro.analysis import report
+from repro.analysis.workloads import describe, get_workload
+from repro.core.batch import batch_retrieve
+
+
+@pytest.mark.parametrize("dataset", ("movielens", "yahoo"))
+def test_batch_vs_loop(benchmark, sink, dataset):
+    workload = get_workload(dataset)
+    index = FexiproIndex(workload.items, variant="F-SIR")
+
+    def run():
+        started = time.perf_counter()
+        loop_results = [index.query(q, 10) for q in workload.queries]
+        loop_time = time.perf_counter() - started
+        started = time.perf_counter()
+        batch_results = batch_retrieve(index, workload.queries, 10)
+        batch_time = time.perf_counter() - started
+        agree = all(a.ids == b.ids
+                    for a, b in zip(loop_results, batch_results))
+        return loop_time, batch_time, agree
+
+    loop_time, batch_time, agree = benchmark.pedantic(run, rounds=1,
+                                                      iterations=1)
+    with sink.section(f"extension_batch_{dataset}") as out:
+        report.print_header("Extension - batch vs per-query processing",
+                            describe(workload), out=out)
+        report.print_table(
+            ["mode", "time (s)"],
+            [["per-query loop", round(loop_time, 4)],
+             ["batched prep", round(batch_time, 4)]],
+            out=out,
+        )
+    assert agree
+    # At bench scale the scan dominates and per-query prep is only a few
+    # percent of the time, so the two modes sit within noise of each
+    # other; assert no *regression* beyond noise rather than a win.
+    assert batch_time <= loop_time * 1.5 + 0.01

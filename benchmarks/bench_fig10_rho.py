@@ -1,0 +1,42 @@
+"""Figure 10: sensitivity to rho (which selects the checking dimension w).
+
+Paper shape: the selected w grows with rho; performance is best around
+rho = 0.7-0.8 and is not very sensitive across the sweep; at rho = 0.7 the
+selected w is a small fraction of d (6-15 of 50 in the paper).
+"""
+
+import pytest
+
+from repro.analysis import experiments, report
+from repro.analysis.workloads import describe, get_workload
+from repro.datasets import DATASET_ORDER
+
+RHOS = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@pytest.mark.parametrize("dataset", DATASET_ORDER)
+def test_rho_sweep(benchmark, sink, dataset, bench_queries):
+    workload = get_workload(dataset, query_cap=bench_queries)
+    rows = benchmark.pedantic(
+        lambda: experiments.run_rho_sweep(workload, k=1, rhos=RHOS),
+        rounds=1, iterations=1,
+    )
+    with sink.section(f"fig10_{dataset}") as out:
+        report.print_header("Figure 10 - sensitivity to rho (k=1)",
+                            describe(workload), out=out)
+        report.print_table(
+            ["rho", "selected w", "time (s)", "avg entire products"],
+            [[r["rho"], r["w"], round(r["time"], 4),
+              round(r["avg_full_products"], 2)] for r in rows],
+            out=out,
+        )
+    ws = [r["w"] for r in rows]
+    assert ws == sorted(ws)  # w grows with rho
+    d = workload.dataset.d
+    w_at_07 = next(r["w"] for r in rows if r["rho"] == 0.7)
+    # A modest fraction of d, as in the paper (its flattest spectrum,
+    # Netflix, sits highest; allow up to 60% of d).
+    assert w_at_07 <= int(0.6 * d)
+    # Pruning power improves with larger w (more exact mass in the head).
+    fulls = [r["avg_full_products"] for r in rows]
+    assert fulls[-1] <= fulls[0] + 1e-9

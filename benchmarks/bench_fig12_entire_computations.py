@@ -1,0 +1,41 @@
+"""Figure 12: per-query distribution of entire q.p computations (F-SIR, k=1).
+
+Paper shape: heavily concentrated at tiny counts on MovieLens/Yelp/Yahoo!,
+wider on Netflix.  (The averages of this distribution are Table 3.)
+"""
+
+import pytest
+
+from repro.analysis import experiments, report
+from repro.analysis.workloads import describe, get_workload
+from repro.core import full_product_histogram
+from repro.core.stats import PruningStats
+from repro.datasets import DATASET_ORDER
+
+BINS = [1, 2, 5, 10, 20, 50, 100, 200, 500]
+
+
+@pytest.mark.parametrize("dataset", DATASET_ORDER)
+def test_entire_computation_distribution(benchmark, sink, dataset):
+    workload = get_workload(dataset)
+    record = benchmark.pedantic(
+        lambda: experiments.run_method("F-SIR", workload, k=1),
+        rounds=1, iterations=1,
+    )
+    stats = [PruningStats(full_products=v)
+             for v in record.per_query_full_products]
+    counts = full_product_histogram(stats, bins=BINS)
+    with sink.section(f"fig12_{dataset}") as out:
+        report.print_header(
+            "Figure 12 - entire q.p computations per query (F-SIR, k=1)",
+            describe(workload), out=out,
+        )
+        labels = [f"<={b}" for b in BINS] + [f">{BINS[-1]}"]
+        report.print_table(
+            ["bucket", "queries"],
+            list(zip(labels, counts)),
+            out=out,
+        )
+    assert sum(counts) == len(record.per_query_full_products)
+    # Every query needs at least k = 1 entire product.
+    assert all(v >= 1 for v in record.per_query_full_products)

@@ -1,0 +1,44 @@
+"""Figures 16 and 17: per-dimension average |scalar| before/after SVD.
+
+Paper shape: query vectors become strongly skewed after the transform
+(log-scale decay across dimensions, Figure 16); transformed item values
+shrink into a narrow range (Figure 17) so late accumulation fluctuates
+little.
+"""
+
+import pytest
+
+from repro.analysis import experiments, report
+from repro.analysis.distribution import skew_ratio
+from repro.analysis.workloads import describe, get_workload
+from repro.datasets import DATASET_ORDER
+
+
+@pytest.mark.parametrize("dataset", DATASET_ORDER)
+def test_svd_skew(benchmark, sink, dataset):
+    workload = get_workload(dataset)
+    row = benchmark.pedantic(
+        lambda: experiments.run_svd_skew(workload),
+        rounds=1, iterations=1,
+    )
+    d = workload.dataset.d
+    head = max(1, d // 5)
+    with sink.section(f"fig16_17_{dataset}") as out:
+        report.print_header(
+            "Figures 16/17 - per-dimension avg |scalar| before/after SVD",
+            describe(workload), out=out,
+        )
+        for key in ("q_before", "q_after", "p_before", "p_after"):
+            print(f"{key:9s}: {report.sparkline(row[key].tolist())}",
+                  file=out)
+        print(f"query head share (first {head} dims): "
+              f"before={skew_ratio(row['q_before'], head):.3f}, "
+              f"after={skew_ratio(row['q_after'], head):.3f}", file=out)
+    # Figure 16: the transform concentrates query magnitude up front.
+    assert skew_ratio(row["q_after"], head) > \
+        skew_ratio(row["q_before"], head)
+    # The after-curve decays (roughly monotone in aggregate).
+    q_after = row["q_after"]
+    assert q_after[:head].mean() > q_after[-head:].mean()
+    # Figure 17: transformed item values live in a narrow, smaller range.
+    assert row["p_after"].max() <= row["p_before"].max() * 5

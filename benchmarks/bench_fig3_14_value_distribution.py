@@ -1,0 +1,60 @@
+"""Figures 3 and 14: value distribution of the factor matrices.
+
+Paper shape: the overwhelming majority of Q and P scalars fall within
+[-1, 1], concentrated around zero — the regime that makes raw integer
+flooring useless and motivates the scaled bound of Section 4.2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments, report
+from repro.analysis.workloads import describe, get_workload
+from repro.datasets import DATASET_ORDER
+
+
+@pytest.mark.parametrize("dataset", DATASET_ORDER)
+def test_value_distribution(benchmark, sink, dataset):
+    workload = get_workload(dataset)
+    row = benchmark.pedantic(
+        lambda: experiments.run_value_distribution(workload),
+        rounds=1, iterations=1,
+    )
+    with sink.section(f"fig3_{dataset}") as out:
+        report.print_header(
+            "Figure 3/14 - factor value distribution (Q and P together)",
+            describe(workload), out=out,
+        )
+        print(f"fraction of values in [-1, 1]: "
+              f"{row['fraction_in_unit']:.4f}", file=out)
+        print(f"histogram over [-2, 2]: "
+              f"{report.sparkline(row['fractions'].tolist())}", file=out)
+    assert row["fraction_in_unit"] > 0.9
+    # Unimodal around zero: the central bins dominate the edges.
+    fractions = row["fractions"]
+    center = fractions[len(fractions) // 2 - 2: len(fractions) // 2 + 2]
+    assert center.sum() > fractions[:4].sum()
+    assert center.sum() > fractions[-4:].sum()
+
+
+def test_mf_pipeline_reproduces_the_distribution(benchmark, sink):
+    """Same check on *learned* factors: run actual MF and measure."""
+    from repro.datasets import synthetic_ratings
+    from repro.mf import fit_ccd
+
+    def run():
+        data = synthetic_ratings(n_users=300, n_items=200, rank=16,
+                                 ratings_per_user=30, seed=11)
+        model = fit_ccd(data.ratings, rank=16, reg=0.1,
+                        outer_iterations=6, seed=0)
+        values = np.concatenate([model.user_factors.ravel(),
+                                 model.item_factors.ravel()])
+        return float(np.mean(np.abs(values) <= 1.0))
+
+    fraction = benchmark.pedantic(run, rounds=1, iterations=1)
+    with sink.section("fig3_learned_factors") as out:
+        report.print_header(
+            "Figure 3 cross-check - learned CCD++ factors", out=out)
+        print(f"fraction of learned factor values in [-1, 1]: "
+              f"{fraction:.4f}", file=out)
+    assert fraction > 0.9

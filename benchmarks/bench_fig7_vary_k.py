@@ -1,0 +1,48 @@
+"""Figure 7: total retrieval time for SS-L and F-SIR as k grows.
+
+Paper shape: both sequential methods degrade as k grows (the k-th product
+threshold weakens), with F-SIR staying below SS-L throughout.
+"""
+
+import pytest
+
+from repro.analysis import experiments, report
+from repro.analysis.figures import print_series_chart
+from repro.analysis.workloads import describe, get_workload
+from repro.datasets import DATASET_ORDER
+
+KS = (1, 2, 5, 10, 50)
+
+
+@pytest.mark.parametrize("dataset", DATASET_ORDER)
+def test_vary_k(benchmark, sink, dataset, bench_queries):
+    workload = get_workload(dataset, query_cap=bench_queries)
+
+    def run():
+        table = {}
+        for k in KS:
+            runs = experiments.run_total_time(workload, k=k,
+                                              methods=("SS-L", "F-SIR"))
+            table[k] = {r.method: r for r in runs}
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    with sink.section(f"fig7_{dataset}") as out:
+        report.print_header("Figure 7 - retrieval time vs k",
+                            describe(workload), out=out)
+        for method in ("SS-L", "F-SIR"):
+            report.print_series(
+                method, list(KS),
+                [table[k][method].retrieve_time for k in KS], out=out,
+            )
+        print_series_chart(
+            {method: [table[k][method].retrieve_time for k in KS]
+             for method in ("SS-L", "F-SIR")},
+            list(KS), out=out,
+        )
+    # Pruning weakens with k: compare the machine-independent metric.
+    ssl_full = [table[k]["SS-L"].avg_full_products for k in KS]
+    fsir_full = [table[k]["F-SIR"].avg_full_products for k in KS]
+    assert ssl_full[-1] > ssl_full[0]
+    assert fsir_full[-1] > fsir_full[0]
+    assert all(f <= s for f, s in zip(fsir_full, ssl_full))

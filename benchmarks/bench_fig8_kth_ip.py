@@ -1,0 +1,60 @@
+"""Figure 8: average k-th largest inner product per query, as k grows.
+
+Paper shape: the curve decays quickly at small k and flattens by k=50 on
+MovieLens/Yelp/Yahoo!-like data; the Netflix-like curve decays *slowly*
+(small gaps between consecutive products), which is exactly why pruning is
+hard there.
+"""
+
+import pytest
+
+from repro.analysis import experiments, report
+from repro.analysis.figures import print_series_chart
+from repro.analysis.workloads import describe, get_workload
+from repro.datasets import DATASET_ORDER
+
+KS = (1, 2, 5, 10, 20, 30, 40, 50)
+
+
+@pytest.mark.parametrize("dataset", DATASET_ORDER)
+def test_kth_ip(benchmark, sink, dataset):
+    workload = get_workload(dataset)
+    rows = benchmark.pedantic(
+        lambda: experiments.run_kth_ip(workload, ks=KS),
+        rounds=1, iterations=1,
+    )
+    with sink.section(f"fig8_{dataset}") as out:
+        report.print_header("Figure 8 - average k-th inner product",
+                            describe(workload), out=out)
+        report.print_series(dataset, [r["k"] for r in rows],
+                            [r["avg_kth_ip"] for r in rows], out=out)
+        print_series_chart(
+            {dataset: [r["avg_kth_ip"] for r in rows]},
+            [r["k"] for r in rows], out=out,
+        )
+    values = [r["avg_kth_ip"] for r in rows]
+    assert values == sorted(values, reverse=True)
+
+
+def test_netflix_curve_decays_slowest(benchmark, sink):
+    """The paper's Netflix observation: a much flatter top-k IP curve."""
+    def run():
+        decays = {}
+        for dataset in DATASET_ORDER:
+            workload = get_workload(dataset)
+            rows = experiments.run_kth_ip(workload, ks=(1, 50))
+            top, bottom = rows[0]["avg_kth_ip"], rows[-1]["avg_kth_ip"]
+            scale = max(abs(top), 1e-9)
+            decays[dataset] = (top - bottom) / scale
+        return decays
+
+    decays = benchmark.pedantic(run, rounds=1, iterations=1)
+    with sink.section("fig8_decay_summary") as out:
+        report.print_header(
+            "Figure 8 summary - relative drop from k=1 to k=50", out=out)
+        report.print_table(
+            ["dataset", "relative decay"],
+            [[name, round(value, 4)] for name, value in decays.items()],
+            out=out,
+        )
+    assert decays["netflix"] == min(decays.values())

@@ -1,0 +1,33 @@
+"""Micro-benchmarks: steady-state single-query latency per method.
+
+Not a paper table per se — these give pytest-benchmark proper multi-round
+timing statistics for the headline methods, complementing the one-shot
+table runners.
+"""
+
+import pytest
+
+from repro.analysis import METHOD_FACTORIES
+from repro.analysis.workloads import get_workload
+
+METHODS = ("Naive", "SS-L", "F-S", "F-SIR")
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_single_query_latency(benchmark, method):
+    workload = get_workload("movielens")
+    engine = METHOD_FACTORIES[method](workload.items)
+    query = workload.queries[0]
+    result = benchmark(engine.query, query, 10)
+    assert len(result.ids) == 10
+
+
+def test_preprocessing_latency(benchmark):
+    from repro import FexiproIndex
+
+    workload = get_workload("movielens")
+    index = benchmark.pedantic(
+        lambda: FexiproIndex(workload.items, variant="F-SIR"),
+        rounds=3, iterations=1,
+    )
+    assert index.n == workload.dataset.n

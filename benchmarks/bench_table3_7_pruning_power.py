@@ -1,0 +1,40 @@
+"""Tables 3 and 7: average number of entire q.p computations per query.
+
+Paper shape to reproduce: the count drops monotonically across
+BallTree >> SS-L >> F-S >= F-SI >= F-SIR, on every dataset and k; and
+Netflix is the hardest dataset for every method.
+"""
+
+import pytest
+
+from repro.analysis import experiments, report
+from repro.analysis.workloads import describe, get_workload
+from repro.datasets import DATASET_ORDER
+
+KS = (1, 2, 5, 10, 50)
+
+
+@pytest.mark.parametrize("dataset", DATASET_ORDER)
+@pytest.mark.parametrize("k", KS)
+def test_pruning_power(benchmark, sink, dataset, k):
+    workload = get_workload(dataset)
+    runs = benchmark.pedantic(
+        lambda: experiments.run_pruning_power(workload, k=k),
+        rounds=1, iterations=1,
+    )
+    with sink.section(f"table3_{dataset}_k{k}") as out:
+        report.print_header(
+            f"Table 3/7 - avg entire q.p computations (k={k})",
+            describe(workload), out=out,
+        )
+        report.print_table(
+            ["method", "avg entire products"],
+            [[r.method, round(r.avg_full_products, 2)] for r in runs],
+            out=out,
+        )
+    by_name = {r.method: r.avg_full_products for r in runs}
+    # Paper shape assertions.
+    assert by_name["F-SIR"] <= by_name["F-SI"] + 1e-9
+    assert by_name["F-SI"] <= by_name["F-S"] + 1e-9
+    assert by_name["F-S"] <= by_name["SS-L"] + 1e-9
+    assert by_name["SS-L"] <= by_name["BallTree"] + 1e-9

@@ -1,0 +1,31 @@
+"""Table 6: LEMP batch top-k retrieval across k.
+
+Paper shape: LEMP's cost grows with k on every dataset (weaker thresholds
+prune less), and stays well under the naive full-matrix cost.
+"""
+
+import pytest
+
+from repro.analysis import experiments, report
+from repro.analysis.workloads import describe, get_workload
+from repro.datasets import DATASET_ORDER
+
+
+@pytest.mark.parametrize("dataset", DATASET_ORDER)
+def test_lemp_batch(benchmark, sink, dataset, bench_queries):
+    workload = get_workload(dataset, query_cap=bench_queries)
+    rows = benchmark.pedantic(
+        lambda: experiments.run_lemp(workload, ks=(1, 2, 5, 10, 50)),
+        rounds=1, iterations=1,
+    )
+    with sink.section(f"table6_{dataset}") as out:
+        report.print_header("Table 6 - LEMP batch retrieval",
+                            describe(workload), out=out)
+        report.print_table(
+            ["k", "time (s)"],
+            [[r["k"], round(r["time"], 4)] for r in rows],
+            out=out,
+        )
+    times = [r["time"] for r in rows]
+    # Broad growth with k (allow local noise, compare endpoints).
+    assert times[-1] >= times[0] * 0.8

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench module regenerates one table or figure of the paper.  Results
+print straight to the terminal (bypassing pytest capture) *and* are saved
+under ``benchmarks/results/`` so a full run leaves a reviewable record.
+
+Workload sizing follows :mod:`repro.analysis.workloads`: scaled-down zoo
+datasets by default, overridable via ``REPRO_SCALE`` / ``REPRO_MAX_QUERIES``
+for a full-size run.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+from contextlib import contextmanager
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class ReportSink:
+    """Write experiment reports to the live terminal and a results file."""
+
+    def __init__(self, capsys):
+        self._capsys = capsys
+        RESULTS_DIR.mkdir(exist_ok=True)
+
+    @contextmanager
+    def section(self, name: str):
+        """Yield a text stream; its content is shown live and persisted."""
+        buffer = io.StringIO()
+        try:
+            yield buffer
+        finally:
+            text = buffer.getvalue()
+            path = RESULTS_DIR / f"{name}.txt"
+            path.write_text(text)
+            with self._capsys.disabled():
+                print()
+                print(text, end="")
+
+
+@pytest.fixture
+def sink(capsys) -> ReportSink:
+    return ReportSink(capsys)
+
+
+@pytest.fixture(scope="session")
+def bench_queries() -> int:
+    """Query budget for the heavier sweep benchmarks."""
+    return 30

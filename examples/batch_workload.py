@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Batch workloads: serving a whole user base, four ways.
+
+The paper's single-query setting generalizes to the batch problem LEMP
+targets (top-k lists for every user in Q).  This example runs the same
+workload through four batch-capable methods and reports wall-clock plus
+the machine-independent work metric:
+
+- FEXIPRO with shared query prep (``repro.core.batch_retrieve``)
+- LEMP (bucketized, tuned w)
+- MiniBatch (blocked GEMM — no pruning, pure kernel throughput)
+- DualTree (query tree x item tree — the paper's skipped method)
+
+Run:  python examples/batch_workload.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import FexiproIndex
+from repro.baselines import DualTree, Lemp, MiniBatch
+from repro.core.batch import batch_retrieve
+from repro.datasets import load
+
+
+def main() -> None:
+    data = load("yelp", seed=4, scale=0.5)
+    queries = data.queries[:120]
+    k = 10
+    print(f"workload: {queries.shape[0]} users x {data.n} items, k={k}\n")
+
+    # Ground truth for verification.
+    truth_scores = [
+        np.sort(data.items @ q)[::-1][:k] for q in queries
+    ]
+
+    rows = []
+
+    index = FexiproIndex(data.items, variant="F-SIR")
+    started = time.perf_counter()
+    results = batch_retrieve(index, queries, k)
+    elapsed = time.perf_counter() - started
+    work = sum(r.stats.full_products for r in results) / len(results)
+    rows.append(("FEXIPRO (batched)", elapsed, work, results))
+
+    lemp = Lemp(data.items, tuning_queries=queries[:8])
+    started = time.perf_counter()
+    results = lemp.batch_topk(queries, k)
+    elapsed = time.perf_counter() - started
+    work = sum(r.stats.full_products for r in results) / len(results)
+    rows.append(("LEMP", elapsed, work, results))
+
+    gemm = MiniBatch(data.items, batch_size=100)
+    started = time.perf_counter()
+    results = gemm.batch_query(queries, k)
+    elapsed = time.perf_counter() - started
+    rows.append(("MiniBatch (GEMM)", elapsed, float(data.n), results))
+
+    dual = DualTree(data.items)
+    started = time.perf_counter()
+    results = dual.batch_query(queries, k)
+    elapsed = time.perf_counter() - started
+    work = sum(r.stats.full_products for r in results) / len(results)
+    rows.append(("DualTree", elapsed, work, results))
+
+    print(f"{'method':20s} {'time (s)':>10s} {'entire products/query':>24s}")
+    print("-" * 58)
+    for name, elapsed, work, results in rows:
+        for r, truth in zip(results, truth_scores):
+            assert np.allclose(r.scores, truth, atol=1e-8), name
+        print(f"{name:20s} {elapsed:10.4f} {work:24.1f}")
+    print("\nall four methods verified exact on every user.")
+    print("note the split: pruning methods win the work metric; the GEMM")
+    print("kernel wins raw throughput when nothing can be pruned away.")
+
+
+if __name__ == "__main__":
+    main()

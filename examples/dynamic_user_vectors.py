@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Online-adjusted user vectors: the FindMe / Microsoft Xbox scenario.
+
+The paper's core motivation for single-query retrieval: recommenders that
+tweak the user vector with ad-hoc context (recent behaviour, time of day,
+session signals) *after* preprocessing.  Batch methods that assume a static
+``Q`` can't serve this; FEXIPRO preprocesses only the item side, so any
+freshly-adjusted query vector gets exact results immediately.
+
+This example simulates a browsing session: the base user vector drifts
+toward recently-clicked items, and every adjusted vector is answered by the
+same prebuilt index — each answer verified exact.
+
+Run:  python examples/dynamic_user_vectors.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import FexiproIndex
+from repro.baselines import NaiveBlas
+from repro.datasets import load
+
+
+def adjust_toward(query: np.ndarray, clicked_item: np.ndarray,
+                  weight: float = 0.25) -> np.ndarray:
+    """Context update: blend the user vector toward a clicked item."""
+    blended = (1.0 - weight) * query + weight * clicked_item
+    return blended
+
+
+def main() -> None:
+    data = load("yelp", seed=2, scale=0.25)
+    print(f"dataset: {data.n} items x {data.d} dims")
+
+    index = FexiproIndex(data.items, variant="F-SIR")
+    reference = NaiveBlas(data.items)
+    print(f"index built once in {index.preprocess_time:.3f}s; "
+          "now serving a drifting session\n")
+
+    rng = np.random.default_rng(0)
+    query = data.queries[0].copy()
+    total_fast = total_slow = 0.0
+    for step in range(8):
+        started = time.perf_counter()
+        result = index.query(query, k=5)
+        total_fast += time.perf_counter() - started
+
+        started = time.perf_counter()
+        truth = reference.query(query, k=5)
+        total_slow += time.perf_counter() - started
+
+        assert np.allclose(result.scores, truth.scores, atol=1e-9)
+        clicked = result.ids[rng.integers(0, 3)]  # user clicks a top item
+        print(f"step {step}: top item {result.top():5d} "
+              f"(score {result.scores[0]:+.4f}); "
+              f"user clicks item {clicked}, vector adjusted")
+        query = adjust_toward(query, data.items[clicked])
+
+    print(f"\nsession served exactly; FEXIPRO {1000 * total_fast / 8:.2f} "
+          f"ms/query vs naive {1000 * total_slow / 8:.2f} ms/query")
+    print("note: no reindexing happened between steps — only the item "
+          "matrix is preprocessed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Pruning anatomy: watch each FEXIPRO technique earn its keep.
+
+Runs the five paper variants (F-S, F-I, F-SI, F-SR, F-SIR) plus the SS-L
+baseline over the same workload and prints a per-stage breakdown of where
+candidate item vectors were eliminated — the machine-independent view
+behind the paper's Tables 3/4.
+
+Run:  python examples/pruning_anatomy.py [dataset]
+"""
+
+import sys
+
+from repro import FexiproIndex, VARIANTS
+from repro.baselines import SSL
+from repro.core.stats import PruningStats
+from repro.datasets import DATASET_ORDER, load
+
+
+def accumulate(method, queries, k=10) -> PruningStats:
+    total = PruningStats()
+    for q in queries:
+        total.merge(method.query(q, k).stats)
+    return total
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "movielens"
+    if name not in DATASET_ORDER:
+        raise SystemExit(f"unknown dataset {name!r}; pick from "
+                         f"{', '.join(DATASET_ORDER)}")
+    data = load(name, seed=1, scale=0.25)
+    queries = data.queries[:40]
+    print(f"{name}: {data.n} items, {len(queries)} queries, k=10\n")
+
+    header = (f"{'method':8s} {'skipped':>9s} {'int-part':>9s} "
+              f"{'int-full':>9s} {'incr':>9s} {'mono':>9s} {'FULL':>9s}")
+    print(header)
+    print("-" * len(header))
+
+    rows = [("SS-L", SSL(data.items))]
+    rows += [(v, FexiproIndex(data.items, variant=v)) for v in VARIANTS]
+    m = len(queries)
+    for label, method in rows:
+        s = accumulate(method, queries)
+        print(f"{label:8s} {s.skipped_by_termination / m:9.1f} "
+              f"{s.pruned_integer_partial / m:9.1f} "
+              f"{s.pruned_integer_full / m:9.1f} "
+              f"{s.pruned_incremental / m:9.1f} "
+              f"{s.pruned_monotone / m:9.1f} "
+              f"{s.full_products / m:9.1f}")
+
+    print("\ncolumns are per-query averages:")
+    print("  skipped  - never reached (Cauchy-Schwarz early termination)")
+    print("  int-part - pruned by the partial integer bound (Eq. 6)")
+    print("  int-full - pruned by the full integer bound (Eq. 3)")
+    print("  incr     - pruned by incremental pruning (Eq. 1)")
+    print("  mono     - pruned in the monotone reduced space (Thm. 4)")
+    print("  FULL     - entire exact products computed (Tables 3/7)")
+    print("\n(SS-L's COORD-stage prunes are reported in the int-part "
+          "column slot.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for offline editable installs.
+
+The primary metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-build-isolation`` (or ``python setup.py develop``)
+works in environments without the ``wheel`` package or network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — a from-scratch reproduction of FEXIPRO (SIGMOD 2017).
+
+FEXIPRO answers *exact* top-k inner-product queries over matrix-
+factorization item vectors, orders of magnitude faster than a naive scan,
+by combining three pruning techniques on top of a length-sorted sequential
+scan: an SVD transformation, a scaled integer upper bound, and a
+monotonicity reduction.
+
+Quickstart::
+
+    import numpy as np
+    from repro import FexiproIndex
+
+    items = np.random.default_rng(0).normal(scale=0.3, size=(10_000, 50))
+    index = FexiproIndex(items, variant="F-SIR")
+    result = index.query(items[0], k=10)
+    print(result.ids, result.scores)
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the FEXIPRO index and its three techniques.
+``repro.baselines``
+    Every comparator from the paper's evaluation (Naive, SS, SS-L, LEMP,
+    BallTree, FastMKS, PCATree, MiniBatch).
+``repro.mf``
+    The matrix-factorization learning substrate (ALS, CCD++, SGD, metrics).
+``repro.datasets``
+    Synthetic rating generators and calibrated stand-ins for the paper's
+    four datasets.
+``repro.analysis``
+    Experiment runners and report printers for every table and figure.
+"""
+
+from .core import (
+    DEFAULT_E,
+    DEFAULT_RHO,
+    DEFAULT_VARIANT,
+    FexiproIndex,
+    PruningStats,
+    RetrievalResult,
+    TopKBuffer,
+    VARIANTS,
+    VariantConfig,
+    get_variant,
+    topk_exact,
+)
+from .recommender import Recommender
+from .exceptions import (
+    DimensionMismatchError,
+    EmptyIndexError,
+    NotPreprocessedError,
+    ReproError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_E",
+    "DEFAULT_RHO",
+    "DEFAULT_VARIANT",
+    "DimensionMismatchError",
+    "EmptyIndexError",
+    "FexiproIndex",
+    "NotPreprocessedError",
+    "PruningStats",
+    "Recommender",
+    "ReproError",
+    "RetrievalResult",
+    "TopKBuffer",
+    "VARIANTS",
+    "ValidationError",
+    "VariantConfig",
+    "__version__",
+    "get_variant",
+    "topk_exact",
+]

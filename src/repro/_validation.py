@@ -1,0 +1,115 @@
+"""Shared input validation helpers.
+
+Every public entry point funnels its array inputs through these functions so
+that error messages are consistent and downstream code can assume
+contiguous float64 / int arrays of the right shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .exceptions import DimensionMismatchError, EmptyIndexError, ValidationError
+
+
+def as_item_matrix(items, *, name: str = "items") -> np.ndarray:
+    """Validate and normalize an item matrix to a C-contiguous float64 array.
+
+    The library convention is *rows are item vectors*: shape ``(n, d)``.
+    (The paper writes ``P`` as a ``d x n`` column matrix; transposing is the
+    caller's responsibility and is documented on every public API.)
+    """
+    arr = np.asarray(items, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValidationError(
+            f"{name} must be a 2-D array of shape (n, d); got ndim={arr.ndim}"
+        )
+    if arr.shape[0] == 0:
+        raise EmptyIndexError(f"{name} contains zero vectors")
+    if arr.shape[1] == 0:
+        raise ValidationError(f"{name} has zero dimensions")
+    if not np.isfinite(arr).all():
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(arr)
+
+
+def as_query_vector(query, d: int, *, name: str = "query") -> np.ndarray:
+    """Validate a single query vector against dimensionality ``d``."""
+    arr = np.asarray(query, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be a 1-D vector; got ndim={arr.ndim}")
+    if arr.shape[0] != d:
+        raise DimensionMismatchError(expected=d, got=arr.shape[0])
+    if not np.isfinite(arr).all():
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(arr)
+
+
+def as_query_matrix(queries, d: int, *, name: str = "queries") -> np.ndarray:
+    """Validate a batch of query vectors (rows) against dimensionality ``d``."""
+    arr = np.asarray(queries, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 1-D or 2-D; got ndim={arr.ndim}")
+    if arr.shape[1] != d:
+        raise DimensionMismatchError(expected=d, got=arr.shape[1])
+    if not np.isfinite(arr).all():
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(arr)
+
+
+def check_k(k: int, n: int) -> int:
+    """Validate the result-list size ``k`` against the collection size ``n``.
+
+    ``k`` larger than ``n`` is clamped (a recommender asked for more items
+    than exist simply returns everything), but non-positive ``k`` is an error.
+    """
+    if not isinstance(k, (int, np.integer)):
+        raise ValidationError(f"k must be an integer; got {type(k).__name__}")
+    if k <= 0:
+        raise ValidationError(f"k must be positive; got {k}")
+    return int(min(k, n))
+
+
+def check_fraction(value: float, *, name: str) -> float:
+    """Validate a parameter expected to lie in the open-closed range (0, 1]."""
+    value = float(value)
+    if not 0.0 < value <= 1.0:
+        raise ValidationError(f"{name} must be in (0, 1]; got {value}")
+    return value
+
+
+def safe_row_norms(matrix: np.ndarray) -> np.ndarray:
+    """Euclidean norms of the rows, robust to denormal/huge magnitudes.
+
+    ``sqrt(sum(x^2))`` underflows to 0 for rows of denormal values (and can
+    overflow for huge ones), which would make every norm-based pruning
+    bound inadmissible.  Scaling each row by its own max-abs first keeps
+    the squares in range: ``norm = scale * ||row / scale||``.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    scale = np.max(np.abs(matrix), axis=1)
+    safe_scale = np.where(scale > 0.0, scale, 1.0)
+    scaled = matrix / safe_scale[:, None]
+    return scale * np.sqrt(np.einsum("ij,ij->i", scaled, scaled))
+
+
+def safe_norm(vector: np.ndarray) -> float:
+    """Scalar version of :func:`safe_row_norms`."""
+    vector = np.asarray(vector, dtype=np.float64)
+    if vector.size == 0:
+        return 0.0
+    scale = float(np.max(np.abs(vector)))
+    if scale <= 0.0:
+        return 0.0
+    scaled = vector / scale
+    return scale * float(np.sqrt(scaled @ scaled))
+
+
+def check_positive(value: float, *, name: str) -> float:
+    """Validate a strictly positive scalar parameter."""
+    value = float(value)
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive; got {value}")
+    return value

@@ -1,0 +1,35 @@
+"""Experiment harness: workloads, runners and report printing.
+
+The benchmark modules under ``benchmarks/`` are thin shells over this
+package — each one materializes a workload (:mod:`~repro.analysis.workloads`),
+calls the matching runner (:mod:`~repro.analysis.experiments`) and prints a
+paper-shaped table (:mod:`~repro.analysis.report`).
+"""
+
+from . import cost_model, distribution, experiments, figures, report, tuning, workloads
+from .experiments import (
+    METHOD_FACTORIES,
+    TABLE3_METHODS,
+    TABLE4_METHODS,
+    MethodRun,
+    run_method,
+)
+from .workloads import Workload, describe, get_workload
+
+__all__ = [
+    "METHOD_FACTORIES",
+    "MethodRun",
+    "TABLE3_METHODS",
+    "TABLE4_METHODS",
+    "Workload",
+    "describe",
+    "cost_model",
+    "distribution",
+    "experiments",
+    "figures",
+    "get_workload",
+    "report",
+    "tuning",
+    "run_method",
+    "workloads",
+]

@@ -1,0 +1,109 @@
+"""Machine-independent cost model for sequential-scan retrieval.
+
+Wall-clock comparisons are substrate-bound (see EXPERIMENTS.md), so this
+module prices a query in *coordinate touches* — the currency the paper's
+analysis implicitly uses.  Each pruning-stage counter maps to the number
+of vector coordinates the scan had to read:
+
+=====================  ===========================================
+stage                  coordinates touched per candidate
+=====================  ===========================================
+length test            0 (norms are precomputed scalars)
+integer partial        w        (head integer dot)
+integer full           d        (head + tail integer dots)
+incremental            w        (exact head dot; integer head reused)
+monotone               0        (scalar constants only)
+entire product         d        (head + tail exact dots)
+=====================  ===========================================
+
+The model intentionally ignores constant factors (float vs int, branch
+cost); its job is to *rank* configurations and methods the way the paper's
+Tables 3/4 do, portably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.stats import PruningStats
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Coordinate touches of one (or an aggregate of) queries."""
+
+    integer_coordinates: float
+    exact_coordinates: float
+
+    @property
+    def total(self) -> float:
+        return self.integer_coordinates + self.exact_coordinates
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            self.integer_coordinates + other.integer_coordinates,
+            self.exact_coordinates + other.exact_coordinates,
+        )
+
+
+def query_cost(stats: PruningStats, w: int, d: int) -> CostBreakdown:
+    """Price one query's scan from its pruning counters.
+
+    Every scanned candidate pays the integer head dot (when the integer
+    stage ran at all — inferred from its counters); survivors of each
+    stage pay the next stage's coordinates, ending with ``d`` for entire
+    products.
+    """
+    if not 1 <= w <= d:
+        raise ValueError(f"w must be in [1, {d}]; got {w}")
+    integer_ran = (stats.pruned_integer_partial
+                   + stats.pruned_integer_full) > 0
+    integer_cost = 0.0
+    if integer_ran:
+        # All scanned candidates pay the head integer dot; those passing
+        # the partial test also pay the tail integer dot.
+        passed_partial = stats.scanned - stats.pruned_integer_partial
+        integer_cost = stats.scanned * w + passed_partial * (d - w)
+    # Exact arithmetic: candidates reaching the incremental stage pay the
+    # head dot; entire products additionally pay the tail.
+    reached_exact = (stats.scanned - stats.pruned_integer_partial
+                     - stats.pruned_integer_full)
+    exact_cost = reached_exact * w + stats.full_products * (d - w)
+    return CostBreakdown(integer_coordinates=float(integer_cost),
+                         exact_coordinates=float(exact_cost))
+
+
+def workload_cost(stats: Iterable[PruningStats], w: int,
+                  d: int) -> CostBreakdown:
+    """Aggregate :func:`query_cost` over a workload."""
+    total = CostBreakdown(0.0, 0.0)
+    for record in stats:
+        total = total + query_cost(record, w, d)
+    return total
+
+
+def naive_cost(n: int, d: int, n_queries: int = 1) -> CostBreakdown:
+    """What an exhaustive scan pays: every coordinate, every query."""
+    return CostBreakdown(integer_coordinates=0.0,
+                         exact_coordinates=float(n * d * n_queries))
+
+
+def speedup_estimate(method_cost: CostBreakdown,
+                     baseline_cost: CostBreakdown,
+                     integer_discount: float = 1.0) -> float:
+    """Predicted speedup of a method over a baseline.
+
+    ``integer_discount`` prices an integer coordinate relative to a float
+    one (< 1 on hardware where integer multiply-adds are cheaper — the
+    paper's C++ setting; 1.0 on this NumPy substrate).
+    """
+    if integer_discount <= 0:
+        raise ValueError("integer_discount must be positive")
+    method_total = (method_cost.integer_coordinates * integer_discount
+                    + method_cost.exact_coordinates)
+    baseline_total = (baseline_cost.integer_coordinates * integer_discount
+                      + baseline_cost.exact_coordinates)
+    if method_total <= 0:
+        return float("inf")
+    return baseline_total / method_total

@@ -1,0 +1,102 @@
+"""Value-distribution analyses behind Figures 3 and 14–19.
+
+These functions quantify *why* FEXIPRO's techniques work on a dataset:
+
+- :func:`value_histogram` — the scalar distribution of Q and P (Figures
+  3/14): MF factors concentrate in a narrow band around zero, which is
+  what makes direct integer flooring useless.
+- :func:`cumulative_ip_share` — the fraction of the final inner product
+  accumulated after each dimension, averaged over pairs (Figure 15):
+  flat before the SVD transform, front-loaded after it.
+- :func:`mean_abs_per_dimension` — average absolute scalar per dimension
+  (Figures 16/17), before and after the transform.
+- :func:`reordered_mean_abs` — per-dimension means after sorting each
+  vector's absolute values descending (Figures 18/19): the best *local*
+  reordering, shown by the paper to be less skewed than the SVD basis.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import as_item_matrix
+
+
+def value_histogram(matrix, bins: int = 40,
+                    value_range: Tuple[float, float] = (-2.0, 2.0),
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of all scalars in a factor matrix (Figures 3/14).
+
+    Returns ``(bin_edges, fractions)`` where fractions sum to the share of
+    values falling inside ``value_range``.
+    """
+    matrix = as_item_matrix(matrix, name="matrix")
+    counts, edges = np.histogram(matrix.ravel(), bins=bins, range=value_range)
+    return edges, counts / matrix.size
+
+
+def fraction_within(matrix, low: float = -1.0, high: float = 1.0) -> float:
+    """Share of scalars inside ``[low, high]`` (paper: most of [-1, 1])."""
+    matrix = as_item_matrix(matrix, name="matrix")
+    return float(np.mean((matrix >= low) & (matrix <= high)))
+
+
+def cumulative_ip_share(queries, items, sample_pairs: int = 20000,
+                        seed: int = 0) -> np.ndarray:
+    """Average cumulative share of the inner product per dimension (Fig. 15).
+
+    For sampled (q, p) pairs, accumulate ``q_s * p_s`` dimension by
+    dimension and average ``|partial| / |total|`` share curves over pairs
+    whose total product is not vanishingly small.  A flat diagonal curve
+    means the IP mass is spread evenly (pre-SVD); a steep start means the
+    first dimensions dominate (post-SVD).
+    """
+    queries = as_item_matrix(queries, name="queries")
+    items = as_item_matrix(items, name="items")
+    if queries.shape[1] != items.shape[1]:
+        raise ValueError("queries and items must share dimensionality")
+    rng = np.random.default_rng(seed)
+    qi = rng.integers(0, queries.shape[0], size=sample_pairs)
+    pi = rng.integers(0, items.shape[0], size=sample_pairs)
+    terms = queries[qi] * items[pi]                # (pairs, d)
+    partials = np.cumsum(terms, axis=1)
+    totals = partials[:, -1]
+    keep = np.abs(totals) > 1e-9
+    if not keep.any():
+        return np.zeros(items.shape[1])
+    shares = partials[keep] / totals[keep][:, None]
+    return shares.mean(axis=0)
+
+
+def mean_abs_per_dimension(matrix) -> np.ndarray:
+    """Average absolute scalar per dimension (Figures 16/17)."""
+    matrix = as_item_matrix(matrix, name="matrix")
+    return np.mean(np.abs(matrix), axis=0)
+
+
+def reordered_mean_abs(matrix) -> np.ndarray:
+    """Per-dimension means after per-vector descending abs sort (Figs 18/19).
+
+    Example from the paper: vectors ``(-1, 2, -4)`` and ``(3, -1, -2)``
+    become ``(4, 2, 1)`` and ``(3, 2, 1)``; the returned mean is
+    ``(3.5, 2, 1)``.  This is the unattainable best-case *per-vector*
+    reordering; the paper compares its skew against the SVD basis.
+    """
+    matrix = as_item_matrix(matrix, name="matrix")
+    ordered = np.sort(np.abs(matrix), axis=1)[:, ::-1]
+    return ordered.mean(axis=0)
+
+
+def skew_ratio(per_dimension: np.ndarray, head: int) -> float:
+    """Share of total per-dimension mass carried by the first ``head`` dims.
+
+    A scalar summary used by tests and reports to compare skew curves.
+    """
+    values = np.asarray(per_dimension, dtype=np.float64)
+    total = float(values.sum())
+    if total <= 0.0:
+        return 0.0
+    head = max(1, min(int(head), values.size))
+    return float(values[:head].sum()) / total

@@ -1,0 +1,106 @@
+"""ASCII figure rendering for multi-series experiment results.
+
+The paper's figures plot several methods against a shared x-axis.  The
+benchmark harness prints those series as `label: x:y, ...` lines
+(:func:`repro.analysis.report.print_series`); this module renders the same
+data as a proper text chart so trends are visible directly in
+``benchmarks/results/`` and CLI output — no plotting stack required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, IO, List, Optional, Sequence
+
+from .report import _stream
+
+_GLYPHS = "ox+*#@%&"
+
+
+def render_series_chart(series: Dict[str, Sequence[float]],
+                        x_labels: Sequence[object],
+                        height: int = 12, width: Optional[int] = None,
+                        y_format: str = "{:.3g}") -> str:
+    """Render named y-series over shared x positions as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of label -> y values (all the same length as
+        ``x_labels``).  Each series gets its own glyph.
+    x_labels:
+        Labels printed under the columns.
+    height:
+        Plot rows (y resolution).
+    width:
+        Total plot columns; default spreads points evenly with 6 columns
+        per x position.
+    y_format:
+        Format for the y-axis tick labels.
+
+    Returns
+    -------
+    str
+        The chart, ready to print; includes a legend line.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    n_points = len(x_labels)
+    for label, ys in series.items():
+        if len(ys) != n_points:
+            raise ValueError(
+                f"series {label!r} has {len(ys)} points, expected {n_points}"
+            )
+    if height < 2:
+        raise ValueError("height must be at least 2")
+
+    all_values = [y for ys in series.values() for y in ys]
+    lo, hi = min(all_values), max(all_values)
+    span = hi - lo or 1.0
+    width = width or max(24, 6 * n_points)
+    columns = [
+        int(round(i * (width - 1) / max(1, n_points - 1)))
+        for i in range(n_points)
+    ]
+
+    grid = [[" "] * width for __ in range(height)]
+    for rank, (label, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[rank % len(_GLYPHS)]
+        for column, y in zip(columns, ys):
+            row = height - 1 - int(round((y - lo) / span * (height - 1)))
+            grid[row][column] = glyph
+
+    axis_width = max(len(y_format.format(v)) for v in (lo, hi)) + 1
+    lines: List[str] = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            tick = y_format.format(hi)
+        elif row_index == height - 1:
+            tick = y_format.format(lo)
+        else:
+            tick = ""
+        lines.append(f"{tick:>{axis_width}} |" + "".join(row))
+    lines.append(" " * axis_width + " +" + "-" * width)
+
+    # x labels, clipped into their columns.
+    label_row = [" "] * width
+    for column, label in zip(columns, x_labels):
+        text = str(label)
+        start = min(column, width - len(text))
+        for offset, char in enumerate(text):
+            label_row[start + offset] = char
+    lines.append(" " * axis_width + "  " + "".join(label_row))
+
+    legend = "  ".join(
+        f"{_GLYPHS[rank % len(_GLYPHS)]}={label}"
+        for rank, label in enumerate(series)
+    )
+    lines.append(" " * axis_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def print_series_chart(series: Dict[str, Sequence[float]],
+                       x_labels: Sequence[object],
+                       out: Optional[IO] = None, **kwargs) -> None:
+    """Render and print a series chart to a stream (stdout default)."""
+    print(render_series_chart(series, x_labels, **kwargs),
+          file=_stream(out))

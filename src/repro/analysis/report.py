@@ -1,0 +1,98 @@
+"""Fixed-width report printers for the reproduction harness.
+
+The benchmark modules turn runner outputs into tables shaped like the
+paper's — a header naming the experiment, one row per method/parameter,
+and the workload description so numbers are never quoted without their
+context.  Everything prints to a caller-supplied stream (stdout default)
+so tests can capture and assert on output.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Iterable, List, Optional, Sequence
+
+
+def _stream(out: Optional[IO]) -> IO:
+    return out if out is not None else sys.stdout
+
+
+def print_header(title: str, subtitle: str = "", out: Optional[IO] = None,
+                 ) -> None:
+    """Banner naming the experiment and its workload."""
+    stream = _stream(out)
+    line = "=" * max(len(title), len(subtitle), 40)
+    print(line, file=stream)
+    print(title, file=stream)
+    if subtitle:
+        print(subtitle, file=stream)
+    print(line, file=stream)
+
+
+def format_row(cells: Sequence[object], widths: Sequence[int]) -> str:
+    """Right-align every cell but the first into the given column widths."""
+    parts = []
+    for position, (cell, width) in enumerate(zip(cells, widths)):
+        if isinstance(cell, float):
+            text = f"{cell:.4f}" if abs(cell) < 1000 else f"{cell:.1f}"
+        else:
+            text = str(cell)
+        parts.append(text.ljust(width) if position == 0 else text.rjust(width))
+    return "  ".join(parts)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                out: Optional[IO] = None) -> None:
+    """Print a fixed-width table with a separator under the header."""
+    stream = _stream(out)
+    rows = [list(row) for row in rows]
+    widths: List[int] = []
+    for col, header in enumerate(headers):
+        cells = [header] + [
+            (f"{row[col]:.4f}" if isinstance(row[col], float)
+             and abs(row[col]) < 1000 else str(row[col]))
+            for row in rows
+        ]
+        widths.append(max(len(str(c)) for c in cells))
+    print(format_row(headers, widths), file=stream)
+    print("  ".join("-" * w for w in widths), file=stream)
+    for row in rows:
+        print(format_row(row, widths), file=stream)
+
+
+def print_series(label: str, xs: Sequence[object], ys: Sequence[float],
+                 out: Optional[IO] = None, y_format: str = "{:.4f}",
+                 ) -> None:
+    """Print one named (x, y) series the way the paper's figures plot them."""
+    stream = _stream(out)
+    pairs = ", ".join(
+        f"{x}:{y_format.format(y)}" for x, y in zip(xs, ys)
+    )
+    print(f"{label}: {pairs}", file=stream)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Coarse text sparkline for distribution-shaped results."""
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample by averaging consecutive chunks.
+        chunk = len(values) / width
+        values = [
+            sum(values[int(i * chunk):max(int(i * chunk) + 1,
+                                          int((i + 1) * chunk))])
+            / max(1, len(values[int(i * chunk):max(int(i * chunk) + 1,
+                                                   int((i + 1) * chunk))]))
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    glyphs = " .:-=+*#%@"
+    if span <= 0:
+        return glyphs[-1] * len(values)
+    return "".join(
+        glyphs[min(len(glyphs) - 1,
+                   int((v - lo) / span * (len(glyphs) - 1)))]
+        for v in values
+    )

@@ -1,0 +1,107 @@
+"""Sampled auto-tuning of FEXIPRO's parameters (rho and e).
+
+FEXIPRO fixes ``rho = 0.7`` and ``e = 100`` based on the paper's sweeps
+(Figures 10/11); LEMP instead tunes per deployment with sample queries.
+This module provides that LEMP-style option for FEXIPRO: given a handful
+of representative queries, measure the machine-independent work metric
+(entire products + scanned coordinates) over a small grid and return the
+best configuration.
+
+The tuner optimizes a *cost proxy*, not wall clock, so its choices are
+stable across machines:
+
+    cost(config) = mean over samples of
+        scanned * w(config)          # head coordinates touched
+        + full_products * d          # residue coordinates computed
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.index import FexiproIndex
+from ..exceptions import ValidationError
+
+DEFAULT_RHO_GRID: Tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9)
+DEFAULT_E_GRID: Tuple[float, ...] = (50.0, 100.0, 500.0)
+DEFAULT_SAMPLES = 8
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Chosen configuration plus the full grid of measured costs."""
+
+    rho: float
+    e: float
+    cost: float
+    grid: Tuple[Tuple[float, float, float], ...]  # (rho, e, cost) rows
+
+    def as_kwargs(self) -> dict:
+        """Keyword arguments for :class:`repro.FexiproIndex`."""
+        return {"rho": self.rho, "e": self.e}
+
+
+def estimate_cost(index: FexiproIndex, samples: np.ndarray,
+                  k: int = 10) -> float:
+    """Coordinate-touch cost proxy of an index over sample queries."""
+    total = 0.0
+    for q in samples:
+        stats = index.query(q, k).stats
+        total += stats.scanned * index.w + stats.full_products * index.d
+    return total / max(1, samples.shape[0])
+
+
+def tune(items, sample_queries, k: int = 10,
+         variant: str = "F-SIR",
+         rho_grid: Sequence[float] = DEFAULT_RHO_GRID,
+         e_grid: Sequence[float] = DEFAULT_E_GRID,
+         max_samples: int = DEFAULT_SAMPLES) -> TuningResult:
+    """Grid-search rho and e against sampled queries.
+
+    Parameters
+    ----------
+    items:
+        Item matrix (rows are vectors) the index will serve.
+    sample_queries:
+        Representative query vectors; at most ``max_samples`` are used.
+    k:
+        Result-list size the deployment will ask for.
+    variant:
+        FEXIPRO variant to tune.
+    rho_grid / e_grid:
+        Candidate values.  Variants without the integer technique ignore
+        ``e`` (the grid collapses to a single entry).
+
+    Returns
+    -------
+    TuningResult
+        The minimizing configuration and the full measured grid.
+    """
+    samples = np.asarray(sample_queries, dtype=np.float64)
+    if samples.ndim == 1:
+        samples = samples.reshape(1, -1)
+    if samples.shape[0] == 0:
+        raise ValidationError("tuning needs at least one sample query")
+    samples = samples[:max_samples]
+    if not rho_grid or not e_grid:
+        raise ValidationError("rho_grid and e_grid must be nonempty")
+
+    from ..core.variants import get_variant
+
+    uses_integer = get_variant(variant).use_integer
+    effective_e_grid = tuple(e_grid) if uses_integer else (e_grid[0],)
+
+    rows = []
+    best: Optional[Tuple[float, float, float]] = None
+    for rho, e in itertools.product(rho_grid, effective_e_grid):
+        index = FexiproIndex(items, variant=variant, rho=rho, e=e)
+        cost = estimate_cost(index, samples, k)
+        rows.append((float(rho), float(e), float(cost)))
+        if best is None or cost < best[2]:
+            best = rows[-1]
+    return TuningResult(rho=best[0], e=best[1], cost=best[2],
+                        grid=tuple(rows))

@@ -1,0 +1,98 @@
+"""Experiment workload configuration.
+
+Every table/figure runner draws its datasets through :func:`get_workload`,
+which applies a global size multiplier so the same code serves three modes:
+
+- **test** (``scale ~ 0.05``): seconds, used by the unit tests;
+- **bench** (``scale ~ 0.25``, the default): a few minutes for the full
+  table set — the regime the committed EXPERIMENTS.md numbers come from;
+- **full** (``scale = 1.0``): the zoo recipes' headline sizes.
+
+The scale and query-count cap can be overridden without touching code via
+the environment variables ``REPRO_SCALE`` and ``REPRO_MAX_QUERIES``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..datasets import FactorDataset, load
+
+#: Default dataset size multiplier for benchmark runs.
+DEFAULT_SCALE = 0.5
+#: Default cap on the number of query vectors evaluated per experiment.
+DEFAULT_MAX_QUERIES = 60
+#: Seed used by all committed experiment numbers.
+DEFAULT_SEED = 7
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be a number; got {raw!r}") from exc
+
+
+def bench_scale() -> float:
+    """The dataset size multiplier in effect (env ``REPRO_SCALE``)."""
+    return _env_float("REPRO_SCALE", DEFAULT_SCALE)
+
+
+def max_queries() -> int:
+    """Query-count cap in effect (env ``REPRO_MAX_QUERIES``)."""
+    return int(_env_float("REPRO_MAX_QUERIES", DEFAULT_MAX_QUERIES))
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One fully-materialized experiment workload."""
+
+    dataset: FactorDataset
+    queries: np.ndarray  # the (possibly capped) query subset actually run
+
+    @property
+    def name(self) -> str:
+        return self.dataset.name
+
+    @property
+    def items(self) -> np.ndarray:
+        return self.dataset.items
+
+
+def get_workload(name: str, scale: Optional[float] = None,
+                 seed: int = DEFAULT_SEED,
+                 query_cap: Optional[int] = None) -> Workload:
+    """Materialize a named zoo dataset at the benchmark scale.
+
+    Parameters
+    ----------
+    name:
+        Zoo dataset name (``movielens`` / ``yelp`` / ``netflix`` /
+        ``yahoo``).
+    scale:
+        Size multiplier; defaults to :func:`bench_scale`.
+    seed:
+        Generation seed.
+    query_cap:
+        Maximum queries to evaluate; defaults to :func:`max_queries`.
+    """
+    scale = bench_scale() if scale is None else float(scale)
+    cap = max_queries() if query_cap is None else int(query_cap)
+    dataset = load(name, seed=seed, scale=scale)
+    queries = dataset.queries[:cap]
+    return Workload(dataset=dataset, queries=queries)
+
+
+def describe(workload: Workload) -> str:
+    """One-line workload summary embedded in every report header."""
+    return (
+        f"{workload.name}: n={workload.dataset.n} items, "
+        f"d={workload.dataset.d}, {workload.queries.shape[0]} queries"
+    )

@@ -1,0 +1,50 @@
+"""Baseline top-k inner-product retrieval methods from the paper's evaluation.
+
+Exact methods: :class:`NaiveScan`, :class:`NaiveBlas`,
+:class:`SequentialScan` (Algorithms 1+2), :class:`SSL` (SS-L),
+:class:`Lemp`, :class:`BallTree`, :class:`FastMKS`, :class:`MiniBatch`.
+
+Approximate: :class:`PCATree` (with the Theorem 3 Euclidean reduction).
+
+All share the :class:`RetrievalMethod` interface, so the experiment harness
+can swap them freely.
+"""
+
+from .ball_tree import BallTree
+from .base import RetrievalMethod
+from .dual_tree import DualTree
+from .diamond import diamond_sample_topk, exact_all_pairs_topk
+from .fastmks import FastMKS
+from .inverted import InvertedIndex
+from .lemp import Lemp
+from .lsh import ALSH, SimpleLSH
+from .minibatch import MiniBatch
+from .naive import NaiveBlas, NaiveScan
+from .pca_tree import (
+    PCATree,
+    euclidean_transform_items,
+    euclidean_transform_query,
+)
+from .sequential import SequentialScan
+from .ssl import SSL
+
+__all__ = [
+    "ALSH",
+    "BallTree",
+    "DualTree",
+    "FastMKS",
+    "InvertedIndex",
+    "Lemp",
+    "MiniBatch",
+    "NaiveBlas",
+    "NaiveScan",
+    "PCATree",
+    "RetrievalMethod",
+    "SSL",
+    "SimpleLSH",
+    "SequentialScan",
+    "diamond_sample_topk",
+    "exact_all_pairs_topk",
+    "euclidean_transform_items",
+    "euclidean_transform_query",
+]

@@ -1,0 +1,67 @@
+"""Common interface for all retrieval methods.
+
+Every baseline (and :class:`repro.core.index.FexiproIndex`, by duck typing)
+exposes the same surface: construct over an item matrix, then ``query`` a
+single vector or ``batch_query`` many.  The experiment harness in
+:mod:`repro.analysis` relies only on this interface, so methods are freely
+interchangeable in every table and figure runner.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import List
+
+import numpy as np
+
+from .._validation import as_item_matrix, as_query_vector, check_k
+from ..core.stats import RetrievalResult
+
+
+class RetrievalMethod(abc.ABC):
+    """Abstract base for exact (or approximate) top-k IP retrieval methods.
+
+    Subclasses implement :meth:`_retrieve`; this base handles validation,
+    timing and the batch loop.  ``preprocess_time`` must be set by the
+    subclass constructor (0.0 for methods with no preprocessing).
+    """
+
+    #: Human-readable method name used in reports (overridden per subclass).
+    name: str = "abstract"
+
+    #: Whether the method guarantees exact top-k results.
+    exact: bool = True
+
+    def __init__(self, items):
+        started = time.perf_counter()
+        self.items = as_item_matrix(items)
+        self.n, self.d = self.items.shape
+        self._build()
+        self.preprocess_time = time.perf_counter() - started
+
+    def _build(self) -> None:
+        """Hook for index construction; default is no preprocessing."""
+
+    @abc.abstractmethod
+    def _retrieve(self, query: np.ndarray, k: int) -> RetrievalResult:
+        """Answer one validated query; ids must index the original items."""
+
+    def query(self, query, k: int = 10) -> RetrievalResult:
+        """Retrieve the top-k items by inner product for one query vector."""
+        q = as_query_vector(query, self.d)
+        k = check_k(k, self.n)
+        started = time.perf_counter()
+        result = self._retrieve(q, k)
+        result.elapsed = time.perf_counter() - started
+        return result
+
+    def batch_query(self, queries, k: int = 10) -> List[RetrievalResult]:
+        """Answer each row of a query matrix independently."""
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        return [self.query(row, k) for row in queries]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n}, d={self.d})"

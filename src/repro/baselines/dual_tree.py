@@ -1,0 +1,119 @@
+"""Dual-tree MIPS for batch workloads (Ram & Gray 2012; Curtin et al.).
+
+The paper cites dual-tree methods [32, 16, 15] and notes it skipped the
+DualTree variant because it "was reported to be not better than BallTree"
+in prior studies.  We implement it so that report can be checked on our
+substrate (``benchmarks/bench_extension_dualtree.py``).
+
+Both the query set and the item set are indexed with ball trees; a
+recursive traversal visits node *pairs* and prunes a pair when no query
+under the query node can improve its top-k using any item under the item
+node:
+
+    max_{q in Q_node, p in P_node} q . p
+        <= q_c . p_c + R_q ||p_c|| + R_p ||q_c|| + R_q R_p,
+
+compared against the *minimum* running threshold among the queries below
+the query node.  Amortizing bounds over query subtrees is the whole point
+— and also the weakness when thresholds diverge across queries.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .._validation import as_item_matrix, as_query_matrix, check_k
+from ..core.stats import PruningStats, RetrievalResult
+from ..core.topk import TopKBuffer
+from .ball_tree import BallTree, _Node
+
+
+class DualTree(BallTree):
+    """Batch-exact MIPS via simultaneous query-tree/item-tree traversal.
+
+    Single queries fall back to the plain BallTree search; the dual
+    traversal is exposed through :meth:`batch_query`.
+    """
+
+    name = "DualTree"
+
+    def __init__(self, items, leaf_size: int = 20,
+                 query_leaf_size: int = 8):
+        if query_leaf_size <= 0:
+            raise ValueError("query_leaf_size must be positive")
+        self.query_leaf_size = int(query_leaf_size)
+        super().__init__(items, leaf_size=leaf_size)
+
+    def batch_query(self, queries, k: int = 10) -> List[RetrievalResult]:
+        """Exact top-k for every query row via one dual traversal."""
+        queries = as_query_matrix(queries, self.d)
+        k = check_k(k, self.n)
+        m = queries.shape[0]
+        buffers = [TopKBuffer(k) for __ in range(m)]
+        stats = [PruningStats(n_items=self.n) for __ in range(m)]
+
+        query_tree = _QueryTree(queries, self.query_leaf_size)
+        self._traverse(query_tree.root, self.root, queries, buffers, stats)
+
+        results = []
+        for buffer, stat in zip(buffers, stats):
+            ids, scores = buffer.items_and_scores()
+            results.append(RetrievalResult(ids=ids, scores=scores,
+                                           stats=stat))
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _pair_bound(self, q_node: "_Node", p_node: "_Node") -> float:
+        qc, pc = q_node.center, p_node.center
+        return (float(qc @ pc)
+                + q_node.radius * float(np.linalg.norm(pc))
+                + p_node.radius * float(np.linalg.norm(qc))
+                + q_node.radius * p_node.radius)
+
+    def _min_threshold(self, q_node: "_Node", buffers) -> float:
+        return min(buffers[q].threshold for q in q_node.indices) \
+            if q_node.is_leaf else min(
+                self._min_threshold(q_node.left, buffers),
+                self._min_threshold(q_node.right, buffers),
+        )
+
+    def _traverse(self, q_node: "_Node", p_node: "_Node",
+                  queries: np.ndarray, buffers, stats) -> None:
+        if self._pair_bound(q_node, p_node) <= \
+                self._min_threshold(q_node, buffers):
+            return  # no query below q_node can benefit from p_node
+        if q_node.is_leaf and p_node.is_leaf:
+            block = self.items[p_node.indices]
+            for q in q_node.indices:
+                scores = block @ queries[q]
+                stats[q].scanned += p_node.indices.size
+                stats[q].full_products += p_node.indices.size
+                for idx, score in zip(p_node.indices, scores):
+                    buffers[q].push(float(score), int(idx))
+            return
+        if q_node.is_leaf or (
+                not p_node.is_leaf and p_node.radius >= q_node.radius):
+            # Descend the item side, best-bound child first.
+            children = sorted(
+                (p_node.left, p_node.right),
+                key=lambda child: -self._pair_bound(q_node, child),
+            )
+            for child in children:
+                self._traverse(q_node, child, queries, buffers, stats)
+        else:
+            self._traverse(q_node.left, p_node, queries, buffers, stats)
+            self._traverse(q_node.right, p_node, queries, buffers, stats)
+
+
+class _QueryTree:
+    """Ball tree over the query set, reusing BallTree's construction."""
+
+    def __init__(self, queries: np.ndarray, leaf_size: int):
+        builder = BallTree.__new__(BallTree)
+        builder.items = as_item_matrix(queries, name="queries")
+        builder.n, builder.d = builder.items.shape
+        builder.leaf_size = leaf_size
+        self.root = builder._build_node(np.arange(builder.n))

@@ -1,0 +1,75 @@
+"""Inverted-index inner-product retrieval for sparse vectors.
+
+The paper's conclusion scopes FEXIPRO to *dense* factors: "for sparse
+vectors, inverted index based methods can be a better choice".  This
+module provides that better choice so the claim can be measured
+(``benchmarks/bench_discussion_claims.py``).
+
+Classic term-at-a-time evaluation: for each dimension, store the (item,
+value) postings of the items with a nonzero coordinate there; a query
+accumulates scores only over the postings of its own nonzero dimensions.
+Cost is proportional to the matched nonzeros, not ``n * d`` — a huge win
+when vectors are sparse, and a loss when they are dense (every posting
+list is full).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.stats import PruningStats, RetrievalResult
+from ..core.topk import TopKBuffer
+from .base import RetrievalMethod
+
+_EPS = 0.0
+
+
+class InvertedIndex(RetrievalMethod):
+    """Exact top-k IP retrieval via per-dimension postings.
+
+    Parameters
+    ----------
+    items:
+        Item matrix, rows are vectors; zeros are skipped when building the
+        postings, so sparsity directly shrinks the index.
+    """
+
+    name = "InvertedIndex"
+
+    def _build(self) -> None:
+        self.posting_items: List[np.ndarray] = []
+        self.posting_values: List[np.ndarray] = []
+        nonzero_total = 0
+        for dim in range(self.d):
+            column = self.items[:, dim]
+            rows = np.nonzero(column != _EPS)[0]
+            self.posting_items.append(rows.astype(np.int64))
+            self.posting_values.append(column[rows])
+            nonzero_total += rows.size
+        #: Fraction of stored coordinates; 1.0 means fully dense.
+        self.density = nonzero_total / (self.n * self.d)
+
+    def _retrieve(self, query: np.ndarray, k: int) -> RetrievalResult:
+        scores = np.zeros(self.n)
+        touched = 0
+        for dim in np.nonzero(query != _EPS)[0]:
+            rows = self.posting_items[dim]
+            if rows.size:
+                scores[rows] += query[dim] * self.posting_values[dim]
+                touched += rows.size
+
+        buffer = TopKBuffer(k)
+        if k >= self.n:
+            candidates = np.arange(self.n)
+        else:
+            candidates = np.argpartition(-scores, k)[:k * 4 + 8]
+        for idx in candidates:
+            buffer.push(float(scores[idx]), int(idx))
+        # Guard: argpartition on the accumulator is exact because every
+        # item's score is fully accumulated; a second pass is unnecessary.
+        ids, values = buffer.items_and_scores()
+        stats = PruningStats(n_items=self.n, scanned=touched,
+                             full_products=touched)
+        return RetrievalResult(ids=ids, scores=values, stats=stats)

@@ -1,0 +1,327 @@
+"""LEMP: bucketized batch top-k inner-product retrieval (Table 6).
+
+LEMP (Teflioudi et al., SIGMOD 2015 / TODS 2016) targets the *batch*
+problem — top-k lists for every query in ``Q`` — and adds three
+optimizations on top of the normalized sequential scan:
+
+- **Bucketization**: items are length-sorted and packed into fixed-size
+  buckets (sized for L2 cache in the original; a tuning knob here).  For a
+  query, whole buckets are skipped once ``||q|| * max_len(bucket) <= t``.
+- **Per-bucket tuning of w**: a sample of the query workload probes several
+  candidate checking dimensions per bucket and keeps the one minimizing the
+  expected number of scanned coordinates.
+- **Incremental pruning** on normalized vectors inside each bucket (as in
+  :class:`repro.baselines.ssl.SSL`).
+
+The public entry point is :meth:`Lemp.batch_topk`, which processes a whole
+query matrix; :meth:`Lemp.query` answers single queries through the same
+machinery (per the paper's footnote, LEMP degenerates to SS for a single
+query).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.stats import PruningStats, RetrievalResult
+from ..core.topk import TopKBuffer
+from .base import RetrievalMethod
+
+_EPS = 1e-12
+#: Default number of item vectors per bucket.
+DEFAULT_BUCKET_SIZE = 512
+#: Number of sample queries used when tuning w per bucket.
+DEFAULT_TUNING_SAMPLES = 8
+
+
+@dataclass
+class _Bucket:
+    """One length-sorted bucket of items with its tuned checking dimension."""
+
+    start: int
+    stop: int
+    max_norm: float
+    w: int
+    tail_norms: np.ndarray  # residual unit norms under the tuned w
+    tree: Optional[object] = None  # per-bucket ball tree (strategy="tree")
+
+
+class Lemp(RetrievalMethod):
+    """LEMP-LI style bucketized retrieval.
+
+    Parameters
+    ----------
+    items:
+        Item matrix, rows are vectors.
+    bucket_size:
+        Items per bucket (the cache-sizing knob of the original system).
+    tuning_queries:
+        Optional sample of query vectors used to tune the per-bucket ``w``;
+        if omitted, buckets fall back to ``w = max(1, d // 5)``.
+    """
+
+    name = "LEMP"
+
+    #: Inner bucket algorithms, mirroring the original system's families:
+    #: ``"incr"`` = LEMP-LI (incremental pruning, the paper's comparator),
+    #: ``"coord"`` = LEMP-LC (COORD test before incremental pruning),
+    #: ``"tree"`` = LEMP-TREE (per-bucket ball tree over unit vectors,
+    #: searched with the bucket-conservative cosine threshold),
+    #: ``"naive"`` = LEMP-N (exhaustive bucket scan; bucketization only).
+    STRATEGIES = ("incr", "coord", "tree", "naive")
+
+    def __init__(self, items, bucket_size: int = DEFAULT_BUCKET_SIZE,
+                 tuning_queries: Optional[np.ndarray] = None,
+                 strategy: str = "incr"):
+        self.bucket_size = int(bucket_size)
+        if self.bucket_size <= 0:
+            raise ValueError("bucket_size must be positive")
+        if strategy not in self.STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {self.STRATEGIES}; got {strategy!r}"
+            )
+        self.strategy = strategy
+        self._tuning_queries = tuning_queries
+        super().__init__(items)
+
+    def _build(self) -> None:
+        norms = np.linalg.norm(self.items, axis=1)
+        self.order = np.argsort(-norms, kind="stable")
+        self.sorted_norms = np.ascontiguousarray(norms[self.order])
+        safe = np.maximum(self.sorted_norms, _EPS)
+        self.units = np.ascontiguousarray(self.items[self.order] / safe[:, None])
+        self.buckets: List[_Bucket] = []
+        candidates = self._w_candidates()
+        samples = self._prepare_samples()
+        for start in range(0, self.n, self.bucket_size):
+            stop = min(start + self.bucket_size, self.n)
+            w = self._tune_bucket(start, stop, candidates, samples)
+            tail = self.units[start:stop, w:]
+            tree = None
+            if self.strategy == "tree":
+                from .ball_tree import BallTree
+
+                builder = BallTree.__new__(BallTree)
+                builder.items = self.units[start:stop]
+                builder.n, builder.d = builder.items.shape
+                builder.leaf_size = 16
+                tree = builder._build_node(np.arange(stop - start))
+            self.buckets.append(_Bucket(
+                start=start, stop=stop,
+                max_norm=float(self.sorted_norms[start]),
+                w=w,
+                tail_norms=np.sqrt(np.einsum("ij,ij->i", tail, tail)),
+                tree=tree,
+            ))
+
+    def _w_candidates(self) -> Sequence[int]:
+        raw = {max(1, self.d // 10), max(1, self.d // 5),
+               max(1, self.d // 3), max(1, self.d // 2)}
+        return sorted(min(w, self.d) for w in raw)
+
+    def _prepare_samples(self) -> Optional[np.ndarray]:
+        if self._tuning_queries is None:
+            return None
+        q = np.asarray(self._tuning_queries, dtype=np.float64)
+        if q.ndim == 1:
+            q = q.reshape(1, -1)
+        if q.shape[1] != self.d:
+            raise ValueError(
+                f"tuning queries must have {self.d} dims; got {q.shape[1]}"
+            )
+        if q.shape[0] > DEFAULT_TUNING_SAMPLES:
+            q = q[:DEFAULT_TUNING_SAMPLES]
+        norms = np.maximum(np.linalg.norm(q, axis=1), _EPS)
+        return q / norms[:, None]
+
+    def _tune_bucket(self, start: int, stop: int,
+                     candidates: Sequence[int],
+                     samples: Optional[np.ndarray]) -> int:
+        """Pick the w minimizing expected scanned coordinates per item.
+
+        Cost model (the one LEMP's sampling estimates): every surviving
+        candidate costs ``w`` head coordinates, plus ``d - w`` more when the
+        incremental test fails.  The failure rate is estimated against a
+        median-cosine pseudo-threshold from the sample queries.
+        """
+        if samples is None or stop - start < 4:
+            return max(1, self.d // 5)
+        block = self.units[start:stop]
+        cosines = samples @ block.T  # (samples, bucket_items)
+        # Pseudo-threshold: what a mid-flight top-k scan would compare with.
+        pseudo_t = np.quantile(cosines, 0.95, axis=1, keepdims=True)
+        best_w, best_cost = candidates[0], math.inf
+        for w in candidates:
+            head = samples[:, :w] @ block[:, :w].T
+            q_tail = np.sqrt(np.maximum(
+                0.0, 1.0 - np.einsum("ij,ij->i", samples[:, :w], samples[:, :w])
+            ))[:, None]
+            p_tail = np.sqrt(np.maximum(
+                0.0, 1.0 - np.einsum("ij,ij->i", block[:, :w], block[:, :w])
+            ))[None, :]
+            survive = (head + q_tail * p_tail) > pseudo_t
+            fail_rate = float(survive.mean())
+            cost = w + fail_rate * (self.d - w)
+            if cost < best_cost:
+                best_w, best_cost = w, cost
+        return best_w
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+
+    def _retrieve(self, query: np.ndarray, k: int) -> RetrievalResult:
+        buffer = TopKBuffer(k)
+        stats = PruningStats(n_items=self.n)
+        q_norm = float(np.linalg.norm(query))
+        q_unit = query / q_norm if q_norm > 0.0 else query
+
+        t = -math.inf
+        for bucket in self.buckets:
+            if q_norm * bucket.max_norm <= t:
+                stats.length_terminated = 1
+                break
+            t = self._scan_bucket(bucket, q_unit, q_norm, buffer, stats, t)
+
+        positions, values = buffer.items_and_scores()
+        ids = [int(self.order[p]) for p in positions]
+        return RetrievalResult(ids=ids, scores=values, stats=stats)
+
+    def _scan_bucket(self, bucket: _Bucket, q_unit: np.ndarray, q_norm: float,
+                     buffer: TopKBuffer, stats: PruningStats,
+                     t: float) -> float:
+        """Scan one bucket with the configured strategy; returns the new t."""
+        if self.strategy == "tree":
+            return self._scan_bucket_tree(bucket, q_unit, q_norm, buffer,
+                                          stats, t)
+        w = bucket.w
+        start, stop = bucket.start, bucket.stop
+        t0 = t
+        lengths = q_norm * self.sorted_norms[start:stop]
+        limit = stop - start
+        q_head = q_unit[:w]
+        q_tail = q_unit[w:]
+        q_tail_norm = float(np.linalg.norm(q_tail))
+        use_coord = self.strategy == "coord"
+        naive = self.strategy == "naive"
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(lengths > 0.0,
+                             t0 / np.maximum(lengths, _EPS), math.inf)
+
+        coord = np.full(limit, np.nan)
+        if use_coord:
+            focus = int(np.argmax(np.abs(q_unit)))
+            qf = float(q_unit[focus])
+            q_rest = math.sqrt(max(0.0, 1.0 - qf * qf))
+            pf = self.units[start:stop, focus]
+            coord[:] = qf * pf + q_rest * np.sqrt(
+                np.maximum(0.0, 1.0 - pf * pf)
+            )
+
+        if naive:
+            # LEMP-N: bucketization only; compute every cosine directly.
+            v_full = self.units[start:stop] @ q_unit
+            v_head = np.full(limit, np.inf)  # never prunes
+            ub = np.zeros(limit)
+        else:
+            v_head = self.units[start:stop, :w] @ q_head
+            ub = q_tail_norm * bucket.tail_norms
+            alive = (v_head + ub > ratio) & (lengths > t0)
+            if use_coord:
+                alive &= coord > ratio
+            alive = np.nonzero(alive)[0]
+            v_full = np.full(limit, np.nan)
+            if alive.size:
+                v_full[alive] = v_head[alive] + (
+                    self.units[alive + start, w:] @ q_tail
+                )
+
+        for i in range(limit):
+            length = lengths[i]
+            if length <= t:
+                # Within a bucket lengths still decrease, so the remainder
+                # of this bucket (and later buckets) cannot qualify.
+                stats.length_terminated = 1
+                break
+            stats.scanned += 1
+            if length <= _EPS:
+                stats.full_products += 1
+                buffer.push(0.0, start + i)
+                t = buffer.threshold if buffer.full else t
+                continue
+            if not naive:
+                live_ratio = t / length
+                if use_coord and coord[i] <= live_ratio:
+                    stats.pruned_integer_partial += 1  # COORD stage slot
+                    continue
+                if v_head[i] + ub[i] <= live_ratio:
+                    stats.pruned_incremental += 1
+                    continue
+            stats.full_products += 1
+            score = float(v_full[i]) * self.sorted_norms[start + i] * q_norm
+            if buffer.push(score, start + i):
+                t = buffer.threshold
+        return t
+
+    def _scan_bucket_tree(self, bucket: _Bucket, q_unit: np.ndarray,
+                          q_norm: float, buffer: TopKBuffer,
+                          stats: PruningStats, t: float) -> float:
+        """LEMP-TREE: branch-and-bound over the bucket's unit-vector tree.
+
+        The cosine threshold must be conservative for the whole bucket, so
+        it uses the bucket's max norm: any item with
+        ``cos(q, p) <= t / (||q|| * max_norm)`` cannot qualify anywhere in
+        the bucket.  Surviving leaves are verified exactly per item.
+        """
+        start = bucket.start
+        max_norm = max(bucket.max_norm, _EPS)
+        min_norm = float(self.sorted_norms[bucket.stop - 1])
+
+        def theta(current_t: float) -> float:
+            """Most conservative per-item cosine ratio in the bucket.
+
+            ``q.p <= t  <=>  cos <= t / (||q|| * ||p||)``; a node prune
+            needs the *minimum* ratio over its items.  For t >= 0 that is
+            attained at the largest norm; for t < 0 at the smallest (a
+            negative number divided by a smaller positive is more
+            negative).
+            """
+            if q_norm <= _EPS or not math.isfinite(current_t):
+                return -math.inf
+            if current_t >= 0.0:
+                return current_t / (q_norm * max_norm)
+            if min_norm <= _EPS:
+                return -math.inf
+            return current_t / (q_norm * min_norm)
+
+        stack = [bucket.tree]
+        while stack:
+            node = stack.pop()
+            # Unit vectors: cos(q, u) <= q . center + radius.
+            bound = float(q_unit @ node.center) + node.radius
+            if bound <= theta(t):
+                stats.pruned_incremental += node.indices.size \
+                    if node.is_leaf else 0
+                continue
+            if node.is_leaf:
+                cosines = self.units[node.indices + start] @ q_unit
+                stats.scanned += node.indices.size
+                stats.full_products += node.indices.size
+                for local, cosine in zip(node.indices, cosines):
+                    score = (float(cosine) * q_norm
+                             * self.sorted_norms[start + local])
+                    if buffer.push(score, start + int(local)):
+                        t = buffer.threshold
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return t
+
+    def batch_topk(self, queries, k: int = 10) -> List[RetrievalResult]:
+        """Answer a whole query workload (the LEMP problem setting)."""
+        return self.batch_query(queries, k)

@@ -1,0 +1,231 @@
+"""Hash-based approximate MIPS baselines (paper Section 8, first category).
+
+The paper's related-work taxonomy puts LSH methods first among retrieval
+accelerators and explains why FEXIPRO avoids them: they are approximate,
+need many tables/bits, and cannot serve dynamically adjusted query vectors
+without rehashing.  Two representative members are implemented so those
+trade-offs can be measured:
+
+- :class:`SimpleLSH` (Neyshabur & Srebro, ICML 2015): the symmetric
+  transform ``x -> (x / M, sqrt(1 - ||x/M||^2))`` maps MIPS onto maximum
+  cosine similarity on the unit sphere, where classic sign-random-
+  projection hashing applies.
+- :class:`ALSH` (Shrivastava & Li, NIPS 2014): the asymmetric transform
+  ``P(x) = [x; ||x||^2; ||x||^4; ...]``, ``Q(q) = [q; 1/2; ...; 1/2]``
+  reduces MIPS to L2 nearest neighbours, hashed with quantized random
+  projections (E2LSH-style).  Note its selectivity/recall trade-off is
+  steep — the appended norm-power dimensions dominate the distances — which
+  is precisely the weakness Neyshabur & Srebro identified and a reason the
+  paper prefers exact pruning.
+
+Both collect bucket-collision candidates over ``n_tables`` hash tables and
+rank them by exact inner product, so reported scores are always true inner
+products; only *recall* is approximate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.stats import PruningStats, RetrievalResult
+from ..core.topk import TopKBuffer
+from .base import RetrievalMethod
+
+_EPS = 1e-12
+
+
+class _HashTables:
+    """Shared bucket plumbing: key items by per-table hash codes."""
+
+    def __init__(self, codes: np.ndarray):
+        # codes: (n_tables, n_items) integer keys
+        self.tables: List[Dict[int, np.ndarray]] = []
+        for row in codes:
+            buckets: Dict[int, List[int]] = defaultdict(list)
+            for item, key in enumerate(row):
+                buckets[int(key)].append(item)
+            self.tables.append(
+                {key: np.asarray(items, dtype=np.int64)
+                 for key, items in buckets.items()}
+            )
+
+    def candidates(self, keys: np.ndarray) -> np.ndarray:
+        """Union of bucket members across tables for one query."""
+        found = [
+            table.get(int(key)) for table, key in zip(self.tables, keys)
+        ]
+        found = [f for f in found if f is not None]
+        if not found:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(found))
+
+
+def _pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a (..., n_bits) boolean array into integer keys."""
+    weights = (1 << np.arange(bits.shape[-1], dtype=np.int64))
+    return bits.astype(np.int64) @ weights
+
+
+class SimpleLSH(RetrievalMethod):
+    """Symmetric sign-random-projection LSH over the unit-sphere lift.
+
+    Parameters
+    ----------
+    items:
+        Item matrix, rows are vectors.
+    n_tables:
+        Number of independent hash tables (more tables = higher recall).
+    n_bits:
+        Sign bits per table (more bits = smaller buckets, lower recall).
+    seed:
+        Seed for the random projections.
+    """
+
+    name = "SimpleLSH"
+    exact = False
+
+    def __init__(self, items, n_tables: int = 32, n_bits: int = 6,
+                 seed: int = 0):
+        if n_tables <= 0 or n_bits <= 0:
+            raise ValueError("n_tables and n_bits must be positive")
+        self.n_tables = int(n_tables)
+        self.n_bits = int(n_bits)
+        self.seed = int(seed)
+        super().__init__(items)
+
+    def _build(self) -> None:
+        norms = np.linalg.norm(self.items, axis=1)
+        self._max_norm = float(norms.max()) or 1.0
+        scaled = self.items / self._max_norm
+        residual = np.sqrt(np.maximum(
+            0.0, 1.0 - np.einsum("ij,ij->i", scaled, scaled)
+        ))
+        lifted = np.concatenate([scaled, residual[:, None]], axis=1)
+
+        rng = np.random.default_rng(self.seed)
+        self._planes = rng.normal(
+            size=(self.n_tables, self.n_bits, self.d + 1)
+        )
+        projections = np.einsum("tbd,nd->tnb", self._planes, lifted)
+        self._tables = _HashTables(_pack_bits(projections > 0))
+
+    def _query_keys(self, query: np.ndarray) -> np.ndarray:
+        q_norm = float(np.linalg.norm(query))
+        unit = query / q_norm if q_norm > _EPS else query
+        lifted = np.concatenate([unit, [0.0]])
+        projections = self._planes @ lifted  # (tables, bits)
+        return _pack_bits(projections > 0)
+
+    def _retrieve(self, query: np.ndarray, k: int) -> RetrievalResult:
+        candidates = self._tables.candidates(self._query_keys(query))
+        return _rank_candidates(self, query, candidates, k)
+
+
+class ALSH(RetrievalMethod):
+    """Asymmetric LSH for MIPS via the L2 reduction of Shrivastava & Li.
+
+    Parameters
+    ----------
+    items:
+        Item matrix, rows are vectors.
+    n_tables / n_hashes:
+        Hash tables and quantized projections per table.
+    m:
+        Number of appended norm-power dimensions (the paper's m; 3 is the
+        published recommendation).
+    r:
+        Quantization width of the E2LSH hash ``floor((a.x + b) / r)``.
+    scale:
+        Norm shrink factor U < 1 applied before the transform.
+    seed:
+        Seed for projections and offsets.
+    """
+
+    name = "ALSH"
+    exact = False
+
+    def __init__(self, items, n_tables: int = 16, n_hashes: int = 7,
+                 m: int = 3, r: float = 2.2, scale: float = 0.83,
+                 seed: int = 0):
+        if n_tables <= 0 or n_hashes <= 0 or m <= 0:
+            raise ValueError("n_tables, n_hashes and m must be positive")
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1]; got {scale}")
+        if r <= 0:
+            raise ValueError(f"r must be positive; got {r}")
+        self.n_tables = int(n_tables)
+        self.n_hashes = int(n_hashes)
+        self.m = int(m)
+        self.r = float(r)
+        self.scale = float(scale)
+        self.seed = int(seed)
+        super().__init__(items)
+
+    def _item_transform(self) -> np.ndarray:
+        norms = np.linalg.norm(self.items, axis=1)
+        max_norm = float(norms.max()) or 1.0
+        shrunk = self.items * (self.scale / max_norm)
+        shrunk_norm_sq = np.einsum("ij,ij->i", shrunk, shrunk)
+        powers = [shrunk]
+        current = shrunk_norm_sq
+        for __ in range(self.m):
+            powers.append(current[:, None])
+            current = current * current  # ||x||^(2^(i+1))
+        return np.concatenate(powers, axis=1)
+
+    def _query_transform(self, query: np.ndarray) -> np.ndarray:
+        q_norm = float(np.linalg.norm(query))
+        unit = query / q_norm if q_norm > _EPS else query
+        halves = np.full(self.m, 0.5)
+        return np.concatenate([unit, halves])
+
+    def _build(self) -> None:
+        lifted = self._item_transform()
+        rng = np.random.default_rng(self.seed)
+        dim = lifted.shape[1]
+        self._projections = rng.normal(
+            size=(self.n_tables, self.n_hashes, dim)
+        )
+        self._offsets = rng.uniform(
+            0.0, self.r, size=(self.n_tables, self.n_hashes)
+        )
+        raw = (np.einsum("thd,nd->tnh", self._projections, lifted)
+               + self._offsets[:, None, :]) / self.r
+        quantized = np.floor(raw).astype(np.int64)
+        # Fold the per-table hash vector into one integer key.
+        mixed = quantized * np.array(
+            [(31 ** i) % (1 << 31) for i in range(self.n_hashes)],
+            dtype=np.int64,
+        )
+        self._tables = _HashTables(mixed.sum(axis=2))
+
+    def _query_keys(self, query: np.ndarray) -> np.ndarray:
+        lifted = self._query_transform(query)
+        raw = (self._projections @ lifted + self._offsets) / self.r
+        quantized = np.floor(raw).astype(np.int64)
+        mixed = quantized * np.array(
+            [(31 ** i) % (1 << 31) for i in range(self.n_hashes)],
+            dtype=np.int64,
+        )
+        return mixed.sum(axis=1)
+
+    def _retrieve(self, query: np.ndarray, k: int) -> RetrievalResult:
+        candidates = self._tables.candidates(self._query_keys(query))
+        return _rank_candidates(self, query, candidates, k)
+
+
+def _rank_candidates(method: RetrievalMethod, query: np.ndarray,
+                     candidates: np.ndarray, k: int) -> RetrievalResult:
+    """Rank hash candidates by exact inner product (shared tail)."""
+    buffer = TopKBuffer(k)
+    if candidates.size:
+        scores = method.items[candidates] @ query
+        for idx, score in zip(candidates, scores):
+            buffer.push(float(score), int(idx))
+    ids, values = buffer.items_and_scores()
+    stats = PruningStats(n_items=method.n, scanned=int(candidates.size),
+                         full_products=int(candidates.size))
+    return RetrievalResult(ids=ids, scores=values, stats=stats)

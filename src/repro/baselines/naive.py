@@ -1,0 +1,60 @@
+"""Naive sequential scan baselines (paper Section 7.1, "Naive").
+
+Two flavours are provided:
+
+- :class:`NaiveScan` — the paper's Naive method: walk every item, compute
+  the full inner product, and keep the top-k with a priority queue.  The
+  arithmetic is vectorized per block (this is Python, not -O3 C++), but the
+  method computes *every* inner product — it prunes nothing, which is what
+  the comparison in Tables 3/4 is about.
+- :class:`NaiveBlas` — the same semantics via one ``numpy.dot`` and an
+  ``argpartition``; the strongest possible "no pruning" implementation on
+  this substrate.  Used as the sanity yardstick for timing discussions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.stats import PruningStats, RetrievalResult
+from ..core.topk import TopKBuffer
+from .base import RetrievalMethod
+
+_BLOCK = 2048
+
+
+class NaiveScan(RetrievalMethod):
+    """Priority-queue scan over all items: the paper's Naive baseline."""
+
+    name = "Naive"
+
+    def _retrieve(self, query: np.ndarray, k: int) -> RetrievalResult:
+        buffer = TopKBuffer(k)
+        for start in range(0, self.n, _BLOCK):
+            stop = min(start + _BLOCK, self.n)
+            scores = self.items[start:stop] @ query
+            for offset, score in enumerate(scores):
+                buffer.push(float(score), start + offset)
+        ids, values = buffer.items_and_scores()
+        stats = PruningStats(n_items=self.n, scanned=self.n,
+                             full_products=self.n)
+        return RetrievalResult(ids=ids, scores=values, stats=stats)
+
+
+class NaiveBlas(RetrievalMethod):
+    """Single-matmul exhaustive retrieval (``numpy.dot`` + argpartition)."""
+
+    name = "Naive-BLAS"
+
+    def _retrieve(self, query: np.ndarray, k: int) -> RetrievalResult:
+        scores = self.items @ query
+        if k >= self.n:
+            top = np.argsort(-scores, kind="stable")
+        else:
+            top = np.argpartition(-scores, k)[:k]
+            top = top[np.argsort(-scores[top], kind="stable")]
+        stats = PruningStats(n_items=self.n, scanned=self.n,
+                             full_products=self.n)
+        return RetrievalResult(ids=[int(i) for i in top],
+                               scores=[float(scores[i]) for i in top],
+                               stats=stats)

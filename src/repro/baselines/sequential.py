@@ -1,0 +1,111 @@
+"""Basic sequential scan with incremental pruning (Algorithms 1 and 2).
+
+This is the paper's starting point (Section 2.2): items sorted by length,
+Cauchy–Schwarz early termination, and incremental pruning at a fixed
+checking dimension ``w`` — but *no* SVD transformation, integer bounds or
+monotonicity reduction.  FEXIPRO's techniques are measured against this
+skeleton.
+
+Like the FEXIPRO engines, arithmetic is vectorized per block while pruning
+decisions replay with a live threshold, so timings are comparable across
+methods on this Python substrate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.blocked import block_schedule
+from ..core.stats import PruningStats, RetrievalResult
+from ..core.topk import TopKBuffer
+from .base import RetrievalMethod
+
+_BLOCK = 1024
+
+
+class SequentialScan(RetrievalMethod):
+    """Length-sorted scan + Cauchy–Schwarz termination + incremental pruning.
+
+    Parameters
+    ----------
+    items:
+        Item matrix, rows are vectors.
+    w:
+        Checking dimension for incremental pruning.  ``None`` (default)
+        uses ``max(1, d // 5)`` — the middle of the effective range the
+        paper reports for LEMP-style tuning (Figure 10 shows w in 6–15 at
+        d = 50).  Pass an explicit value to sweep it.
+    """
+
+    name = "SS"
+
+    def __init__(self, items, w: int | None = None):
+        self._requested_w = w
+        super().__init__(items)
+
+    def _build(self) -> None:
+        norms = np.linalg.norm(self.items, axis=1)
+        self.order = np.argsort(-norms, kind="stable")
+        self.sorted_items = np.ascontiguousarray(self.items[self.order])
+        self.sorted_norms = np.ascontiguousarray(norms[self.order])
+        if self._requested_w is None:
+            self.w = max(1, self.d // 5)
+        else:
+            if not 1 <= self._requested_w <= self.d:
+                raise ValueError(
+                    f"w must be in [1, {self.d}]; got {self._requested_w}"
+                )
+            self.w = int(self._requested_w)
+        tail = self.sorted_items[:, self.w:]
+        self.tail_norms = np.sqrt(np.einsum("ij,ij->i", tail, tail))
+
+    def _retrieve(self, query: np.ndarray, k: int) -> RetrievalResult:
+        buffer = TopKBuffer(k)
+        stats = PruningStats(n_items=self.n)
+        q_norm = float(np.linalg.norm(query))
+        q_head = query[: self.w]
+        q_tail = query[self.w:]
+        q_tail_norm = float(np.linalg.norm(q_tail))
+
+        t = -math.inf
+        terminated = False
+        for start, stop in block_schedule(self.n, k, _BLOCK):
+            t0 = t
+            cs = q_norm * self.sorted_norms[start:stop]
+            dead = np.nonzero(cs <= t0)[0]
+            prefix = int(dead[0]) if dead.size else stop - start
+            limit = prefix + (1 if dead.size else 0)
+            block = slice(start, start + limit)
+
+            ub = q_tail_norm * self.tail_norms[block]
+            v_head = np.full(limit, np.nan)
+            alive = np.arange(prefix)
+            if alive.size:
+                v_head[alive] = self.sorted_items[alive + start, : self.w] @ q_head
+                alive = alive[v_head[alive] + ub[alive] > t0]
+            v_full = np.full(limit, np.nan)
+            if alive.size:
+                v_full[alive] = v_head[alive] + (
+                    self.sorted_items[alive + start, self.w:] @ q_tail
+                )
+
+            for i in range(limit):
+                if cs[i] <= t:
+                    stats.length_terminated = 1
+                    terminated = True
+                    break
+                stats.scanned += 1
+                if v_head[i] + ub[i] <= t:
+                    stats.pruned_incremental += 1
+                    continue
+                stats.full_products += 1
+                if buffer.push(float(v_full[i]), start + i):
+                    t = buffer.threshold
+            if terminated:
+                break
+
+        positions, values = buffer.items_and_scores()
+        ids = [int(self.order[p]) for p in positions]
+        return RetrievalResult(ids=ids, scores=values, stats=stats)

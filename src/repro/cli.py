@@ -1,0 +1,312 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    fexipro list
+    fexipro table3 [--dataset movielens] [--k 1] [--scale 0.25]
+    fexipro table4 --dataset yelp --k 10
+    fexipro fig10 --dataset netflix
+    ...
+
+Every experiment prints a paper-shaped table plus the workload description,
+so the output is self-documenting.  ``--scale`` trades fidelity for speed
+(1.0 = the zoo recipes' headline sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from .analysis import experiments, report
+from .analysis.workloads import DEFAULT_SEED, describe, get_workload
+from .datasets import DATASET_ORDER
+
+
+def _workload(args):
+    return get_workload(args.dataset, scale=args.scale, seed=args.seed,
+                        query_cap=args.queries)
+
+
+def _cmd_table3(args) -> None:
+    workload = _workload(args)
+    report.print_header(
+        f"Table 3/7 - average entire q.p computations (k={args.k})",
+        describe(workload),
+    )
+    runs = experiments.run_pruning_power(workload, k=args.k)
+    report.print_table(
+        ["method", "avg entire products", "retrieve (s)"],
+        [[r.method, round(r.avg_full_products, 2),
+          round(r.retrieve_time, 4)] for r in runs],
+    )
+
+
+def _cmd_table4(args) -> None:
+    workload = _workload(args)
+    report.print_header(
+        f"Table 4/8 - total retrieval + preprocessing times (k={args.k})",
+        describe(workload),
+    )
+    runs = experiments.run_total_time(workload, k=args.k)
+    report.print_table(
+        ["method", "retrieve (s)", "preprocess (s)"],
+        [[r.method, round(r.retrieve_time, 4),
+          round(r.preprocess_time, 4)] for r in runs],
+    )
+    speedups = experiments.speedups_over(runs, "F-SIR")
+    report.print_header("Figure 6 - speedup of F-SIR (total time)")
+    report.print_table(
+        ["method", "speedup"],
+        [[m, round(s, 2)] for m, s in speedups.items()],
+    )
+
+
+def _cmd_table5(args) -> None:
+    workload = _workload(args)
+    report.print_header(
+        f"Table 5 - MiniBatch GEMM retrieval (k={args.k})",
+        describe(workload),
+    )
+    rows = experiments.run_minibatch(workload, k=args.k)
+    report.print_table(
+        ["batch size", "time (s)"],
+        [[r["batch_size"], round(r["time"], 4)] for r in rows],
+    )
+
+
+def _cmd_table6(args) -> None:
+    workload = _workload(args)
+    report.print_header("Table 6 - LEMP batch retrieval",
+                        describe(workload))
+    rows = experiments.run_lemp(workload)
+    report.print_table(
+        ["k", "time (s)"],
+        [[r["k"], round(r["time"], 4)] for r in rows],
+    )
+
+
+def _cmd_fig8(args) -> None:
+    workload = _workload(args)
+    report.print_header("Figure 8 - average k-th inner product",
+                        describe(workload))
+    rows = experiments.run_kth_ip(workload)
+    report.print_series(workload.name, [r["k"] for r in rows],
+                        [r["avg_kth_ip"] for r in rows])
+
+
+def _cmd_fig10(args) -> None:
+    workload = _workload(args)
+    report.print_header("Figure 10 - sensitivity to rho (and selected w)",
+                        describe(workload))
+    rows = experiments.run_rho_sweep(workload, k=args.k)
+    report.print_table(
+        ["rho", "w", "time (s)", "avg entire products"],
+        [[r["rho"], r["w"], round(r["time"], 4),
+          round(r["avg_full_products"], 2)] for r in rows],
+    )
+
+
+def _cmd_fig11(args) -> None:
+    workload = _workload(args)
+    report.print_header("Figure 11 - sensitivity to the scaling e",
+                        describe(workload))
+    rows = experiments.run_e_sweep(workload, k=args.k)
+    report.print_table(
+        ["e", "time (s)", "avg entire products"],
+        [[r["e"], round(r["time"], 4),
+          round(r["avg_full_products"], 2)] for r in rows],
+    )
+
+
+def _cmd_fig13(args) -> None:
+    workload = _workload(args)
+    report.print_header("Figure 13 - PCATree RMSE@k vs exact FEXIPRO",
+                        describe(workload))
+    rows = experiments.run_pcatree(workload)
+    report.print_table(
+        ["k", "PCATree (s)", "F-SIR (s)", "RMSE@k"],
+        [[r["k"], round(r["pcatree_time"], 4),
+          round(r["fexipro_time"], 4), round(r["rmse_at_k"], 4)]
+         for r in rows],
+    )
+
+
+def _cmd_fig15(args) -> None:
+    workload = _workload(args)
+    report.print_header(
+        "Figure 15 - cumulative IP share per dimension",
+        describe(workload),
+    )
+    row = experiments.run_cumulative_ip(workload)
+    print(f"before SVD: {report.sparkline(row['before'])}")
+    print(f"after  SVD: {report.sparkline(row['after'])}  (w={row['w']})")
+
+
+def _cmd_fig20(args) -> None:
+    report.print_header("Figure 20 - retrieval time vs rank d",
+                        f"dataset={args.dataset}")
+    rows = experiments.run_vary_d(args.dataset, k=args.k,
+                                  scale=args.scale or 0.25,
+                                  seed=args.seed)
+    report.print_table(
+        ["d", "method", "time (s)"],
+        [[r["d"], r["method"], round(r["time"], 4)] for r in rows],
+    )
+
+
+def _cmd_appendix_a(args) -> None:
+    report.print_header(
+        "Appendix A - integer bound tightness (Theorem 5)")
+    rows = experiments.run_integer_tightness()
+    report.print_table(
+        ["e", "mean relative error"],
+        [[r["e"], round(r["mean_relative_error"], 4)] for r in rows],
+    )
+
+
+def _cmd_tune(args) -> None:
+    from .analysis.tuning import tune
+
+    workload = _workload(args)
+    report.print_header("Auto-tuning rho and e (sampled cost proxy)",
+                        describe(workload))
+    result = tune(workload.items, workload.queries[:8], k=args.k)
+    report.print_table(
+        ["rho", "e", "cost proxy"],
+        [[rho, e, round(cost, 1)] for rho, e, cost in result.grid],
+    )
+    print(f"selected: rho={result.rho}, e={result.e}")
+
+
+def _cmd_above_t(args) -> None:
+    import numpy as np
+
+    from .core.index import FexiproIndex
+
+    workload = _workload(args)
+    report.print_header("Above-threshold retrieval (paper future work)",
+                        describe(workload))
+    index = FexiproIndex(workload.items, variant="F-SIR")
+    scores = workload.queries @ workload.items.T
+    rows = []
+    for quantile in (99.9, 99.0, 95.0):
+        scanned = returned = 0
+        for qi, q in enumerate(workload.queries):
+            threshold = float(np.percentile(scores[qi], quantile))
+            result = index.query_above(q, threshold)
+            scanned += result.stats.scanned
+            returned += len(result.ids)
+        m = len(workload.queries)
+        rows.append([quantile, round(scanned / m, 1),
+                     round(returned / m, 1)])
+    report.print_table(["score quantile", "avg scanned", "avg results"],
+                       rows)
+
+
+def _cmd_lsh(args) -> None:
+    import time
+
+    from .baselines import SimpleLSH
+    from .core.index import FexiproIndex
+
+    workload = _workload(args)
+    report.print_header("LSH vs exact FEXIPRO (related-work trade-off)",
+                        describe(workload))
+    index = FexiproIndex(workload.items, variant="F-SIR")
+    exact = [set(index.query(q, args.k).ids) for q in workload.queries]
+    rows = []
+    for n_tables, n_bits in ((32, 5), (16, 6), (8, 8)):
+        method = SimpleLSH(workload.items, n_tables=n_tables,
+                           n_bits=n_bits)
+        started = time.perf_counter()
+        hits = sum(
+            len(set(method.query(q, args.k).ids) & truth)
+            for q, truth in zip(workload.queries, exact)
+        )
+        elapsed = time.perf_counter() - started
+        rows.append([f"T={n_tables},b={n_bits}",
+                     round(hits / (args.k * len(exact)), 3),
+                     round(elapsed, 4)])
+    report.print_table(["config", f"recall@{args.k}", "time (s)"], rows)
+
+
+def _cmd_aip(args) -> None:
+    from .baselines import diamond_sample_topk, exact_all_pairs_topk
+
+    workload = _workload(args)
+    report.print_header(
+        "All-pairs top-k via diamond sampling (related problem)",
+        describe(workload),
+    )
+    exact = exact_all_pairs_topk(workload.queries, workload.items, args.k)
+    truth = {(i, j) for i, j, __ in exact}
+    rows = []
+    for budget in (5_000, 20_000, 80_000):
+        approx = diamond_sample_topk(workload.queries, workload.items,
+                                     k=args.k, n_samples=budget)
+        found = {(i, j) for i, j, __ in approx}
+        rows.append([budget, round(len(found & truth) / args.k, 2)])
+    report.print_table(["samples", f"recall@{args.k}"], rows)
+
+
+COMMANDS: Dict[str, Callable] = {
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "table5": _cmd_table5,
+    "table6": _cmd_table6,
+    "fig8": _cmd_fig8,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "fig13": _cmd_fig13,
+    "fig15": _cmd_fig15,
+    "fig20": _cmd_fig20,
+    "appendix-a": _cmd_appendix_a,
+    "tune": _cmd_tune,
+    "above-t": _cmd_above_t,
+    "lsh": _cmd_lsh,
+    "aip": _cmd_aip,
+}
+
+
+def _cmd_list(args) -> None:
+    print("available experiments:")
+    for name in COMMANDS:
+        print(f"  {name}")
+    print("datasets:", ", ".join(DATASET_ORDER))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fexipro",
+        description="Regenerate FEXIPRO (SIGMOD 2017) tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments").set_defaults(
+        func=_cmd_list
+    )
+    for name, func in COMMANDS.items():
+        cmd = sub.add_parser(name, help=f"run {name}")
+        cmd.add_argument("--dataset", default="movielens",
+                         choices=DATASET_ORDER)
+        cmd.add_argument("--k", type=int, default=1)
+        cmd.add_argument("--scale", type=float, default=None,
+                         help="dataset size multiplier (default: env "
+                              "REPRO_SCALE or 0.25)")
+        cmd.add_argument("--queries", type=int, default=None,
+                         help="max query vectors (default: env "
+                              "REPRO_MAX_QUERIES or 60)")
+        cmd.add_argument("--seed", type=int, default=DEFAULT_SEED)
+        cmd.set_defaults(func=func)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

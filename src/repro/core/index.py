@@ -1,0 +1,401 @@
+"""The FEXIPRO index: preprocessing (Algorithm 3) and retrieval (Algorithm 4).
+
+:class:`FexiproIndex` is the main public entry point of this library.  It is
+built once over an item matrix and then serves any number of single-vector
+top-k inner-product queries — including dynamically adjusted user vectors,
+the recommender-system scenario (FindMe, Xbox) that motivates the paper.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import FexiproIndex
+>>> rng = np.random.default_rng(0)
+>>> items = rng.normal(scale=0.3, size=(1000, 32))
+>>> index = FexiproIndex(items, variant="F-SIR")
+>>> result = index.query(rng.normal(scale=0.3, size=32), k=5)
+>>> len(result.ids)
+5
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .._validation import (
+    as_item_matrix,
+    as_query_vector,
+    check_k,
+    safe_norm,
+    safe_row_norms,
+)
+from ..exceptions import EmptyIndexError, ValidationError
+from .blocked import DEFAULT_BLOCK_SIZE, scan_blocked
+from .reduction import MonotoneQuery, MonotoneReduction
+from .scaling import DEFAULT_E, ScaledItems, ScaledQuery
+from .scanner import scan_reference
+from .stats import PruningStats, RetrievalResult
+from .svd import DEFAULT_RHO, SVDTransform, fit_svd, identity_transform
+from .variants import DEFAULT_VARIANT, VariantConfig, get_variant
+
+_ENGINES = ("blocked", "reference")
+
+
+@dataclass
+class QueryState:
+    """Everything an engine needs about one query, computed once.
+
+    Built by :meth:`FexiproIndex._prepare_query` — this corresponds to
+    Lines 2–9 of Algorithm 4 (transform the query, scale it, compute its
+    norms and reduction constants).
+    """
+
+    q_norm: float
+    q_bar: np.ndarray
+    q_bar_tail_norm: float
+    scaled: Optional[ScaledQuery]
+    monotone: Optional[MonotoneQuery]
+
+
+class FexiproIndex:
+    """Exact top-k inner-product index over an item factor matrix.
+
+    Parameters
+    ----------
+    items:
+        Item matrix with *rows* as item vectors, shape ``(n, d)``.  (The
+        paper's ``P`` is the transpose of this.)
+    variant:
+        One of the paper's configurations: ``"F-S"``, ``"F-I"``, ``"F-SI"``,
+        ``"F-SR"`` or ``"F-SIR"`` (default), or a
+        :class:`~repro.core.variants.VariantConfig`.
+    rho:
+        Singular-mass ratio selecting the checking dimension ``w``
+        (Section 3; default 0.7).
+    e:
+        Integer scaling parameter (Section 4.2; default 100).
+    engine:
+        ``"blocked"`` (vectorized, default) or ``"reference"`` (literal
+        per-vector Algorithm 4/5 — slower, used for verification).
+    block_size:
+        Items per vectorized block for the blocked engine.
+
+    Attributes
+    ----------
+    preprocess_time:
+        Wall-clock seconds spent in preprocessing (Algorithm 3); the
+        quantity reported in brackets in the paper's Tables 4 and 8.
+    w:
+        The selected checking dimension.
+    """
+
+    def __init__(self, items, *, variant: Union[str, VariantConfig] = DEFAULT_VARIANT,
+                 rho: float = DEFAULT_RHO, e: float = DEFAULT_E,
+                 engine: str = "blocked",
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 split_scaling: bool = True,
+                 integer_storage_dtype=None):
+        if engine not in _ENGINES:
+            raise ValidationError(
+                f"engine must be one of {_ENGINES}; got {engine!r}"
+            )
+        if isinstance(variant, VariantConfig):
+            self.variant = variant
+        else:
+            self.variant = get_variant(variant)
+        self.engine = engine
+        self.block_size = int(block_size)
+        self.rho = float(rho)
+        self.e = float(e)
+        self.split_scaling = bool(split_scaling)
+        import numpy as _np
+        self.integer_storage_dtype = _np.dtype(
+            integer_storage_dtype if integer_storage_dtype is not None
+            else _np.int64
+        )
+
+        started = time.perf_counter()
+        items = as_item_matrix(items)
+        self._preprocess(items, np.arange(items.shape[0], dtype=np.int64))
+        self._next_id = items.shape[0]
+        self.preprocess_time = time.perf_counter() - started
+
+    def _preprocess(self, items: np.ndarray,
+                    external_ids: np.ndarray) -> None:
+        """Algorithm 3: full preprocessing over ``items``.
+
+        ``external_ids[i]`` is the id reported in query results for row
+        ``i`` of ``items`` — ``arange(n)`` at construction, but updates
+        (:meth:`add_items` / :meth:`remove_items`) keep ids stable across
+        internal rebuilds.
+        """
+        self.n, self.d = items.shape
+
+        # Algorithm 3, Line 2: sort by original length, descending.
+        # (Underflow-safe norms: the Cauchy-Schwarz cut must never see a
+        # norm rounded down to 0 for a denormal-but-nonzero vector.)
+        norms = safe_row_norms(items)
+        positions = np.argsort(-norms, kind="stable")
+        self.order = external_ids[positions]
+        self.items_sorted = np.ascontiguousarray(items[positions])
+        self.norms_sorted = np.ascontiguousarray(norms[positions])
+
+        # Algorithm 3, Line 3: thin SVD (or the energy reorder for F-I).
+        if self.variant.use_svd:
+            self.transform: SVDTransform = fit_svd(self.items_sorted,
+                                                   self.rho)
+        else:
+            self.transform = identity_transform(self.items_sorted, self.rho)
+        self.w = self.transform.w
+        self.items_bar = self.transform.items
+
+        # Residual norms ||p_bar_h|| for incremental pruning (Eq. 1).
+        self.bar_tail_norms = safe_row_norms(self.items_bar[:, self.w:]) \
+            if self.w < self.d else np.zeros(self.n)
+
+        # Algorithm 3, Line 8: split scaling + integer approximations.
+        self.scaled: Optional[ScaledItems] = None
+        if self.variant.use_integer:
+            self.scaled = ScaledItems(
+                self.items_bar, self.w, self.e,
+                split=self.split_scaling,
+                storage_dtype=self.integer_storage_dtype,
+            )
+
+        # Algorithm 3, Line 9: monotonicity reduction constants.
+        self.reduction: Optional[MonotoneReduction] = None
+        if self.variant.use_reduction:
+            self.reduction = MonotoneReduction(
+                self.items_bar, self.transform.sigma, self.w
+            )
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+
+    def query(self, query, k: int = 10) -> RetrievalResult:
+        """Retrieve the exact top-k items by inner product for one query.
+
+        Returns a :class:`~repro.core.stats.RetrievalResult` whose ``ids``
+        are row indices into the *original* item matrix, sorted by
+        descending score, with pruning statistics and elapsed time attached.
+        """
+        q = as_query_vector(query, self.d)
+        k = check_k(k, self.n)
+        started = time.perf_counter()
+        qs = self._prepare_query(q)
+        buffer, stats = self._scan(qs, k)
+        elapsed = time.perf_counter() - started
+        positions, scores = buffer.items_and_scores()
+        ids = [int(self.order[p]) for p in positions]
+        return RetrievalResult(ids=ids, scores=scores, stats=stats,
+                               elapsed=elapsed)
+
+    def batch_query(self, queries, k: int = 10) -> List[RetrievalResult]:
+        """Run :meth:`query` over rows of a query matrix, independently.
+
+        FEXIPRO's problem setting is single-query retrieval; this helper
+        simply loops (as the paper does for its ``Q``-workload experiments)
+        and returns one result per query row.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        return [self.query(row, k) for row in queries]
+
+    def query_above(self, query, threshold: float) -> RetrievalResult:
+        """Retrieve *all* items with ``q . p > threshold`` (above-t).
+
+        This is LEMP's original problem formulation, which the paper lists
+        as future work for the FEXIPRO techniques.  The same pruning
+        cascade applies; with a fixed threshold it runs fully vectorized.
+        Results are sorted by descending score.  Scores are computed in
+        the SVD-rotated basis, so the strict boundary ``score > threshold``
+        is accurate to floating-point round-off of that computation.
+        """
+        from .above import scan_above
+
+        q = as_query_vector(query, self.d)
+        started = time.perf_counter()
+        qs = self._prepare_query(q)
+        positions, scores, stats = scan_above(self, qs, float(threshold))
+        elapsed = time.perf_counter() - started
+        ids = [int(self.order[p]) for p in positions]
+        return RetrievalResult(ids=ids, scores=[float(s) for s in scores],
+                               stats=stats, elapsed=elapsed)
+
+    # ------------------------------------------------------------------
+    # Dynamic updates
+    # ------------------------------------------------------------------
+
+    def add_items(self, new_items) -> List[int]:
+        """Add item vectors to the index; returns their assigned ids.
+
+        New ids continue from the construction count (and past removals),
+        so existing ids never change.  A fast incremental path projects the
+        new rows into the existing SVD basis — exactness is preserved as
+        long as the rows are representable there (checked by reconstruction
+        error) and, for reduction variants, their transformed norms stay
+        within the fitted bound ``b``.  When either check fails, the index
+        transparently re-runs full preprocessing (Algorithm 3).
+        """
+        rows = as_item_matrix(new_items, name="new_items")
+        if rows.shape[1] != self.d:
+            raise ValidationError(
+                f"new items have {rows.shape[1]} dims, index has {self.d}"
+            )
+        ids = list(range(self._next_id, self._next_id + rows.shape[0]))
+        self._next_id += rows.shape[0]
+        id_array = np.asarray(ids, dtype=np.int64)
+
+        if not self._try_incremental_add(rows, id_array):
+            combined = np.concatenate([self.items_sorted, rows], axis=0)
+            external = np.concatenate([self.order, id_array])
+            self._preprocess(combined, external)
+        return ids
+
+    def _try_incremental_add(self, rows: np.ndarray,
+                             ids: np.ndarray) -> bool:
+        """Attempt the stale-basis fast path; returns False to request rebuild."""
+        sigma = self.transform.sigma
+        if float(sigma.min()) <= 1e-12 * max(float(sigma.max()), 1.0):
+            return False  # basis cannot represent new directions reliably
+        rows_bar = (rows @ self.transform.u) / sigma
+        # Exactness guard: q_bar . p_bar == q . p for all q requires the
+        # rows to be reconstructible from the fitted basis.
+        reconstructed = (rows_bar * sigma) @ self.transform.u.T
+        scale = np.maximum(np.linalg.norm(rows, axis=1), 1.0)
+        error = np.linalg.norm(reconstructed - rows, axis=1) / scale
+        if float(error.max()) > 1e-8:
+            return False
+        norms_bar_sq = np.einsum("ij,ij->i", rows_bar, rows_bar)
+        if self.reduction is not None and \
+                float(norms_bar_sq.max()) > self.reduction.b_sq:
+            return False  # Lemma 1's b would be violated
+        if self.scaled is not None and not self.scaled.can_store(rows_bar):
+            return False  # narrow integer storage would overflow
+
+        norms = safe_row_norms(rows)
+        # Keep the length-descending order: sort new rows, then locate
+        # insertion points against the existing (descending) norms.
+        new_order = np.argsort(-norms, kind="stable")
+        rows, rows_bar = rows[new_order], rows_bar[new_order]
+        norms, ids = norms[new_order], ids[new_order]
+        positions = np.searchsorted(-self.norms_sorted, -norms, side="left")
+
+        self.items_sorted = np.insert(self.items_sorted, positions, rows,
+                                      axis=0)
+        self.norms_sorted = np.insert(self.norms_sorted, positions, norms)
+        self.order = np.insert(self.order, positions, ids)
+        self.items_bar = np.insert(self.items_bar, positions, rows_bar,
+                                   axis=0)
+        tail = rows_bar[:, self.w:]
+        self.bar_tail_norms = np.insert(
+            self.bar_tail_norms, positions,
+            np.sqrt(np.einsum("ij,ij->i", tail, tail)),
+        )
+        if self.scaled is not None:
+            self.scaled.insert(rows_bar, positions)
+        if self.reduction is not None:
+            self.reduction.insert(rows_bar, positions)
+        self.n += rows.shape[0]
+        return True
+
+    def remove_items(self, ids) -> int:
+        """Remove items by id; returns how many were actually removed.
+
+        Unknown ids are ignored (idempotent deletes).  Removing every item
+        raises :class:`~repro.exceptions.EmptyIndexError` and leaves the
+        index unchanged.
+        """
+        wanted = np.unique(np.asarray(list(ids), dtype=np.int64))
+        positions = np.nonzero(np.isin(self.order, wanted))[0]
+        if positions.size == 0:
+            return 0
+        if positions.size >= self.n:
+            raise EmptyIndexError("removing every item from the index")
+        self.items_sorted = np.delete(self.items_sorted, positions, axis=0)
+        self.norms_sorted = np.delete(self.norms_sorted, positions)
+        self.order = np.delete(self.order, positions)
+        self.items_bar = np.delete(self.items_bar, positions, axis=0)
+        self.bar_tail_norms = np.delete(self.bar_tail_norms, positions)
+        if self.scaled is not None:
+            self.scaled.delete(positions)
+        if self.reduction is not None:
+            self.reduction.delete(positions)
+        self.n -= positions.size
+        return int(positions.size)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the preprocessed index to ``path`` (pickle format).
+
+        Recommender deployments preprocess offline and serve online; this
+        avoids re-running the thin SVD / scaling / reduction at start-up.
+        Only load files you trust — pickle executes code on load.
+        """
+        import pickle
+
+        with open(path, "wb") as handle:
+            pickle.dump({"format": 1, "index": self}, handle,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path) -> "FexiproIndex":
+        """Load an index previously stored with :meth:`save`."""
+        import pickle
+
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if not isinstance(payload, dict) or payload.get("format") != 1:
+            raise ValidationError(f"{path!r} is not a saved FexiproIndex")
+        index = payload["index"]
+        if not isinstance(index, cls):
+            raise ValidationError(f"{path!r} does not contain a "
+                                  f"{cls.__name__}")
+        return index
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _prepare_query(self, q: np.ndarray) -> QueryState:
+        """Lines 2–9 of Algorithm 4: all per-query precomputation."""
+        q_norm = safe_norm(q)
+        q_bar = self.transform.transform_query(q)
+        q_bar_tail_norm = safe_norm(q_bar[self.w:])
+        scaled = self.scaled.scale_query(q_bar) if self.scaled else None
+        monotone = self.reduction.for_query(q_bar) if self.reduction else None
+        return QueryState(q_norm=q_norm, q_bar=q_bar,
+                          q_bar_tail_norm=q_bar_tail_norm,
+                          scaled=scaled, monotone=monotone)
+
+    def _scan(self, qs: QueryState, k: int):
+        if self.engine == "reference":
+            return scan_reference(self, qs, k)
+        return scan_blocked(self, qs, k, self.block_size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FexiproIndex(variant={self.variant.name!r}, n={self.n}, "
+            f"d={self.d}, w={self.w}, engine={self.engine!r})"
+        )
+
+
+def topk_exact(items, query, k: int,
+               variant: Union[str, VariantConfig] = DEFAULT_VARIANT,
+               ) -> RetrievalResult:
+    """One-shot convenience wrapper: build an index and answer one query.
+
+    For repeated queries build a :class:`FexiproIndex` once instead — the
+    preprocessing (sorting, thin SVD, scaling, reduction) is amortized over
+    all queries, exactly as the paper intends.
+    """
+    index = FexiproIndex(items, variant=variant)
+    return index.query(query, k)

@@ -1,0 +1,275 @@
+"""Integer scaling and approximation (paper Section 4 and Section 6, Eq. 4–7).
+
+Floating-point factor values produced by matrix factorization live in a
+narrow band around zero (paper Figure 3), so flooring them directly yields a
+uselessly loose integer bound (Figure 4).  FEXIPRO therefore first *scales*
+the values into ``[-e, e]`` by dividing by the maximum absolute value and
+multiplying by ``e`` (Equation 4); the bound tightens as ``e`` grows
+(Theorem 5, error proportional to ``1/e``).
+
+Section 6 refines this further: after the SVD transformation the head
+dimensions are much larger than the tail, so a single global maximum would
+crush the tail values to tiny integers.  The *split scaling* of Equation 7
+scales the first ``w`` dimensions and the remaining ``d - w`` dimensions by
+their own maxima, which keeps both partial integer bounds tight.
+
+This module owns the precomputation on the item side
+(:class:`ScaledItems`) and the per-query computation
+(:class:`ScaledQuery`).  The actual bound arithmetic lives in
+:mod:`repro.core.bounds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive
+
+#: Default scaling parameter; the paper finds performance converges at e=100.
+DEFAULT_E = 100.0
+
+
+def _safe_max_abs(values: np.ndarray) -> float:
+    """Maximum absolute value of an array, mapped to 1.0 when degenerate.
+
+    A block of all-zero values would otherwise produce a 0 divisor; scaling
+    zeros by any constant keeps them zero, so substituting 1.0 is lossless.
+    """
+    if values.size == 0:
+        return 1.0
+    max_abs = float(np.max(np.abs(values)))
+    return max_abs if max_abs > 0.0 else 1.0
+
+
+def scale_uniform(vector: np.ndarray, e: float = DEFAULT_E) -> np.ndarray:
+    """Scale a vector into ``[-e, e]`` by its own max abs value (Equation 4).
+
+    This is the single-block scaling of Section 4.2, kept for tests and for
+    reproducing the worked example of Figures 4 and 5.  The production code
+    path uses the split scaling of :class:`ScaledItems`.
+    """
+    e = check_positive(e, name="e")
+    v = np.asarray(vector, dtype=np.float64)
+    # Divide before multiplying: e / max_abs overflows when the
+    # max is subnormal, while v / max_abs is always <= 1 in magnitude.
+    return (v / _safe_max_abs(v)) * e
+
+
+def integer_parts(vector: np.ndarray) -> np.ndarray:
+    """Floor a (scaled) float vector to its integer parts, as int64.
+
+    The paper defines the integer part as the largest integer less than or
+    equal to the value — i.e. mathematical floor, including for negatives —
+    which is what the proof of Theorem 2 (``0 <= Delta < 1``) requires.
+    """
+    return np.floor(np.asarray(vector, dtype=np.float64)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class ScaledQuery:
+    """Per-query integer-scaling state (computed online, Equation 7).
+
+    Attributes
+    ----------
+    int_head / int_tail:
+        Integer parts of the scaled head (first ``w``) and tail dimensions.
+    abs_sum_head / abs_sum_tail:
+        ``sum(|floor(q_hat_s)|)`` over each block — the query-side additive
+        term of the integer upper bound (Theorem 2).
+    max_head / max_tail:
+        The query's own max-abs values used for scaling each block; needed
+        to convert integer bounds back to the original scale.
+    """
+
+    int_head: np.ndarray
+    int_tail: np.ndarray
+    float_head: np.ndarray
+    float_tail: np.ndarray
+    abs_sum_head: int
+    abs_sum_tail: int
+    max_head: float
+    max_tail: float
+
+
+class ScaledItems:
+    """Split-scaled integer approximations of a (transformed) item matrix.
+
+    Preprocessing state of the "I" technique: for each item row ``p_bar``
+    this stores the integer parts of the split-scaled vector plus the
+    absolute-sum terms of Theorem 2, so that at query time the integer upper
+    bound of any partial block is one integer dot product plus additions.
+
+    Parameters
+    ----------
+    items:
+        Transformed item matrix, rows are vectors, shape ``(n, d)``.
+    w:
+        The checking dimension splitting head from tail (``1 <= w < d``
+        normally; ``w == d`` degenerates to a single block with empty tail).
+    e:
+        Scaling parameter (Equation 4/7).
+    split:
+        ``True`` (default) applies the head/tail split scaling of
+        Equation 7; ``False`` scales both blocks by the single global
+        maximum (Equation 4) — kept for the ablation showing why the
+        split matters after the SVD skew.
+    storage_dtype:
+        Integer dtype for the stored approximations.  The paper's future
+        work observes that ``e <= 127`` fits int8, shrinking the integer
+        footprint 8x with *identical* pruning decisions (the arithmetic
+        uses exact float64 mirrors either way on this substrate).
+    """
+
+    def __init__(self, items: np.ndarray, w: int, e: float = DEFAULT_E,
+                 split: bool = True, storage_dtype=np.int64):
+        items = np.asarray(items, dtype=np.float64)
+        if items.ndim != 2:
+            raise ValueError("items must be 2-D (n, d)")
+        n, d = items.shape
+        if not 1 <= w <= d:
+            raise ValueError(f"w must be in [1, {d}]; got {w}")
+        self.e = check_positive(e, name="e")
+        self.w = int(w)
+        self.d = d
+        self.n = n
+        self.split = bool(split)
+        self.storage_dtype = np.dtype(storage_dtype)
+        if self.storage_dtype.kind != "i":
+            raise ValueError(
+                f"storage_dtype must be a signed integer type; "
+                f"got {self.storage_dtype}"
+            )
+        info = np.iinfo(self.storage_dtype)
+        if self.e > info.max:
+            raise ValueError(
+                f"e={self.e} does not fit {self.storage_dtype} "
+                f"(max {info.max}); lower e or widen the dtype"
+            )
+
+        head = items[:, : self.w]
+        tail = items[:, self.w:]
+        if self.split:
+            self.max_head = _safe_max_abs(head)
+            self.max_tail = _safe_max_abs(tail)
+        else:
+            global_max = _safe_max_abs(items)
+            self.max_head = global_max
+            self.max_tail = global_max
+        self.int_head = self._store(integer_parts(
+            (head / self.max_head) * self.e))
+        self.int_tail = self._store(integer_parts(
+            (tail / self.max_tail) * self.e))
+        self.abs_sum_head = np.abs(self.int_head.astype(np.int64)).sum(axis=1)
+        self.abs_sum_tail = np.abs(self.int_tail.astype(np.int64)).sum(axis=1)
+        # Float64 mirrors of the integer parts for the vectorized engine:
+        # NumPy routes integer matmuls through a naive kernel while float64
+        # hits BLAS, so on this substrate the "integer" dot is fastest as a
+        # float product of exactly-integer values.  Every product/sum here
+        # is far below 2^53, so the results are bit-identical to int64
+        # arithmetic; the reference scanner keeps the pure-integer path.
+        self.float_head = self.int_head.astype(np.float64)
+        self.float_tail = self.int_tail.astype(np.float64)
+
+    def scale_query(self, q_bar: np.ndarray) -> ScaledQuery:
+        """Compute the query-side split scaling (cheap, done once per query)."""
+        q = np.asarray(q_bar, dtype=np.float64)
+        if q.shape != (self.d,):
+            raise ValueError(f"query must have shape ({self.d},); got {q.shape}")
+        head = q[: self.w]
+        tail = q[self.w:]
+        max_head = _safe_max_abs(head)
+        max_tail = _safe_max_abs(tail)
+        int_head = integer_parts((head / max_head) * self.e)
+        int_tail = integer_parts((tail / max_tail) * self.e)
+        return ScaledQuery(
+            int_head=int_head,
+            int_tail=int_tail,
+            float_head=int_head.astype(np.float64),
+            float_tail=int_tail.astype(np.float64),
+            abs_sum_head=int(np.abs(int_head).sum()),
+            abs_sum_tail=int(np.abs(int_tail).sum()),
+            max_head=max_head,
+            max_tail=max_tail,
+        )
+
+    def _store(self, values: np.ndarray) -> np.ndarray:
+        """Cast integer parts to the storage dtype, refusing overflow."""
+        if self.storage_dtype == np.int64:
+            return values
+        info = np.iinfo(self.storage_dtype)
+        if values.size and (values.min() < info.min
+                            or values.max() > info.max):
+            raise ValueError(
+                f"integer parts exceed {self.storage_dtype} range"
+            )
+        return values.astype(self.storage_dtype)
+
+    @property
+    def integer_nbytes(self) -> int:
+        """Bytes held by the stored integer approximations."""
+        return int(self.int_head.nbytes + self.int_tail.nbytes)
+
+    def can_store(self, rows: np.ndarray) -> bool:
+        """Whether :meth:`insert` would succeed for these transformed rows.
+
+        Used by the index as a dry run *before* mutating any state, so a
+        narrow storage dtype can never leave a half-updated index behind.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        try:
+            self._store(integer_parts(
+                (rows[:, : self.w] / self.max_head) * self.e))
+            self._store(integer_parts(
+                (rows[:, self.w:] / self.max_tail) * self.e))
+        except ValueError:
+            return False
+        return True
+
+    def insert(self, rows: np.ndarray, positions: np.ndarray) -> None:
+        """Insert transformed item rows at the given sorted positions.
+
+        Scaling reuses the *existing* maxima: Theorem 2 and the unscale
+        factors only require that item and bound use the same constant, so
+        values exceeding the old maximum merely floor to integers beyond
+        ``e`` — the bound stays admissible, just possibly less tight.
+        Raises :class:`ValueError` if a narrow storage dtype cannot hold
+        the resulting integers (callers fall back to a rebuild).
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        head = rows[:, : self.w]
+        tail = rows[:, self.w:]
+        int_head = self._store(integer_parts(
+            (head / self.max_head) * self.e))
+        int_tail = self._store(integer_parts(
+            (tail / self.max_tail) * self.e))
+        self.int_head = np.insert(self.int_head, positions, int_head, axis=0)
+        self.int_tail = np.insert(self.int_tail, positions, int_tail, axis=0)
+        self.float_head = self.int_head.astype(np.float64)
+        self.float_tail = self.int_tail.astype(np.float64)
+        self.abs_sum_head = np.abs(self.int_head.astype(np.int64)).sum(axis=1)
+        self.abs_sum_tail = np.abs(self.int_tail.astype(np.int64)).sum(axis=1)
+        self.n = self.int_head.shape[0]
+
+    def delete(self, positions: np.ndarray) -> None:
+        """Remove the items at the given sorted positions."""
+        self.int_head = np.delete(self.int_head, positions, axis=0)
+        self.int_tail = np.delete(self.int_tail, positions, axis=0)
+        self.float_head = np.delete(self.float_head, positions, axis=0)
+        self.float_tail = np.delete(self.float_tail, positions, axis=0)
+        self.abs_sum_head = np.delete(self.abs_sum_head, positions)
+        self.abs_sum_tail = np.delete(self.abs_sum_tail, positions)
+        self.n = self.int_head.shape[0]
+
+    def head_unscale_factor(self, query: ScaledQuery) -> float:
+        """Factor converting a head-block integer bound to the exact scale.
+
+        ``q . p`` (head block) is upper-bounded by
+        ``IU_head * max_q_head * max_P_head / e**2`` (Equations 6–7).
+        """
+        return query.max_head * self.max_head / (self.e * self.e)
+
+    def tail_unscale_factor(self, query: ScaledQuery) -> float:
+        """Factor converting a tail-block integer bound to the exact scale."""
+        return query.max_tail * self.max_tail / (self.e * self.e)

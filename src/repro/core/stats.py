@@ -1,0 +1,127 @@
+"""Instrumentation records for retrieval runs.
+
+The paper's analysis (Tables 3 and 7, Figures 9 and 12) is driven by
+*machine-independent* counters: how many candidate item vectors were stopped
+at each stage of the pruning cascade and, crucially, for how many the entire
+exact inner product had to be computed.  Every retrieval engine in this
+library fills in a :class:`PruningStats` per query so those tables can be
+regenerated exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List
+
+
+@dataclass
+class PruningStats:
+    """Per-query counters for one top-k retrieval.
+
+    Attributes mirror the stages of Algorithm 4/5 in the paper:
+
+    - ``n_items``: number of indexed item vectors.
+    - ``scanned``: vectors reached by the sequential scan before the
+      Cauchy–Schwarz early-termination condition fired.
+    - ``length_terminated``: 1 if the scan stopped early via the
+      ``||q||*||p|| <= t`` test (Line 11 of Algorithm 4), else 0.
+    - ``pruned_integer_partial``: vectors discarded by the *partial* integer
+      bound (Equation 6; Lines 2–5 of Algorithm 5).
+    - ``pruned_integer_full``: vectors discarded by the full integer bound
+      (Equation 3; Lines 6–8).
+    - ``pruned_incremental``: vectors discarded by incremental pruning on the
+      exact partial product (Equation 1; Lines 9–13).
+    - ``pruned_monotone``: vectors discarded by the reduced-space partial
+      bound (Lemma 1 / Theorem 4; Lines 14–17).
+    - ``full_products``: vectors for which the *entire* exact product was
+      computed (Lines 18–20) — the quantity reported in Tables 3 and 7.
+    """
+
+    n_items: int = 0
+    scanned: int = 0
+    length_terminated: int = 0
+    pruned_integer_partial: int = 0
+    pruned_integer_full: int = 0
+    pruned_incremental: int = 0
+    pruned_monotone: int = 0
+    full_products: int = 0
+
+    def merge(self, other: "PruningStats") -> None:
+        """Accumulate another query's counters into this record (in place)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    @property
+    def skipped_by_termination(self) -> int:
+        """Vectors never reached because the scan terminated early."""
+        return max(0, self.n_items - self.scanned)
+
+    @property
+    def pruned_total(self) -> int:
+        """Vectors reached but discarded before a full product was needed."""
+        return (
+            self.pruned_integer_partial
+            + self.pruned_integer_full
+            + self.pruned_incremental
+            + self.pruned_monotone
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return all counters as a plain dictionary."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def average_full_products(stats: Iterable[PruningStats]) -> float:
+    """Average number of entire q·p computations over a set of queries.
+
+    This is the metric of Tables 3 and 7 in the paper.
+    """
+    stats = list(stats)
+    if not stats:
+        return 0.0
+    return sum(s.full_products for s in stats) / len(stats)
+
+
+def full_product_histogram(
+    stats: Iterable[PruningStats], bins: List[int]
+) -> List[int]:
+    """Histogram per-query entire-product counts into ``bins`` (Figure 12).
+
+    ``bins`` gives the right edge of each bucket; a final overflow bucket is
+    appended for counts exceeding the last edge.
+    """
+    edges = sorted(bins)
+    counts = [0] * (len(edges) + 1)
+    for record in stats:
+        value = record.full_products
+        for i, edge in enumerate(edges):
+            if value <= edge:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    return counts
+
+
+@dataclass
+class RetrievalResult:
+    """A complete answer for one query: ids, scores and instrumentation.
+
+    ``ids`` and ``scores`` are sorted by descending inner product; ``stats``
+    carries the pruning counters, and ``elapsed`` the retrieval wall-clock
+    time in seconds (0.0 when the engine was not timed).
+    """
+
+    ids: List[int] = field(default_factory=list)
+    scores: List[float] = field(default_factory=list)
+    stats: PruningStats = field(default_factory=PruningStats)
+    elapsed: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def top(self) -> int:
+        """The best item id (convenience accessor)."""
+        if not self.ids:
+            raise IndexError("empty retrieval result")
+        return self.ids[0]

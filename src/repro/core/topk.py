@@ -1,0 +1,103 @@
+"""Bounded top-k result buffer.
+
+This is the priority queue ``r`` of Algorithms 1 and 4 in the paper: it keeps
+the ``k`` largest inner products seen so far and exposes the running
+threshold ``t`` (the k-th largest value, or ``-inf`` while fewer than ``k``
+results have been collected).
+
+Beyond the plain buffer, FEXIPRO's monotonicity reduction needs to know
+*which item* currently holds the k-th slot: the reduced-space threshold
+``t'`` is derived from ``t`` through Equation 8, which involves per-item
+precomputed constants (see :mod:`repro.core.reduction`).  The buffer
+therefore stores ``(value, item_id)`` pairs and exposes
+:attr:`TopKBuffer.kth_item`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterator, List, Tuple
+
+
+class TopKBuffer:
+    """Maintain the ``k`` largest ``(score, item_id)`` pairs seen so far.
+
+    Ties are broken arbitrarily, matching Problem 1 in the paper.  Internally
+    a min-heap of size at most ``k`` is used, so each push is ``O(log k)``.
+
+    Parameters
+    ----------
+    k:
+        Number of results to retain.  Must be positive.
+    """
+
+    __slots__ = ("k", "_heap")
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError(f"k must be positive; got {k}")
+        self.k = int(k)
+        self._heap: List[Tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __iter__(self) -> Iterator[Tuple[float, int]]:
+        return iter(self._heap)
+
+    @property
+    def full(self) -> bool:
+        """``True`` once ``k`` results have been collected."""
+        return len(self._heap) >= self.k
+
+    @property
+    def threshold(self) -> float:
+        """The running threshold ``t``: the k-th largest score so far.
+
+        Returns ``-inf`` while the buffer is not yet full, so every candidate
+        passes the pruning tests until ``k`` results exist.
+        """
+        if len(self._heap) < self.k:
+            return -math.inf
+        return self._heap[0][0]
+
+    @property
+    def kth_item(self) -> int:
+        """The item id currently holding the k-th (smallest retained) slot.
+
+        Raises :class:`IndexError` if the buffer is empty.
+        """
+        if not self._heap:
+            raise IndexError("top-k buffer is empty")
+        return self._heap[0][1]
+
+    def push(self, score: float, item_id: int) -> bool:
+        """Offer a candidate result.
+
+        Returns ``True`` if the candidate was admitted (and therefore the
+        threshold may have increased), ``False`` if it was discarded.
+        """
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (score, item_id))
+            return True
+        if score > self._heap[0][0]:
+            heapq.heapreplace(self._heap, (score, item_id))
+            return True
+        return False
+
+    def would_accept(self, score: float) -> bool:
+        """Whether a score strictly beats the current threshold (or fills space)."""
+        return len(self._heap) < self.k or score > self._heap[0][0]
+
+    def items_and_scores(self) -> Tuple[List[int], List[float]]:
+        """Return ``(item_ids, scores)`` sorted by descending score."""
+        ordered = sorted(self._heap, key=lambda pair: (-pair[0], pair[1]))
+        ids = [item_id for __, item_id in ordered]
+        scores = [score for score, __ in ordered]
+        return ids, scores
+
+    def as_list(self) -> List[Tuple[int, float]]:
+        """Return ``[(item_id, score), ...]`` sorted by descending score."""
+        ids, scores = self.items_and_scores()
+        return list(zip(ids, scores))

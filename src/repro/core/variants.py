@@ -1,0 +1,77 @@
+"""Named FEXIPRO variants (paper Section 7.1).
+
+The paper evaluates five configurations of the framework, toggling the three
+techniques — **S** (SVD transformation), **I** (scaled integer bound) and
+**R** (monotonicity reduction):
+
+========  ====  ====  ====
+variant    S     I     R
+========  ====  ====  ====
+F-S        x
+F-I              x
+F-SI       x     x
+F-SR       x           x
+F-SIR      x     x     x
+========  ====  ====  ====
+
+F-I skips the SVD rotation; it instead reorders dimensions by per-dimension
+energy (see :func:`repro.core.svd.identity_transform`) so that the split
+scaling of Equation 7 still has a meaningful head block.  The paper's
+workflow discussion (Section 6) fixes the application order as S -> I -> R.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class VariantConfig:
+    """Feature switches for one FEXIPRO configuration."""
+
+    name: str
+    use_svd: bool
+    use_integer: bool
+    use_reduction: bool
+
+    @property
+    def techniques(self) -> Tuple[str, ...]:
+        """The enabled technique letters, in application order (S, I, R)."""
+        letters = []
+        if self.use_svd:
+            letters.append("S")
+        if self.use_integer:
+            letters.append("I")
+        if self.use_reduction:
+            letters.append("R")
+        return tuple(letters)
+
+
+VARIANTS: Dict[str, VariantConfig] = {
+    "F-S": VariantConfig("F-S", use_svd=True, use_integer=False,
+                         use_reduction=False),
+    "F-I": VariantConfig("F-I", use_svd=False, use_integer=True,
+                         use_reduction=False),
+    "F-SI": VariantConfig("F-SI", use_svd=True, use_integer=True,
+                          use_reduction=False),
+    "F-SR": VariantConfig("F-SR", use_svd=True, use_integer=False,
+                          use_reduction=True),
+    "F-SIR": VariantConfig("F-SIR", use_svd=True, use_integer=True,
+                           use_reduction=True),
+}
+
+#: The paper's recommended default configuration.
+DEFAULT_VARIANT = "F-SIR"
+
+
+def get_variant(name: str) -> VariantConfig:
+    """Look up a variant by its paper name (case-insensitive).
+
+    Raises :class:`KeyError` with the list of valid names on a miss.
+    """
+    key = name.upper()
+    if key not in VARIANTS:
+        valid = ", ".join(sorted(VARIANTS))
+        raise KeyError(f"unknown FEXIPRO variant {name!r}; valid: {valid}")
+    return VARIANTS[key]

@@ -1,0 +1,26 @@
+"""Dataset substitutes for the paper's proprietary evaluation data.
+
+Two paths:
+
+- :mod:`repro.datasets.zoo` — calibrated factor-matrix generators, one per
+  paper dataset (MovieLens / Yelp / Netflix / Yahoo! Music stand-ins);
+- :mod:`repro.datasets.synthetic` — planted-model rating generators for
+  exercising the full ratings -> MF -> retrieval pipeline.
+"""
+
+from .stats import DatasetStatistics, summarize
+from .synthetic import SyntheticRatings, synthetic_ratings, zipf_popularity
+from .zoo import DATASET_ORDER, DatasetRecipe, FactorDataset, ZOO, load
+
+__all__ = [
+    "DATASET_ORDER",
+    "DatasetRecipe",
+    "DatasetStatistics",
+    "FactorDataset",
+    "SyntheticRatings",
+    "ZOO",
+    "load",
+    "summarize",
+    "synthetic_ratings",
+    "zipf_popularity",
+]

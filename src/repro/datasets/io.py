@@ -1,0 +1,179 @@
+"""File-format loaders for real rating datasets.
+
+The reproduction ships synthetic stand-ins, but a user who *has* the real
+MovieLens / Netflix / Yahoo! files (or any ratings dump) should be able to
+plug them straight into the pipeline.  Three common formats are supported:
+
+- :func:`load_delimited_ratings` — generic ``user<sep>item<sep>rating``
+  text files, covering MovieLens ``u.data`` (tab) and ``ratings.csv``
+  (comma, with header) among others;
+- :func:`load_libpmf_matrix` — LIBPMF's factor-matrix text output (the
+  tool the paper used), one row of floats per vector;
+- :func:`save_factors` / :func:`load_factors` — this library's own
+  ``.npz`` factor container.
+
+All loaders map arbitrary user/item keys to dense 0-based indices and
+return the mapping so results can be translated back.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..mf.ratings import RatingMatrix
+
+
+@dataclass(frozen=True)
+class LoadedRatings:
+    """Ratings plus the raw-key -> dense-index mappings."""
+
+    ratings: RatingMatrix
+    user_index: Dict[str, int]
+    item_index: Dict[str, int]
+
+    def user_of(self, raw_key: str) -> int:
+        return self.user_index[str(raw_key)]
+
+    def item_of(self, raw_key: str) -> int:
+        return self.item_index[str(raw_key)]
+
+
+def load_delimited_ratings(path, delimiter: Optional[str] = None,
+                           has_header: bool = False,
+                           user_column: int = 0, item_column: int = 1,
+                           rating_column: int = 2,
+                           ) -> LoadedRatings:
+    """Parse a ``user item rating [...]`` text file into a RatingMatrix.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    delimiter:
+        Field separator; ``None`` autodetects among tab, comma, ``::`` and
+        whitespace from the first data line.
+    has_header:
+        Skip the first line (e.g. MovieLens ``ratings.csv``).
+    user_column / item_column / rating_column:
+        Zero-based field positions.
+
+    Notes
+    -----
+    User and item keys may be arbitrary strings; they are densely
+    renumbered in first-appearance order (see :class:`LoadedRatings`).
+    Blank lines are ignored; malformed lines raise with their line number.
+    """
+    path = pathlib.Path(path)
+    users, items, values = [], [], []
+    user_index: Dict[str, int] = {}
+    item_index: Dict[str, int] = {}
+    max_col = max(user_column, item_column, rating_column)
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            if has_header and line_no == 1:
+                continue
+            line = line.strip()
+            if not line:
+                continue
+            if delimiter is None:
+                delimiter = _detect_delimiter(line)
+            fields = (line.split(delimiter) if delimiter != " "
+                      else line.split())
+            if len(fields) <= max_col:
+                raise ValidationError(
+                    f"{path.name}:{line_no}: expected at least "
+                    f"{max_col + 1} fields, got {len(fields)}"
+                )
+            user_key = fields[user_column].strip()
+            item_key = fields[item_column].strip()
+            try:
+                rating = float(fields[rating_column])
+            except ValueError as exc:
+                raise ValidationError(
+                    f"{path.name}:{line_no}: bad rating "
+                    f"{fields[rating_column]!r}"
+                ) from exc
+            users.append(user_index.setdefault(user_key, len(user_index)))
+            items.append(item_index.setdefault(item_key, len(item_index)))
+            values.append(rating)
+
+    if not values:
+        raise ValidationError(f"{path} contains no ratings")
+    ratings = RatingMatrix.from_triples(
+        users, items, values,
+        n_users=len(user_index), n_items=len(item_index),
+    )
+    return LoadedRatings(ratings=ratings, user_index=user_index,
+                         item_index=item_index)
+
+
+def _detect_delimiter(sample_line: str) -> str:
+    """Pick the most plausible separator from one data line."""
+    for candidate in ("::", "\t", ",", ";"):
+        if candidate in sample_line:
+            return candidate
+    return " "
+
+
+def load_libpmf_matrix(path) -> np.ndarray:
+    """Read a LIBPMF-style factor matrix: one whitespace row per vector.
+
+    The paper factorizes its datasets with LIBPMF, whose model files store
+    ``W`` and ``H`` as plain text float rows.  Returns an ``(n, d)`` array.
+    """
+    path = pathlib.Path(path)
+    rows = []
+    width = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = [float(token) for token in line.split()]
+            except ValueError as exc:
+                raise ValidationError(
+                    f"{path.name}:{line_no}: non-numeric token"
+                ) from exc
+            if width is None:
+                width = len(row)
+            elif len(row) != width:
+                raise ValidationError(
+                    f"{path.name}:{line_no}: expected {width} values, "
+                    f"got {len(row)}"
+                )
+            rows.append(row)
+    if not rows:
+        raise ValidationError(f"{path} contains no vectors")
+    return np.asarray(rows, dtype=np.float64)
+
+
+def save_factors(path, user_factors: np.ndarray,
+                 item_factors: np.ndarray) -> None:
+    """Persist a factor pair as a compressed ``.npz`` container."""
+    user_factors = np.asarray(user_factors, dtype=np.float64)
+    item_factors = np.asarray(item_factors, dtype=np.float64)
+    if user_factors.ndim != 2 or item_factors.ndim != 2:
+        raise ValidationError("factor matrices must be 2-D")
+    if user_factors.shape[1] != item_factors.shape[1]:
+        raise ValidationError("factor matrices must share their rank")
+    np.savez_compressed(path, user_factors=user_factors,
+                        item_factors=item_factors,
+                        format_version=np.int64(1))
+
+
+def load_factors(path) -> Tuple[np.ndarray, np.ndarray]:
+    """Load a factor pair stored by :func:`save_factors`."""
+    with np.load(path) as payload:
+        if "user_factors" not in payload or "item_factors" not in payload:
+            raise ValidationError(f"{path} is not a factor container")
+        return (
+            np.asarray(payload["user_factors"], dtype=np.float64),
+            np.asarray(payload["item_factors"], dtype=np.float64),
+        )

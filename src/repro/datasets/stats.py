@@ -1,0 +1,85 @@
+"""Dataset statistics: the quantities that predict pruning behaviour.
+
+DESIGN.md §2.4 argues the zoo substitution is sound because FEXIPRO's
+behaviour is a function of three measurable properties.  This module
+measures them — for zoo output, for learned factors, or for any matrix a
+user brings — so the claim is checkable rather than rhetorical, and so
+users can predict how well FEXIPRO will do on *their* data before
+indexing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_item_matrix
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The pruning-relevant fingerprint of a factor matrix.
+
+    Attributes
+    ----------
+    n, d:
+        Shape of the matrix.
+    fraction_in_unit:
+        Share of scalars inside [-1, 1] (Figure 3's property; the integer
+        technique wants this high).
+    negative_fraction:
+        Share of strictly negative scalars (what the monotonicity
+        reduction targets; ~0 for NMF output).
+    norm_cv:
+        Coefficient of variation of row norms (heavy tails make
+        Cauchy–Schwarz termination bite early; the paper's Netflix is the
+        low-CV hard case).
+    sigma_ratio:
+        sigma_1 / sigma_d of the singular spectrum (the SVD technique
+        wants this large; ~1 means a flat spectrum, Section 9's claim 1).
+    sigma_mass_10:
+        Fraction of singular mass in the top 10% of dimensions.
+    """
+
+    n: int
+    d: int
+    fraction_in_unit: float
+    negative_fraction: float
+    norm_cv: float
+    sigma_ratio: float
+    sigma_mass_10: float
+
+    def pruning_outlook(self) -> str:
+        """A one-word qualitative forecast, used by reports and examples."""
+        score = 0
+        score += self.sigma_ratio > 3.0
+        score += self.norm_cv > 0.3
+        score += self.fraction_in_unit > 0.9
+        return {0: "hard", 1: "hard", 2: "moderate", 3: "easy"}[score]
+
+
+def summarize(matrix) -> DatasetStatistics:
+    """Measure the pruning fingerprint of a factor matrix (rows = vectors)."""
+    matrix = as_item_matrix(matrix, name="matrix")
+    n, d = matrix.shape
+    norms = np.linalg.norm(matrix, axis=1)
+    mean_norm = float(norms.mean())
+    norm_cv = float(norms.std() / mean_norm) if mean_norm > 0 else 0.0
+    sigma = np.linalg.svd(matrix, compute_uv=False)
+    sigma_1 = float(sigma[0]) if sigma.size else 0.0
+    sigma_d = float(sigma[-1]) if sigma.size else 0.0
+    sigma_ratio = sigma_1 / sigma_d if sigma_d > 0 else float("inf")
+    total_mass = float(sigma.sum())
+    head = max(1, int(np.ceil(0.1 * sigma.size)))
+    sigma_mass_10 = (float(sigma[:head].sum()) / total_mass
+                     if total_mass > 0 else 0.0)
+    return DatasetStatistics(
+        n=n,
+        d=d,
+        fraction_in_unit=float(np.mean(np.abs(matrix) <= 1.0)),
+        negative_fraction=float(np.mean(matrix < 0.0)),
+        norm_cv=norm_cv,
+        sigma_ratio=sigma_ratio,
+        sigma_mass_10=sigma_mass_10,
+    )

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input (matrix, vector, or parameter) failed validation."""
+
+
+class NotPreprocessedError(ReproError, RuntimeError):
+    """An index was queried before its preprocessing step ran."""
+
+
+class EmptyIndexError(ReproError, ValueError):
+    """An index or retrieval method was given zero item vectors."""
+
+
+class DimensionMismatchError(ValidationError):
+    """A query vector's dimensionality does not match the indexed items."""
+
+    def __init__(self, expected: int, got: int):
+        super().__init__(
+            f"query vector has {got} dimensions, index expects {expected}"
+        )
+        self.expected = expected
+        self.got = got

@@ -1,0 +1,44 @@
+"""Matrix-factorization learning substrate (the paper's learning phase).
+
+Solvers: :func:`fit_als` (alternating least squares), :func:`fit_ccd`
+(CCD++, the LIBPMF algorithm the paper uses) and :func:`fit_sgd`.
+All return an :class:`MFModel` whose ``item_factors`` feed straight into
+:class:`repro.FexiproIndex` and the baselines.
+"""
+
+from .als import fit_als
+from .bias import (
+    BiasedMFModel,
+    fit_biased_sgd,
+    fold_item_biases,
+    fold_query,
+    fold_query_vector,
+)
+from .implicit import fit_implicit_als
+from .ccd import fit_ccd
+from .metrics import ndcg_at_k, overlap_at_k, recall_at_k, rmse, rmse_at_k
+from .model import MFModel
+from .nmf import fit_nmf
+from .ratings import RatingMatrix, train_test_split
+from .sgd import fit_sgd
+
+__all__ = [
+    "BiasedMFModel",
+    "MFModel",
+    "RatingMatrix",
+    "fit_als",
+    "fit_biased_sgd",
+    "fit_ccd",
+    "fit_implicit_als",
+    "fit_nmf",
+    "fit_sgd",
+    "fold_item_biases",
+    "fold_query",
+    "fold_query_vector",
+    "ndcg_at_k",
+    "overlap_at_k",
+    "recall_at_k",
+    "rmse",
+    "rmse_at_k",
+    "train_test_split",
+]

@@ -1,0 +1,114 @@
+"""Biased matrix factorization and bias folding for IP retrieval.
+
+Production MF models (Koren et al. 2009) predict
+
+    r_hat(u, i) = mu + b_u + b_i + q_u . p_i
+
+with a global mean and per-user/per-item bias terms.  FEXIPRO retrieves
+maxima of *plain* inner products, so serving a biased model needs the
+standard folding trick: append the item bias as an extra item dimension and
+a constant 1 to the query,
+
+    [q_u, 1] . [p_i, b_i]  =  q_u . p_i + b_i,
+
+which preserves the per-user ranking exactly (``mu + b_u`` is constant per
+user).  :func:`fold_item_biases` / :func:`fold_query` implement this; the
+augmented matrices drop straight into :class:`repro.FexiproIndex`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .ratings import RatingMatrix
+
+
+@dataclass
+class BiasedMFModel:
+    """A biased factor model: ``mu + b_u + b_i + q_u . p_i``."""
+
+    global_mean: float
+    user_bias: np.ndarray     # (m,)
+    item_bias: np.ndarray     # (n,)
+    user_factors: np.ndarray  # (m, d)
+    item_factors: np.ndarray  # (n, d)
+
+    def predict(self, user: int, item: int) -> float:
+        return float(
+            self.global_mean + self.user_bias[user] + self.item_bias[item]
+            + self.user_factors[user] @ self.item_factors[item]
+        )
+
+    def predict_pairs(self, users, items) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        dots = np.einsum("ij,ij->i", self.user_factors[users],
+                         self.item_factors[items])
+        return (self.global_mean + self.user_bias[users]
+                + self.item_bias[items] + dots)
+
+
+def fit_biased_sgd(ratings: RatingMatrix, rank: int = 50, reg: float = 0.05,
+                   learning_rate: float = 0.01, epochs: int = 20,
+                   decay: float = 0.95, seed: int = 0) -> BiasedMFModel:
+    """SGD matrix factorization with global mean and user/item biases.
+
+    Same loop shape as :func:`repro.mf.fit_sgd`, with the bias terms
+    updated alongside the factors (all L2-regularized by ``reg``).
+    """
+    if rank <= 0:
+        raise ValidationError(f"rank must be positive; got {rank}")
+    if reg < 0:
+        raise ValidationError(f"reg must be nonnegative; got {reg}")
+    if learning_rate <= 0 or epochs <= 0:
+        raise ValidationError("learning_rate and epochs must be positive")
+    if not 0.0 < decay <= 1.0:
+        raise ValidationError(f"decay must be in (0, 1]; got {decay}")
+
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(rank)
+    user_factors = rng.normal(scale=scale, size=(ratings.n_users, rank))
+    item_factors = rng.normal(scale=scale, size=(ratings.n_items, rank))
+    user_bias = np.zeros(ratings.n_users)
+    item_bias = np.zeros(ratings.n_items)
+    mu = ratings.global_mean()
+
+    users, items, values = ratings.triples()
+    order = np.arange(users.size)
+    lr = learning_rate
+    for __ in range(epochs):
+        rng.shuffle(order)
+        for idx in order:
+            u, i, r = users[idx], items[idx], values[idx]
+            qu, pi = user_factors[u], item_factors[i]
+            err = r - (mu + user_bias[u] + item_bias[i] + float(qu @ pi))
+            user_bias[u] += lr * (err - reg * user_bias[u])
+            item_bias[i] += lr * (err - reg * item_bias[i])
+            user_factors[u] = qu + lr * (err * pi - reg * qu)
+            item_factors[i] = pi + lr * (err * qu - reg * pi)
+        lr *= decay
+    return BiasedMFModel(global_mean=mu, user_bias=user_bias,
+                         item_bias=item_bias, user_factors=user_factors,
+                         item_factors=item_factors)
+
+
+def fold_item_biases(model: BiasedMFModel) -> np.ndarray:
+    """Augmented item matrix ``[p_i, b_i]`` for plain-IP retrieval."""
+    return np.concatenate(
+        [model.item_factors, model.item_bias[:, None]], axis=1
+    )
+
+
+def fold_query(model: BiasedMFModel, user: int) -> np.ndarray:
+    """Augmented query ``[q_u, 1]``; ranks items by ``q_u . p_i + b_i``."""
+    return np.concatenate([model.user_factors[user], [1.0]])
+
+
+def fold_query_vector(query: np.ndarray) -> np.ndarray:
+    """Fold an arbitrary (e.g. dynamically adjusted) user vector."""
+    query = np.asarray(query, dtype=np.float64)
+    return np.concatenate([query, [1.0]])

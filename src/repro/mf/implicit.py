@@ -1,0 +1,92 @@
+"""Implicit-feedback weighted ALS (Hu, Koren & Volinsky, ICDM 2008).
+
+Recommenders often learn from clicks/plays rather than stars.  iALS treats
+every (user, item) cell as a binary preference ``p`` weighted by a
+confidence ``c = 1 + alpha * r`` (``r`` = interaction count) and minimizes
+
+    sum_{u,i} c_ui (p_ui - q_u . p_i)^2 + reg * (||Q||^2 + ||P||^2)
+
+over *all* cells.  The classic trick keeps each half-step at
+``O(nnz * d^2 + n * d^3)``: precompute the Gram matrix ``Y^T Y`` over all
+items once per sweep and add only the observed entries' corrections:
+
+    (Y^T Y + Y^T (C_u - I) Y + reg*I) x_u = Y^T C_u p_u.
+
+The resulting item factors are nonnegative-free and dense — exactly the
+kind of matrix the FEXIPRO retrieval phase serves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .model import MFModel
+from .ratings import RatingMatrix
+
+
+def _solve_side(csr, fixed: np.ndarray, alpha: float, reg: float,
+                ) -> np.ndarray:
+    """One iALS half-step over the rows of ``csr``."""
+    rank = fixed.shape[1]
+    gram = fixed.T @ fixed + reg * np.eye(rank)
+    solved = np.zeros((csr.shape[0], rank))
+    indptr, indices, data = csr.indptr, csr.indices, csr.data
+    for row in range(csr.shape[0]):
+        start, stop = indptr[row], indptr[row + 1]
+        if start == stop:
+            continue
+        observed = fixed[indices[start:stop]]       # (nnz_u, d)
+        confidence = alpha * data[start:stop]       # c - 1
+        # A = gram + Y_obs^T (C - I) Y_obs ; b = Y_obs^T C * 1
+        weighted = observed * confidence[:, None]
+        a = gram + observed.T @ weighted
+        b = observed.T @ (1.0 + confidence)
+        solved[row] = np.linalg.solve(a, b)
+    return solved
+
+
+def fit_implicit_als(interactions: RatingMatrix, rank: int = 50,
+                     reg: float = 0.1, alpha: float = 20.0,
+                     iterations: int = 10, seed: int = 0) -> MFModel:
+    """Factorize implicit-feedback interactions with weighted ALS.
+
+    Parameters
+    ----------
+    interactions:
+        Nonnegative interaction strengths (counts, play time, ...); zeros
+        are treated as unobserved negatives with unit confidence.
+    rank:
+        Latent dimensions.
+    reg:
+        L2 regularization weight.
+    alpha:
+        Confidence slope (``c = 1 + alpha * r``).
+    iterations:
+        Alternation sweeps.
+    seed:
+        Factor initialization seed.
+    """
+    if rank <= 0:
+        raise ValidationError(f"rank must be positive; got {rank}")
+    if reg < 0:
+        raise ValidationError(f"reg must be nonnegative; got {reg}")
+    if alpha <= 0:
+        raise ValidationError(f"alpha must be positive; got {alpha}")
+    if iterations <= 0:
+        raise ValidationError(f"iterations must be positive; got {iterations}")
+    if interactions.csr.data.size and interactions.csr.data.min() < 0:
+        raise ValidationError("implicit interactions must be nonnegative")
+
+    rng = np.random.default_rng(seed)
+    scale = 0.1 / np.sqrt(rank)
+    user_factors = rng.normal(scale=scale,
+                              size=(interactions.n_users, rank))
+    item_factors = rng.normal(scale=scale,
+                              size=(interactions.n_items, rank))
+    by_user = interactions.csr
+    by_item = interactions.transpose().csr
+    for __ in range(iterations):
+        user_factors = _solve_side(by_user, item_factors, alpha, reg)
+        item_factors = _solve_side(by_item, user_factors, alpha, reg)
+    return MFModel(user_factors=user_factors, item_factors=item_factors)

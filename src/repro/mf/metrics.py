@@ -1,0 +1,86 @@
+"""Quality metrics for factor models and recommendation lists.
+
+Includes the paper's two headline measures:
+
+- plain RMSE between observed and predicted ratings (the MF training
+  objective), and
+- ``RMSE@k`` (Appendix B, Figure 13): how far an *approximate* retrieval
+  method's top-k scores fall from the exact top-k scores,
+
+plus standard list-quality metrics (recall@k / overlap) used by the tests
+and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .model import MFModel
+from .ratings import RatingMatrix
+
+
+def rmse(model: MFModel, ratings: RatingMatrix) -> float:
+    """Root-mean-square error of the model on the given observed ratings."""
+    users, items, values = ratings.triples()
+    if values.size == 0:
+        return 0.0
+    predictions = model.predict_pairs(users, items)
+    return float(np.sqrt(np.mean(np.square(values - predictions))))
+
+
+def rmse_at_k(approx_scores: Sequence[Sequence[float]],
+              exact_scores: Sequence[Sequence[float]]) -> float:
+    """The paper's RMSE@k between approximate and optimal top-k score lists.
+
+    ``RMSE@k = sqrt( (1 / (m k)) * sum_i sum_s (L_rec(i,s) - L_opt(i,s))^2 )``
+    where row ``i`` ranges over queries and ``s`` over list positions.  Both
+    inputs must be rectangular with matching shapes (m queries x k slots).
+    """
+    approx = np.asarray(approx_scores, dtype=np.float64)
+    exact = np.asarray(exact_scores, dtype=np.float64)
+    if approx.shape != exact.shape:
+        raise ValueError(
+            f"shape mismatch: approx {approx.shape} vs exact {exact.shape}"
+        )
+    if approx.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(np.square(approx - exact))))
+
+
+def recall_at_k(recommended: Sequence[int], relevant: Sequence[int]) -> float:
+    """Fraction of relevant items captured by the recommended list."""
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 0.0
+    hits = sum(1 for item in recommended if item in relevant_set)
+    return hits / len(relevant_set)
+
+
+def overlap_at_k(list_a: Sequence[int], list_b: Sequence[int]) -> float:
+    """Set overlap between two top-k lists (order-insensitive)."""
+    set_a, set_b = set(list_a), set(list_b)
+    if not set_a and not set_b:
+        return 1.0
+    denom = max(len(set_a), len(set_b))
+    return len(set_a & set_b) / denom
+
+
+def ndcg_at_k(recommended: Sequence[int], gains: dict, k: int) -> float:
+    """Normalized discounted cumulative gain of a recommendation list.
+
+    ``gains`` maps item id to graded relevance; unlisted items have gain 0.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive; got {k}")
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    dcg = sum(
+        gains.get(item, 0.0) * discounts[pos]
+        for pos, item in enumerate(list(recommended)[:k])
+    )
+    ideal = sorted(gains.values(), reverse=True)[:k]
+    idcg = float(np.sum(np.asarray(ideal) * discounts[: len(ideal)]))
+    if idcg <= 0.0:
+        return 0.0
+    return float(dcg / idcg)

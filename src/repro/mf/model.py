@@ -1,0 +1,64 @@
+"""Factor-model container shared by all MF solvers.
+
+A fitted model holds the user matrix ``Q`` and item matrix ``P`` in row
+convention (users/items are rows, ``d`` columns).  Predicted ratings are
+plain inner products — exactly the quantity FEXIPRO retrieves maxima of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .ratings import RatingMatrix
+
+
+@dataclass
+class MFModel:
+    """A learned low-rank factorization ``R ~ user_factors @ item_factors.T``."""
+
+    user_factors: np.ndarray  # (m, d)
+    item_factors: np.ndarray  # (n, d)
+
+    def __post_init__(self) -> None:
+        uf = np.asarray(self.user_factors, dtype=np.float64)
+        vf = np.asarray(self.item_factors, dtype=np.float64)
+        if uf.ndim != 2 or vf.ndim != 2 or uf.shape[1] != vf.shape[1]:
+            raise ValueError(
+                "factor matrices must be 2-D with a shared rank dimension"
+            )
+        self.user_factors = uf
+        self.item_factors = vf
+
+    @property
+    def n_users(self) -> int:
+        return int(self.user_factors.shape[0])
+
+    @property
+    def n_items(self) -> int:
+        return int(self.item_factors.shape[0])
+
+    @property
+    def rank(self) -> int:
+        return int(self.user_factors.shape[1])
+
+    def predict(self, user: int, item: int) -> float:
+        """Predicted rating for one (user, item) pair."""
+        return float(self.user_factors[user] @ self.item_factors[item])
+
+    def predict_pairs(self, users, items) -> np.ndarray:
+        """Vectorized prediction for parallel arrays of users and items."""
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        return np.einsum(
+            "ij,ij->i", self.user_factors[users], self.item_factors[items]
+        )
+
+    def training_rmse(self, ratings: RatingMatrix) -> float:
+        """Root-mean-square error against the observed entries of ``ratings``."""
+        users, items, values = ratings.triples()
+        if values.size == 0:
+            return 0.0
+        errors = values - self.predict_pairs(users, items)
+        return float(np.sqrt(np.mean(np.square(errors))))

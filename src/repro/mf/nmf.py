@@ -1,0 +1,76 @@
+"""Nonnegative matrix factorization (multiplicative updates).
+
+The paper's discussion (Section 9) predicts that FEXIPRO's monotonicity
+reduction buys nothing on NMF output — the factors are already positive,
+so partial inner products are monotone without any transformation.  This
+solver exists to test that claim end to end
+(see ``benchmarks/bench_discussion_claims.py``).
+
+Algorithm: Lee & Seung's multiplicative updates on the observed entries
+of a sparse rating matrix,
+
+    W <- W * ( (R_obs H) / (W (H^T H) restricted) ) ...
+
+implemented here in the dense-masked form suitable for the scaled-down
+datasets of this repository: unobserved cells are treated as zeros with a
+binary mask, the standard "weighted NMF" formulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .model import MFModel
+from .ratings import RatingMatrix
+
+_EPS = 1e-12
+
+
+def fit_nmf(ratings: RatingMatrix, rank: int = 50,
+            iterations: int = 100, seed: int = 0) -> MFModel:
+    """Factorize nonnegative ratings into nonnegative factors.
+
+    Parameters
+    ----------
+    ratings:
+        Observed ratings; all values must be nonnegative.
+    rank:
+        Latent dimensions.
+    iterations:
+        Multiplicative update rounds.
+    seed:
+        Factor initialization seed.
+
+    Notes
+    -----
+    Uses the masked (weighted) multiplicative updates, so only observed
+    cells contribute to the loss.  Both factor matrices are elementwise
+    nonnegative — the property the Section 9 discussion is about.
+    """
+    if rank <= 0:
+        raise ValidationError(f"rank must be positive; got {rank}")
+    if iterations <= 0:
+        raise ValidationError(f"iterations must be positive; got {iterations}")
+    if ratings.csr.data.size and float(ratings.csr.data.min()) < 0:
+        raise ValidationError("NMF requires nonnegative ratings")
+
+    dense = np.asarray(ratings.csr.todense(), dtype=np.float64)
+    mask = np.asarray((ratings.csr != 0).todense(), dtype=np.float64)
+
+    rng = np.random.default_rng(seed)
+    mean = ratings.global_mean() or 1.0
+    scale = np.sqrt(mean / max(rank, 1))
+    w = rng.uniform(0.1, 1.0, size=(ratings.n_users, rank)) * scale
+    h = rng.uniform(0.1, 1.0, size=(ratings.n_items, rank)) * scale
+
+    for __ in range(iterations):
+        approx = w @ h.T
+        numer_w = (mask * dense) @ h
+        denom_w = (mask * approx) @ h + _EPS
+        w *= numer_w / denom_w
+        approx = w @ h.T
+        numer_h = (mask * dense).T @ w
+        denom_h = (mask * approx).T @ w + _EPS
+        h *= numer_h / denom_h
+    return MFModel(user_factors=w, item_factors=h)

@@ -1,0 +1,121 @@
+"""Sparse rating-matrix container and splits (the learning-phase substrate).
+
+The paper's retrieval phase consumes factor matrices produced from a sparse
+user-item rating matrix ``R`` (m users x n items).  This module provides the
+``R`` side: a thin, validated wrapper over a SciPy CSR matrix with the
+train/test split utilities the MF solvers and evaluation metrics need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class RatingMatrix:
+    """An immutable sparse rating matrix with convenience accessors.
+
+    Attributes
+    ----------
+    csr:
+        ``scipy.sparse.csr_matrix`` of shape ``(n_users, n_items)``; explicit
+        entries are observed ratings (zero ratings must be stored as an
+        explicit value shifted away from 0 by the caller if they matter).
+    """
+
+    csr: sp.csr_matrix
+
+    @staticmethod
+    def from_triples(users, items, values, n_users: int | None = None,
+                     n_items: int | None = None) -> "RatingMatrix":
+        """Build from COO-style ``(user, item, rating)`` triples.
+
+        Duplicate cells are summed (SciPy semantics); callers that care
+        should deduplicate first.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (users.shape == items.shape == values.shape):
+            raise ValidationError("users, items, values must share a shape")
+        if users.size == 0:
+            raise ValidationError("rating matrix needs at least one rating")
+        if users.min() < 0 or items.min() < 0:
+            raise ValidationError("user/item ids must be nonnegative")
+        shape = (
+            int(n_users if n_users is not None else users.max() + 1),
+            int(n_items if n_items is not None else items.max() + 1),
+        )
+        coo = sp.coo_matrix((values, (users, items)), shape=shape)
+        return RatingMatrix(csr=coo.tocsr())
+
+    @property
+    def n_users(self) -> int:
+        return int(self.csr.shape[0])
+
+    @property
+    def n_items(self) -> int:
+        return int(self.csr.shape[1])
+
+    @property
+    def n_ratings(self) -> int:
+        return int(self.csr.nnz)
+
+    @property
+    def density(self) -> float:
+        """Fraction of cells observed."""
+        return self.n_ratings / (self.n_users * self.n_items)
+
+    def triples(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(users, items, values)`` arrays of the observed entries."""
+        coo = self.csr.tocoo()
+        return coo.row.astype(np.int64), coo.col.astype(np.int64), coo.data
+
+    def global_mean(self) -> float:
+        """Mean observed rating (a common SGD baseline initializer)."""
+        return float(self.csr.data.mean()) if self.n_ratings else 0.0
+
+    def user_slice(self, user: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Item indices and ratings for one user's row."""
+        start, stop = self.csr.indptr[user], self.csr.indptr[user + 1]
+        return self.csr.indices[start:stop], self.csr.data[start:stop]
+
+    def transpose(self) -> "RatingMatrix":
+        """The item-major view (used by alternating solvers)."""
+        return RatingMatrix(csr=self.csr.T.tocsr())
+
+
+def train_test_split(ratings: RatingMatrix, test_fraction: float = 0.1,
+                     seed: int = 0) -> Tuple[RatingMatrix, RatingMatrix]:
+    """Random per-rating holdout split.
+
+    Every observed rating lands in exactly one of the two returned matrices;
+    both keep the full ``(n_users, n_items)`` shape so factor indices stay
+    aligned.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValidationError(
+            f"test_fraction must be in (0, 1); got {test_fraction}"
+        )
+    users, items, values = ratings.triples()
+    rng = np.random.default_rng(seed)
+    mask = rng.random(users.size) < test_fraction
+    if mask.all() or not mask.any():
+        # Tiny datasets can degenerate; force at least one per side.
+        mask[0] = True
+        mask[-1] = False
+    train = RatingMatrix.from_triples(
+        users[~mask], items[~mask], values[~mask],
+        n_users=ratings.n_users, n_items=ratings.n_items,
+    )
+    test = RatingMatrix.from_triples(
+        users[mask], items[mask], values[mask],
+        n_users=ratings.n_users, n_items=ratings.n_items,
+    )
+    return train, test

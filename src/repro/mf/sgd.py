@@ -1,0 +1,77 @@
+"""Stochastic gradient descent matrix factorization.
+
+The workhorse of the Netflix-Prize era (Koren et al., 2009): visit observed
+ratings in random order and nudge the two touched factor rows along the
+negative gradient of the regularized squared error,
+
+    err    = r_ui - q_u . p_i
+    q_u   += lr * (err * p_i - reg * q_u)
+    p_i   += lr * (err * q_u - reg * p_i).
+
+A plain per-rating loop is the honest algorithm; datasets in this
+repository are scaled so it stays fast enough in pure Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .model import MFModel
+from .ratings import RatingMatrix
+
+
+def fit_sgd(ratings: RatingMatrix, rank: int = 50, reg: float = 0.05,
+            learning_rate: float = 0.02, epochs: int = 20,
+            decay: float = 0.95, seed: int = 0) -> MFModel:
+    """Factorize a rating matrix with SGD.
+
+    Parameters
+    ----------
+    ratings:
+        Observed ratings.
+    rank:
+        Number of latent dimensions ``d``.
+    reg:
+        L2 regularization weight.
+    learning_rate:
+        Initial step size; multiplied by ``decay`` after every epoch.
+    epochs:
+        Passes over the shuffled ratings.
+    decay:
+        Per-epoch learning-rate decay in ``(0, 1]``.
+    seed:
+        Seed for initialization and shuffling.
+    """
+    if rank <= 0:
+        raise ValidationError(f"rank must be positive; got {rank}")
+    if reg < 0:
+        raise ValidationError(f"reg must be nonnegative; got {reg}")
+    if learning_rate <= 0:
+        raise ValidationError("learning_rate must be positive")
+    if epochs <= 0:
+        raise ValidationError(f"epochs must be positive; got {epochs}")
+    if not 0.0 < decay <= 1.0:
+        raise ValidationError(f"decay must be in (0, 1]; got {decay}")
+
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(rank)
+    user_factors = rng.normal(scale=scale, size=(ratings.n_users, rank))
+    item_factors = rng.normal(scale=scale, size=(ratings.n_items, rank))
+
+    users, items, values = ratings.triples()
+    order = np.arange(users.size)
+    lr = learning_rate
+    for __ in range(epochs):
+        rng.shuffle(order)
+        for idx in order:
+            u, i, r = users[idx], items[idx], values[idx]
+            qu = user_factors[u]
+            pi = item_factors[i]
+            err = r - float(qu @ pi)
+            grad_u = err * pi - reg * qu
+            grad_i = err * qu - reg * pi
+            user_factors[u] = qu + lr * grad_u
+            item_factors[i] = pi + lr * grad_i
+        lr *= decay
+    return MFModel(user_factors=user_factors, item_factors=item_factors)

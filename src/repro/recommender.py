@@ -1,0 +1,237 @@
+"""High-level recommender facade: learning + FEXIPRO serving in one object.
+
+The paper's Figure 1 pipeline as a single class a downstream application
+can adopt directly:
+
+>>> from repro.recommender import Recommender
+>>> rec = Recommender(rank=16).fit(ratings)           # learning phase
+>>> rec.recommend(user=42, k=10)                      # retrieval phase
+>>> rec.similar_items(item=7, k=5)                    # item-item lookup
+>>> vector = rec.fold_in_user({3: 5.0, 17: 1.0})      # cold-start user
+>>> rec.recommend_vector(vector, k=10)
+
+Biased models are served through the bias-folding trick
+(:mod:`repro.mf.bias`); item-item similarity uses a second FEXIPRO index
+over length-normalized factors (inner product on unit vectors = cosine).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .core.index import FexiproIndex
+from .exceptions import ValidationError
+from .mf.als import fit_als
+from .mf.bias import BiasedMFModel, fit_biased_sgd, fold_item_biases, \
+    fold_query_vector
+from .mf.ccd import fit_ccd
+from .mf.implicit import fit_implicit_als
+from .mf.model import MFModel
+from .mf.ratings import RatingMatrix
+from .mf.sgd import fit_sgd
+
+_SOLVERS = ("ccd", "als", "sgd", "biased", "implicit")
+
+
+class Recommender:
+    """Matrix-factorization recommender served by a FEXIPRO index.
+
+    Parameters
+    ----------
+    rank:
+        Latent dimensions for the learning phase.
+    solver:
+        ``"ccd"`` (default, the paper's LIBPMF algorithm), ``"als"``,
+        ``"sgd"``, ``"biased"`` (SGD with user/item biases) or
+        ``"implicit"`` (weighted ALS for interaction counts).
+    variant:
+        FEXIPRO variant used for serving (default F-SIR).
+    reg / solver_options:
+        Regularization weight and extra keyword arguments forwarded to the
+        solver.
+    """
+
+    def __init__(self, rank: int = 50, solver: str = "ccd",
+                 variant: str = "F-SIR", reg: float = 0.1,
+                 seed: int = 0, **solver_options):
+        if solver not in _SOLVERS:
+            raise ValidationError(
+                f"solver must be one of {_SOLVERS}; got {solver!r}"
+            )
+        if rank <= 0:
+            raise ValidationError(f"rank must be positive; got {rank}")
+        self.rank = int(rank)
+        self.solver = solver
+        self.variant = variant
+        self.reg = float(reg)
+        self.seed = int(seed)
+        self.solver_options = solver_options
+        self.model: Optional[Union[MFModel, BiasedMFModel]] = None
+        self._ratings: Optional[RatingMatrix] = None
+        self._index: Optional[FexiproIndex] = None
+        self._similarity_index: Optional[FexiproIndex] = None
+
+    # ------------------------------------------------------------------
+    # Learning phase
+    # ------------------------------------------------------------------
+
+    def fit(self, ratings: RatingMatrix) -> "Recommender":
+        """Factorize the ratings and build the serving index."""
+        if not isinstance(ratings, RatingMatrix):
+            raise ValidationError("fit expects a RatingMatrix")
+        self._ratings = ratings
+        common = {"rank": self.rank, "reg": self.reg, "seed": self.seed}
+        common.update(self.solver_options)
+        if self.solver == "ccd":
+            self.model = fit_ccd(ratings, **common)
+        elif self.solver == "als":
+            self.model = fit_als(ratings, **common)
+        elif self.solver == "sgd":
+            self.model = fit_sgd(ratings, **common)
+        elif self.solver == "biased":
+            self.model = fit_biased_sgd(ratings, **common)
+        else:
+            self.model = fit_implicit_als(ratings, **common)
+        self._build_indexes()
+        return self
+
+    def from_factors(self, user_factors, item_factors) -> "Recommender":
+        """Adopt externally-learned factors (e.g. LIBPMF output) directly."""
+        self.model = MFModel(user_factors=np.asarray(user_factors,
+                                                     dtype=np.float64),
+                             item_factors=np.asarray(item_factors,
+                                                     dtype=np.float64))
+        self.rank = self.model.rank
+        self._ratings = None
+        self._build_indexes()
+        return self
+
+    def _build_indexes(self) -> None:
+        items = self._serving_items()
+        self._index = FexiproIndex(items, variant=self.variant)
+        self._similarity_index = None  # built lazily on first use
+
+    def _serving_items(self) -> np.ndarray:
+        if isinstance(self.model, BiasedMFModel):
+            return fold_item_biases(self.model)
+        return self.model.item_factors
+
+    def _require_fitted(self) -> None:
+        if self.model is None or self._index is None:
+            raise ValidationError("call fit() or from_factors() first")
+
+    # ------------------------------------------------------------------
+    # Retrieval phase
+    # ------------------------------------------------------------------
+
+    def user_vector(self, user: int) -> np.ndarray:
+        """The serving-space query vector for a known user."""
+        self._require_fitted()
+        base = self.model.user_factors[user]
+        if isinstance(self.model, BiasedMFModel):
+            return fold_query_vector(base)
+        return np.asarray(base, dtype=np.float64)
+
+    def recommend(self, user: int, k: int = 10,
+                  exclude_rated: bool = True,
+                  ) -> List[Tuple[int, float]]:
+        """Top-k ``(item, score)`` recommendations for a known user."""
+        self._require_fitted()
+        exclude: set = set()
+        if exclude_rated and self._ratings is not None:
+            rated, __ = self._ratings.user_slice(user)
+            exclude = set(int(i) for i in rated)
+        result = self._index.query(self.user_vector(user),
+                                   k=k + len(exclude))
+        pairs = [(item, score) for item, score
+                 in zip(result.ids, result.scores) if item not in exclude]
+        return pairs[:k]
+
+    def recommend_vector(self, vector, k: int = 10,
+                         ) -> List[Tuple[int, float]]:
+        """Top-k recommendations for an ad-hoc (folded-in/adjusted) vector.
+
+        ``vector`` is a ``rank``-dimensional latent vector; for biased
+        models it is folded automatically (``[q, 1]``).
+        """
+        self._require_fitted()
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.rank,):
+            raise ValidationError(
+                f"vector must have shape ({self.rank},); got {vector.shape}"
+            )
+        if isinstance(self.model, BiasedMFModel):
+            vector = fold_query_vector(vector)
+        result = self._index.query(vector, k=k)
+        return list(zip(result.ids, result.scores))
+
+    def similar_items(self, item: int, k: int = 10,
+                      ) -> List[Tuple[int, float]]:
+        """k most cosine-similar items (excluding the item itself)."""
+        self._require_fitted()
+        if self._similarity_index is None:
+            factors = self.model.item_factors
+            norms = np.maximum(np.linalg.norm(factors, axis=1), 1e-12)
+            self._units = factors / norms[:, None]
+            self._similarity_index = FexiproIndex(self._units,
+                                                  variant=self.variant)
+        result = self._similarity_index.query(self._units[item], k=k + 1)
+        pairs = [(i, score) for i, score in zip(result.ids, result.scores)
+                 if i != item]
+        return pairs[:k]
+
+    def predict(self, user: int, item: int) -> float:
+        """Predicted rating/affinity for one (user, item) pair."""
+        self._require_fitted()
+        return float(self.model.predict(user, item))
+
+    # ------------------------------------------------------------------
+    # Cold start and catalogue churn
+    # ------------------------------------------------------------------
+
+    def fold_in_user(self, item_ratings: Dict[int, float]) -> np.ndarray:
+        """Latent vector for a brand-new user from a handful of ratings.
+
+        Solves the single-user ridge regression against the fixed item
+        factors (one ALS half-step) — the standard fold-in; no retraining.
+        """
+        self._require_fitted()
+        if not item_ratings:
+            raise ValidationError("fold-in needs at least one rating")
+        items = np.asarray(sorted(item_ratings), dtype=np.int64)
+        values = np.asarray([item_ratings[int(i)] for i in items])
+        if isinstance(self.model, BiasedMFModel):
+            values = (values - self.model.global_mean
+                      - self.model.item_bias[items])
+        basis = self.model.item_factors[items]
+        gram = basis.T @ basis + self.reg * np.eye(self.rank)
+        return np.linalg.solve(gram, basis.T @ values)
+
+    def add_item(self, vector, bias: float = 0.0) -> int:
+        """Add a new item by its latent vector; returns its id."""
+        self._require_fitted()
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.rank,):
+            raise ValidationError(
+                f"item vector must have shape ({self.rank},)"
+            )
+        if isinstance(self.model, BiasedMFModel):
+            self.model.item_factors = np.vstack(
+                [self.model.item_factors, vector])
+            self.model.item_bias = np.append(self.model.item_bias, bias)
+            serving = np.concatenate([vector, [bias]])
+        else:
+            self.model.item_factors = np.vstack(
+                [self.model.item_factors, vector])
+            serving = vector
+        (new_id,) = self._index.add_items(serving.reshape(1, -1))
+        self._similarity_index = None  # invalidated by the new item
+        return new_id
+
+    def remove_item(self, item: int) -> None:
+        """Hide an item from all future recommendations."""
+        self._require_fitted()
+        self._index.remove_items([item])
+        self._similarity_index = None

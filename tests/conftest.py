@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def make_mf_like(n: int, d: int, seed: int = 0, decay: float = 0.08,
+                 norm_sigma: float = 0.4, rotate: bool = True):
+    """Generate an MF-like (items, queries) pair for retrieval tests.
+
+    Mirrors the zoo generator's structure at small scale: decaying planted
+    spectrum, spread-out item norms, values near zero, and an orthogonal
+    rotation hiding the spectrum from the raw coordinates.
+    """
+    rng = np.random.default_rng(seed)
+    spectrum = np.exp(-decay * np.arange(d))
+    items = rng.normal(size=(n, d)) * spectrum
+    items *= rng.lognormal(0.0, norm_sigma, size=(n, 1)) * 0.3
+    queries = rng.normal(size=(max(8, n // 20), d)) * spectrum * 0.3
+    if rotate:
+        rotation, __ = np.linalg.qr(rng.normal(size=(d, d)))
+        items = items @ rotation
+        queries = queries @ rotation
+    return items, queries
+
+
+def brute_force_topk(items: np.ndarray, query: np.ndarray, k: int):
+    """Ground-truth top-k ids and scores by full enumeration."""
+    scores = items @ query
+    order = np.argsort(-scores, kind="stable")[:k]
+    return order, scores[order]
+
+
+@pytest.fixture
+def small_items():
+    """A small MF-like item matrix (deterministic)."""
+    items, __ = make_mf_like(400, 16, seed=11)
+    return items
+
+
+@pytest.fixture
+def small_queries():
+    """Query vectors matched to :func:`small_items`."""
+    __, queries = make_mf_like(400, 16, seed=11)
+    return queries
+
+
+@pytest.fixture
+def medium_pair():
+    """A medium (items, queries) pair for cross-method comparisons."""
+    return make_mf_like(1200, 24, seed=5)

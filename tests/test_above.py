@@ -1,0 +1,74 @@
+"""Tests for above-threshold retrieval (the LEMP problem, paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex, VARIANTS
+
+from conftest import make_mf_like
+
+
+def brute_force_above(items, query, threshold):
+    scores = items @ query
+    mask = scores > threshold
+    ids = np.nonzero(mask)[0]
+    order = np.argsort(-scores[ids], kind="stable")
+    return ids[order], scores[ids][order]
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_above_matches_brute_force(variant, medium_pair):
+    items, queries = medium_pair
+    index = FexiproIndex(items, variant=variant)
+    for q in queries[:6]:
+        scores = items @ q
+        for quantile in (99.5, 90.0, 50.0):
+            threshold = float(np.percentile(scores, quantile))
+            result = index.query_above(q, threshold)
+            truth_ids, truth_scores = brute_force_above(items, q, threshold)
+            assert sorted(result.ids) == sorted(truth_ids.tolist())
+            np.testing.assert_allclose(result.scores, truth_scores,
+                                       atol=1e-9)
+
+
+def test_above_with_impossible_threshold(medium_pair):
+    items, queries = medium_pair
+    index = FexiproIndex(items)
+    result = index.query_above(queries[0], threshold=1e12)
+    assert result.ids == []
+    assert result.stats.scanned == 0
+
+
+def test_above_with_minus_inf_returns_everything(small_items, small_queries):
+    index = FexiproIndex(small_items)
+    result = index.query_above(small_queries[0], threshold=-np.inf)
+    assert len(result.ids) == small_items.shape[0]
+    scores = result.scores
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_above_results_sorted(medium_pair):
+    items, queries = medium_pair
+    index = FexiproIndex(items)
+    scores = items @ queries[0]
+    result = index.query_above(queries[0], float(np.percentile(scores, 95)))
+    assert result.scores == sorted(result.scores, reverse=True)
+
+
+def test_above_stats_are_populated(medium_pair):
+    items, queries = medium_pair
+    index = FexiproIndex(items, variant="F-SIR")
+    scores = items @ queries[0]
+    result = index.query_above(queries[0], float(np.percentile(scores, 99)))
+    s = result.stats
+    assert s.n_items == items.shape[0]
+    assert s.scanned >= len(result.ids)
+    assert s.full_products >= len(result.ids)
+
+
+def test_above_threshold_boundary_is_strict():
+    items = np.array([[1.0, 0.0], [0.5, 0.0], [0.25, 0.0]])
+    index = FexiproIndex(items)
+    result = index.query_above([1.0, 0.0], threshold=0.5)
+    # Strictly greater: the item scoring exactly 0.5 is excluded.
+    assert result.ids == [0]

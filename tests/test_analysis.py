@@ -1,0 +1,237 @@
+"""Tests for the analysis package: distributions, runners, reports."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    describe,
+    distribution,
+    experiments,
+    get_workload,
+    report,
+)
+
+from conftest import make_mf_like
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return get_workload("movielens", scale=0.02, query_cap=8)
+
+
+# ----------------------------------------------------------------------
+# Distribution analyses
+# ----------------------------------------------------------------------
+
+def test_value_histogram_fractions_sum_to_one_in_range():
+    rng = np.random.default_rng(0)
+    matrix = rng.uniform(-1, 1, size=(50, 4))
+    edges, fractions = distribution.value_histogram(matrix, bins=10)
+    assert edges.shape == (11,)
+    assert fractions.sum() == pytest.approx(1.0)
+
+
+def test_fraction_within():
+    matrix = np.array([[-2.0, 0.0], [0.5, 3.0]])
+    assert distribution.fraction_within(matrix) == pytest.approx(0.5)
+
+
+def test_cumulative_ip_share_ends_at_one():
+    items, queries = make_mf_like(100, 8, seed=1)
+    shares = distribution.cumulative_ip_share(queries, items,
+                                              sample_pairs=500)
+    assert shares.shape == (8,)
+    assert shares[-1] == pytest.approx(1.0, abs=1e-9)
+
+
+def test_cumulative_ip_share_svd_front_loads():
+    # The Figure 15 effect: the transformed share curve rises faster.
+    from repro.core.svd import fit_svd
+
+    items, queries = make_mf_like(400, 16, seed=2, decay=0.2)
+    transform = fit_svd(items)
+    before = distribution.cumulative_ip_share(queries, items,
+                                              sample_pairs=2000)
+    after = distribution.cumulative_ip_share(
+        transform.transform_queries(queries), transform.items,
+        sample_pairs=2000,
+    )
+    head = 4
+    assert abs(after[head]) > abs(before[head])
+
+
+def test_mean_abs_and_reordered_shapes():
+    items, __ = make_mf_like(60, 10, seed=3)
+    assert distribution.mean_abs_per_dimension(items).shape == (10,)
+    reordered = distribution.reordered_mean_abs(items)
+    assert reordered.shape == (10,)
+    assert np.all(np.diff(reordered) <= 1e-12)  # descending by construction
+
+
+def test_reordered_mean_abs_paper_example():
+    matrix = np.array([[-1.0, 2.0, -4.0], [3.0, -1.0, -2.0]])
+    np.testing.assert_allclose(distribution.reordered_mean_abs(matrix),
+                               [3.5, 2.0, 1.0])
+
+
+def test_skew_ratio():
+    assert distribution.skew_ratio(np.array([3.0, 1.0]), head=1) == 0.75
+    assert distribution.skew_ratio(np.zeros(4), head=2) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+
+def test_get_workload_caps_queries(tiny_workload):
+    assert tiny_workload.queries.shape[0] <= 8
+    assert "movielens" in describe(tiny_workload)
+
+
+def test_workload_env_overrides(monkeypatch):
+    from repro.analysis import workloads
+
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    monkeypatch.setenv("REPRO_MAX_QUERIES", "17")
+    assert workloads.bench_scale() == 0.5
+    assert workloads.max_queries() == 17
+    monkeypatch.setenv("REPRO_SCALE", "banana")
+    with pytest.raises(ValueError):
+        workloads.bench_scale()
+
+
+# ----------------------------------------------------------------------
+# Experiment runners (smoke + shape assertions on a tiny workload)
+# ----------------------------------------------------------------------
+
+def test_run_pruning_power_orders_methods(tiny_workload):
+    runs = experiments.run_pruning_power(tiny_workload, k=1)
+    by_name = {r.method: r.avg_full_products for r in runs}
+    assert set(by_name) == set(experiments.TABLE3_METHODS)
+    # Headline shape: F-SIR prunes at least as well as SS-L and BallTree.
+    assert by_name["F-SIR"] <= by_name["SS-L"]
+    assert by_name["F-SIR"] <= by_name["BallTree"]
+
+
+def test_run_total_time_rows(tiny_workload):
+    runs = experiments.run_total_time(
+        tiny_workload, k=1, methods=("Naive", "SS-L", "F-SIR")
+    )
+    assert [r.method for r in runs] == ["Naive", "SS-L", "F-SIR"]
+    assert all(r.retrieve_time >= 0 for r in runs)
+    assert all(len(r.per_query_times) == tiny_workload.queries.shape[0]
+               for r in runs)
+
+
+def test_speedups_over(tiny_workload):
+    runs = experiments.run_total_time(
+        tiny_workload, k=1, methods=("Naive", "F-SIR")
+    )
+    speedups = experiments.speedups_over(runs, "F-SIR")
+    assert set(speedups) == {"Naive"}
+    assert speedups["Naive"] > 0
+    with pytest.raises(KeyError):
+        experiments.speedups_over(runs, "LEMP")
+
+
+def test_run_minibatch(tiny_workload):
+    rows = experiments.run_minibatch(tiny_workload, k=1,
+                                     batch_sizes=(1, 4))
+    assert [r["batch_size"] for r in rows] == [1, 4]
+    assert all(r["time"] >= 0 for r in rows)
+
+
+def test_run_lemp(tiny_workload):
+    rows = experiments.run_lemp(tiny_workload, ks=(1, 5))
+    assert [r["k"] for r in rows] == [1, 5]
+
+
+def test_run_kth_ip_decreasing(tiny_workload):
+    rows = experiments.run_kth_ip(tiny_workload, ks=(1, 5, 10))
+    values = [r["avg_kth_ip"] for r in rows]
+    assert values == sorted(values, reverse=True)
+
+
+def test_run_rho_sweep_w_monotone(tiny_workload):
+    rows = experiments.run_rho_sweep(tiny_workload, k=1,
+                                     rhos=(0.5, 0.7, 0.9))
+    ws = [r["w"] for r in rows]
+    assert ws == sorted(ws)
+
+
+def test_run_e_sweep_pruning_improves(tiny_workload):
+    rows = experiments.run_e_sweep(tiny_workload, k=1, es=(2, 100))
+    assert rows[-1]["avg_full_products"] <= rows[0]["avg_full_products"]
+
+
+def test_run_pcatree(tiny_workload):
+    rows = experiments.run_pcatree(tiny_workload, ks=(1, 5))
+    assert all(r["rmse_at_k"] >= 0 for r in rows)
+
+
+def test_run_value_distribution(tiny_workload):
+    row = experiments.run_value_distribution(tiny_workload)
+    assert row["fraction_in_unit"] > 0.9
+
+
+def test_run_cumulative_ip(tiny_workload):
+    row = experiments.run_cumulative_ip(tiny_workload)
+    assert row["before"].shape == row["after"].shape
+
+
+def test_run_svd_skew(tiny_workload):
+    row = experiments.run_svd_skew(tiny_workload)
+    q_after = row["q_after"]
+    # SVD skew: leading dims dominate trailing dims for queries.
+    assert q_after[:5].sum() > q_after[-5:].sum()
+
+
+def test_run_reordered_skew(tiny_workload):
+    row = experiments.run_reordered_skew(tiny_workload)
+    assert np.all(np.diff(row["q_reordered"]) <= 1e-12)
+
+
+def test_run_integer_tightness_decays():
+    rows = experiments.run_integer_tightness(es=(10, 1000), trials=30)
+    assert rows[0]["mean_relative_error"] > rows[1]["mean_relative_error"]
+
+
+def test_run_vary_d_smoke():
+    rows = experiments.run_vary_d("movielens", k=1, dims=(8, 12),
+                                  scale=0.02, query_cap=5)
+    assert {r["method"] for r in rows} == {"SS-L", "F-SIR"}
+    assert {r["d"] for r in rows} == {8, 12}
+
+
+# ----------------------------------------------------------------------
+# Report printing
+# ----------------------------------------------------------------------
+
+def test_print_table_aligns_columns():
+    out = io.StringIO()
+    report.print_table(["method", "time"],
+                       [["Naive", 1.5], ["F-SIR", 0.25]], out=out)
+    lines = out.getvalue().splitlines()
+    assert len(lines) == 4
+    assert "method" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_print_header_and_series():
+    out = io.StringIO()
+    report.print_header("Table 4", "movielens", out=out)
+    report.print_series("F-SIR", [1, 2], [0.5, 0.25], out=out)
+    text = out.getvalue()
+    assert "Table 4" in text
+    assert "1:0.5000" in text
+
+
+def test_sparkline():
+    line = report.sparkline([0.0, 0.5, 1.0])
+    assert len(line) == 3
+    assert line[0] == " "
+    assert report.sparkline([]) == ""
+    assert len(report.sparkline(list(range(100)), width=40)) == 40
+    assert report.sparkline([2.0, 2.0]) == "@@"

@@ -1,0 +1,98 @@
+"""Cross-method exactness: every exact baseline equals brute force.
+
+This is invariant 1 from DESIGN.md, exercised over MF-like data, multiple
+ks, and each method's corner cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BallTree,
+    FastMKS,
+    Lemp,
+    MiniBatch,
+    NaiveBlas,
+    NaiveScan,
+    SSL,
+    SequentialScan,
+)
+
+from conftest import brute_force_topk, make_mf_like
+
+EXACT_METHODS = [
+    ("Naive", NaiveScan),
+    ("Naive-BLAS", NaiveBlas),
+    ("SS", SequentialScan),
+    ("SS-L", SSL),
+    ("LEMP", Lemp),
+    ("BallTree", BallTree),
+    ("FastMKS", FastMKS),
+    ("MiniBatch", MiniBatch),
+]
+
+
+@pytest.mark.parametrize("name,cls", EXACT_METHODS)
+@pytest.mark.parametrize("k", [1, 4, 13])
+def test_exactness(name, cls, k, medium_pair):
+    items, queries = medium_pair
+    method = cls(items)
+    for q in queries[:6]:
+        result = method.query(q, k)
+        __, truth = brute_force_topk(items, q, k)
+        np.testing.assert_allclose(result.scores, truth, atol=1e-8,
+                                   err_msg=f"{name} k={k}")
+
+
+@pytest.mark.parametrize("name,cls", EXACT_METHODS)
+def test_k_larger_than_n(name, cls):
+    items, queries = make_mf_like(9, 5, seed=2)
+    method = cls(items)
+    result = method.query(queries[0], k=50)
+    assert len(result.ids) == 9
+    assert sorted(result.ids) == list(range(9))
+
+
+@pytest.mark.parametrize("name,cls", EXACT_METHODS)
+def test_single_item(name, cls):
+    items = np.array([[0.1, -0.2, 0.3]])
+    method = cls(items)
+    result = method.query([1.0, 1.0, 1.0], k=1)
+    assert result.ids == [0]
+    assert result.scores[0] == pytest.approx(0.2)
+
+
+@pytest.mark.parametrize("name,cls", EXACT_METHODS)
+def test_duplicate_items(name, cls):
+    items = np.tile([[0.4, 0.1]], (6, 1))
+    method = cls(items)
+    result = method.query([1.0, 2.0], k=4)
+    assert len(set(result.ids)) == 4
+    assert all(s == pytest.approx(0.6) for s in result.scores)
+
+
+@pytest.mark.parametrize("name,cls", EXACT_METHODS)
+def test_contains_zero_norm_items(name, cls):
+    rng = np.random.default_rng(4)
+    items = rng.normal(scale=0.3, size=(40, 6))
+    items[7] = 0.0
+    items[23] = 0.0
+    method = cls(items)
+    for sign in (1.0, -1.0):
+        q = sign * rng.normal(scale=0.3, size=6)
+        result = method.query(q, k=5)
+        __, truth = brute_force_topk(items, q, 5)
+        np.testing.assert_allclose(result.scores, truth, atol=1e-8)
+
+
+@pytest.mark.parametrize("name,cls", EXACT_METHODS)
+def test_all_negative_scores(name, cls):
+    # When every product is negative the threshold stays negative and the
+    # ratio-based pruning paths flip sign; results must still be exact.
+    rng = np.random.default_rng(5)
+    items = np.abs(rng.normal(scale=0.3, size=(60, 5)))
+    q = -np.abs(rng.normal(scale=0.5, size=5))
+    method = cls(items)
+    result = method.query(q, k=3)
+    __, truth = brute_force_topk(items, q, 3)
+    np.testing.assert_allclose(result.scores, truth, atol=1e-8)

@@ -1,0 +1,260 @@
+"""Method-specific behaviour tests for the baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BallTree,
+    FastMKS,
+    Lemp,
+    MiniBatch,
+    NaiveScan,
+    PCATree,
+    SSL,
+    SequentialScan,
+)
+from repro.baselines.pca_tree import (
+    euclidean_transform_items,
+    euclidean_transform_query,
+)
+
+from conftest import brute_force_topk, make_mf_like
+
+
+# ----------------------------------------------------------------------
+# Naive
+# ----------------------------------------------------------------------
+
+def test_naive_computes_every_product(small_items, small_queries):
+    method = NaiveScan(small_items)
+    stats = method.query(small_queries[0], k=2).stats
+    assert stats.full_products == small_items.shape[0]
+    assert stats.scanned == small_items.shape[0]
+
+
+# ----------------------------------------------------------------------
+# SS / SS-L
+# ----------------------------------------------------------------------
+
+def test_ss_default_w_is_fifth_of_d(small_items):
+    method = SequentialScan(small_items)
+    assert method.w == max(1, small_items.shape[1] // 5)
+
+
+def test_ss_rejects_invalid_w(small_items):
+    with pytest.raises(ValueError):
+        SequentialScan(small_items, w=0)
+    with pytest.raises(ValueError):
+        SequentialScan(small_items, w=small_items.shape[1] + 1)
+
+
+def test_ss_prunes_something(medium_pair):
+    items, queries = medium_pair
+    method = SequentialScan(items)
+    stats = method.query(queries[0], k=1).stats
+    assert stats.full_products < items.shape[0]
+    assert stats.pruned_incremental + stats.skipped_by_termination > 0
+
+
+def test_ssl_coord_stage_prunes(medium_pair):
+    items, queries = medium_pair
+    with_coord = SSL(items, use_coord=True)
+    without = SSL(items, use_coord=False)
+    total_with = total_without = 0
+    for q in queries[:10]:
+        r1 = with_coord.query(q, k=1)
+        r2 = without.query(q, k=1)
+        assert np.allclose(r1.scores, r2.scores, atol=1e-9)
+        total_with += r1.stats.full_products
+        total_without += r2.stats.full_products
+    # COORD can only remove candidates before the incremental stage.
+    assert total_with <= total_without
+
+
+def test_ssl_larger_w_prunes_more(medium_pair):
+    items, queries = medium_pair
+    d = items.shape[1]
+    few = SSL(items, w=max(1, d // 8))
+    many = SSL(items, w=d // 2)
+    q = queries[0]
+    assert many.query(q, k=1).stats.full_products <= \
+        few.query(q, k=1).stats.full_products
+
+
+# ----------------------------------------------------------------------
+# LEMP
+# ----------------------------------------------------------------------
+
+def test_lemp_bucket_structure(medium_pair):
+    items, queries = medium_pair
+    method = Lemp(items, bucket_size=100, tuning_queries=queries[:4])
+    assert len(method.buckets) == int(np.ceil(items.shape[0] / 100))
+    # Buckets partition [0, n) in order with decreasing max norms.
+    stops = [b.stop for b in method.buckets]
+    assert stops[-1] == items.shape[0]
+    max_norms = [b.max_norm for b in method.buckets]
+    assert max_norms == sorted(max_norms, reverse=True)
+
+
+def test_lemp_tuned_w_within_candidates(medium_pair):
+    items, queries = medium_pair
+    method = Lemp(items, tuning_queries=queries[:6])
+    d = items.shape[1]
+    for bucket in method.buckets:
+        assert 1 <= bucket.w <= d
+
+
+def test_lemp_without_tuning_queries_falls_back(medium_pair):
+    items, __ = medium_pair
+    method = Lemp(items)
+    assert all(b.w == max(1, items.shape[1] // 5) for b in method.buckets)
+
+
+def test_lemp_rejects_bad_bucket_size(small_items):
+    with pytest.raises(ValueError):
+        Lemp(small_items, bucket_size=0)
+
+
+def test_lemp_batch_topk_shape(medium_pair):
+    items, queries = medium_pair
+    method = Lemp(items)
+    results = method.batch_topk(queries[:5], k=3)
+    assert len(results) == 5
+    assert all(len(r.ids) == 3 for r in results)
+
+
+# ----------------------------------------------------------------------
+# BallTree
+# ----------------------------------------------------------------------
+
+def test_ball_tree_leaf_capacity(medium_pair):
+    items, __ = medium_pair
+    method = BallTree(items, leaf_size=10)
+
+    def walk(node):
+        if node.is_leaf:
+            assert node.indices.size <= 10
+            yield node.indices
+        else:
+            yield from walk(node.left)
+            yield from walk(node.right)
+
+    all_indices = np.concatenate(list(walk(method.root)))
+    assert sorted(all_indices.tolist()) == list(range(items.shape[0]))
+
+
+def test_ball_tree_prunes_subtrees(medium_pair):
+    items, queries = medium_pair
+    method = BallTree(items)
+    stats = method.query(queries[0], k=1).stats
+    assert stats.full_products < items.shape[0]
+
+
+def test_ball_tree_identical_points():
+    items = np.tile([[1.0, 2.0]], (50, 1))
+    method = BallTree(items, leaf_size=4)
+    result = method.query([1.0, 0.0], k=5)
+    assert len(result.ids) == 5
+
+
+def test_ball_tree_rejects_bad_leaf_size(small_items):
+    with pytest.raises(ValueError):
+        BallTree(small_items, leaf_size=0)
+
+
+# ----------------------------------------------------------------------
+# FastMKS
+# ----------------------------------------------------------------------
+
+def test_fastmks_rejects_bad_base(small_items):
+    with pytest.raises(ValueError):
+        FastMKS(small_items, base=1.0)
+
+
+def test_fastmks_tree_covers_all_items(medium_pair):
+    items, __ = medium_pair
+    method = FastMKS(items)
+
+    def leaves(node):
+        if node.is_leaf:
+            yield node.leaf_indices
+        else:
+            for child in node.children:
+                yield from leaves(child)
+
+    all_indices = np.concatenate(list(leaves(method.root)))
+    assert sorted(all_indices.tolist()) == list(range(items.shape[0]))
+
+
+def test_fastmks_covering_invariant(medium_pair):
+    items, __ = medium_pair
+    method = FastMKS(items)
+
+    def check(node):
+        if node.is_leaf:
+            dists = np.linalg.norm(
+                items[node.leaf_indices] - items[node.point], axis=1
+            )
+            assert dists.max() <= node.radius + 1e-9
+
+    check(method.root)
+
+
+# ----------------------------------------------------------------------
+# PCATree
+# ----------------------------------------------------------------------
+
+def test_euclidean_transform_theorem3():
+    # After the lift, all items share the norm b and argmin distance to q~
+    # equals argmax inner product with q.
+    items, queries = make_mf_like(200, 8, seed=31)
+    lifted = euclidean_transform_items(items)
+    norms = np.linalg.norm(lifted, axis=1)
+    np.testing.assert_allclose(norms, norms[0], atol=1e-9)
+    for q in queries[:5]:
+        q_lift = euclidean_transform_query(q)
+        dists = np.linalg.norm(lifted - q_lift, axis=1)
+        assert int(np.argmin(dists)) == int(np.argmax(items @ q))
+
+
+def test_pcatree_marks_itself_approximate(small_items):
+    assert PCATree(small_items).exact is False
+
+
+def test_pcatree_recall_improves_with_spill(medium_pair):
+    items, queries = medium_pair
+    recalls = []
+    for spill in (0, 3):
+        tree = PCATree(items, spill=spill, leaf_size=32)
+        hits = 0
+        for q in queries[:15]:
+            truth, __ = brute_force_topk(items, q, 5)
+            hits += len(set(truth.tolist()) & set(tree.query(q, 5).ids))
+        recalls.append(hits / (5 * 15))
+    assert recalls[1] >= recalls[0]
+    assert recalls[1] > 0.5
+
+
+def test_pcatree_scans_only_a_subset(medium_pair):
+    items, queries = medium_pair
+    tree = PCATree(items, spill=1, leaf_size=32)
+    stats = tree.query(queries[0], k=5).stats
+    assert 0 < stats.scanned < items.shape[0]
+
+
+# ----------------------------------------------------------------------
+# MiniBatch
+# ----------------------------------------------------------------------
+
+def test_minibatch_batches_match_per_query(medium_pair):
+    items, queries = medium_pair
+    method = MiniBatch(items, batch_size=7)
+    batched = method.batch_query(queries[:20], k=4)
+    for q, result in zip(queries[:20], batched):
+        single = method.query(q, k=4)
+        assert result.ids == single.ids
+
+
+def test_minibatch_rejects_bad_batch_size(small_items):
+    with pytest.raises(ValueError):
+        MiniBatch(small_items, batch_size=0)

@@ -1,0 +1,65 @@
+"""Tests for the batch retrieval path (shared query-side preprocessing)."""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex, VARIANTS
+from repro.core.batch import batch_retrieve, prepare_query_states
+
+from conftest import make_mf_like
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_batch_equals_individual(variant):
+    items, queries = make_mf_like(600, 16, seed=60)
+    index = FexiproIndex(items, variant=variant)
+    batch = batch_retrieve(index, queries[:12], k=6)
+    for q, result in zip(queries[:12], batch):
+        single = index.query(q, k=6)
+        assert result.ids == single.ids
+        np.testing.assert_allclose(result.scores, single.scores)
+        assert result.stats.as_dict() == single.stats.as_dict()
+
+
+def test_prepared_states_match_single_prep():
+    items, queries = make_mf_like(300, 12, seed=61)
+    index = FexiproIndex(items, variant="F-SIR")
+    states = prepare_query_states(index, queries[:5])
+    for q, state in zip(queries[:5], states):
+        single = index._prepare_query(np.asarray(q, dtype=np.float64))
+        assert state.q_norm == pytest.approx(single.q_norm)
+        np.testing.assert_allclose(state.q_bar, single.q_bar)
+        assert state.q_bar_tail_norm == pytest.approx(
+            single.q_bar_tail_norm)
+        np.testing.assert_array_equal(state.scaled.int_head,
+                                      single.scaled.int_head)
+        assert state.scaled.abs_sum_tail == single.scaled.abs_sum_tail
+        assert state.scaled.max_head == pytest.approx(
+            single.scaled.max_head)
+        assert state.monotone.c_full == pytest.approx(
+            single.monotone.c_full)
+        assert state.monotone.tail_norm == pytest.approx(
+            single.monotone.tail_norm)
+
+
+def test_batch_accepts_single_vector():
+    items, queries = make_mf_like(100, 8, seed=62)
+    index = FexiproIndex(items)
+    results = batch_retrieve(index, queries[0], k=3)
+    assert len(results) == 1
+    assert results[0].ids == index.query(queries[0], k=3).ids
+
+
+def test_batch_zero_query_row():
+    items, queries = make_mf_like(100, 8, seed=63)
+    index = FexiproIndex(items, variant="F-SIR")
+    rows = np.vstack([queries[0], np.zeros(8)])
+    results = batch_retrieve(index, rows, k=3)
+    assert all(s == pytest.approx(0.0) for s in results[1].scores)
+
+
+def test_batch_validates_dimensions():
+    items, __ = make_mf_like(50, 6, seed=64)
+    index = FexiproIndex(items)
+    with pytest.raises(Exception):
+        batch_retrieve(index, np.ones((3, 7)), k=2)

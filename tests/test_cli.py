@@ -1,0 +1,81 @@
+"""Tests for the `fexipro` command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table3" in out
+    assert "movielens" in out
+
+
+def test_every_experiment_is_wired():
+    parser = build_parser()
+    for name in COMMANDS:
+        args = parser.parse_args([name, "--scale", "0.02", "--queries", "4"])
+        assert callable(args.func)
+
+
+def test_table3_runs_and_prints(capsys):
+    assert main(["table3", "--scale", "0.02", "--queries", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3/7" in out
+    assert "F-SIR" in out
+
+
+def test_table4_includes_fig6(capsys):
+    assert main(["table4", "--scale", "0.02", "--queries", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 4/8" in out
+    assert "Figure 6" in out
+
+
+def test_fig10_prints_w_column(capsys):
+    assert main(["fig10", "--scale", "0.02", "--queries", "4",
+                 "--dataset", "yelp"]) == 0
+    out = capsys.readouterr().out
+    assert "rho" in out
+    assert "yelp" in out
+
+
+def test_appendix_a(capsys):
+    assert main(["appendix-a"]) == 0
+    out = capsys.readouterr().out
+    assert "relative error" in out
+
+
+def test_rejects_unknown_dataset():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table3", "--dataset", "lastfm"])
+
+
+def test_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_tune_command(capsys):
+    assert main(["tune", "--scale", "0.02", "--queries", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "selected: rho=" in out
+
+
+def test_above_t_command(capsys):
+    assert main(["above-t", "--scale", "0.02", "--queries", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "avg scanned" in out
+
+
+def test_lsh_command(capsys):
+    assert main(["lsh", "--scale", "0.02", "--queries", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "recall@" in out
+
+
+def test_aip_command(capsys):
+    assert main(["aip", "--scale", "0.02", "--queries", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "diamond" in out or "samples" in out

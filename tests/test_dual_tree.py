@@ -1,0 +1,74 @@
+"""Tests for the dual-tree batch MIPS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BallTree
+from repro.baselines.dual_tree import DualTree
+
+from conftest import brute_force_topk, make_mf_like
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_mf_like(800, 14, seed=101)
+
+
+def test_batch_results_exact(data):
+    items, queries = data
+    method = DualTree(items)
+    results = method.batch_query(queries[:15], k=6)
+    for q, result in zip(queries[:15], results):
+        __, truth = brute_force_topk(items, q, 6)
+        np.testing.assert_allclose(result.scores, truth, atol=1e-8)
+
+
+def test_single_query_falls_back_to_ball_tree(data):
+    items, queries = data
+    method = DualTree(items)
+    result = method.query(queries[0], k=5)
+    __, truth = brute_force_topk(items, queries[0], 5)
+    np.testing.assert_allclose(result.scores, truth, atol=1e-8)
+
+
+def test_tight_query_clusters_do_get_pruning(data):
+    # The dual bound amortizes over query nodes, so it only bites when the
+    # queries in a leaf are close together.  A batch of near-duplicates is
+    # its best case.
+    items, queries = data
+    cluster = queries[0] + np.random.default_rng(0).normal(
+        scale=1e-3, size=(16, items.shape[1])
+    )
+    method = DualTree(items, query_leaf_size=16)
+    results = method.batch_query(cluster, k=3)
+    total = sum(r.stats.full_products for r in results)
+    assert total < 16 * items.shape[0]  # strictly better than exhaustive
+    for q, result in zip(cluster, results):
+        __, truth = brute_force_topk(items, q, 3)
+        np.testing.assert_allclose(result.scores, truth, atol=1e-8)
+
+
+def test_spread_queries_defeat_the_dual_bound(data):
+    # The paper's cited negative result: on diverse query batches the
+    # query-node radius inflates the pair bound and pruning collapses.
+    items, queries = data
+    dual = DualTree(items, query_leaf_size=8)
+    results = dual.batch_query(queries[:16], k=3)
+    dual_work = sum(r.stats.full_products for r in results)
+    single = BallTree(items)
+    single_work = sum(single.query(q, 3).stats.full_products
+                      for q in queries[:16])
+    assert dual_work >= single_work  # DualTree is "not better"
+
+
+def test_k_larger_than_n():
+    items, queries = make_mf_like(12, 6, seed=102)
+    method = DualTree(items)
+    results = method.batch_query(queries[:3], k=50)
+    assert all(len(r.ids) == 12 for r in results)
+
+
+def test_validates_query_leaf_size(data):
+    items, __ = data
+    with pytest.raises(ValueError):
+        DualTree(items, query_leaf_size=0)

@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts actually run.
+
+Only the two fastest examples execute here (the full set runs in CI-style
+manual passes); each asserts on its printed self-verification line.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_verifies_exactness():
+    out = run_example("quickstart.py")
+    assert "verified exact" in out
+    assert "entire products computed" in out
+
+
+def test_dynamic_user_vectors_session():
+    out = run_example("dynamic_user_vectors.py")
+    assert "session served exactly" in out
+    assert "no reindexing happened" in out
+
+
+def test_all_examples_exist_and_are_scripts():
+    expected = {
+        "quickstart.py",
+        "movie_recommender.py",
+        "dynamic_user_vectors.py",
+        "pruning_anatomy.py",
+        "implicit_and_above_t.py",
+        "batch_workload.py",
+    }
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= found
+    for name in expected:
+        text = (EXAMPLES / name).read_text()
+        assert '__name__ == "__main__"' in text
+        assert text.startswith("#!/usr/bin/env python3")

@@ -1,0 +1,58 @@
+"""Tests for the ASCII figure renderer."""
+
+import io
+
+import pytest
+
+from repro.analysis.figures import print_series_chart, render_series_chart
+
+
+def test_single_series_extremes_plotted():
+    chart = render_series_chart({"a": [0.0, 1.0]}, ["k1", "k2"], height=5)
+    lines = chart.splitlines()
+    assert "o" in lines[0]      # max lands on the top row
+    assert "o" in lines[4]      # min lands on the bottom row
+    assert "k1" in chart and "k2" in chart
+    assert "o=a" in chart
+
+
+def test_multiple_series_distinct_glyphs():
+    chart = render_series_chart(
+        {"ss-l": [1, 2, 3], "f-sir": [3, 2, 1]}, [1, 2, 5]
+    )
+    assert "o=ss-l" in chart
+    assert "x=f-sir" in chart
+    assert "o" in chart and "x" in chart
+
+
+def test_y_axis_ticks_formatted():
+    chart = render_series_chart({"a": [0.001, 12345.0]}, ["x", "y"],
+                                y_format="{:.1f}")
+    assert "12345.0" in chart
+    assert "0.0" in chart
+
+
+def test_constant_series_does_not_divide_by_zero():
+    chart = render_series_chart({"a": [2.0, 2.0, 2.0]}, [1, 2, 3])
+    assert "o" in chart
+
+
+def test_validations():
+    with pytest.raises(ValueError):
+        render_series_chart({}, [1])
+    with pytest.raises(ValueError):
+        render_series_chart({"a": [1.0]}, [1, 2])
+    with pytest.raises(ValueError):
+        render_series_chart({"a": [1.0, 2.0]}, [1, 2], height=1)
+
+
+def test_print_series_chart_to_stream():
+    out = io.StringIO()
+    print_series_chart({"a": [1, 2]}, ["p", "q"], out=out)
+    assert "o=a" in out.getvalue()
+
+
+def test_width_override():
+    chart = render_series_chart({"a": [1, 2]}, [1, 2], width=30)
+    plot_line = chart.splitlines()[0]
+    assert len(plot_line) >= 30

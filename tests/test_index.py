@@ -1,0 +1,153 @@
+"""Unit tests for the FexiproIndex public API."""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex, topk_exact
+from repro.exceptions import (
+    DimensionMismatchError,
+    EmptyIndexError,
+    ValidationError,
+)
+
+from conftest import brute_force_topk, make_mf_like
+
+
+def test_query_returns_sorted_exact_results(small_items, small_queries):
+    index = FexiproIndex(small_items)
+    for q in small_queries[:6]:
+        result = index.query(q, k=7)
+        __, truth_scores = brute_force_topk(small_items, q, 7)
+        np.testing.assert_allclose(result.scores, truth_scores, atol=1e-9)
+        assert result.scores == sorted(result.scores, reverse=True)
+        # The ids must actually produce those scores.
+        for item_id, score in zip(result.ids, result.scores):
+            assert float(small_items[item_id] @ q) == pytest.approx(score)
+
+
+def test_k_larger_than_n_returns_everything():
+    items, queries = make_mf_like(12, 6, seed=0)
+    index = FexiproIndex(items)
+    result = index.query(queries[0], k=100)
+    assert len(result.ids) == 12
+    assert sorted(result.ids) == list(range(12))
+
+
+def test_k_equals_n(small_items, small_queries):
+    index = FexiproIndex(small_items)
+    result = index.query(small_queries[0], k=small_items.shape[0])
+    assert len(result) == small_items.shape[0]
+
+
+def test_single_item_index():
+    items = np.array([[0.5, -0.25, 0.1]])
+    index = FexiproIndex(items)
+    result = index.query([1.0, 1.0, 1.0], k=1)
+    assert result.ids == [0]
+    assert result.scores[0] == pytest.approx(0.35)
+
+
+def test_single_dimension_items():
+    items = np.array([[0.5], [-1.0], [2.0]])
+    index = FexiproIndex(items)
+    result = index.query([1.5], k=2)
+    assert result.ids == [2, 0]
+
+
+def test_duplicate_items_ties_broken_arbitrarily():
+    items = np.tile(np.array([[0.3, 0.4]]), (5, 1))
+    index = FexiproIndex(items)
+    result = index.query([1.0, 1.0], k=3)
+    assert len(result.ids) == 3
+    assert len(set(result.ids)) == 3
+    assert all(s == pytest.approx(0.7) for s in result.scores)
+
+
+def test_negative_heavy_queries(small_items, small_queries):
+    index = FexiproIndex(small_items)
+    q = -np.abs(small_queries[0])
+    result = index.query(q, k=5)
+    __, truth = brute_force_topk(small_items, q, 5)
+    np.testing.assert_allclose(result.scores, truth, atol=1e-9)
+
+
+def test_zero_query_returns_k_items(small_items):
+    index = FexiproIndex(small_items)
+    result = index.query(np.zeros(small_items.shape[1]), k=4)
+    assert len(result) == 4
+    assert all(s == pytest.approx(0.0) for s in result.scores)
+
+
+def test_rejects_wrong_dimension(small_items):
+    index = FexiproIndex(small_items)
+    with pytest.raises(DimensionMismatchError):
+        index.query(np.zeros(small_items.shape[1] + 1), k=3)
+
+
+def test_rejects_bad_k(small_items, small_queries):
+    index = FexiproIndex(small_items)
+    with pytest.raises(ValidationError):
+        index.query(small_queries[0], k=0)
+
+
+def test_rejects_empty_items():
+    with pytest.raises(EmptyIndexError):
+        FexiproIndex(np.zeros((0, 5)))
+
+
+def test_rejects_unknown_variant(small_items):
+    with pytest.raises(KeyError):
+        FexiproIndex(small_items, variant="F-X")
+
+
+def test_rejects_unknown_engine(small_items):
+    with pytest.raises(ValidationError):
+        FexiproIndex(small_items, engine="gpu")
+
+
+def test_batch_query_matches_individual(small_items, small_queries):
+    index = FexiproIndex(small_items)
+    batch = index.batch_query(small_queries[:4], k=3)
+    for q, result in zip(small_queries[:4], batch):
+        single = index.query(q, k=3)
+        assert result.ids == single.ids
+
+
+def test_preprocess_time_recorded(small_items):
+    index = FexiproIndex(small_items)
+    assert index.preprocess_time > 0.0
+
+
+def test_stats_accounting_consistent(small_items, small_queries):
+    index = FexiproIndex(small_items)
+    result = index.query(small_queries[0], k=3)
+    s = result.stats
+    assert s.n_items == small_items.shape[0]
+    assert s.scanned <= s.n_items
+    # Every scanned vector is either pruned somewhere or fully computed.
+    assert s.scanned == s.pruned_total + s.full_products
+    assert s.full_products >= 3  # at least the k winners
+
+
+def test_topk_exact_convenience(small_items, small_queries):
+    result = topk_exact(small_items, small_queries[0], k=5)
+    __, truth = brute_force_topk(small_items, small_queries[0], 5)
+    np.testing.assert_allclose(result.scores, truth, atol=1e-9)
+
+
+def test_dynamic_query_updates_supported(small_items, small_queries):
+    # The Xbox/FindMe scenario: the same index serves adjusted vectors.
+    index = FexiproIndex(small_items)
+    base = small_queries[0]
+    for shift in (0.0, 0.1, -0.2):
+        q = base + shift
+        result = index.query(q, k=3)
+        __, truth = brute_force_topk(small_items, q, 3)
+        np.testing.assert_allclose(result.scores, truth, atol=1e-9)
+
+
+def test_items_matrix_not_mutated(small_items, small_queries):
+    copy = small_items.copy()
+    index = FexiproIndex(small_items)
+    index.query(small_queries[0], k=3)
+    np.testing.assert_array_equal(small_items, copy)

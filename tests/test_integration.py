@@ -1,0 +1,104 @@
+"""End-to-end integration tests: the full paper pipeline in miniature.
+
+ratings -> matrix factorization -> FEXIPRO index -> top-k recommendations,
+cross-checked against every baseline on the same data.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex
+from repro.baselines import Lemp, MiniBatch, NaiveBlas, PCATree, SSL
+from repro.datasets import load, synthetic_ratings
+from repro.mf import fit_als, fit_ccd, rmse, train_test_split
+
+
+@pytest.fixture(scope="module")
+def pipeline_model():
+    data = synthetic_ratings(n_users=120, n_items=90, rank=6,
+                             ratings_per_user=25, seed=42)
+    train, test = train_test_split(data.ratings, 0.15, seed=1)
+    model = fit_ccd(train, rank=6, reg=0.05, outer_iterations=6, seed=0)
+    return data, train, test, model
+
+
+def test_full_pipeline_learns_and_retrieves(pipeline_model):
+    data, train, test, model = pipeline_model
+    assert rmse(model, test) < 1.2  # sane generalization on 5-star data
+
+    index = FexiproIndex(model.item_factors, variant="F-SIR")
+    blas = NaiveBlas(model.item_factors)
+    for user in range(0, 120, 17):
+        q = model.user_factors[user]
+        fast = index.query(q, k=10)
+        slow = blas.query(q, k=10)
+        np.testing.assert_allclose(fast.scores, slow.scores, atol=1e-9)
+
+
+def test_recommendations_exclude_nothing_but_match_predictions(
+        pipeline_model):
+    __, train, __, model = pipeline_model
+    index = FexiproIndex(model.item_factors)
+    user = 3
+    result = index.query(model.user_factors[user], k=5)
+    for item, score in zip(result.ids, result.scores):
+        assert model.predict(user, item) == pytest.approx(score)
+
+
+def test_all_methods_agree_on_mf_output(pipeline_model):
+    __, __, __, model = pipeline_model
+    items = model.item_factors
+    queries = model.user_factors[:15]
+    methods = [
+        FexiproIndex(items, variant="F-SIR"),
+        FexiproIndex(items, variant="F-I"),
+        SSL(items),
+        Lemp(items, tuning_queries=queries[:4]),
+        MiniBatch(items),
+    ]
+    reference = NaiveBlas(items)
+    for q in queries:
+        truth = reference.query(q, k=7).scores
+        for method in methods:
+            got = method.query(q, k=7).scores
+            np.testing.assert_allclose(got, truth, atol=1e-8)
+
+
+def test_pcatree_quality_on_pipeline(pipeline_model):
+    __, __, __, model = pipeline_model
+    items = model.item_factors
+    tree = PCATree(items, spill=2, leaf_size=16)
+    reference = NaiveBlas(items)
+    overlap = 0
+    trials = 12
+    for user in range(trials):
+        q = model.user_factors[user]
+        approx = set(tree.query(q, k=5).ids)
+        exact = set(reference.query(q, k=5).ids)
+        overlap += len(approx & exact)
+    assert overlap / (5 * trials) > 0.6
+
+
+def test_zoo_dataset_through_full_stack():
+    data = load("netflix", seed=3, scale=0.03)
+    index = FexiproIndex(data.items, variant="F-SIR")
+    reference = NaiveBlas(data.items)
+    for q in data.queries[:10]:
+        fast = index.query(q, k=5)
+        slow = reference.query(q, k=5)
+        np.testing.assert_allclose(fast.scores, slow.scores, atol=1e-9)
+
+
+def test_dynamic_vector_adjustment_scenario():
+    # The Xbox scenario: contextual adjustments to q between queries,
+    # same index, still exact every time.
+    data = load("movielens", seed=5, scale=0.03)
+    index = FexiproIndex(data.items, variant="F-SIR")
+    reference = NaiveBlas(data.items)
+    rng = np.random.default_rng(0)
+    q = data.queries[0].copy()
+    for __ in range(8):
+        q += rng.normal(scale=0.05, size=q.size)  # ad-hoc context drift
+        fast = index.query(q, k=3)
+        slow = reference.query(q, k=3)
+        np.testing.assert_allclose(fast.scores, slow.scores, atol=1e-9)

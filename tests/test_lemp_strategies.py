@@ -1,0 +1,87 @@
+"""Tests for LEMP's inner bucket strategies (LEMP-LI / LEMP-LC / LEMP-N)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Lemp
+
+from conftest import brute_force_topk, make_mf_like
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_mf_like(1000, 16, seed=91)
+
+
+@pytest.mark.parametrize("strategy", Lemp.STRATEGIES)
+def test_every_strategy_is_exact(strategy, data):
+    items, queries = data
+    method = Lemp(items, strategy=strategy, tuning_queries=queries[:4])
+    for q in queries[:8]:
+        result = method.query(q, k=6)
+        __, truth = brute_force_topk(items, q, 6)
+        np.testing.assert_allclose(result.scores, truth, atol=1e-8)
+
+
+def test_rejects_unknown_strategy(data):
+    items, __ = data
+    with pytest.raises(ValueError):
+        Lemp(items, strategy="tree-of-life")
+
+
+def test_naive_strategy_computes_reached_buckets_fully(data):
+    items, queries = data
+    method = Lemp(items, strategy="naive", bucket_size=100)
+    stats = method.query(queries[0], k=1).stats
+    # LEMP-N never prunes inside a bucket: every scanned vector is a full
+    # product (termination may skip trailing buckets entirely).
+    assert stats.full_products == stats.scanned
+    assert stats.pruned_incremental == 0
+
+
+def test_pruning_strategies_beat_naive(data):
+    items, queries = data
+
+    def avg_full(strategy):
+        method = Lemp(items, strategy=strategy,
+                      tuning_queries=queries[:4])
+        return sum(method.query(q, 1).stats.full_products
+                   for q in queries[:10]) / 10
+
+    naive = avg_full("naive")
+    assert avg_full("incr") < naive
+    assert avg_full("coord") < naive
+
+
+def test_coord_never_prunes_less_overall(data):
+    items, queries = data
+    incr = Lemp(items, strategy="incr", tuning_queries=queries[:4])
+    coord = Lemp(items, strategy="coord", tuning_queries=queries[:4])
+    incr_total = sum(incr.query(q, 1).stats.full_products
+                     for q in queries[:12])
+    coord_total = sum(coord.query(q, 1).stats.full_products
+                      for q in queries[:12])
+    assert coord_total <= incr_total
+
+
+def test_tree_strategy_negative_threshold_regime():
+    # A all-positive catalogue queried with an all-negative vector keeps
+    # every threshold negative — the conservative cosine ratio must flip
+    # to the bucket's *min* norm there (a max-norm ratio over-prunes).
+    rng = np.random.default_rng(141)
+    items = np.abs(rng.normal(scale=0.3, size=(400, 10)))
+    items[::7] *= 10.0  # wide norm spread within buckets
+    method = Lemp(items, strategy="tree", bucket_size=64)
+    for seed in range(4):
+        q = -np.abs(np.random.default_rng(seed).normal(scale=0.4, size=10))
+        result = method.query(q, k=6)
+        __, truth = brute_force_topk(items, q, 6)
+        np.testing.assert_allclose(result.scores, truth, atol=1e-9)
+
+
+def test_tree_strategy_builds_bucket_trees():
+    items, __ = make_mf_like(300, 10, seed=142)
+    method = Lemp(items, strategy="tree", bucket_size=100)
+    assert all(b.tree is not None for b in method.buckets)
+    untreed = Lemp(items, strategy="incr", bucket_size=100)
+    assert all(b.tree is None for b in untreed.buckets)

@@ -1,0 +1,200 @@
+"""Tests for the matrix-factorization substrate (ratings, solvers, metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mf import (
+    MFModel,
+    RatingMatrix,
+    fit_als,
+    fit_ccd,
+    fit_sgd,
+    ndcg_at_k,
+    overlap_at_k,
+    recall_at_k,
+    rmse,
+    rmse_at_k,
+    train_test_split,
+)
+
+
+def planted_ratings(m=150, n=120, rank=6, density=0.3, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    true_u = rng.normal(scale=0.6, size=(m, rank))
+    true_v = rng.normal(scale=0.6, size=(n, rank))
+    mask = rng.random((m, n)) < density
+    users, items = np.nonzero(mask)
+    values = np.einsum("ij,ij->i", true_u[users], true_v[items])
+    values = values + rng.normal(scale=noise, size=users.size)
+    return RatingMatrix.from_triples(users, items, values, m, n)
+
+
+# ----------------------------------------------------------------------
+# RatingMatrix
+# ----------------------------------------------------------------------
+
+def test_from_triples_shapes():
+    ratings = RatingMatrix.from_triples([0, 1], [2, 0], [4.0, 3.0])
+    assert ratings.n_users == 2
+    assert ratings.n_items == 3
+    assert ratings.n_ratings == 2
+    assert 0 < ratings.density < 1
+
+
+def test_from_triples_validates():
+    with pytest.raises(ValidationError):
+        RatingMatrix.from_triples([], [], [])
+    with pytest.raises(ValidationError):
+        RatingMatrix.from_triples([0, 1], [0], [1.0])
+    with pytest.raises(ValidationError):
+        RatingMatrix.from_triples([-1], [0], [1.0])
+
+
+def test_user_slice():
+    ratings = RatingMatrix.from_triples([0, 0, 1], [1, 3, 0],
+                                        [5.0, 2.0, 1.0], 2, 4)
+    items, values = ratings.user_slice(0)
+    assert items.tolist() == [1, 3]
+    assert values.tolist() == [5.0, 2.0]
+
+
+def test_transpose_round_trip():
+    ratings = planted_ratings(20, 15, seed=1)
+    transposed = ratings.transpose()
+    assert transposed.n_users == ratings.n_items
+    assert transposed.n_ratings == ratings.n_ratings
+
+
+def test_global_mean():
+    ratings = RatingMatrix.from_triples([0, 1], [0, 1], [2.0, 4.0])
+    assert ratings.global_mean() == pytest.approx(3.0)
+
+
+def test_train_test_split_partitions():
+    ratings = planted_ratings(seed=2)
+    train, test = train_test_split(ratings, 0.25, seed=3)
+    assert train.n_ratings + test.n_ratings == ratings.n_ratings
+    assert train.csr.shape == ratings.csr.shape
+    assert test.n_ratings > 0
+
+
+def test_train_test_split_validates_fraction():
+    ratings = planted_ratings(seed=4)
+    with pytest.raises(ValidationError):
+        train_test_split(ratings, 0.0)
+    with pytest.raises(ValidationError):
+        train_test_split(ratings, 1.0)
+
+
+# ----------------------------------------------------------------------
+# MFModel
+# ----------------------------------------------------------------------
+
+def test_model_validates_rank_agreement():
+    with pytest.raises(ValueError):
+        MFModel(np.zeros((3, 4)), np.zeros((5, 3)))
+
+
+def test_model_predict_pairs():
+    model = MFModel(np.array([[1.0, 2.0]]), np.array([[3.0, 4.0],
+                                                      [0.5, 0.5]]))
+    assert model.predict(0, 0) == pytest.approx(11.0)
+    np.testing.assert_allclose(model.predict_pairs([0, 0], [0, 1]),
+                               [11.0, 1.5])
+
+
+# ----------------------------------------------------------------------
+# Solvers: all three recover a planted low-rank structure
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("solver,kwargs", [
+    (fit_als, {"iterations": 8}),
+    (fit_ccd, {"outer_iterations": 8}),
+    (fit_sgd, {"epochs": 30, "learning_rate": 0.05}),
+])
+def test_solver_beats_trivial_baseline(solver, kwargs):
+    ratings = planted_ratings(seed=5)
+    train, test = train_test_split(ratings, 0.2, seed=6)
+    model = solver(train, rank=6, reg=0.05, seed=1, **kwargs)
+    # Trivial baseline: predict the global mean everywhere.
+    __, __, test_values = test.triples()
+    baseline = float(np.sqrt(np.mean(
+        (test_values - train.global_mean()) ** 2
+    )))
+    assert rmse(model, test) < 0.7 * baseline
+
+
+@pytest.mark.parametrize("solver", [fit_als, fit_ccd])
+def test_alternating_solvers_fit_train_tightly(solver):
+    ratings = planted_ratings(noise=0.0, seed=7)
+    model = solver(ratings, rank=6, reg=1e-3, seed=2)
+    assert rmse(model, ratings) < 0.05
+
+
+@pytest.mark.parametrize("solver", [fit_als, fit_ccd, fit_sgd])
+def test_solver_is_deterministic(solver):
+    ratings = planted_ratings(m=40, n=30, seed=8)
+    a = solver(ratings, rank=4, seed=3)
+    b = solver(ratings, rank=4, seed=3)
+    np.testing.assert_array_equal(a.item_factors, b.item_factors)
+
+
+@pytest.mark.parametrize("solver", [fit_als, fit_ccd, fit_sgd])
+def test_solver_validates_parameters(solver):
+    ratings = planted_ratings(m=20, n=15, seed=9)
+    with pytest.raises(ValidationError):
+        solver(ratings, rank=0)
+    with pytest.raises(ValidationError):
+        solver(ratings, rank=4, reg=-1.0)
+
+
+def test_factors_land_in_narrow_band():
+    # The property FEXIPRO's Figure 3 observes: regularized MF factors
+    # concentrate near zero.
+    ratings = planted_ratings(seed=10)
+    model = fit_als(ratings, rank=6, reg=0.1, iterations=8, seed=4)
+    values = np.concatenate([model.user_factors.ravel(),
+                             model.item_factors.ravel()])
+    assert np.mean(np.abs(values) <= 1.5) > 0.95
+
+
+def test_unrated_rows_keep_zero_factors():
+    ratings = RatingMatrix.from_triples([0, 0], [0, 1], [1.0, 2.0],
+                                        n_users=3, n_items=3)
+    model = fit_als(ratings, rank=2, iterations=3, seed=0)
+    np.testing.assert_array_equal(model.user_factors[2], 0.0)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+def test_rmse_at_k_zero_for_identical_lists():
+    assert rmse_at_k([[1.0, 2.0]], [[1.0, 2.0]]) == 0.0
+
+
+def test_rmse_at_k_formula():
+    value = rmse_at_k([[1.0, 2.0]], [[2.0, 4.0]])
+    assert value == pytest.approx(np.sqrt((1 + 4) / 2))
+
+
+def test_rmse_at_k_shape_mismatch():
+    with pytest.raises(ValueError):
+        rmse_at_k([[1.0]], [[1.0, 2.0]])
+
+
+def test_recall_and_overlap():
+    assert recall_at_k([1, 2, 3], [2, 4]) == 0.5
+    assert recall_at_k([1], []) == 0.0
+    assert overlap_at_k([1, 2], [2, 3]) == 0.5
+    assert overlap_at_k([], []) == 1.0
+
+
+def test_ndcg():
+    gains = {1: 3.0, 2: 2.0, 3: 1.0}
+    assert ndcg_at_k([1, 2, 3], gains, k=3) == pytest.approx(1.0)
+    assert ndcg_at_k([3, 2, 1], gains, k=3) < 1.0
+    assert ndcg_at_k([9, 8], {1: 1.0}, k=2) == 0.0
+    with pytest.raises(ValueError):
+        ndcg_at_k([1], gains, k=0)

@@ -1,0 +1,161 @@
+"""Tests for biased MF, bias folding, and implicit-feedback ALS."""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex
+from repro.exceptions import ValidationError
+from repro.mf import (
+    RatingMatrix,
+    fit_biased_sgd,
+    fit_implicit_als,
+    fold_item_biases,
+    fold_query,
+    fold_query_vector,
+    rmse,
+    train_test_split,
+)
+
+
+def biased_ratings(m=150, n=120, rank=5, seed=0):
+    """Planted model with real user/item bias structure."""
+    rng = np.random.default_rng(seed)
+    true_u = rng.normal(scale=0.4, size=(m, rank))
+    true_v = rng.normal(scale=0.4, size=(n, rank))
+    bu = rng.normal(scale=0.5, size=m)
+    bi = rng.normal(scale=0.5, size=n)
+    mask = rng.random((m, n)) < 0.25
+    users, items = np.nonzero(mask)
+    values = (3.0 + bu[users] + bi[items]
+              + np.einsum("ij,ij->i", true_u[users], true_v[items])
+              + rng.normal(scale=0.1, size=users.size))
+    return RatingMatrix.from_triples(users, items, values, m, n)
+
+
+# ----------------------------------------------------------------------
+# Biased SGD
+# ----------------------------------------------------------------------
+
+def test_biased_sgd_beats_unbiased_on_biased_data():
+    from repro.mf import fit_sgd
+
+    ratings = biased_ratings(seed=1)
+    train, test = train_test_split(ratings, 0.2, seed=2)
+    biased = fit_biased_sgd(train, rank=5, epochs=25, seed=3)
+    unbiased = fit_sgd(train, rank=5, epochs=25, seed=3)
+
+    __, __, test_values = test.triples()
+    users, items, __ = test.triples()
+    biased_rmse = float(np.sqrt(np.mean(
+        (test_values - biased.predict_pairs(users, items)) ** 2)))
+    unbiased_rmse = rmse(unbiased, test)
+    assert biased_rmse < unbiased_rmse
+
+
+def test_biased_sgd_learns_global_mean():
+    ratings = biased_ratings(seed=4)
+    model = fit_biased_sgd(ratings, rank=5, epochs=5, seed=0)
+    assert model.global_mean == pytest.approx(ratings.global_mean())
+
+
+def test_biased_sgd_validates():
+    ratings = biased_ratings(m=20, n=15, seed=5)
+    with pytest.raises(ValidationError):
+        fit_biased_sgd(ratings, rank=0)
+    with pytest.raises(ValidationError):
+        fit_biased_sgd(ratings, learning_rate=0)
+    with pytest.raises(ValidationError):
+        fit_biased_sgd(ratings, decay=0)
+
+
+# ----------------------------------------------------------------------
+# Bias folding
+# ----------------------------------------------------------------------
+
+def test_folding_identity():
+    ratings = biased_ratings(m=40, n=30, seed=6)
+    model = fit_biased_sgd(ratings, rank=4, epochs=5, seed=1)
+    folded_items = fold_item_biases(model)
+    for user in (0, 7, 21):
+        folded_q = fold_query(model, user)
+        scores = folded_items @ folded_q
+        for item in range(model.item_bias.size):
+            expected = (model.user_factors[user] @ model.item_factors[item]
+                        + model.item_bias[item])
+            assert scores[item] == pytest.approx(expected)
+
+
+def test_folded_retrieval_matches_biased_ranking():
+    ratings = biased_ratings(seed=7)
+    model = fit_biased_sgd(ratings, rank=5, epochs=10, seed=2)
+    index = FexiproIndex(fold_item_biases(model), variant="F-SIR")
+    for user in (0, 33, 99):
+        result = index.query(fold_query(model, user), k=5)
+        # Ground truth biased ranking (mu + b_u constant per user).
+        full = model.predict_pairs(
+            np.full(model.item_bias.size, user),
+            np.arange(model.item_bias.size),
+        )
+        truth = np.argsort(-full, kind="stable")[:5]
+        assert set(result.ids) == set(truth.tolist())
+
+
+def test_fold_query_vector_matches_fold_query():
+    ratings = biased_ratings(m=20, n=15, seed=8)
+    model = fit_biased_sgd(ratings, rank=3, epochs=3, seed=0)
+    np.testing.assert_array_equal(
+        fold_query(model, 4), fold_query_vector(model.user_factors[4])
+    )
+
+
+# ----------------------------------------------------------------------
+# Implicit ALS
+# ----------------------------------------------------------------------
+
+def implicit_interactions(m=120, n=90, rank=4, seed=0):
+    rng = np.random.default_rng(seed)
+    true_u = np.abs(rng.normal(scale=0.8, size=(m, rank)))
+    true_v = np.abs(rng.normal(scale=0.8, size=(n, rank)))
+    affinity = true_u @ true_v.T
+    counts = rng.poisson(np.minimum(affinity * 2.0, 8.0))
+    users, items = np.nonzero(counts)
+    return RatingMatrix.from_triples(users, items,
+                                     counts[users, items], m, n)
+
+
+def test_implicit_als_recovers_preferences():
+    interactions = implicit_interactions(seed=9)
+    model = fit_implicit_als(interactions, rank=4, iterations=8, seed=0)
+    # Observed items should outrank unobserved ones on average.
+    dense = interactions.csr.toarray()
+    scores = model.user_factors @ model.item_factors.T
+    observed = scores[dense > 0]
+    unobserved = scores[dense == 0]
+    assert observed.mean() > unobserved.mean() + 0.1
+
+
+def test_implicit_als_feeds_retrieval():
+    interactions = implicit_interactions(seed=10)
+    model = fit_implicit_als(interactions, rank=4, iterations=5, seed=0)
+    index = FexiproIndex(model.item_factors)
+    result = index.query(model.user_factors[0], k=5)
+    truth = np.sort(model.item_factors @ model.user_factors[0])[::-1][:5]
+    np.testing.assert_allclose(result.scores, truth, atol=1e-9)
+
+
+def test_implicit_als_validates():
+    interactions = implicit_interactions(m=20, n=15, seed=11)
+    with pytest.raises(ValidationError):
+        fit_implicit_als(interactions, rank=0)
+    with pytest.raises(ValidationError):
+        fit_implicit_als(interactions, alpha=0)
+    negative = RatingMatrix.from_triples([0], [0], [-1.0], 2, 2)
+    with pytest.raises(ValidationError):
+        fit_implicit_als(negative)
+
+
+def test_implicit_als_deterministic():
+    interactions = implicit_interactions(m=30, n=20, seed=12)
+    a = fit_implicit_als(interactions, rank=3, iterations=3, seed=5)
+    b = fit_implicit_als(interactions, rank=3, iterations=3, seed=5)
+    np.testing.assert_array_equal(a.item_factors, b.item_factors)

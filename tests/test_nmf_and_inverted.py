@@ -1,0 +1,129 @@
+"""Tests for the NMF solver and the inverted-index retriever (Section 9)."""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex
+from repro.baselines import InvertedIndex
+from repro.exceptions import ValidationError
+from repro.mf import RatingMatrix, fit_nmf, rmse
+
+from conftest import brute_force_topk, make_mf_like
+
+
+def nonneg_ratings(m=80, n=60, rank=4, seed=0):
+    rng = np.random.default_rng(seed)
+    true_u = rng.uniform(0.2, 1.0, size=(m, rank))
+    true_v = rng.uniform(0.2, 1.0, size=(n, rank))
+    mask = rng.random((m, n)) < 0.3
+    users, items = np.nonzero(mask)
+    values = np.einsum("ij,ij->i", true_u[users], true_v[items])
+    return RatingMatrix.from_triples(users, items, values, m, n)
+
+
+# ----------------------------------------------------------------------
+# NMF
+# ----------------------------------------------------------------------
+
+def test_nmf_factors_are_nonnegative():
+    model = fit_nmf(nonneg_ratings(seed=1), rank=4, iterations=40, seed=0)
+    assert model.user_factors.min() >= 0
+    assert model.item_factors.min() >= 0
+
+
+def test_nmf_fits_planted_nonnegative_structure():
+    ratings = nonneg_ratings(seed=2)
+    model = fit_nmf(ratings, rank=4, iterations=120, seed=0)
+    baseline = ratings.global_mean()
+    __, __, values = ratings.triples()
+    trivial = float(np.sqrt(np.mean((values - baseline) ** 2)))
+    assert rmse(model, ratings) < 0.5 * trivial
+
+
+def test_nmf_rejects_negative_ratings():
+    bad = RatingMatrix.from_triples([0], [0], [-2.0], 2, 2)
+    with pytest.raises(ValidationError):
+        fit_nmf(bad)
+
+
+def test_nmf_validates_params():
+    ratings = nonneg_ratings(m=10, n=8, seed=3)
+    with pytest.raises(ValidationError):
+        fit_nmf(ratings, rank=0)
+    with pytest.raises(ValidationError):
+        fit_nmf(ratings, iterations=0)
+
+
+def test_nmf_monotone_partial_products():
+    # Section 9's premise: with all-positive factors, partial IPs are
+    # monotone without any reduction.
+    model = fit_nmf(nonneg_ratings(seed=4), rank=4, iterations=30, seed=0)
+    q = model.user_factors[0]
+    terms = model.item_factors * q  # (n, d)
+    cums = np.cumsum(terms, axis=1)
+    assert np.all(np.diff(cums, axis=1) >= -1e-12)
+
+
+def test_nmf_output_served_by_fexipro():
+    model = fit_nmf(nonneg_ratings(seed=5), rank=4, iterations=30, seed=0)
+    index = FexiproIndex(model.item_factors, variant="F-SIR")
+    q = model.user_factors[3]
+    result = index.query(q, k=5)
+    __, truth = brute_force_topk(model.item_factors, q, 5)
+    np.testing.assert_allclose(result.scores, truth, atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Inverted index
+# ----------------------------------------------------------------------
+
+def sparse_items(n=500, d=60, density=0.05, seed=6):
+    rng = np.random.default_rng(seed)
+    items = rng.normal(size=(n, d))
+    items[rng.random((n, d)) >= density] = 0.0
+    return items
+
+
+def test_inverted_index_exact_on_sparse(medium_pair):
+    items = sparse_items()
+    rng = np.random.default_rng(7)
+    queries = sparse_items(n=10, d=60, density=0.1, seed=8)
+    method = InvertedIndex(items)
+    for q in queries:
+        result = method.query(q, k=7)
+        __, truth = brute_force_topk(items, q, 7)
+        np.testing.assert_allclose(result.scores, truth, atol=1e-9)
+
+
+def test_inverted_index_exact_on_dense(medium_pair):
+    items, queries = medium_pair
+    method = InvertedIndex(items)
+    for q in queries[:5]:
+        result = method.query(q, k=5)
+        __, truth = brute_force_topk(items, q, 5)
+        np.testing.assert_allclose(result.scores, truth, atol=1e-9)
+
+
+def test_inverted_index_density_accounting():
+    items = sparse_items(density=0.05)
+    method = InvertedIndex(items)
+    assert method.density == pytest.approx(
+        np.count_nonzero(items) / items.size
+    )
+    assert method.density < 0.1
+
+
+def test_inverted_index_work_scales_with_sparsity():
+    sparse = InvertedIndex(sparse_items(density=0.05, seed=9))
+    dense = InvertedIndex(sparse_items(density=0.9, seed=9))
+    q = np.zeros(60)
+    q[:10] = 1.0
+    assert sparse.query(q, 5).stats.scanned < \
+        dense.query(q, 5).stats.scanned / 4
+
+
+def test_inverted_index_all_zero_query():
+    items = sparse_items(n=50)
+    method = InvertedIndex(items)
+    result = method.query(np.zeros(60), k=3)
+    assert all(s == 0.0 for s in result.scores)

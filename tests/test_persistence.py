@@ -1,0 +1,53 @@
+"""Tests for index save/load."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex
+from repro.exceptions import ValidationError
+
+
+def test_save_load_round_trip(tmp_path, small_items, small_queries):
+    index = FexiproIndex(small_items, variant="F-SIR")
+    path = tmp_path / "index.pkl"
+    index.save(path)
+    loaded = FexiproIndex.load(path)
+    for q in small_queries[:5]:
+        a = index.query(q, k=6)
+        b = loaded.query(q, k=6)
+        assert a.ids == b.ids
+        np.testing.assert_allclose(a.scores, b.scores)
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+
+def test_loaded_index_keeps_configuration(tmp_path, small_items):
+    index = FexiproIndex(small_items, variant="F-SI", rho=0.8, e=50)
+    path = tmp_path / "index.pkl"
+    index.save(path)
+    loaded = FexiproIndex.load(path)
+    assert loaded.variant.name == "F-SI"
+    assert loaded.rho == 0.8
+    assert loaded.e == 50
+    assert loaded.w == index.w
+
+
+def test_load_rejects_foreign_pickles(tmp_path):
+    path = tmp_path / "other.pkl"
+    with open(path, "wb") as handle:
+        pickle.dump({"something": "else"}, handle)
+    with pytest.raises(ValidationError):
+        FexiproIndex.load(path)
+    with open(path, "wb") as handle:
+        pickle.dump([1, 2, 3], handle)
+    with pytest.raises(ValidationError):
+        FexiproIndex.load(path)
+
+
+def test_load_rejects_wrong_payload_type(tmp_path):
+    path = tmp_path / "wrong.pkl"
+    with open(path, "wb") as handle:
+        pickle.dump({"format": 1, "index": "not an index"}, handle)
+    with pytest.raises(ValidationError):
+        FexiproIndex.load(path)

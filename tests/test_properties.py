@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) for the core invariants of DESIGN.md."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import FexiproIndex, TopKBuffer
+from repro.core.bounds import (
+    incremental_bound,
+    integer_upper_bound,
+    uniform_integer_bound,
+)
+from repro.core.reduction import MonotoneReduction, shift_constants
+from repro.core.scaling import ScaledItems, integer_parts
+from repro.core.svd import choose_w, fit_svd
+
+finite = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False,
+                   allow_infinity=False, width=64)
+
+
+def matrix_strategy(max_n=40, max_d=8):
+    return st.integers(2, max_n).flatmap(
+        lambda n: st.integers(1, max_d).flatmap(
+            lambda d: arrays(np.float64, (n, d), elements=finite)
+        )
+    )
+
+
+def pair_strategy(max_d=12):
+    return st.integers(1, max_d).flatmap(
+        lambda d: st.tuples(
+            arrays(np.float64, d, elements=finite),
+            arrays(np.float64, d, elements=finite),
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Invariant 3: integer bounds are always admissible
+# ----------------------------------------------------------------------
+
+@given(pair_strategy())
+@settings(max_examples=200, deadline=None)
+def test_integer_upper_bound_always_admissible(pair):
+    q, p = pair
+    bound = integer_upper_bound(integer_parts(q), integer_parts(p))
+    assert float(q @ p) <= bound + 1e-9
+
+
+@given(pair_strategy(), st.sampled_from([3.0, 17.0, 128.0, 1000.0]))
+@settings(max_examples=150, deadline=None)
+def test_scaled_integer_bound_always_admissible(pair, e):
+    q, p = pair
+    assert float(q @ p) <= uniform_integer_bound(q, p, e) + 1e-7
+
+
+# ----------------------------------------------------------------------
+# Invariant 6: incremental bound sandwiched correctly
+# ----------------------------------------------------------------------
+
+@given(pair_strategy(max_d=10), st.data())
+@settings(max_examples=150, deadline=None)
+def test_incremental_bound_admissible(pair, data):
+    q, p = pair
+    w = data.draw(st.integers(1, q.size))
+    partial = float(q[:w] @ p[:w])
+    bound = incremental_bound(partial, float(np.linalg.norm(q[w:])),
+                              float(np.linalg.norm(p[w:])))
+    assert float(q @ p) <= bound + 1e-9
+    cs = float(np.linalg.norm(q) * np.linalg.norm(p))
+    assert bound <= cs + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Invariant 2: SVD transform preserves all inner products
+# ----------------------------------------------------------------------
+
+@given(matrix_strategy(), arrays(np.float64, 8, elements=finite))
+@settings(max_examples=60, deadline=None)
+def test_svd_preserves_products(items, raw_query):
+    d = items.shape[1]
+    query = raw_query[:d] if raw_query.size >= d else np.resize(raw_query, d)
+    transform = fit_svd(items)
+    np.testing.assert_allclose(
+        transform.items @ transform.transform_query(query),
+        items @ query, atol=1e-7,
+    )
+
+
+# ----------------------------------------------------------------------
+# Invariant 4: reduction preserves ranking; reduced items nonnegative
+# ----------------------------------------------------------------------
+
+@given(matrix_strategy(max_n=25, max_d=6),
+       arrays(np.float64, 6, elements=finite))
+@settings(max_examples=60, deadline=None)
+def test_reduction_preserves_ranking(items, raw_query):
+    d = items.shape[1]
+    query = raw_query[:d] if raw_query.size >= d else np.resize(raw_query, d)
+    transform = fit_svd(items)
+    w = max(1, d - 1) if d > 1 else 1
+    reduction = MonotoneReduction(transform.items, transform.sigma, w)
+    q_bar = transform.transform_query(query)
+    phh = reduction.reduced_items()
+    qhh = reduction.reduce_query(q_bar)
+    assert phh.min() >= -1e-9
+    original = transform.items @ q_bar
+    reduced = phh @ qhh
+    # Ranking equivalence up to ties: sorting by one sorts the other.
+    order = np.argsort(original, kind="stable")
+    assert np.all(np.diff(reduced[order]) >= -1e-6 * max(
+        1.0, float(np.max(np.abs(reduced)))
+    ))
+
+
+@given(arrays(np.float64, 5,
+              elements=st.floats(0.0, 10.0, allow_nan=False)),
+       st.floats(-5.0, 0.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_shift_constants_always_sufficient(sigma_raw, p_min):
+    sigma = np.sort(sigma_raw)[::-1]
+    c = shift_constants(sigma, p_min)
+    assert np.all(c >= max(1.0, abs(p_min)) - 1e-12)
+    assert np.all(np.isfinite(c))
+
+
+# ----------------------------------------------------------------------
+# Invariant 1: FEXIPRO equals brute force on arbitrary inputs
+# ----------------------------------------------------------------------
+
+@given(matrix_strategy(max_n=30, max_d=6),
+       arrays(np.float64, 6, elements=finite),
+       st.integers(1, 8))
+@settings(max_examples=50, deadline=None)
+def test_fexipro_matches_brute_force(items, raw_query, k):
+    d = items.shape[1]
+    query = raw_query[:d] if raw_query.size >= d else np.resize(raw_query, d)
+    index = FexiproIndex(items, variant="F-SIR")
+    result = index.query(query, k)
+    scores = items @ query
+    truth = np.sort(scores)[::-1][: min(k, items.shape[0])]
+    np.testing.assert_allclose(result.scores, truth, atol=1e-7)
+
+
+# ----------------------------------------------------------------------
+# TopKBuffer behaves like a sorted list
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1,
+                max_size=50),
+       st.integers(1, 10))
+@settings(max_examples=150, deadline=None)
+def test_topk_buffer_model(values, k):
+    buf = TopKBuffer(k)
+    for i, v in enumerate(values):
+        buf.push(v, i)
+    __, scores = buf.items_and_scores()
+    expected = sorted(values, reverse=True)[:k]
+    assert scores == expected
+    if len(values) >= k:
+        assert buf.threshold == expected[-1]
+    else:
+        assert buf.threshold == -math.inf
+
+
+# ----------------------------------------------------------------------
+# choose_w always valid
+# ----------------------------------------------------------------------
+
+@given(arrays(np.float64, st.integers(1, 20),
+              elements=st.floats(0.0, 100.0, allow_nan=False)),
+       st.floats(0.01, 1.0, allow_nan=False))
+@settings(max_examples=150, deadline=None)
+def test_choose_w_always_in_range(sigma_raw, rho):
+    sigma = np.sort(sigma_raw)[::-1]
+    w = choose_w(sigma, rho)
+    assert 1 <= w <= max(1, sigma.size - 1)
+
+
+# ----------------------------------------------------------------------
+# ScaledItems: integer parts never exceed the scale bound
+# ----------------------------------------------------------------------
+
+@given(matrix_strategy(max_n=20, max_d=6),
+       st.sampled_from([10.0, 100.0, 1000.0]))
+@settings(max_examples=80, deadline=None)
+def test_scaled_items_bounded(items, e):
+    d = items.shape[1]
+    scaled = ScaledItems(items, w=max(1, d // 2), e=e)
+    assert scaled.int_head.max(initial=0) <= e
+    assert scaled.int_head.min(initial=0) >= -e - 1
+    assert scaled.int_tail.max(initial=0) <= e
+    assert scaled.int_tail.min(initial=0) >= -e - 1

@@ -1,0 +1,148 @@
+"""Tests for the high-level Recommender facade."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.recommender import Recommender
+
+from conftest import make_mf_like
+
+from repro.datasets import synthetic_ratings
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    data = synthetic_ratings(n_users=120, n_items=90, rank=6,
+                             ratings_per_user=20, seed=80)
+    rec = Recommender(rank=6, solver="ccd", outer_iterations=5,
+                      seed=0).fit(data.ratings)
+    return rec, data.ratings
+
+
+def test_requires_fit_before_use():
+    rec = Recommender(rank=4)
+    with pytest.raises(ValidationError):
+        rec.recommend(0)
+    with pytest.raises(ValidationError):
+        rec.similar_items(0)
+
+
+def test_rejects_unknown_solver():
+    with pytest.raises(ValidationError):
+        Recommender(solver="svd++")
+    with pytest.raises(ValidationError):
+        Recommender(rank=0)
+
+
+def test_recommend_excludes_rated(fitted):
+    rec, ratings = fitted
+    rated, __ = ratings.user_slice(3)
+    recs = rec.recommend(3, k=10)
+    assert len(recs) == 10
+    assert not set(i for i, __ in recs) & set(int(i) for i in rated)
+
+
+def test_recommend_can_include_rated(fitted):
+    rec, __ = fitted
+    with_rated = rec.recommend(3, k=10, exclude_rated=False)
+    scores = [s for __, s in with_rated]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_recommendations_match_model_predictions(fitted):
+    rec, __ = fitted
+    for item, score in rec.recommend(7, k=5, exclude_rated=False):
+        assert rec.predict(7, item) == pytest.approx(score)
+
+
+def test_recommend_vector_dynamic(fitted):
+    rec, __ = fitted
+    vector = rec.model.user_factors[5] + 0.05
+    recs = rec.recommend_vector(vector, k=5)
+    truth = np.argsort(-(rec.model.item_factors @ vector))[:5]
+    assert [i for i, __ in recs] == [int(t) for t in truth]
+
+
+def test_recommend_vector_validates_shape(fitted):
+    rec, __ = fitted
+    with pytest.raises(ValidationError):
+        rec.recommend_vector(np.ones(7), k=3)
+
+
+def test_similar_items_cosine(fitted):
+    rec, __ = fitted
+    sims = rec.similar_items(0, k=5)
+    assert 0 not in [i for i, __ in sims]
+    factors = rec.model.item_factors
+    units = factors / np.linalg.norm(factors, axis=1, keepdims=True)
+    cosines = units @ units[0]
+    cosines[0] = -np.inf
+    truth = set(np.argsort(-cosines)[:5].tolist())
+    assert set(i for i, __ in sims) == truth
+
+
+def test_fold_in_user_recovers_taste(fitted):
+    rec, ratings = fitted
+    # Use an existing user's ratings as a pretend cold-start profile.
+    rated, values = ratings.user_slice(10)
+    profile = {int(i): float(v) for i, v in zip(rated, values)}
+    vector = rec.fold_in_user(profile)
+    assert vector.shape == (6,)
+    recs = rec.recommend_vector(vector, k=20)
+    # The folded-in user should like some of the items user 10 rated well.
+    liked = {int(i) for i, v in zip(rated, values) if v >= 4.0}
+    if liked:
+        assert liked & {i for i, __ in recs} or len(liked) < 3
+
+
+def test_fold_in_requires_ratings(fitted):
+    rec, __ = fitted
+    with pytest.raises(ValidationError):
+        rec.fold_in_user({})
+
+
+def test_add_and_remove_item(fitted):
+    rec, __ = fitted
+    vector = rec.model.user_factors[2] * 3.0  # tailor-made for user 2
+    new_id = rec.add_item(vector)
+    recs = rec.recommend(2, k=1, exclude_rated=False)
+    assert recs[0][0] == new_id
+    rec.remove_item(new_id)
+    recs = rec.recommend(2, k=5, exclude_rated=False)
+    assert new_id not in [i for i, __ in recs]
+
+
+def test_biased_solver_end_to_end():
+    data = synthetic_ratings(n_users=80, n_items=60, rank=4,
+                             ratings_per_user=15, seed=81)
+    rec = Recommender(rank=4, solver="biased", epochs=8,
+                      seed=1).fit(data.ratings)
+    recs = rec.recommend(0, k=5, exclude_rated=False)
+    for item, score in recs:
+        base = rec.model.user_factors[0] @ rec.model.item_factors[item]
+        assert score == pytest.approx(base + rec.model.item_bias[item])
+    # predict() includes the user-side constants; ordering matches recs.
+    predictions = [rec.predict(0, item) for item, __ in recs]
+    assert predictions == sorted(predictions, reverse=True)
+
+
+def test_from_factors_adopts_external_model():
+    items, queries = make_mf_like(200, 8, seed=82)
+    rec = Recommender(rank=8).from_factors(queries, items)
+    recs = rec.recommend(0, k=5)
+    truth = np.argsort(-(items @ queries[0]))[:5]
+    assert [i for i, __ in recs] == [int(t) for t in truth]
+
+
+def test_implicit_solver_end_to_end():
+    rng = np.random.default_rng(83)
+    counts = rng.poisson(0.2, size=(60, 50))
+    users, items = np.nonzero(counts)
+    from repro.mf import RatingMatrix
+
+    interactions = RatingMatrix.from_triples(
+        users, items, counts[users, items], 60, 50)
+    rec = Recommender(rank=4, solver="implicit", iterations=3,
+                      alpha=10.0, seed=2).fit(interactions)
+    assert len(rec.recommend(0, k=5)) == 5

@@ -1,0 +1,172 @@
+"""Robustness and failure-injection tests across the stack.
+
+Exercises hostile inputs — extreme magnitudes, degenerate geometry,
+unusual dtypes and memory layouts — that unit tests on friendly data miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex, VARIANTS
+from repro.baselines import BallTree, FastMKS, Lemp, NaiveBlas, SSL
+from repro.exceptions import ValidationError
+
+from conftest import brute_force_topk, make_mf_like
+
+
+def check_exact(method, items, queries, k=5):
+    for q in queries:
+        result = method.query(q, k)
+        __, truth = brute_force_topk(items, q, k)
+        np.testing.assert_allclose(result.scores, truth,
+                                   rtol=1e-9, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Extreme magnitudes
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("scale", [1e-12, 1e-6, 1e6, 1e12])
+def test_fexipro_scale_invariance(scale):
+    items, queries = make_mf_like(300, 10, seed=70)
+    index = FexiproIndex(items * scale, variant="F-SIR")
+    check_exact(index, items * scale, queries[:5] * scale)
+
+
+def test_mixed_magnitude_items():
+    rng = np.random.default_rng(71)
+    items = rng.normal(size=(200, 8))
+    items[:20] *= 1e6     # a few giants
+    items[20:40] *= 1e-6  # a few dwarfs
+    queries = rng.normal(size=(5, 8))
+    for variant in ("F-S", "F-SIR"):
+        check_exact(FexiproIndex(items, variant=variant), items, queries)
+    check_exact(SSL(items), items, queries)
+    check_exact(BallTree(items), items, queries)
+
+
+def test_single_dominant_direction():
+    # Rank-1-ish data: the SVD spectrum collapses after one value.
+    rng = np.random.default_rng(72)
+    direction = rng.normal(size=12)
+    items = np.outer(rng.normal(size=250), direction)
+    items += rng.normal(scale=1e-9, size=items.shape)
+    queries = rng.normal(size=(5, 12))
+    for variant in sorted(VARIANTS):
+        check_exact(FexiproIndex(items, variant=variant), items, queries)
+
+
+def test_constant_items():
+    items = np.full((60, 6), 0.37)
+    queries = np.random.default_rng(73).normal(size=(4, 6))
+    for variant in ("F-SI", "F-SIR"):
+        index = FexiproIndex(items, variant=variant)
+        for q in queries:
+            result = index.query(q, k=5)
+            expected = float(items[0] @ q)
+            assert all(s == pytest.approx(expected) for s in result.scores)
+
+
+# ----------------------------------------------------------------------
+# Degenerate geometry
+# ----------------------------------------------------------------------
+
+def test_orthogonal_queries():
+    # Queries orthogonal to every item: all products ~0, thresholds hover
+    # at zero where <=/<- boundary bugs live.
+    rng = np.random.default_rng(74)
+    basis = np.linalg.qr(rng.normal(size=(10, 10)))[0]
+    items = rng.normal(size=(100, 5)) @ basis[:5]   # span of first 5
+    queries = rng.normal(size=(4, 5)) @ basis[5:]   # orthogonal complement
+    index = FexiproIndex(items, variant="F-SIR")
+    for q in queries:
+        result = index.query(q, k=3)
+        assert all(abs(s) < 1e-9 for s in result.scores)
+
+
+def test_antipodal_pairs():
+    rng = np.random.default_rng(75)
+    half = rng.normal(scale=0.5, size=(80, 9))
+    items = np.concatenate([half, -half])
+    queries = rng.normal(size=(5, 9))
+    check_exact(FexiproIndex(items, variant="F-SIR"), items, queries)
+    check_exact(FastMKS(items), items, queries)
+
+
+def test_one_dimensional_everything():
+    items = np.array([[2.0], [-3.0], [0.5], [0.0], [-0.1]])
+    for variant in sorted(VARIANTS):
+        index = FexiproIndex(items, variant=variant)
+        result = index.query([-1.0], k=2)
+        assert result.ids[0] == 1  # -3 * -1 = 3 is the max
+        assert result.scores == [3.0, 0.1]
+
+
+# ----------------------------------------------------------------------
+# Input dtypes and layouts
+# ----------------------------------------------------------------------
+
+def test_float32_and_integer_inputs():
+    items, queries = make_mf_like(150, 8, seed=76)
+    index32 = FexiproIndex(items.astype(np.float32))
+    index64 = FexiproIndex(items)
+    # float32 inputs are promoted once; results match the promoted matrix.
+    check_exact(index32, items.astype(np.float32).astype(np.float64),
+                queries[:4])
+    int_items = (items * 100).astype(np.int32)
+    index_int = FexiproIndex(int_items)
+    check_exact(index_int, int_items.astype(np.float64), queries[:4] * 100)
+
+
+def test_fortran_ordered_input():
+    items, queries = make_mf_like(150, 8, seed=77)
+    fortran = np.asfortranarray(items)
+    index = FexiproIndex(fortran)
+    check_exact(index, items, queries[:4])
+
+
+def test_list_of_lists_input():
+    items = [[0.1, 0.2], [0.3, -0.4], [-0.5, 0.6]]
+    index = FexiproIndex(items)
+    result = index.query([1.0, 1.0], k=1)
+    assert result.ids == [0]
+
+
+def test_readonly_input_not_required_writable():
+    items, queries = make_mf_like(100, 6, seed=78)
+    items.setflags(write=False)
+    index = FexiproIndex(items)
+    index.query(queries[0], k=3)
+
+
+# ----------------------------------------------------------------------
+# Cross-method fuzz
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(5))
+def test_fuzz_all_methods_agree(seed):
+    rng = np.random.default_rng(100 + seed)
+    n = int(rng.integers(20, 300))
+    d = int(rng.integers(2, 30))
+    k = int(rng.integers(1, 12))
+    items = rng.normal(scale=rng.uniform(0.01, 3.0), size=(n, d))
+    queries = rng.normal(scale=rng.uniform(0.01, 3.0), size=(3, d))
+    reference = NaiveBlas(items)
+    methods = [FexiproIndex(items, variant=v) for v in sorted(VARIANTS)]
+    methods += [SSL(items), BallTree(items)]
+    methods += [Lemp(items, bucket_size=max(4, n // 5), strategy=s)
+                for s in Lemp.STRATEGIES]
+    from repro.baselines import InvertedIndex
+    from repro.baselines.dual_tree import DualTree
+
+    methods.append(InvertedIndex(items))
+    for q in queries:
+        truth = reference.query(q, k).scores
+        for method in methods:
+            got = method.query(q, k).scores
+            np.testing.assert_allclose(got, truth, rtol=1e-8, atol=1e-10)
+    dual = DualTree(items, leaf_size=max(4, n // 10))
+    for result, q in zip(dual.batch_query(queries, k), queries):
+        truth = reference.query(q, k).scores
+        np.testing.assert_allclose(result.scores, truth, rtol=1e-8,
+                                   atol=1e-10)

@@ -1,0 +1,106 @@
+"""Tests for the int8 storage option and the split-vs-uniform scaling ablation."""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex
+from repro.core.scaling import ScaledItems
+
+from conftest import brute_force_topk, make_mf_like
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_mf_like(800, 20, seed=50)
+
+
+# ----------------------------------------------------------------------
+# int8 storage (paper future work: SIMD-friendly small integers)
+# ----------------------------------------------------------------------
+
+def test_int8_identical_pruning_decisions(data):
+    items, queries = data
+    wide = FexiproIndex(items, variant="F-SIR")
+    narrow = FexiproIndex(items, variant="F-SIR",
+                          integer_storage_dtype=np.int8)
+    for q in queries[:8]:
+        a = wide.query(q, k=7)
+        b = narrow.query(q, k=7)
+        assert a.ids == b.ids
+        np.testing.assert_allclose(a.scores, b.scores)
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+
+def test_int8_shrinks_integer_footprint(data):
+    items, __ = data
+    wide = FexiproIndex(items, variant="F-SIR")
+    narrow = FexiproIndex(items, variant="F-SIR",
+                          integer_storage_dtype=np.int8)
+    assert narrow.scaled.integer_nbytes * 7 < wide.scaled.integer_nbytes
+
+
+def test_int8_rejects_oversized_e(data):
+    items, __ = data
+    with pytest.raises(ValueError):
+        FexiproIndex(items, variant="F-SIR", e=1000,
+                     integer_storage_dtype=np.int8)
+
+
+def test_storage_dtype_must_be_signed_integer(data):
+    items, __ = data
+    with pytest.raises(ValueError):
+        ScaledItems(items, w=4, storage_dtype=np.float32)
+    with pytest.raises(ValueError):
+        ScaledItems(items, w=4, storage_dtype=np.uint8)
+
+
+def test_int8_add_items_overflow_triggers_rebuild(data):
+    items, queries = data
+    index = FexiproIndex(items, variant="F-SIR",
+                         integer_storage_dtype=np.int8)
+    before = index.transform
+    # A vector ~40x the existing max overflows int8 after scaling by the
+    # stale maxima; the index must rebuild rather than corrupt itself.
+    giant = np.ones((1, items.shape[1])) * 40.0 * np.abs(items).max()
+    index.add_items(giant)
+    assert index.transform is not before
+    q = queries[0]
+    truth_ids, truth_scores = brute_force_topk(
+        np.concatenate([items, giant]), q, 5
+    )
+    result = index.query(q, k=5)
+    np.testing.assert_allclose(result.scores, truth_scores, atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# Split (Eq. 7) vs uniform (Eq. 4) scaling
+# ----------------------------------------------------------------------
+
+def test_uniform_scaling_still_exact(data):
+    items, queries = data
+    index = FexiproIndex(items, variant="F-SIR", split_scaling=False)
+    for q in queries[:6]:
+        __, truth = brute_force_topk(items, q, 5)
+        np.testing.assert_allclose(index.query(q, 5).scores, truth,
+                                   atol=1e-9)
+
+
+def test_split_scaling_prunes_at_least_as_well(data):
+    # Section 6's argument: after the SVD skew, a single global max crushes
+    # tail values to tiny integers and loosens the tail bound.
+    items, queries = data
+    split = FexiproIndex(items, variant="F-SI", split_scaling=True)
+    uniform = FexiproIndex(items, variant="F-SI", split_scaling=False)
+    split_full = sum(split.query(q, 1).stats.full_products
+                     for q in queries[:15])
+    uniform_full = sum(uniform.query(q, 1).stats.full_products
+                       for q in queries[:15])
+    assert split_full <= uniform_full
+
+
+def test_uniform_scaling_shares_the_global_max(data):
+    items, __ = data
+    scaled = ScaledItems(items, w=5, split=False)
+    assert scaled.max_head == scaled.max_tail == pytest.approx(
+        float(np.max(np.abs(items)))
+    )

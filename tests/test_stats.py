@@ -1,0 +1,74 @@
+"""Unit tests for pruning statistics and retrieval results."""
+
+import pytest
+
+from repro.core.stats import (
+    PruningStats,
+    RetrievalResult,
+    average_full_products,
+    full_product_histogram,
+)
+
+
+def test_defaults_are_zero():
+    stats = PruningStats()
+    assert stats.full_products == 0
+    assert stats.pruned_total == 0
+    assert stats.skipped_by_termination == 0
+
+
+def test_merge_accumulates_every_field():
+    a = PruningStats(n_items=10, scanned=5, full_products=2,
+                     pruned_incremental=3)
+    b = PruningStats(n_items=10, scanned=7, full_products=1,
+                     pruned_monotone=4)
+    a.merge(b)
+    assert a.n_items == 20
+    assert a.scanned == 12
+    assert a.full_products == 3
+    assert a.pruned_incremental == 3
+    assert a.pruned_monotone == 4
+
+
+def test_pruned_total_sums_stages():
+    stats = PruningStats(pruned_integer_partial=1, pruned_integer_full=2,
+                         pruned_incremental=3, pruned_monotone=4)
+    assert stats.pruned_total == 10
+
+
+def test_skipped_by_termination():
+    stats = PruningStats(n_items=100, scanned=30)
+    assert stats.skipped_by_termination == 70
+
+
+def test_as_dict_round_trip():
+    stats = PruningStats(n_items=5, scanned=3, full_products=2)
+    data = stats.as_dict()
+    assert data["n_items"] == 5
+    assert data["scanned"] == 3
+    assert data["full_products"] == 2
+    assert set(data) >= {"pruned_incremental", "pruned_monotone"}
+
+
+def test_average_full_products():
+    stats = [PruningStats(full_products=2), PruningStats(full_products=4)]
+    assert average_full_products(stats) == 3.0
+    assert average_full_products([]) == 0.0
+
+
+def test_full_product_histogram_buckets():
+    stats = [PruningStats(full_products=v) for v in (0, 5, 10, 11, 100)]
+    counts = full_product_histogram(stats, bins=[0, 10, 50])
+    assert counts == [1, 2, 1, 1]  # <=0, <=10, <=50, overflow
+    assert sum(counts) == len(stats)
+
+
+def test_retrieval_result_top():
+    result = RetrievalResult(ids=[3, 1], scores=[2.0, 1.0])
+    assert result.top() == 3
+    assert len(result) == 2
+
+
+def test_retrieval_result_top_empty_raises():
+    with pytest.raises(IndexError):
+        RetrievalResult().top()

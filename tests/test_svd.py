@@ -1,0 +1,117 @@
+"""Unit tests for the SVD transformation (paper Section 3 / Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.svd import choose_w, fit_svd, identity_transform
+from repro.exceptions import ValidationError
+
+from conftest import make_mf_like
+
+
+def test_inner_products_preserved_exactly():
+    items, queries = make_mf_like(300, 12, seed=1)
+    transform = fit_svd(items)
+    for q in queries[:10]:
+        before = items @ q
+        after = transform.items @ transform.transform_query(q)
+        np.testing.assert_allclose(after, before, atol=1e-10)
+
+
+def test_transform_queries_matches_per_query():
+    items, queries = make_mf_like(200, 10, seed=2)
+    transform = fit_svd(items)
+    batch = transform.transform_queries(queries)
+    for row, q in zip(batch, queries):
+        np.testing.assert_allclose(row, transform.transform_query(q),
+                                   atol=1e-12)
+
+
+def test_sigma_nonincreasing():
+    items, __ = make_mf_like(300, 12, seed=3)
+    transform = fit_svd(items)
+    sigma = transform.sigma
+    assert np.all(np.diff(sigma) <= 1e-12)
+    assert np.all(sigma >= 0)
+
+
+def test_skew_moves_to_leading_dimensions():
+    # After the transform, queries should concentrate magnitude up front
+    # (the data plants a decaying spectrum hidden by rotation).
+    items, queries = make_mf_like(500, 20, seed=4, decay=0.15)
+    transform = fit_svd(items)
+    q_bar = transform.transform_queries(queries)
+    mean_abs = np.mean(np.abs(q_bar), axis=0)
+    head = mean_abs[:5].sum()
+    tail = mean_abs[-5:].sum()
+    assert head > 2.0 * tail
+
+
+def test_choose_w_basic():
+    sigma = np.array([4.0, 3.0, 2.0, 1.0])  # cumulative: .4, .7, .9, 1.0
+    assert choose_w(sigma, rho=0.4) == 1
+    assert choose_w(sigma, rho=0.7) == 2
+    assert choose_w(sigma, rho=0.9) == 3
+    assert choose_w(sigma, rho=1.0) == 3  # clamped to d - 1
+
+
+def test_choose_w_clamps_to_valid_range():
+    sigma = np.array([1.0, 1.0])
+    assert choose_w(sigma, rho=0.01) == 1
+    assert choose_w(sigma, rho=1.0) == 1
+    assert choose_w(np.array([5.0]), rho=0.5) == 1
+
+
+def test_choose_w_zero_spectrum():
+    assert choose_w(np.zeros(5), rho=0.7) == 1
+
+
+def test_choose_w_rejects_bad_inputs():
+    with pytest.raises(ValidationError):
+        choose_w(np.array([1.0, 2.0]), rho=0.0)
+    with pytest.raises(ValueError):
+        choose_w(np.array([]), rho=0.7)
+    with pytest.raises(ValueError):
+        choose_w(np.ones((2, 2)), rho=0.7)
+
+
+def test_w_respects_rho_monotonicity():
+    items, __ = make_mf_like(400, 30, seed=5)
+    ws = [fit_svd(items, rho=r).w for r in (0.3, 0.5, 0.7, 0.9)]
+    assert ws == sorted(ws)
+
+
+def test_fewer_items_than_dims_padded():
+    rng = np.random.default_rng(6)
+    items = rng.normal(size=(4, 10))
+    transform = fit_svd(items)
+    assert transform.sigma.shape == (10,)
+    assert transform.items.shape == (4, 10)
+    q = rng.normal(size=10)
+    np.testing.assert_allclose(
+        transform.items @ transform.transform_query(q), items @ q, atol=1e-10
+    )
+
+
+def test_identity_transform_preserves_products():
+    items, queries = make_mf_like(200, 8, seed=7)
+    transform = identity_transform(items)
+    for q in queries[:5]:
+        np.testing.assert_allclose(
+            transform.items @ transform.transform_query(q), items @ q,
+            atol=1e-10,
+        )
+
+
+def test_identity_transform_orders_dimensions_by_energy():
+    items, __ = make_mf_like(300, 10, seed=8, rotate=False, decay=0.3)
+    transform = identity_transform(items)
+    energy = np.sqrt(np.mean(np.square(transform.items), axis=0))
+    assert np.all(np.diff(energy) <= 1e-9)
+
+
+def test_transform_query_validates_dimension():
+    items, __ = make_mf_like(100, 6, seed=9)
+    transform = fit_svd(items)
+    with pytest.raises(Exception):
+        transform.transform_query(np.ones(7))

@@ -1,0 +1,99 @@
+"""Unit tests for the top-k buffer."""
+
+import math
+
+import pytest
+
+from repro.core.topk import TopKBuffer
+
+
+def test_rejects_nonpositive_k():
+    with pytest.raises(ValueError):
+        TopKBuffer(0)
+    with pytest.raises(ValueError):
+        TopKBuffer(-3)
+
+
+def test_threshold_is_minus_inf_until_full():
+    buf = TopKBuffer(3)
+    assert buf.threshold == -math.inf
+    buf.push(1.0, 0)
+    buf.push(2.0, 1)
+    assert buf.threshold == -math.inf
+    assert not buf.full
+    buf.push(0.5, 2)
+    assert buf.full
+    assert buf.threshold == 0.5
+
+
+def test_threshold_tracks_kth_largest():
+    buf = TopKBuffer(2)
+    for i, score in enumerate([5.0, 1.0, 3.0, 4.0, 2.0]):
+        buf.push(score, i)
+    assert buf.threshold == 4.0
+    ids, scores = buf.items_and_scores()
+    assert scores == [5.0, 4.0]
+    assert ids == [0, 3]
+
+
+def test_push_returns_admission():
+    buf = TopKBuffer(1)
+    assert buf.push(1.0, 0)
+    assert not buf.push(0.5, 1)
+    assert buf.push(2.0, 2)
+
+
+def test_would_accept_matches_push():
+    buf = TopKBuffer(2)
+    buf.push(3.0, 0)
+    buf.push(1.0, 1)
+    assert buf.would_accept(1.5)
+    assert not buf.would_accept(1.0)  # ties are not improvements
+    assert not buf.would_accept(0.5)
+
+
+def test_kth_item_tracks_smallest_slot():
+    buf = TopKBuffer(2)
+    buf.push(3.0, 7)
+    buf.push(9.0, 4)
+    assert buf.kth_item == 7
+    buf.push(5.0, 2)  # evicts score 3.0
+    assert buf.kth_item == 2
+
+
+def test_kth_item_on_empty_raises():
+    with pytest.raises(IndexError):
+        TopKBuffer(2).kth_item
+
+
+def test_results_sorted_descending_with_id_tiebreak():
+    buf = TopKBuffer(4)
+    buf.push(1.0, 9)
+    buf.push(1.0, 3)
+    buf.push(2.0, 5)
+    ids, scores = buf.items_and_scores()
+    assert scores == [2.0, 1.0, 1.0]
+    assert ids == [5, 3, 9]  # equal scores ordered by id
+
+
+def test_as_list_pairs():
+    buf = TopKBuffer(2)
+    buf.push(2.0, 1)
+    buf.push(4.0, 0)
+    assert buf.as_list() == [(0, 4.0), (1, 2.0)]
+
+
+def test_len_and_iter():
+    buf = TopKBuffer(3)
+    buf.push(1.0, 0)
+    buf.push(2.0, 1)
+    assert len(buf) == 2
+    assert sorted(score for score, __ in buf) == [1.0, 2.0]
+
+
+def test_negative_scores_supported():
+    buf = TopKBuffer(2)
+    for i, score in enumerate([-5.0, -1.0, -3.0]):
+        buf.push(score, i)
+    __, scores = buf.items_and_scores()
+    assert scores == [-1.0, -3.0]

@@ -1,0 +1,70 @@
+"""Tests for the sampled parameter auto-tuner."""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex
+from repro.analysis.tuning import (
+    DEFAULT_E_GRID,
+    DEFAULT_RHO_GRID,
+    estimate_cost,
+    tune,
+)
+from repro.exceptions import ValidationError
+
+from conftest import make_mf_like
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_mf_like(800, 20, seed=95)
+
+
+def test_tune_returns_grid_member(data):
+    items, queries = data
+    result = tune(items, queries[:6], k=5)
+    assert result.rho in DEFAULT_RHO_GRID
+    assert result.e in DEFAULT_E_GRID
+    assert len(result.grid) == len(DEFAULT_RHO_GRID) * len(DEFAULT_E_GRID)
+    assert result.cost == min(row[2] for row in result.grid)
+
+
+def test_tuned_kwargs_build_an_index(data):
+    items, queries = data
+    result = tune(items, queries[:4], k=5,
+                  rho_grid=(0.6, 0.8), e_grid=(100.0,))
+    index = FexiproIndex(items, **result.as_kwargs())
+    assert index.rho == result.rho
+    assert index.e == result.e
+
+
+def test_non_integer_variant_collapses_e_grid(data):
+    items, queries = data
+    result = tune(items, queries[:4], k=5, variant="F-S",
+                  rho_grid=(0.6, 0.8), e_grid=(50.0, 100.0, 500.0))
+    es = {row[1] for row in result.grid}
+    assert es == {50.0}
+
+
+def test_cost_proxy_tracks_pruning(data):
+    items, queries = data
+    good = FexiproIndex(items, variant="F-SIR", rho=0.7)
+    bad = FexiproIndex(items, variant="F-S", rho=0.1)
+    samples = np.asarray(queries[:6])
+    assert estimate_cost(good, samples, k=5) <= \
+        estimate_cost(bad, samples, k=5)
+
+
+def test_tune_validates(data):
+    items, queries = data
+    with pytest.raises(ValidationError):
+        tune(items, np.empty((0, items.shape[1])))
+    with pytest.raises(ValidationError):
+        tune(items, queries[:2], rho_grid=())
+
+
+def test_single_query_vector_accepted(data):
+    items, queries = data
+    result = tune(items, queries[0], k=3,
+                  rho_grid=(0.7,), e_grid=(100.0,))
+    assert result.rho == 0.7

@@ -1,0 +1,143 @@
+"""Tests for dynamic index updates (add_items / remove_items)."""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex, VARIANTS
+from repro.exceptions import EmptyIndexError, ValidationError
+
+from conftest import brute_force_topk, make_mf_like
+
+
+def current_matrix(index: FexiproIndex):
+    """Reconstruct the (id -> vector) view of an updated index."""
+    return {int(i): index.items_sorted[pos]
+            for pos, i in enumerate(index.order)}
+
+
+def verify_against_brute_force(index, queries, k=8):
+    id_to_vec = current_matrix(index)
+    ids = sorted(id_to_vec)
+    matrix = np.stack([id_to_vec[i] for i in ids])
+    for q in queries:
+        result = index.query(q, k)
+        scores = matrix @ q
+        truth = np.sort(scores)[::-1][: min(k, len(ids))]
+        np.testing.assert_allclose(result.scores, truth, atol=1e-8)
+        for item, score in zip(result.ids, result.scores):
+            assert float(id_to_vec[item] @ q) == pytest.approx(score)
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_add_items_keeps_exactness(variant):
+    items, queries = make_mf_like(600, 16, seed=23)
+    index = FexiproIndex(items[:500], variant=variant)
+    new_ids = index.add_items(items[500:])
+    assert new_ids == list(range(500, 600))
+    assert index.n == 600
+    verify_against_brute_force(index, queries[:6])
+
+
+def test_added_items_can_win():
+    items, queries = make_mf_like(300, 12, seed=24)
+    index = FexiproIndex(items)
+    q = queries[0]
+    champion = q * 10.0  # guaranteed to dominate everything
+    (new_id,) = index.add_items(champion.reshape(1, -1))
+    result = index.query(q, k=1)
+    assert result.ids == [new_id]
+
+
+def test_incremental_path_used_for_in_span_rows():
+    items, __ = make_mf_like(400, 10, seed=25)
+    index = FexiproIndex(items, variant="F-SI")
+    before = index.transform
+    # Rows from the same distribution live in the span of the basis.
+    extra, __q = make_mf_like(20, 10, seed=26)
+    index.add_items(extra[:10] * 0.5)
+    assert index.transform is before  # no rebuild happened
+
+
+def test_rebuild_triggered_by_out_of_norm_rows():
+    items, queries = make_mf_like(400, 10, seed=27)
+    index = FexiproIndex(items, variant="F-SIR")
+    before = index.transform
+    giant = np.ones((1, 10)) * 50.0  # transformed norm far beyond b
+    index.add_items(giant)
+    assert index.transform is not before  # rebuild happened
+    verify_against_brute_force(index, queries[:4])
+
+
+def test_remove_items_exactness():
+    items, queries = make_mf_like(500, 14, seed=28)
+    index = FexiproIndex(items)
+    removed = index.remove_items([0, 5, 7, 499, 123])
+    assert removed == 5
+    assert index.n == 495
+    verify_against_brute_force(index, queries[:6])
+    # Removed ids never appear again.
+    for q in queries[:6]:
+        result = index.query(q, k=495)
+        assert not {0, 5, 7, 499, 123} & set(result.ids)
+
+
+def test_remove_unknown_ids_is_noop():
+    items, __ = make_mf_like(50, 8, seed=29)
+    index = FexiproIndex(items)
+    assert index.remove_items([1000, 2000]) == 0
+    assert index.n == 50
+
+
+def test_remove_everything_is_rejected():
+    items, __ = make_mf_like(20, 6, seed=30)
+    index = FexiproIndex(items)
+    with pytest.raises(EmptyIndexError):
+        index.remove_items(range(20))
+    assert index.n == 20  # unchanged
+
+
+def test_ids_stay_stable_across_churn():
+    items, queries = make_mf_like(300, 12, seed=31)
+    index = FexiproIndex(items)
+    baseline = {i: items[i] for i in range(300)}
+    index.remove_items([10, 20, 30])
+    for i in (10, 20, 30):
+        del baseline[i]
+    extra, __ = make_mf_like(40, 12, seed=32)
+    new_ids = index.add_items(extra[:5])
+    assert new_ids == [300, 301, 302, 303, 304]
+    for new_id, row in zip(new_ids, extra[:5]):
+        baseline[new_id] = row
+    id_to_vec = current_matrix(index)
+    assert set(id_to_vec) == set(baseline)
+    for i, vec in baseline.items():
+        np.testing.assert_allclose(id_to_vec[i], vec, atol=1e-12)
+
+
+def test_add_validates_dimension():
+    items, __ = make_mf_like(50, 8, seed=33)
+    index = FexiproIndex(items)
+    with pytest.raises(ValidationError):
+        index.add_items(np.ones((2, 9)))
+
+
+def test_interleaved_add_remove_query():
+    items, queries = make_mf_like(200, 10, seed=34)
+    rng = np.random.default_rng(0)
+    index = FexiproIndex(items, variant="F-SIR")
+    live = {i: items[i] for i in range(200)}
+    for step in range(6):
+        extra = rng.normal(scale=0.3, size=(8, 10))
+        for new_id, row in zip(index.add_items(extra), extra):
+            live[new_id] = row
+        victims = rng.choice(sorted(live), size=5, replace=False)
+        index.remove_items(victims.tolist())
+        for v in victims:
+            del live[int(v)]
+        # Exactness check against the live set.
+        ids = sorted(live)
+        matrix = np.stack([live[i] for i in ids])
+        q = queries[step % len(queries)]
+        result = index.query(q, k=7)
+        truth = np.sort(matrix @ q)[::-1][:7]
+        np.testing.assert_allclose(result.scores, truth, atol=1e-8)

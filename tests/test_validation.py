@@ -1,0 +1,102 @@
+"""Unit tests for input validation and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import exceptions
+from repro._validation import (
+    as_item_matrix,
+    as_query_matrix,
+    as_query_vector,
+    check_fraction,
+    check_k,
+    check_positive,
+)
+
+
+def test_item_matrix_accepts_lists():
+    arr = as_item_matrix([[1, 2], [3, 4]])
+    assert arr.dtype == np.float64
+    assert arr.flags["C_CONTIGUOUS"]
+
+
+def test_item_matrix_rejects_wrong_ndim():
+    with pytest.raises(exceptions.ValidationError):
+        as_item_matrix([1.0, 2.0])
+    with pytest.raises(exceptions.ValidationError):
+        as_item_matrix(np.zeros((2, 2, 2)))
+
+
+def test_item_matrix_rejects_empty():
+    with pytest.raises(exceptions.EmptyIndexError):
+        as_item_matrix(np.zeros((0, 4)))
+    with pytest.raises(exceptions.ValidationError):
+        as_item_matrix(np.zeros((4, 0)))
+
+
+def test_item_matrix_rejects_nonfinite():
+    bad = np.ones((3, 2))
+    bad[1, 1] = np.nan
+    with pytest.raises(exceptions.ValidationError):
+        as_item_matrix(bad)
+    bad[1, 1] = np.inf
+    with pytest.raises(exceptions.ValidationError):
+        as_item_matrix(bad)
+
+
+def test_query_vector_dimension_mismatch_carries_details():
+    with pytest.raises(exceptions.DimensionMismatchError) as excinfo:
+        as_query_vector([1.0, 2.0], d=3)
+    assert excinfo.value.expected == 3
+    assert excinfo.value.got == 2
+
+
+def test_query_vector_rejects_matrix():
+    with pytest.raises(exceptions.ValidationError):
+        as_query_vector(np.ones((2, 2)), d=2)
+
+
+def test_query_matrix_promotes_vector():
+    arr = as_query_matrix([1.0, 2.0, 3.0], d=3)
+    assert arr.shape == (1, 3)
+
+
+def test_query_matrix_rejects_nan():
+    with pytest.raises(exceptions.ValidationError):
+        as_query_matrix([[1.0, np.nan]], d=2)
+
+
+def test_check_k_clamps_and_rejects():
+    assert check_k(5, n=3) == 3
+    assert check_k(2, n=10) == 2
+    with pytest.raises(exceptions.ValidationError):
+        check_k(0, n=10)
+    with pytest.raises(exceptions.ValidationError):
+        check_k(-1, n=10)
+    with pytest.raises(exceptions.ValidationError):
+        check_k(2.5, n=10)
+
+
+def test_check_fraction_bounds():
+    assert check_fraction(0.7, name="rho") == 0.7
+    assert check_fraction(1.0, name="rho") == 1.0
+    with pytest.raises(exceptions.ValidationError):
+        check_fraction(0.0, name="rho")
+    with pytest.raises(exceptions.ValidationError):
+        check_fraction(1.5, name="rho")
+
+
+def test_check_positive():
+    assert check_positive(2, name="e") == 2.0
+    with pytest.raises(exceptions.ValidationError):
+        check_positive(0, name="e")
+
+
+def test_exception_hierarchy():
+    assert issubclass(exceptions.ValidationError, exceptions.ReproError)
+    assert issubclass(exceptions.ValidationError, ValueError)
+    assert issubclass(exceptions.EmptyIndexError, exceptions.ReproError)
+    assert issubclass(exceptions.NotPreprocessedError, RuntimeError)
+    assert issubclass(
+        exceptions.DimensionMismatchError, exceptions.ValidationError
+    )

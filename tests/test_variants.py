@@ -1,0 +1,78 @@
+"""Tests for the variant registry and cross-variant exactness."""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex, VARIANTS, get_variant
+
+from conftest import brute_force_topk, make_mf_like
+
+
+def test_registry_contains_the_paper_variants():
+    assert set(VARIANTS) == {"F-S", "F-I", "F-SI", "F-SR", "F-SIR"}
+
+
+def test_get_variant_is_case_insensitive():
+    assert get_variant("f-sir").name == "F-SIR"
+
+
+def test_get_variant_unknown_lists_valid_names():
+    with pytest.raises(KeyError) as excinfo:
+        get_variant("F-Z")
+    assert "F-SIR" in str(excinfo.value)
+
+
+def test_technique_flags_match_names():
+    assert get_variant("F-S").techniques == ("S",)
+    assert get_variant("F-I").techniques == ("I",)
+    assert get_variant("F-SI").techniques == ("S", "I")
+    assert get_variant("F-SR").techniques == ("S", "R")
+    assert get_variant("F-SIR").techniques == ("S", "I", "R")
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_every_variant_is_exact(variant, medium_pair):
+    items, queries = medium_pair
+    index = FexiproIndex(items, variant=variant)
+    for q in queries[:8]:
+        result = index.query(q, k=9)
+        __, truth = brute_force_topk(items, q, 9)
+        np.testing.assert_allclose(result.scores, truth, atol=1e-9)
+
+
+def test_variant_config_object_accepted(medium_pair):
+    items, queries = medium_pair
+    index = FexiproIndex(items, variant=get_variant("F-SI"))
+    result = index.query(queries[0], k=3)
+    __, truth = brute_force_topk(items, queries[0], 3)
+    np.testing.assert_allclose(result.scores, truth, atol=1e-9)
+
+
+def test_richer_variants_never_prune_less():
+    # Adding techniques can only reduce (or keep) the number of entire
+    # product computations; F-SIR <= F-SI <= F-S on average.
+    items, queries = make_mf_like(1500, 32, seed=21, decay=0.12)
+    averages = {}
+    for name in ("F-S", "F-SI", "F-SIR"):
+        index = FexiproIndex(items, variant=name)
+        total = sum(
+            index.query(q, k=1).stats.full_products for q in queries[:20]
+        )
+        averages[name] = total / 20
+    assert averages["F-SIR"] <= averages["F-SI"] + 1e-9
+    assert averages["F-SI"] <= averages["F-S"] + 1e-9
+
+
+def test_integer_stage_only_used_by_integer_variants(medium_pair):
+    items, queries = medium_pair
+    for name, expects in (("F-S", False), ("F-SI", True)):
+        index = FexiproIndex(items, variant=name)
+        stats = index.query(queries[0], k=1).stats
+        pruned_by_integer = (
+            stats.pruned_integer_partial + stats.pruned_integer_full
+        )
+        if expects:
+            assert index.scaled is not None
+        else:
+            assert index.scaled is None
+            assert pruned_by_integer == 0
