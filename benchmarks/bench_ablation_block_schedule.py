@@ -7,8 +7,6 @@ effect by monkeypatching the initial block size up to the cap, which
 degenerates the schedule to fixed-size blocks.
 """
 
-import pytest
-
 from repro import FexiproIndex
 from repro.analysis import report
 from repro.analysis.workloads import describe, get_workload

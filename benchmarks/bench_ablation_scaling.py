@@ -13,7 +13,6 @@ import pytest
 from repro import FexiproIndex
 from repro.analysis import report
 from repro.analysis.workloads import describe, get_workload
-from repro.datasets import DATASET_ORDER
 
 
 @pytest.mark.parametrize("dataset", ("movielens", "netflix"))

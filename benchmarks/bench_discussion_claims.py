@@ -17,7 +17,6 @@ and when it doesn't.  These benches test each prediction:
 """
 
 import numpy as np
-import pytest
 
 from repro import FexiproIndex
 from repro.analysis import report

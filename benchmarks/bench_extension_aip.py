@@ -6,8 +6,6 @@ bench measures candidate recall against brute force as the sample budget
 grows.
 """
 
-import pytest
-
 from repro.analysis import report
 from repro.analysis.workloads import describe, get_workload
 from repro.baselines import diamond_sample_topk, exact_all_pairs_topk

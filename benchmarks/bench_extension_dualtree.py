@@ -7,8 +7,6 @@ amortized pair bound collapses and DualTree degenerates to (or below) the
 single-tree search.
 """
 
-import pytest
-
 from repro.analysis import report
 from repro.analysis.workloads import describe, get_workload
 from repro.baselines import BallTree

@@ -7,8 +7,6 @@ FEXIPRO is exact at comparable (or better) cost on MF factors.
 
 import time
 
-import pytest
-
 from repro import FexiproIndex
 from repro.analysis import report
 from repro.analysis.workloads import describe, get_workload

@@ -9,7 +9,6 @@ pruning at small w.
 import pytest
 
 from repro.analysis import experiments, report
-from repro.analysis.distribution import skew_ratio
 from repro.analysis.workloads import describe, get_workload
 from repro.datasets import DATASET_ORDER
 

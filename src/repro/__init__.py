@@ -30,6 +30,8 @@ Subpackages
     four datasets.
 ``repro.analysis``
     Experiment runners and report printers for every table and figure.
+``repro.serve``
+    Parallel, instrumented batch serving on top of the core index.
 """
 
 from .core import (
@@ -46,6 +48,7 @@ from .core import (
     topk_exact,
 )
 from .recommender import Recommender
+from .serve import RetrievalService, ServiceConfig
 from .exceptions import (
     DimensionMismatchError,
     EmptyIndexError,
@@ -68,6 +71,8 @@ __all__ = [
     "Recommender",
     "ReproError",
     "RetrievalResult",
+    "RetrievalService",
+    "ServiceConfig",
     "TopKBuffer",
     "VARIANTS",
     "ValidationError",

@@ -32,10 +32,9 @@ from ..baselines import (
     SSL,
     SequentialScan,
 )
-from ..core import FexiproIndex, average_full_products
+from ..core import FexiproIndex
 from ..core.bounds import integer_bound_relative_error
 from ..core.svd import fit_svd
-from ..datasets import load
 from ..mf.metrics import rmse_at_k
 from . import distribution
 from .workloads import Workload

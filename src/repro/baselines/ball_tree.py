@@ -21,9 +21,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import math
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 

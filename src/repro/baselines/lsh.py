@@ -26,7 +26,7 @@ products; only *recall* is approximate.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import numpy as np
 

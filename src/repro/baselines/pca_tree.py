@@ -22,7 +22,7 @@ leaf.  Quality is measured by RMSE@k against an exact method
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -232,6 +232,75 @@ def _cmd_lsh(args) -> None:
     report.print_table(["config", f"recall@{args.k}", "time (s)"], rows)
 
 
+def _cmd_serve(args) -> None:
+    import time
+
+    from .core.index import FexiproIndex
+    from .serve import RetrievalService, ServiceConfig
+
+    workload = _workload(args)
+    report.print_header(
+        f"Batch serving - serial loop vs {args.workers}-worker pool "
+        f"(k={args.k})",
+        describe(workload),
+    )
+    index = FexiproIndex(workload.items, variant="F-SIR")
+
+    started = time.perf_counter()
+    serial = [index.query(q, args.k) for q in workload.queries]
+    serial_time = time.perf_counter() - started
+
+    with RetrievalService(index,
+                          ServiceConfig(workers=args.workers)) as service:
+        response = service.batch(workload.queries, k=args.k)
+        snapshot = service.metrics_snapshot()
+
+    identical = all(
+        a.ids == b.ids and a.stats.as_dict() == b.stats.as_dict()
+        for a, b in zip(serial, response.results)
+    )
+    m = len(workload.queries)
+    report.print_table(
+        ["mode", "time (s)", "queries/s"],
+        [["serial loop", round(serial_time, 4),
+          round(m / serial_time, 1) if serial_time else float("inf")],
+         [f"pool ({args.workers} workers)", round(response.elapsed, 4),
+          round(response.throughput, 1)]],
+    )
+    scan_hist = snapshot["histograms"]["latency.scan_seconds"]
+    report.print_table(
+        ["metric", "value"],
+        [["results identical to serial", identical],
+         ["prepare time (s)", round(response.prepare_time, 4)],
+         ["scan p50 (s)", service_quantile(snapshot, 0.5)],
+         ["scan max (s)", round(scan_hist["max"], 5)],
+         ["entire products (batch total)",
+          response.stats.full_products],
+         ["avg entire products / query",
+          round(response.stats.full_products / m, 2) if m else 0.0]],
+    )
+    report.print_header("Per-stage wall time (s)")
+    report.print_table(
+        ["stage", "seconds"],
+        [[stage, round(seconds, 4)]
+         for stage, seconds in snapshot["stage_seconds"].items()],
+    )
+
+
+def service_quantile(snapshot: dict, q: float) -> float:
+    """Approximate scan-latency quantile from a metrics snapshot."""
+    hist = snapshot["histograms"]["latency.scan_seconds"]
+    target = q * hist["count"]
+    cumulative = 0
+    for bucket, count in hist["buckets"].items():
+        cumulative += count
+        if cumulative >= target and count:
+            if bucket == "overflow":
+                return hist["max"]
+            return float(bucket[len("le_"):])
+    return hist["max"]
+
+
 def _cmd_aip(args) -> None:
     from .baselines import diamond_sample_topk, exact_all_pairs_topk
 
@@ -267,6 +336,7 @@ COMMANDS: Dict[str, Callable] = {
     "above-t": _cmd_above_t,
     "lsh": _cmd_lsh,
     "aip": _cmd_aip,
+    "serve": _cmd_serve,
 }
 
 
@@ -298,6 +368,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max query vectors (default: env "
                               "REPRO_MAX_QUERIES or 60)")
         cmd.add_argument("--seed", type=int, default=DEFAULT_SEED)
+        if name == "serve":
+            cmd.add_argument("--workers", type=int, default=4,
+                             help="thread-pool size for the batch "
+                                  "serving comparison (default 4)")
         cmd.set_defaults(func=func)
     return parser
 

@@ -12,7 +12,7 @@ Public surface:
 """
 
 from .above import scan_above
-from .batch import batch_retrieve, prepare_query_states
+from .batch import batch_retrieve
 from .bounds import (
     cauchy_schwarz,
     incremental_bound,
@@ -20,12 +20,14 @@ from .bounds import (
     integer_upper_bound,
     uniform_integer_bound,
 )
-from .index import FexiproIndex, QueryState, topk_exact
+from .index import FexiproIndex, QueryState, prepare_query_states, topk_exact
 from .reduction import MonotoneReduction, shift_constants
 from .scaling import DEFAULT_E, ScaledItems, integer_parts, scale_uniform
 from .stats import (
     PruningStats,
     RetrievalResult,
+    StageTimings,
+    aggregate_stats,
     average_full_products,
     full_product_histogram,
 )
@@ -44,9 +46,11 @@ __all__ = [
     "RetrievalResult",
     "SVDTransform",
     "ScaledItems",
+    "StageTimings",
     "TopKBuffer",
     "VARIANTS",
     "VariantConfig",
+    "aggregate_stats",
     "average_full_products",
     "batch_retrieve",
     "cauchy_schwarz",

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Tuple
 
 import numpy as np
 
-from .stats import PruningStats, RetrievalResult
+from .stats import PruningStats
 
 if TYPE_CHECKING:  # pragma: no cover - imported only for type checking
     from .index import FexiproIndex, QueryState

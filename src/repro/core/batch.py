@@ -2,101 +2,40 @@
 
 The paper's conclusion proposes unifying single-query FEXIPRO with LEMP's
 batch setting.  The per-query scan is already optimal for one vector; what
-a batch shares is the *query-side preprocessing* of Algorithm 4, Lines 2–9:
+a batch shares is the *query-side preprocessing* of Algorithm 4, Lines 2–9.
 
-- the SVD query transform becomes one ``(m, d) @ (d, d)`` matmul instead of
-  ``m`` mat-vecs;
-- norms, residual norms, split-scaling maxima and integer parts, and the
-  reduction constants all vectorize over the query matrix.
+Historically this module carried its own vectorized copy of that
+preparation, which drifted from the single-query path in its degenerate
+value handling (all-zero scaling blocks, denormal norms) — exactly the bug
+class that silently breaks the "exact retrieval" guarantee.  The
+preparation now has a *single* implementation,
+:func:`repro.core.index.prepare_query_states` (re-exported here), which
+both :meth:`FexiproIndex.query` and :func:`batch_retrieve` call; the two
+entry points are bit-identical by construction.
 
-:func:`batch_retrieve` builds every :class:`~repro.core.index.QueryState`
-in bulk this way and then runs the ordinary scan per query, so results and
-pruning counters are identical to calling :meth:`FexiproIndex.query` in a
-loop — only the preparation cost is amortized.
+:func:`batch_retrieve` validates the whole query matrix once, prepares
+every :class:`~repro.core.index.QueryState` through the shared function and
+runs the ordinary scan per query — timing each scan so per-query latency
+survives batch mode.  For parallel, instrumented batch serving use
+:class:`repro.serve.RetrievalService`, which is built on the same
+primitives.
 """
 
 from __future__ import annotations
 
+import time
 from typing import List
 
-import numpy as np
-
 from .._validation import as_query_matrix, check_k
-from .index import FexiproIndex, QueryState
-from .reduction import MonotoneQuery
-from .scaling import ScaledQuery, integer_parts
+from .index import FexiproIndex, QueryState, prepare_query_states
 from .stats import RetrievalResult
 
-_EPS = 1e-300
-
-
-def prepare_query_states(index: FexiproIndex,
-                         queries: np.ndarray) -> List[QueryState]:
-    """Vectorized Algorithm 4 Lines 2–9 for a whole query matrix."""
-    queries = as_query_matrix(queries, index.d)
-    m = queries.shape[0]
-    w = index.w
-
-    q_norms = np.linalg.norm(queries, axis=1)
-    q_bars = index.transform.transform_queries(queries)
-    tails = q_bars[:, w:]
-    tail_norms = np.linalg.norm(tails, axis=1)
-
-    scaled_states: List[ScaledQuery | None] = [None] * m
-    if index.scaled is not None:
-        e = index.scaled.e
-        heads = q_bars[:, :w]
-        max_heads = np.maximum(np.max(np.abs(heads), axis=1), _EPS) \
-            if w else np.ones(m)
-        max_tails = np.maximum(np.max(np.abs(tails), axis=1), _EPS) \
-            if tails.shape[1] else np.ones(m)
-        max_heads = np.where(max_heads > 0, max_heads, 1.0)
-        max_tails = np.where(max_tails > 0, max_tails, 1.0)
-        int_heads = integer_parts((heads / max_heads[:, None]) * e)
-        int_tails = integer_parts((tails / max_tails[:, None]) * e)
-        abs_heads = np.abs(int_heads).sum(axis=1)
-        abs_tails = np.abs(int_tails).sum(axis=1)
-        for i in range(m):
-            scaled_states[i] = ScaledQuery(
-                int_head=int_heads[i],
-                int_tail=int_tails[i],
-                float_head=int_heads[i].astype(np.float64),
-                float_tail=int_tails[i].astype(np.float64),
-                abs_sum_head=int(abs_heads[i]),
-                abs_sum_tail=int(abs_tails[i]),
-                max_head=float(max_heads[i]),
-                max_tail=float(max_tails[i]),
-            )
-
-    monotone_states: List[MonotoneQuery | None] = [None] * m
-    if index.reduction is not None:
-        reduction = index.reduction
-        bar_norms = np.linalg.norm(q_bars, axis=1)
-        inv_norms = np.where(bar_norms > 0.0, 1.0 / np.maximum(
-            bar_norms, _EPS), 1.0)
-        units = q_bars * inv_norms[:, None]
-        c_fulls = 2.0 * (units @ reduction.c)
-        c_heads = 2.0 * (units[:, :w] @ reduction.c[:w])
-        q_tails = 2.0 * (units[:, w:] + reduction.c[w:])
-        mono_tail_norms = np.linalg.norm(q_tails, axis=1)
-        for i in range(m):
-            monotone_states[i] = MonotoneQuery(
-                inv_norm=float(inv_norms[i]),
-                c_full=float(c_fulls[i]),
-                c_head=float(c_heads[i]),
-                tail_norm=float(mono_tail_norms[i]),
-            )
-
-    return [
-        QueryState(
-            q_norm=float(q_norms[i]),
-            q_bar=q_bars[i],
-            q_bar_tail_norm=float(tail_norms[i]),
-            scaled=scaled_states[i],
-            monotone=monotone_states[i],
-        )
-        for i in range(m)
-    ]
+__all__ = [
+    "FexiproIndex",
+    "QueryState",
+    "batch_retrieve",
+    "prepare_query_states",
+]
 
 
 def batch_retrieve(index: FexiproIndex, queries, k: int = 10,
@@ -104,16 +43,20 @@ def batch_retrieve(index: FexiproIndex, queries, k: int = 10,
     """Answer a whole query matrix with shared query-side preprocessing.
 
     Returns exactly what ``[index.query(q, k) for q in queries]`` would —
-    same ids, scores, and pruning counters — with the per-query setup cost
-    amortized across the batch.
+    same ids, scores, and pruning counters — with validation done once for
+    the whole matrix.  Each result's ``elapsed`` covers its own scan (the
+    shared preparation is not attributed to individual queries).
     """
     queries = as_query_matrix(queries, index.d)
     k = check_k(k, index.n)
     states = prepare_query_states(index, queries)
     results: List[RetrievalResult] = []
     for state in states:
+        started = time.perf_counter()
         buffer, stats = index._scan(state, k)
+        elapsed = time.perf_counter() - started
         positions, scores = buffer.items_and_scores()
         ids = [int(index.order[p]) for p in positions]
-        results.append(RetrievalResult(ids=ids, scores=scores, stats=stats))
+        results.append(RetrievalResult(ids=ids, scores=scores, stats=stats,
+                                       elapsed=elapsed))
     return results

@@ -24,11 +24,12 @@ O(n*d) arithmetic stays inside NumPy.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Tuple
+from time import perf_counter
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
-from .stats import PruningStats
+from .stats import PruningStats, StageTimings
 from .topk import TopKBuffer
 
 if TYPE_CHECKING:  # pragma: no cover - imported only for type checking
@@ -62,10 +63,18 @@ def block_schedule(n: int, k: int, cap: int):
 
 def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
                  block_size: int = DEFAULT_BLOCK_SIZE,
+                 timings: Optional[StageTimings] = None,
                  ) -> Tuple[TopKBuffer, PruningStats]:
-    """Blocked, vectorized equivalent of :func:`repro.core.scanner.scan_reference`."""
+    """Blocked, vectorized equivalent of :func:`repro.core.scanner.scan_reference`.
+
+    When ``timings`` is given, the wall time of each vectorized stage
+    section is accumulated per block (a handful of clock calls per block —
+    cheap enough to leave on in production serving), with the scalar replay
+    loop attributed to ``select``.
+    """
     buffer = TopKBuffer(k)
     stats = PruningStats(n_items=index.n)
+    timed = timings is not None
 
     items_bar = index.items_bar
     norms = index.norms_sorted
@@ -109,6 +118,8 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
         alive = local[:prefix]
         b_l = np.full(limit, np.nan)
         b_h = np.full(limit, np.nan)
+        if timed:
+            tick = perf_counter()
         if use_integer and alive.size:
             rows = alive + start
             int_dot = scaled.float_head[rows] @ qs.scaled.float_head
@@ -128,11 +139,19 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
                     b_h[survivors] = 0.0
             alive = survivors[b_l[survivors] + b_h[survivors] > t0] \
                 if survivors.size else survivors
+        if timed:
+            now = perf_counter()
+            timings.integer += now - tick
+            tick = now
 
         v_head = np.full(limit, np.nan)
         if alive.size:
             v_head[alive] = items_bar[alive + start, :w] @ q_head
             alive = alive[v_head[alive] + ub1[alive] > t0]
+        if timed:
+            now = perf_counter()
+            timings.incremental += now - tick
+            tick = now
 
         mono = np.full(limit, np.nan)
         if use_reduction and alive.size:
@@ -145,12 +164,20 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
             ) + reduction.slack
             if t_prime > -math.inf:
                 alive = alive[mono[alive] > t_prime]
+        if timed:
+            now = perf_counter()
+            timings.monotone += now - tick
+            tick = now
 
         v_full = np.full(limit, np.nan)
         if alive.size:
             v_full[alive] = v_head[alive] + (
                 items_bar[alive + start, w:] @ q_tail
             )
+        if timed:
+            now = perf_counter()
+            timings.full += now - tick
+            tick = now
 
         # --- Scalar replay with the live threshold ----------------------
         for i in range(limit):
@@ -188,6 +215,8 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
                     t_prime = reduction.threshold(
                         t, qs.monotone, buffer.kth_item
                     )
+        if timed:
+            timings.select += perf_counter() - tick
         if terminated:
             break
     return buffer, stats

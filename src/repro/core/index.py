@@ -21,12 +21,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
 from .._validation import (
     as_item_matrix,
+    as_query_matrix,
     as_query_vector,
     check_k,
     safe_norm,
@@ -37,7 +38,7 @@ from .blocked import DEFAULT_BLOCK_SIZE, scan_blocked
 from .reduction import MonotoneQuery, MonotoneReduction
 from .scaling import DEFAULT_E, ScaledItems, ScaledQuery
 from .scanner import scan_reference
-from .stats import PruningStats, RetrievalResult
+from .stats import RetrievalResult
 from .svd import DEFAULT_RHO, SVDTransform, fit_svd, identity_transform
 from .variants import DEFAULT_VARIANT, VariantConfig, get_variant
 
@@ -48,9 +49,9 @@ _ENGINES = ("blocked", "reference")
 class QueryState:
     """Everything an engine needs about one query, computed once.
 
-    Built by :meth:`FexiproIndex._prepare_query` — this corresponds to
-    Lines 2–9 of Algorithm 4 (transform the query, scale it, compute its
-    norms and reduction constants).
+    Built by :func:`prepare_query_states` — this corresponds to Lines 2–9
+    of Algorithm 4 (transform the query, scale it, compute its norms and
+    reduction constants).
     """
 
     q_norm: float
@@ -58,6 +59,48 @@ class QueryState:
     q_bar_tail_norm: float
     scaled: Optional[ScaledQuery]
     monotone: Optional[MonotoneQuery]
+
+
+def prepare_query_states(index: "FexiproIndex",
+                         queries: np.ndarray) -> List[QueryState]:
+    """Algorithm 4 Lines 2–9 for every row of a query matrix.
+
+    This is the *single* implementation of query-side preparation: the
+    single-query path (:meth:`FexiproIndex._prepare_query`) delegates here
+    with a one-row matrix, and the batch path
+    (:func:`repro.core.batch.batch_retrieve`) and the serving layer
+    (:class:`repro.serve.RetrievalService`) pass whole workloads.  Having
+    one implementation removes the batch/single divergence bug class
+    structurally: there is no second copy of the degenerate-value handling
+    (zero blocks, denormal norms) to drift out of sync.
+
+    Every per-row quantity is computed with exactly the code the scalar
+    path uses (``safe_norm``, ``transform_query``, ``scale_query``,
+    ``for_query``), so a row's :class:`QueryState` is bit-identical no
+    matter how many other rows share the call.  BLAS matmuls are *not*
+    row-consistent across batch shapes on every substrate, so a batched
+    ``(m, d) @ (d, d)`` transform here would silently break the exactness
+    contract between ``batch_retrieve`` and ``index.query`` — only the
+    validation is batched.
+    """
+    queries = as_query_matrix(queries, index.d)
+    states: List[QueryState] = []
+    for row in queries:
+        q_norm = safe_norm(row)
+        q_bar = index.transform.transform_query(row)
+        q_bar_tail_norm = safe_norm(q_bar[index.w:])
+        scaled = index.scaled.scale_query(q_bar) \
+            if index.scaled is not None else None
+        monotone = index.reduction.for_query(q_bar) \
+            if index.reduction is not None else None
+        states.append(QueryState(
+            q_norm=q_norm,
+            q_bar=q_bar,
+            q_bar_tail_norm=q_bar_tail_norm,
+            scaled=scaled,
+            monotone=monotone,
+        ))
+    return states
 
 
 class FexiproIndex:
@@ -199,11 +242,11 @@ class FexiproIndex:
 
         FEXIPRO's problem setting is single-query retrieval; this helper
         simply loops (as the paper does for its ``Q``-workload experiments)
-        and returns one result per query row.
+        and returns one result per query row.  Inputs go through the same
+        validation as :func:`repro.core.batch.batch_retrieve`, so NaN or
+        infinite queries fail loudly before any work is done.
         """
-        queries = np.asarray(queries, dtype=np.float64)
-        if queries.ndim == 1:
-            queries = queries.reshape(1, -1)
+        queries = as_query_matrix(queries, self.d)
         return [self.query(row, k) for row in queries]
 
     def query_above(self, query, threshold: float) -> RetrievalResult:
@@ -366,20 +409,17 @@ class FexiproIndex:
     # ------------------------------------------------------------------
 
     def _prepare_query(self, q: np.ndarray) -> QueryState:
-        """Lines 2–9 of Algorithm 4: all per-query precomputation."""
-        q_norm = safe_norm(q)
-        q_bar = self.transform.transform_query(q)
-        q_bar_tail_norm = safe_norm(q_bar[self.w:])
-        scaled = self.scaled.scale_query(q_bar) if self.scaled else None
-        monotone = self.reduction.for_query(q_bar) if self.reduction else None
-        return QueryState(q_norm=q_norm, q_bar=q_bar,
-                          q_bar_tail_norm=q_bar_tail_norm,
-                          scaled=scaled, monotone=monotone)
+        """Lines 2–9 of Algorithm 4, via the shared batch implementation.
 
-    def _scan(self, qs: QueryState, k: int):
+        Delegates to :func:`prepare_query_states` with a one-row matrix so
+        single-query and batch preparation can never diverge.
+        """
+        return prepare_query_states(self, q.reshape(1, -1))[0]
+
+    def _scan(self, qs: QueryState, k: int, timings=None):
         if self.engine == "reference":
-            return scan_reference(self, qs, k)
-        return scan_blocked(self, qs, k, self.block_size)
+            return scan_reference(self, qs, k, timings=timings)
+        return scan_blocked(self, qs, k, self.block_size, timings=timings)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

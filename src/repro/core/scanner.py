@@ -13,20 +13,20 @@ The engine operates on the prepared state objects built by
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Tuple
-
-import numpy as np
+from time import perf_counter
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from .bounds import scaled_head_bound, scaled_tail_bound
-from .stats import PruningStats
+from .stats import PruningStats, StageTimings
 from .topk import TopKBuffer
 
 if TYPE_CHECKING:  # pragma: no cover - imported only for type checking
     from .index import FexiproIndex, QueryState
 
 
-def scan_reference(index: "FexiproIndex", qs: "QueryState",
-                   k: int) -> Tuple[TopKBuffer, PruningStats]:
+def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
+                   timings: Optional[StageTimings] = None,
+                   ) -> Tuple[TopKBuffer, PruningStats]:
     """Run Algorithm 4 with the Algorithm 5 coordinate scan, one item at a time.
 
     Parameters
@@ -35,10 +35,14 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState",
         A preprocessed :class:`~repro.core.index.FexiproIndex`.
     qs:
         Prepared per-query state (transformed query, scaled query, reduction
-        constants) from :meth:`FexiproIndex._prepare_query`.
+        constants) from :func:`repro.core.index.prepare_query_states`.
     k:
         Number of results; the returned buffer holds item positions in the
         index's *sorted* order (the index maps them back to original ids).
+    timings:
+        Optional :class:`~repro.core.stats.StageTimings` record; when given,
+        per-stage wall time is accumulated into it.  Per-item clock calls
+        carry real overhead — use for analysis, not throughput runs.
     """
     buffer = TopKBuffer(k)
     stats = PruningStats(n_items=index.n)
@@ -54,6 +58,7 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState",
 
     use_integer = index.scaled is not None
     use_reduction = index.reduction is not None
+    timed = timings is not None
 
     t = -math.inf
     t_prime = -math.inf
@@ -71,32 +76,56 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState",
 
         if use_integer:
             # Lines 2-5 of Algorithm 5: partial integer bound (Equation 6).
+            if timed:
+                tick = perf_counter()
             b_l = scaled_head_bound(index.scaled, qs.scaled, i)
-            if b_l + ub1 <= t:
+            head_pruned = b_l + ub1 <= t
+            full_pruned = False
+            if not head_pruned:
+                # Lines 6-8: full integer bound (Equation 3).
+                b_h = scaled_tail_bound(index.scaled, qs.scaled, i)
+                full_pruned = b_l + b_h <= t
+            if timed:
+                timings.integer += perf_counter() - tick
+            if head_pruned:
                 stats.pruned_integer_partial += 1
                 continue
-            # Lines 6-8: full integer bound (Equation 3).
-            b_h = scaled_tail_bound(index.scaled, qs.scaled, i)
-            if b_l + b_h <= t:
+            if full_pruned:
                 stats.pruned_integer_full += 1
                 continue
 
         # Lines 9-13: exact partial product + incremental pruning (Eq. 1).
+        if timed:
+            tick = perf_counter()
         v = float(q_head @ items_bar[i, :w])
+        if timed:
+            timings.incremental += perf_counter() - tick
         if v + ub1 <= t:
             stats.pruned_incremental += 1
             continue
 
         if use_reduction and t_prime > -math.inf:
             # Lines 14-17: monotone-space partial bound (Lemma 1/Theorem 4).
-            if index.reduction.monotone_bound(v, qs.monotone, i) <= t_prime:
+            if timed:
+                tick = perf_counter()
+            mono_pruned = index.reduction.monotone_bound(
+                v, qs.monotone, i) <= t_prime
+            if timed:
+                timings.monotone += perf_counter() - tick
+            if mono_pruned:
                 stats.pruned_monotone += 1
                 continue
 
         # Lines 18-20: the residue of the exact product.
+        if timed:
+            tick = perf_counter()
         v += float(q_tail @ items_bar[i, w:])
+        if timed:
+            timings.full += perf_counter() - tick
         stats.full_products += 1
 
+        if timed:
+            tick = perf_counter()
         if buffer.push(v, i):
             t = buffer.threshold
             if use_reduction and t > -math.inf:
@@ -105,6 +134,8 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState",
                 t_prime = index.reduction.threshold(
                     t, qs.monotone, buffer.kth_item
                 )
+        if timed:
+            timings.select += perf_counter() - tick
 
     return buffer, stats
 

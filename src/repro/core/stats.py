@@ -71,6 +71,63 @@ class PruningStats:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
+def aggregate_stats(stats: Iterable[PruningStats]) -> PruningStats:
+    """Roll a set of per-query counter records up into one total record.
+
+    The serving layer reports batch-level pruning behaviour this way; the
+    result's counters are the exact sums of the per-query counters, so an
+    aggregated parallel batch can be checked against a serial loop.
+    """
+    total = PruningStats()
+    for record in stats:
+        total.merge(record)
+    return total
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds spent in each stage of the pruning cascade.
+
+    Filled by the retrieval engines when instrumentation is requested
+    (``timings=`` argument); all fields accumulate, so one record can
+    aggregate many queries.  Stages mirror :class:`PruningStats`:
+
+    - ``prepare``: query-side preparation (Algorithm 4 Lines 2–9).
+    - ``integer``: integer-bound computation (Algorithm 5 Lines 2–8).
+    - ``incremental``: exact head partial products (Lines 9–13).
+    - ``monotone``: reduced-space bound evaluation (Lines 14–17).
+    - ``full``: residual exact products (Lines 18–20).
+    - ``select``: threshold bookkeeping — the candidate replay and top-k
+      buffer maintenance around the vectorized stages.
+
+    The blocked engine attributes its vectorized per-block sections; the
+    reference engine attributes per item.  Timing the reference engine's
+    per-item stages adds measurable clock-call overhead, so enable it for
+    analysis, not for throughput measurements.
+    """
+
+    prepare: float = 0.0
+    integer: float = 0.0
+    incremental: float = 0.0
+    monotone: float = 0.0
+    full: float = 0.0
+    select: float = 0.0
+
+    def merge(self, other: "StageTimings") -> None:
+        """Accumulate another record into this one (in place)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    @property
+    def total(self) -> float:
+        """Sum of all attributed stage times."""
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return all stage times as a plain dictionary."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
 def average_full_products(stats: Iterable[PruningStats]) -> float:
     """Average number of entire q·p computations over a set of queries.
 

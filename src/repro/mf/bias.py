@@ -19,7 +19,6 @@ augmented matrices drop straight into :class:`repro.FexiproIndex`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

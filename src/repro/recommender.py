@@ -17,7 +17,7 @@ over length-normalized factors (inner product on unit vectors = cosine).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 

@@ -1,0 +1,53 @@
+"""repro.serve — parallel, instrumented batch serving over a FEXIPRO index.
+
+The paper's conclusion names LEMP-style batch workloads as the natural
+extension of single-query FEXIPRO; this package is that extension's serving
+layer:
+
+- :class:`RetrievalService` — answers query batches through a chunked
+  thread pool, with per-query latency capture and pruning-counter rollups;
+- :class:`ServiceConfig` — worker/chunking/instrumentation tunables;
+- :class:`MetricsRegistry`, :class:`Counter`, :class:`Histogram` — a
+  dependency-free metrics substrate the engines feed;
+- :class:`WorkerPool` + chunking helpers — the execution layer.
+
+Exactness is inherited, not re-proven: the service prepares every query
+with :func:`repro.core.index.prepare_query_states` — the same single
+implementation behind :meth:`FexiproIndex.query` — so a pooled batch
+returns bit-identical ids, scores and pruning counters to a serial loop.
+
+Quickstart::
+
+    from repro import FexiproIndex
+    from repro.serve import RetrievalService, ServiceConfig
+
+    index = FexiproIndex(items, variant="F-SIR")
+    with RetrievalService(index, ServiceConfig(workers=4)) as service:
+        response = service.batch(queries, k=10)
+        print(response.throughput, response.stats.full_products)
+        print(service.metrics_snapshot())
+"""
+
+from .config import ServiceConfig, default_workers
+from .executor import WorkerPool, chunk_spans, resolve_chunk_size
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+from .service import BatchResponse, RetrievalService
+
+__all__ = [
+    "BatchResponse",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "RetrievalService",
+    "ServiceConfig",
+    "WorkerPool",
+    "chunk_spans",
+    "default_workers",
+    "resolve_chunk_size",
+]

@@ -1,0 +1,65 @@
+"""Configuration for the batch serving layer."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import ValidationError
+
+
+def default_workers() -> int:
+    """A sensible worker count for this host: one per core, capped at 8.
+
+    The scan workload is NumPy-kernel-bound, so threads beyond the core
+    count only add scheduling noise; the cap keeps a big machine from
+    spawning dozens of threads for a layer whose block scans already
+    saturate memory bandwidth with a few.
+    """
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for :class:`repro.serve.RetrievalService`.
+
+    Parameters
+    ----------
+    workers:
+        Thread-pool size.  ``1`` runs batches inline (no pool, fully
+        deterministic scheduling) — useful for debugging and as the serial
+        baseline in benchmarks.
+    chunk_size:
+        Queries per pool task.  ``None`` picks ``ceil(m / (4 * workers))``
+        so each worker sees about four chunks per batch: large enough that
+        task overhead is negligible, small enough that an unlucky chunk of
+        slow queries cannot straggle the whole batch.
+    default_k:
+        Result-list size used when a request does not specify ``k``.
+    collect_timings:
+        When true, engines attribute per-stage wall time to the service's
+        metrics registry (a few clock calls per block — cheap for the
+        blocked engine, expensive for the reference engine).
+    """
+
+    workers: int = 4
+    chunk_size: Optional[int] = None
+    default_k: int = 10
+    collect_timings: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ValidationError(
+                f"workers must be a positive integer; got {self.workers!r}"
+            )
+        if self.chunk_size is not None and (
+                not isinstance(self.chunk_size, int) or self.chunk_size < 1):
+            raise ValidationError(
+                f"chunk_size must be a positive integer or None; "
+                f"got {self.chunk_size!r}"
+            )
+        if not isinstance(self.default_k, int) or self.default_k < 1:
+            raise ValidationError(
+                f"default_k must be a positive integer; got {self.default_k!r}"
+            )

@@ -1,0 +1,212 @@
+"""Lightweight, thread-safe serving metrics.
+
+A deliberately small registry in the spirit of Prometheus client libraries,
+with only what the serving layer needs and zero dependencies:
+
+- :class:`Counter` — monotonically increasing integers (queries served,
+  pruning-counter rollups);
+- :class:`Histogram` — fixed-bucket latency distributions with
+  approximate quantiles;
+- :class:`MetricsRegistry` — a named collection of both, plus one
+  aggregated :class:`~repro.core.stats.StageTimings` record fed by the
+  retrieval engines.
+
+Everything is guarded by locks so pool workers can report concurrently;
+observation cost is a dict lookup, an add and a lock acquire, which is
+noise next to a single block scan.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..core.stats import PruningStats, StageTimings
+from ..exceptions import ValidationError
+
+#: Default latency buckets (seconds): log-ish spacing from 10 microseconds
+#: to 10 seconds, a range that covers a block scan of anything from a few
+#: hundred to a few hundred million items.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValidationError(
+                f"counters only increase; got increment {amount}"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Histogram:
+    """A fixed-bucket histogram of non-negative observations (seconds).
+
+    ``buckets`` are the inclusive upper bounds of each bucket; observations
+    beyond the last bound land in an overflow bucket.  Quantiles are
+    approximated by the upper bound of the bucket containing the target
+    rank — the usual Prometheus-style estimate, biased at most one bucket
+    upward.
+    """
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValidationError("histogram needs at least one bucket")
+        if any(b <= 0 for b in bounds):
+            raise ValidationError("histogram buckets must be positive")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        slot = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[slot] += 1
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (upper bucket bound; max for overflow)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1]; got {q}")
+        with self._lock:
+            if not self._count:
+                return 0.0
+            rank = q * self._count
+            cumulative = 0
+            for slot, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= rank and bucket_count:
+                    if slot < len(self.bounds):
+                        return self.bounds[slot]
+                    return self._max
+            return self._max
+
+    def snapshot(self) -> Dict[str, object]:
+        """Return counts, sum, max and per-bucket tallies as a dict."""
+        with self._lock:
+            buckets = {
+                f"le_{bound:g}": count
+                for bound, count in zip(self.bounds, self._counts)
+            }
+            buckets["overflow"] = self._counts[-1]
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "max": self._max,
+                "buckets": buckets,
+            }
+
+
+class MetricsRegistry:
+    """A named collection of counters, histograms and stage timings.
+
+    One registry typically belongs to one
+    :class:`~repro.serve.RetrievalService`; the pruning-counter rollup uses
+    the ``pruning.<counter>`` namespace so the paper's machine-independent
+    counters (Tables 3 and 7) are readable straight off a live service.
+    """
+
+    def __init__(self, name: str = "repro.serve"):
+        self.name = str(name)
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._stage_timings = StageTimings()
+
+    def counter(self, name: str) -> Counter:
+        """Fetch (or lazily create) the counter called ``name``."""
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter()
+            return self._counters[name]
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Fetch (or lazily create) the histogram called ``name``."""
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(
+                    buckets if buckets is not None
+                    else DEFAULT_LATENCY_BUCKETS
+                )
+            return self._histograms[name]
+
+    def observe_pruning(self, stats: PruningStats) -> None:
+        """Roll one query's pruning counters into ``pruning.*`` counters."""
+        for key, value in stats.as_dict().items():
+            self.counter(f"pruning.{key}").inc(value)
+
+    def observe_pruning_many(self, stats: Iterable[PruningStats]) -> None:
+        """Roll up a whole batch of pruning records (one lock pass each)."""
+        for record in stats:
+            self.observe_pruning(record)
+
+    def record_stage_timings(self, timings: StageTimings) -> None:
+        """Accumulate an engine-produced stage-timing record."""
+        with self._lock:
+            self._stage_timings.merge(timings)
+
+    @property
+    def stage_timings(self) -> StageTimings:
+        """A copy of the accumulated per-stage wall times."""
+        with self._lock:
+            copy = StageTimings()
+            copy.merge(self._stage_timings)
+            return copy
+
+    def snapshot(self) -> Dict[str, object]:
+        """A point-in-time dict of every metric (JSON-serializable)."""
+        with self._lock:
+            counters = {k: c.value for k, c in sorted(self._counters.items())}
+            histograms = {k: h.snapshot()
+                          for k, h in sorted(self._histograms.items())}
+            stage_seconds = self._stage_timings.as_dict()
+        return {
+            "name": self.name,
+            "counters": counters,
+            "histograms": histograms,
+            "stage_seconds": stage_seconds,
+        }

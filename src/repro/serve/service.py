@@ -1,0 +1,186 @@
+"""The batch retrieval service: parallel scans over shared preparation.
+
+:class:`RetrievalService` is the serving-layer entry point.  A batch is
+answered in two phases:
+
+1. **Prepare** — the whole query matrix is validated and every
+   :class:`~repro.core.index.QueryState` is built by
+   :func:`repro.core.index.prepare_query_states`, the same single
+   implementation the one-off :meth:`FexiproIndex.query` path uses.  Results
+   are therefore bit-identical to a serial loop, pool or no pool.
+2. **Scan** — query states are chunked and scanned on a thread pool.  The
+   index is shared read-only; each scan's heavy arithmetic runs in NumPy
+   kernels that release the GIL, so chunks genuinely overlap on multicore
+   hosts.
+
+Every query feeds the service's :class:`~repro.serve.metrics.MetricsRegistry`
+with latency observations, pruning-counter rollups and (optionally) the
+engines' per-stage wall times.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .._validation import as_query_matrix, as_query_vector, check_k
+from ..core.index import FexiproIndex, prepare_query_states
+from ..core.stats import (
+    PruningStats,
+    RetrievalResult,
+    StageTimings,
+    aggregate_stats,
+)
+from .config import ServiceConfig
+from .executor import WorkerPool, chunk_spans, resolve_chunk_size
+from .metrics import MetricsRegistry
+
+
+@dataclass
+class BatchResponse:
+    """Everything known about one served batch.
+
+    ``results`` are in request order and identical (ids, scores, pruning
+    counters) to what a serial ``[index.query(q, k) for q in queries]``
+    would produce; each result's ``elapsed`` covers its own scan.  ``stats``
+    is the exact sum of the per-query pruning counters.
+    """
+
+    results: List[RetrievalResult] = field(default_factory=list)
+    stats: PruningStats = field(default_factory=PruningStats)
+    elapsed: float = 0.0
+    prepare_time: float = 0.0
+    timings: Optional[StageTimings] = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def throughput(self) -> float:
+        """Queries answered per wall-clock second."""
+        return len(self.results) / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class RetrievalService:
+    """Answer query batches over a shared index with a worker pool.
+
+    Parameters
+    ----------
+    index:
+        A preprocessed :class:`~repro.core.index.FexiproIndex`.  The
+        service only reads it; one index can back several services.
+    config:
+        A :class:`~repro.serve.config.ServiceConfig` (defaults are sane for
+        a small multicore host).
+    metrics:
+        An optional externally owned registry; by default the service
+        creates its own, exposed as :attr:`metrics`.
+
+    The service is a context manager; leaving the ``with`` block shuts the
+    worker pool down.
+    """
+
+    def __init__(self, index: FexiproIndex,
+                 config: Optional[ServiceConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.index = index
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._pool = WorkerPool(self.config.workers)
+
+    # ------------------------------------------------------------------
+    # Serving API
+    # ------------------------------------------------------------------
+
+    def query(self, query, k: Optional[int] = None) -> RetrievalResult:
+        """Serve one query through the batch machinery (metrics included)."""
+        q = as_query_vector(query, self.index.d)
+        return self.batch(q.reshape(1, -1), k).results[0]
+
+    def batch(self, queries, k: Optional[int] = None) -> BatchResponse:
+        """Serve a whole query matrix; rows are answered independently."""
+        wall_started = time.perf_counter()
+        queries = as_query_matrix(queries, self.index.d)
+        k = check_k(self.config.default_k if k is None else k, self.index.n)
+
+        prep_started = time.perf_counter()
+        states = prepare_query_states(self.index, queries)
+        prepare_time = time.perf_counter() - prep_started
+
+        chunk_size = resolve_chunk_size(len(states), self.config.workers,
+                                        self.config.chunk_size)
+        spans = chunk_spans(len(states), chunk_size)
+        collect = self.config.collect_timings
+
+        def run_chunk(span: Tuple[int, int]):
+            start, stop = span
+            chunk_timings = StageTimings() if collect else None
+            chunk_results: List[RetrievalResult] = []
+            for state in states[start:stop]:
+                scan_started = time.perf_counter()
+                buffer, stats = self.index._scan(state, k,
+                                                 timings=chunk_timings)
+                elapsed = time.perf_counter() - scan_started
+                positions, scores = buffer.items_and_scores()
+                ids = [int(self.index.order[p]) for p in positions]
+                chunk_results.append(RetrievalResult(
+                    ids=ids, scores=scores, stats=stats, elapsed=elapsed,
+                ))
+            return chunk_results, chunk_timings
+
+        chunk_outputs = self._pool.map(run_chunk, spans)
+
+        results: List[RetrievalResult] = []
+        timings: Optional[StageTimings] = None
+        if collect:
+            timings = StageTimings(prepare=prepare_time)
+        for chunk_results, chunk_timings in chunk_outputs:
+            results.extend(chunk_results)
+            if timings is not None and chunk_timings is not None:
+                timings.merge(chunk_timings)
+
+        total_stats = aggregate_stats(r.stats for r in results)
+        elapsed = time.perf_counter() - wall_started
+        self._observe(results, total_stats, elapsed, timings)
+        return BatchResponse(results=results, stats=total_stats,
+                             elapsed=elapsed, prepare_time=prepare_time,
+                             timings=timings)
+
+    # ------------------------------------------------------------------
+    # Metrics and lifecycle
+    # ------------------------------------------------------------------
+
+    def _observe(self, results: List[RetrievalResult], stats: PruningStats,
+                 elapsed: float, timings: Optional[StageTimings]) -> None:
+        metrics = self.metrics
+        metrics.counter("batches").inc()
+        metrics.counter("queries").inc(len(results))
+        batch_hist = metrics.histogram("latency.batch_seconds")
+        batch_hist.observe(elapsed)
+        scan_hist = metrics.histogram("latency.scan_seconds")
+        for result in results:
+            scan_hist.observe(result.elapsed)
+        metrics.observe_pruning(stats)
+        if timings is not None:
+            metrics.record_stage_timings(timings)
+
+    def metrics_snapshot(self) -> dict:
+        """A JSON-serializable snapshot of the service's metrics."""
+        return self.metrics.snapshot()
+
+    def close(self) -> None:
+        """Shut the worker pool down; the service cannot serve afterwards."""
+        self._pool.close()
+
+    def __enter__(self) -> "RetrievalService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RetrievalService(index={self.index!r}, "
+            f"workers={self.config.workers})"
+        )

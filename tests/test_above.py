@@ -5,8 +5,6 @@ import pytest
 
 from repro import FexiproIndex, VARIANTS
 
-from conftest import make_mf_like
-
 
 def brute_force_above(items, query, threshold):
     scores = items @ query

@@ -63,3 +63,75 @@ def test_batch_validates_dimensions():
     index = FexiproIndex(items)
     with pytest.raises(Exception):
         batch_retrieve(index, np.ones((3, 7)), k=2)
+
+
+def _adversarial_queries(index, base_queries, rng):
+    """Query rows that historically exposed batch/single prep divergence.
+
+    - an all-zero vector (degenerate norms everywhere);
+    - a zero-head / nonzero-tail vector: exactly zero in the first ``w``
+      transformed dimensions (exact for permutation transforms such as
+      F-I; near-zero and still adversarial for SVD variants), which hits
+      the degenerate-scale substitution in the split scaling;
+    - denormal magnitudes, where a naive ``sqrt(sum(x^2))`` underflows;
+    - a sparse row with exact zeros scattered through it.
+    """
+    d = index.d
+    zero_head = index.transform.u[:, index.w:] @ rng.normal(
+        size=d - index.w) if index.w < d else np.zeros(d)
+    sparse = np.where(rng.random(d) < 0.5, 0.0, rng.normal(size=d))
+    return np.vstack([
+        base_queries[:4],
+        np.zeros(d),
+        zero_head,
+        rng.normal(size=d) * 1e-308,
+        sparse,
+    ])
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_batch_single_divergence_property(variant):
+    """batch_retrieve must equal a loop of index.query *exactly*.
+
+    Exact means bit-for-bit: same ids, same scores, and the same value for
+    every pruning counter — the "exact retrieval" guarantee only holds if
+    both entry points run the identical Algorithm 4 Lines 2-9 preparation.
+    """
+    rng = np.random.default_rng(70)
+    items, base_queries = make_mf_like(600, 16, seed=70)
+    index = FexiproIndex(items, variant=variant)
+    queries = _adversarial_queries(index, base_queries, rng)
+
+    batch = batch_retrieve(index, queries, k=6)
+    assert len(batch) == queries.shape[0]
+    for q, result in zip(queries, batch):
+        single = index.query(q, k=6)
+        assert result.ids == single.ids
+        assert result.scores == single.scores
+        assert result.stats.as_dict() == single.stats.as_dict()
+
+
+def test_batch_results_carry_elapsed_time():
+    items, queries = make_mf_like(200, 12, seed=65)
+    index = FexiproIndex(items, variant="F-SIR")
+    results = batch_retrieve(index, queries[:6], k=4)
+    assert all(r.elapsed > 0.0 for r in results)
+
+
+def test_batch_query_validates_like_batch_retrieve():
+    items, queries = make_mf_like(100, 8, seed=66)
+    index = FexiproIndex(items)
+    bad = np.array(queries[:3])
+    bad[1, 2] = np.nan
+    with pytest.raises(Exception):
+        index.batch_query(bad, k=3)
+    with pytest.raises(Exception):
+        batch_retrieve(index, bad, k=3)
+
+
+def test_batch_query_accepts_single_vector_row():
+    items, queries = make_mf_like(100, 8, seed=67)
+    index = FexiproIndex(items)
+    results = index.batch_query(queries[0], k=3)
+    assert len(results) == 1
+    assert results[0].ids == index.query(queries[0], k=3).ids

@@ -1,7 +1,6 @@
 """Unit tests for the pruning bounds (Theorems 2 and 5, Equations 1/3/6)."""
 
 import numpy as np
-import pytest
 
 from repro.core.bounds import (
     cauchy_schwarz,

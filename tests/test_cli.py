@@ -75,6 +75,15 @@ def test_lsh_command(capsys):
     assert "recall@" in out
 
 
+def test_serve_command(capsys):
+    assert main(["serve", "--scale", "0.02", "--queries", "6",
+                 "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Batch serving" in out
+    assert "results identical to serial" in out
+    assert "Per-stage wall time" in out
+
+
 def test_aip_command(capsys):
     assert main(["aip", "--scale", "0.02", "--queries", "6"]) == 0
     out = capsys.readouterr().out

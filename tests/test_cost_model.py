@@ -1,6 +1,5 @@
 """Tests for the coordinate-touch cost model."""
 
-import numpy as np
 import pytest
 
 from repro import FexiproIndex

@@ -1,7 +1,6 @@
 """Tests for the dataset fingerprint statistics."""
 
 import numpy as np
-import pytest
 
 from repro.datasets import load
 from repro.datasets.stats import summarize

@@ -10,7 +10,7 @@ import pytest
 from repro import FexiproIndex
 from repro.baselines import Lemp, MiniBatch, NaiveBlas, PCATree, SSL
 from repro.datasets import load, synthetic_ratings
-from repro.mf import fit_als, fit_ccd, rmse, train_test_split
+from repro.mf import fit_ccd, rmse, train_test_split
 
 
 @pytest.fixture(scope="module")

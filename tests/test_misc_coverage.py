@@ -1,7 +1,6 @@
 """Coverage for smaller surfaces: debug scanner, result timing, reprs."""
 
 import numpy as np
-import pytest
 
 from repro import FexiproIndex, topk_exact
 from repro.analysis import experiments

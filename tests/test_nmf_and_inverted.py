@@ -8,7 +8,7 @@ from repro.baselines import InvertedIndex
 from repro.exceptions import ValidationError
 from repro.mf import RatingMatrix, fit_nmf, rmse
 
-from conftest import brute_force_topk, make_mf_like
+from conftest import brute_force_topk
 
 
 def nonneg_ratings(m=80, n=60, rank=4, seed=0):

@@ -9,7 +9,6 @@ import pytest
 
 from repro import FexiproIndex, VARIANTS
 from repro.baselines import BallTree, FastMKS, Lemp, NaiveBlas, SSL
-from repro.exceptions import ValidationError
 
 from conftest import brute_force_topk, make_mf_like
 

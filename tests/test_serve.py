@@ -1,0 +1,259 @@
+"""Tests for the parallel batch serving layer (repro.serve)."""
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex
+from repro.core.stats import PruningStats, StageTimings, aggregate_stats
+from repro.exceptions import ValidationError
+from repro.serve import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    RetrievalService,
+    ServiceConfig,
+    WorkerPool,
+    chunk_spans,
+    resolve_chunk_size,
+)
+
+from conftest import make_mf_like
+
+
+# ----------------------------------------------------------------------
+# Service correctness
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("engine", ["blocked", "reference"])
+def test_pooled_batch_identical_to_serial_loop(engine):
+    items, queries = make_mf_like(500, 16, seed=80)
+    index = FexiproIndex(items, variant="F-SIR", engine=engine)
+    serial = [index.query(q, k=5) for q in queries]
+    with RetrievalService(index, ServiceConfig(workers=4)) as service:
+        response = service.batch(queries, k=5)
+    assert len(response) == len(serial)
+    for a, b in zip(serial, response.results):
+        assert a.ids == b.ids
+        assert a.scores == b.scores
+        assert a.stats.as_dict() == b.stats.as_dict()
+    total = aggregate_stats(r.stats for r in serial)
+    assert response.stats.as_dict() == total.as_dict()
+
+
+def test_chunking_choices_do_not_change_results():
+    items, queries = make_mf_like(400, 12, seed=81)
+    index = FexiproIndex(items, variant="F-SIR")
+    baseline = None
+    for workers, chunk in ((1, None), (3, 1), (2, 7), (4, 100)):
+        with RetrievalService(
+                index, ServiceConfig(workers=workers,
+                                     chunk_size=chunk)) as service:
+            ids = [tuple(r.ids) for r in service.batch(queries, k=4).results]
+        if baseline is None:
+            baseline = ids
+        assert ids == baseline
+
+
+def test_service_single_query_and_default_k():
+    items, queries = make_mf_like(300, 10, seed=82)
+    index = FexiproIndex(items)
+    with RetrievalService(index, ServiceConfig(workers=2,
+                                               default_k=7)) as service:
+        result = service.query(queries[0])
+        assert result.ids == index.query(queries[0], k=7).ids
+        assert len(result.ids) == 7
+
+
+def test_service_per_query_elapsed_and_prepare_time():
+    items, queries = make_mf_like(300, 10, seed=83)
+    index = FexiproIndex(items)
+    with RetrievalService(index, ServiceConfig(workers=2)) as service:
+        response = service.batch(queries[:8], k=3)
+    assert response.prepare_time > 0.0
+    assert all(r.elapsed > 0.0 for r in response.results)
+    assert response.elapsed >= max(r.elapsed for r in response.results)
+    assert response.throughput > 0.0
+
+
+def test_service_collects_stage_timings_optionally():
+    items, queries = make_mf_like(300, 10, seed=84)
+    index = FexiproIndex(items, variant="F-SIR")
+    with RetrievalService(index, ServiceConfig(workers=2)) as service:
+        timed = service.batch(queries[:6], k=3)
+    assert timed.timings is not None
+    assert timed.timings.prepare > 0.0
+    assert timed.timings.total > 0.0
+    with RetrievalService(
+            index, ServiceConfig(workers=2,
+                                 collect_timings=False)) as service:
+        untimed = service.batch(queries[:6], k=3)
+    assert untimed.timings is None
+    for a, b in zip(timed.results, untimed.results):
+        assert a.ids == b.ids
+
+
+def test_service_empty_batch():
+    items, __ = make_mf_like(100, 8, seed=85)
+    index = FexiproIndex(items)
+    with RetrievalService(index) as service:
+        response = service.batch(np.empty((0, 8)), k=3)
+    assert len(response) == 0
+    assert response.stats.as_dict() == PruningStats().as_dict()
+
+
+def test_service_validates_queries():
+    items, queries = make_mf_like(100, 8, seed=86)
+    index = FexiproIndex(items)
+    bad = np.array(queries[:3])
+    bad[0, 0] = np.inf
+    with RetrievalService(index) as service:
+        with pytest.raises(ValidationError):
+            service.batch(bad, k=3)
+        with pytest.raises(Exception):
+            service.batch(np.ones((2, 9)), k=3)
+
+
+def test_service_feeds_metrics_registry():
+    items, queries = make_mf_like(300, 10, seed=87)
+    index = FexiproIndex(items, variant="F-SIR")
+    with RetrievalService(index, ServiceConfig(workers=2)) as service:
+        service.batch(queries[:10], k=4)
+        service.batch(queries[:5], k=4)
+        snapshot = service.metrics_snapshot()
+    assert snapshot["counters"]["batches"] == 2
+    assert snapshot["counters"]["queries"] == 15
+    serial = [index.query(q, k=4) for q in queries[:10]]
+    serial += [index.query(q, k=4) for q in queries[:5]]
+    total = aggregate_stats(r.stats for r in serial)
+    for key, value in total.as_dict().items():
+        assert snapshot["counters"][f"pruning.{key}"] == value
+    assert snapshot["histograms"]["latency.scan_seconds"]["count"] == 15
+    assert snapshot["histograms"]["latency.batch_seconds"]["count"] == 2
+    assert sum(snapshot["stage_seconds"].values()) > 0.0
+
+
+def test_closed_service_refuses_work():
+    items, queries = make_mf_like(100, 8, seed=88)
+    index = FexiproIndex(items)
+    service = RetrievalService(index, ServiceConfig(workers=2))
+    service.batch(queries[:4], k=2)
+    service.close()
+    with pytest.raises(ValidationError):
+        service.batch(queries[:4], k=2)
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+
+def test_resolve_chunk_size_defaults_and_overrides():
+    assert resolve_chunk_size(100, 4) == 7          # ceil(100 / 16)
+    assert resolve_chunk_size(3, 8) == 1
+    assert resolve_chunk_size(0, 4) == 1
+    assert resolve_chunk_size(100, 4, chunk_size=25) == 25
+    with pytest.raises(ValidationError):
+        resolve_chunk_size(10, 4, chunk_size=0)
+    with pytest.raises(ValidationError):
+        resolve_chunk_size(10, 0)
+
+
+def test_chunk_spans_cover_range_exactly():
+    spans = chunk_spans(10, 3)
+    assert spans == [(0, 3), (3, 6), (6, 9), (9, 10)]
+    assert chunk_spans(0, 5) == []
+    with pytest.raises(ValidationError):
+        chunk_spans(10, 0)
+
+
+def test_worker_pool_preserves_order():
+    with WorkerPool(4) as pool:
+        out = pool.map(lambda x: x * x, list(range(50)))
+    assert out == [x * x for x in range(50)]
+
+
+def test_worker_pool_inline_when_single_worker():
+    pool = WorkerPool(1)
+    assert pool._executor is None
+    assert pool.map(str, [1, 2, 3]) == ["1", "2", "3"]
+    assert pool._executor is None  # never spun up a thread
+    pool.close()
+    with pytest.raises(ValidationError):
+        pool.map(str, [1])
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+def test_counter_is_monotone():
+    counter = Counter()
+    counter.inc()
+    counter.inc(5)
+    assert counter.value == 6
+    with pytest.raises(ValidationError):
+        counter.inc(-1)
+
+
+def test_histogram_buckets_and_quantiles():
+    hist = Histogram(buckets=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.002, 0.003, 0.05, 5.0):
+        hist.observe(value)
+    snap = hist.snapshot()
+    assert snap["count"] == 5
+    assert snap["buckets"]["le_0.001"] == 1
+    assert snap["buckets"]["le_0.01"] == 2
+    assert snap["buckets"]["le_0.1"] == 1
+    assert snap["buckets"]["overflow"] == 1
+    assert snap["max"] == 5.0
+    assert hist.quantile(0.5) == 0.01
+    assert hist.quantile(1.0) == 5.0  # overflow resolves to the max seen
+    assert hist.mean == pytest.approx(sum((0.0005, 0.002, 0.003, 0.05, 5.0))
+                                      / 5)
+    with pytest.raises(ValidationError):
+        hist.quantile(1.5)
+    with pytest.raises(ValidationError):
+        Histogram(buckets=())
+
+
+def test_registry_reuses_and_rolls_up():
+    registry = MetricsRegistry(name="test")
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("h") is registry.histogram("h")
+    registry.observe_pruning(PruningStats(n_items=10, scanned=4,
+                                          full_products=2))
+    registry.observe_pruning(PruningStats(n_items=10, scanned=6,
+                                          full_products=1))
+    assert registry.counter("pruning.scanned").value == 10
+    assert registry.counter("pruning.full_products").value == 3
+    timing = StageTimings(integer=0.5, select=0.25)
+    registry.record_stage_timings(timing)
+    registry.record_stage_timings(timing)
+    assert registry.stage_timings.integer == pytest.approx(1.0)
+    snapshot = registry.snapshot()
+    assert snapshot["name"] == "test"
+    assert snapshot["stage_seconds"]["select"] == pytest.approx(0.5)
+
+
+def test_stage_timings_merge_and_total():
+    a = StageTimings(prepare=1.0, integer=2.0)
+    b = StageTimings(integer=0.5, full=0.25)
+    a.merge(b)
+    assert a.integer == 2.5
+    assert a.total == pytest.approx(3.75)
+    assert set(a.as_dict()) == {"prepare", "integer", "incremental",
+                                "monotone", "full", "select"}
+
+
+# ----------------------------------------------------------------------
+# Config
+# ----------------------------------------------------------------------
+
+def test_service_config_validation():
+    with pytest.raises(ValidationError):
+        ServiceConfig(workers=0)
+    with pytest.raises(ValidationError):
+        ServiceConfig(chunk_size=0)
+    with pytest.raises(ValidationError):
+        ServiceConfig(default_k=0)
+    config = ServiceConfig(workers=2, chunk_size=5, default_k=3)
+    assert (config.workers, config.chunk_size, config.default_k) == (2, 5, 3)

@@ -6,7 +6,7 @@ import pytest
 from repro import FexiproIndex, VARIANTS
 from repro.exceptions import EmptyIndexError, ValidationError
 
-from conftest import brute_force_topk, make_mf_like
+from conftest import make_mf_like
 
 
 def current_matrix(index: FexiproIndex):
