@@ -85,6 +85,25 @@ def test_serve_parallel_vs_serial(benchmark, sink):
             out=out,
         )
 
+    sink.write_json("BENCH_serve", {
+        "bench": "serve_parallel",
+        "quick": QUICK,
+        "host_cores": os.cpu_count() or 1,
+        "workers": {"requested": WORKERS,
+                    "resolved": min(WORKERS, os.cpu_count() or 1)},
+        "workload": {"n_items": N_ITEMS, "n_queries": N_QUERIES,
+                     "d": D, "k": K},
+        "serial_seconds": serial_time,
+        "pool_seconds": response.elapsed,
+        "speedup": serial_time / response.elapsed if response.elapsed
+        else 0.0,
+        "queries_per_second": {
+            "serial": N_QUERIES / serial_time if serial_time else 0.0,
+            "pool": response.throughput,
+        },
+        "stage_seconds": response.timings.as_dict(),
+    })
+
     # Correctness is unconditional: identical results, exact counter sums.
     assert len(response.results) == len(serial)
     for a, b in zip(serial, response.results):

@@ -12,6 +12,7 @@ for a full-size run.
 from __future__ import annotations
 
 import io
+import json
 import pathlib
 from contextlib import contextmanager
 
@@ -40,6 +41,17 @@ class ReportSink:
             with self._capsys.disabled():
                 print()
                 print(text, end="")
+
+    def write_json(self, name: str, payload: dict) -> pathlib.Path:
+        """Persist a machine-readable result next to the text reports.
+
+        These files (``BENCH_*.json``) are the perf trajectory of the repo:
+        CI uploads them as artifacts, so run-over-run numbers can be
+        compared without parsing the human-shaped tables.
+        """
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
 
 
 @pytest.fixture

@@ -41,6 +41,7 @@ from .core import (
     FexiproIndex,
     PruningStats,
     RetrievalResult,
+    ShardedFexiproIndex,
     TopKBuffer,
     VARIANTS,
     VariantConfig,
@@ -73,6 +74,7 @@ __all__ = [
     "RetrievalResult",
     "RetrievalService",
     "ServiceConfig",
+    "ShardedFexiproIndex",
     "TopKBuffer",
     "VARIANTS",
     "ValidationError",

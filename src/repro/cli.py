@@ -286,6 +286,67 @@ def _cmd_serve(args) -> None:
          for stage, seconds in snapshot["stage_seconds"].items()],
     )
 
+    if args.shards:
+        _serve_sharded_section(args, workload, index, serial, serial_time)
+
+
+def _serve_sharded_section(args, workload, index, serial,
+                           serial_time: float) -> None:
+    """The ``--shards`` addendum: intra-query parallelism on one query."""
+    import time
+
+    from .core.sharded import ShardedFexiproIndex
+    from .serve import RetrievalService, ServiceConfig
+
+    report.print_header(
+        f"Intra-query parallelism - one query fanned over "
+        f"{args.shards} length-band shards"
+    )
+    sharded = ShardedFexiproIndex.from_index(index, shards=args.shards,
+                                             workers=args.workers)
+    started = time.perf_counter()
+    skipped = scanned = 0
+    identical = True
+    for q, truth in zip(workload.queries, serial):
+        result, reports = sharded.query_detailed(q, args.k)
+        identical &= (result.ids == truth.ids
+                      and result.scores == truth.scores)
+        skipped += result.stats.shards_skipped
+        scanned += len(reports)
+    sharded_time = time.perf_counter() - started
+    m = len(workload.queries)
+    report.print_table(
+        ["mode", "avg latency (s)", "speedup"],
+        [["serial single scan", round(serial_time / m, 5), 1.0],
+         [f"sharded x{args.shards} ({sharded.resolved_workers} workers)",
+          round(sharded_time / m, 5),
+          round(serial_time / sharded_time, 2) if sharded_time else 0.0]],
+    )
+    report.print_table(
+        ["metric", "value"],
+        [["ids and scores identical to serial", identical],
+         ["shard scans issued", scanned],
+         ["whole shards skipped (Cauchy-Schwarz)", skipped],
+         ["shard-skip rate",
+          round(skipped / scanned, 3) if scanned else 0.0]],
+    )
+    with RetrievalService(sharded,
+                          ServiceConfig(workers=args.workers)) as service:
+        one = service.batch(workload.queries[:1], k=args.k)
+        many = service.batch(workload.queries, k=args.k)
+        snapshot = service.metrics_snapshot()
+    report.print_table(
+        ["service routing", "mode"],
+        [["batch of 1", one.mode], [f"batch of {m}", many.mode]],
+    )
+    report.print_table(
+        ["deployment", "value"],
+        [["workers requested", snapshot["workers"]["requested"]],
+         ["workers resolved", snapshot["workers"]["resolved"]],
+         ["host cores", snapshot["workers"]["host_cores"]],
+         ["shards", snapshot["shards"]]],
+    )
+
 
 def service_quantile(snapshot: dict, q: float) -> float:
     """Approximate scan-latency quantile from a metrics snapshot."""
@@ -372,6 +433,10 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--workers", type=int, default=4,
                              help="thread-pool size for the batch "
                                   "serving comparison (default 4)")
+            cmd.add_argument("--shards", type=int, default=0,
+                             help="also demo intra-query parallelism: fan "
+                                  "each query over this many length-band "
+                                  "shards (0 = off)")
         cmd.set_defaults(func=func)
     return parser
 

@@ -23,11 +23,18 @@ from .bounds import (
 from .index import FexiproIndex, QueryState, prepare_query_states, topk_exact
 from .reduction import MonotoneReduction, shift_constants
 from .scaling import DEFAULT_E, ScaledItems, integer_parts, scale_uniform
+from .sharded import (
+    ShardedFexiproIndex,
+    SharedThreshold,
+    default_shards,
+    shard_spans,
+)
 from .stats import (
     PruningStats,
     RetrievalResult,
     StageTimings,
     aggregate_stats,
+    assemble_result,
     average_full_products,
     full_product_histogram,
 )
@@ -46,15 +53,19 @@ __all__ = [
     "RetrievalResult",
     "SVDTransform",
     "ScaledItems",
+    "ShardedFexiproIndex",
+    "SharedThreshold",
     "StageTimings",
     "TopKBuffer",
     "VARIANTS",
     "VariantConfig",
     "aggregate_stats",
+    "assemble_result",
     "average_full_products",
     "batch_retrieve",
     "cauchy_schwarz",
     "choose_w",
+    "default_shards",
     "fit_svd",
     "full_product_histogram",
     "get_variant",
@@ -65,6 +76,7 @@ __all__ = [
     "prepare_query_states",
     "scale_uniform",
     "scan_above",
+    "shard_spans",
     "shift_constants",
     "topk_exact",
     "uniform_integer_bound",

@@ -28,7 +28,7 @@ from typing import List
 
 from .._validation import as_query_matrix, check_k
 from .index import FexiproIndex, QueryState, prepare_query_states
-from .stats import RetrievalResult
+from .stats import RetrievalResult, assemble_result
 
 __all__ = [
     "FexiproIndex",
@@ -55,8 +55,7 @@ def batch_retrieve(index: FexiproIndex, queries, k: int = 10,
         started = time.perf_counter()
         buffer, stats = index._scan(state, k)
         elapsed = time.perf_counter() - started
-        positions, scores = buffer.items_and_scores()
-        ids = [int(index.order[p]) for p in positions]
-        results.append(RetrievalResult(ids=ids, scores=scores, stats=stats,
-                                       elapsed=elapsed))
+        results.append(assemble_result(index.order,
+                                       *buffer.items_and_scores(),
+                                       stats, elapsed))
     return results

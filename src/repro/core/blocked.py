@@ -64,6 +64,8 @@ def block_schedule(n: int, k: int, cap: int):
 def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
                  block_size: int = DEFAULT_BLOCK_SIZE,
                  timings: Optional[StageTimings] = None,
+                 *, start: int = 0, stop: Optional[int] = None,
+                 shared=None,
                  ) -> Tuple[TopKBuffer, PruningStats]:
     """Blocked, vectorized equivalent of :func:`repro.core.scanner.scan_reference`.
 
@@ -71,9 +73,20 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
     section is accumulated per block (a handful of clock calls per block —
     cheap enough to leave on in production serving), with the scalar replay
     loop attributed to ``select``.
+
+    ``start``/``stop`` restrict the scan to a contiguous span of sorted
+    positions (a length-band *shard*); the returned buffer then holds
+    absolute positions, so per-shard buffers merge directly.  ``shared`` is
+    an optional :class:`repro.core.sharded.SharedThreshold`: its value seeds
+    the live threshold and is re-polled at every block boundary.  The cell
+    is monotone and only ever holds *achieved* k-th-best scores, so a stale
+    read merely weakens pruning — decisions stay exact — and with the
+    defaults (full span, no cell) the scan is bit-identical to the
+    reference engine.
     """
+    stop = index.n if stop is None else stop
     buffer = TopKBuffer(k)
-    stats = PruningStats(n_items=index.n)
+    stats = PruningStats(n_items=stop - start)
     timed = timings is not None
 
     items_bar = index.items_bar
@@ -95,22 +108,33 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
         e_sq = scaled.e * scaled.e
 
     t = -math.inf
+    if shared is not None and shared.value > t:
+        t = shared.value
     t_prime = -math.inf
     terminated = False
 
-    for start, stop in block_schedule(index.n, k, block_size):
+    for bstart, bstop in block_schedule(stop - start, k, block_size):
+        bstart += start
+        bstop += start
+        if shared is not None:
+            polled = shared.value
+            if polled > t:
+                t = polled
+                if use_reduction and buffer.full:
+                    t_prime = reduction.threshold(t, qs.monotone,
+                                                  buffer.kth_item)
         t0 = t
 
         # --- Vectorized precomputation under the frozen threshold t0 ----
-        cs = q_norm * norms[start:stop]
+        cs = q_norm * norms[bstart:bstop]
         # Everything at and after the first Cauchy-Schwarz failure is dead:
         # norms are sorted descending, so the scan would terminate there.
         dead = np.nonzero(cs <= t0)[0]
-        prefix = int(dead[0]) if dead.size else stop - start
+        prefix = int(dead[0]) if dead.size else bstop - bstart
         # Keep one failing row (if any) so the replay loop observes the
         # termination itself rather than inferring it.
         limit = prefix + (1 if dead.size else 0)
-        block = slice(start, start + limit)
+        block = slice(bstart, bstart + limit)
         local = np.arange(limit)
 
         ub1 = q_tail_norm * tail_norms[block]
@@ -121,14 +145,14 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
         if timed:
             tick = perf_counter()
         if use_integer and alive.size:
-            rows = alive + start
+            rows = alive + bstart
             int_dot = scaled.float_head[rows] @ qs.scaled.float_head
             iu = (int_dot + qs.scaled.abs_sum_head
                   + scaled.abs_sum_head[rows] + scaled.w)
             b_l[alive] = iu * (head_factor_base / e_sq)
             survivors = alive[b_l[alive] + ub1[alive] > t0]
             if survivors.size:
-                rows = survivors + start
+                rows = survivors + bstart
                 tail_len = scaled.d - scaled.w
                 if tail_len:
                     int_dot = scaled.float_tail[rows] @ qs.scaled.float_tail
@@ -146,7 +170,7 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
 
         v_head = np.full(limit, np.nan)
         if alive.size:
-            v_head[alive] = items_bar[alive + start, :w] @ q_head
+            v_head[alive] = items_bar[alive + bstart, :w] @ q_head
             alive = alive[v_head[alive] + ub1[alive] > t0]
         if timed:
             now = perf_counter()
@@ -155,7 +179,7 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
 
         mono = np.full(limit, np.nan)
         if use_reduction and alive.size:
-            rows = alive + start
+            rows = alive + bstart
             head_partial = (2.0 * v_head[alive] * qs.monotone.inv_norm
                             + qs.monotone.c_head
                             + reduction.item_const_head[rows])
@@ -169,17 +193,16 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
             timings.monotone += now - tick
             tick = now
 
-        v_full = np.full(limit, np.nan)
-        if alive.size:
-            v_full[alive] = v_head[alive] + (
-                items_bar[alive + start, w:] @ q_tail
-            )
-        if timed:
-            now = perf_counter()
-            timings.full += now - tick
-            tick = now
-
         # --- Scalar replay with the live threshold ----------------------
+        # Full products are NOT precomputed with a batched GEMV: BLAS can
+        # round the same row's product differently depending on which other
+        # rows share the call (alignment-dependent kernels), and admitted
+        # scores must depend only on the row so that a sharded scan —
+        # whose survivor subsets differ under seeded thresholds — returns
+        # scores bit-identical to the single scan.  Survivors of the full
+        # cascade are rare, so the per-row dots below are cheap; they use
+        # the reference engine's exact formula.
+        full_time = 0.0
         for i in range(limit):
             if cs[i] <= t:
                 stats.length_terminated = 1
@@ -201,22 +224,27 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
                 if mono[i] <= t_prime:
                     stats.pruned_monotone += 1
                     continue
-            value = v_full[i]
-            if math.isnan(value):
-                # The t0-precompute skipped this tail product (the item was
-                # expected to be pruned); the live threshold disagreed only
-                # because the monotone stage was inactive at t0.  Fall back
-                # to the direct product — rare, and still exact.
-                value = v + float(items_bar[start + i, w:] @ q_tail)
+            row = bstart + i
+            if timed:
+                tock = perf_counter()
+            value = float(q_head @ items_bar[row, :w])
+            value += float(q_tail @ items_bar[row, w:])
+            if timed:
+                full_time += perf_counter() - tock
             stats.full_products += 1
-            if buffer.push(float(value), start + i):
-                t = buffer.threshold
-                if use_reduction and t > -math.inf:
+            if buffer.push(value, row):
+                # The live threshold only ever grows: a seeded/polled
+                # cross-shard value may exceed the local buffer's own
+                # k-th best, in which case it stays in charge.
+                if buffer.threshold > t:
+                    t = buffer.threshold
+                if use_reduction and t > -math.inf and buffer.full:
                     t_prime = reduction.threshold(
                         t, qs.monotone, buffer.kth_item
                     )
         if timed:
-            timings.select += perf_counter() - tick
+            timings.full += full_time
+            timings.select += perf_counter() - tick - full_time
         if terminated:
             break
     return buffer, stats

@@ -38,7 +38,7 @@ from .blocked import DEFAULT_BLOCK_SIZE, scan_blocked
 from .reduction import MonotoneQuery, MonotoneReduction
 from .scaling import DEFAULT_E, ScaledItems, ScaledQuery
 from .scanner import scan_reference
-from .stats import RetrievalResult
+from .stats import RetrievalResult, assemble_result
 from .svd import DEFAULT_RHO, SVDTransform, fit_svd, identity_transform
 from .variants import DEFAULT_VARIANT, VariantConfig, get_variant
 
@@ -232,10 +232,8 @@ class FexiproIndex:
         qs = self._prepare_query(q)
         buffer, stats = self._scan(qs, k)
         elapsed = time.perf_counter() - started
-        positions, scores = buffer.items_and_scores()
-        ids = [int(self.order[p]) for p in positions]
-        return RetrievalResult(ids=ids, scores=scores, stats=stats,
-                               elapsed=elapsed)
+        return assemble_result(self.order, *buffer.items_and_scores(),
+                               stats, elapsed)
 
     def batch_query(self, queries, k: int = 10) -> List[RetrievalResult]:
         """Run :meth:`query` over rows of a query matrix, independently.
@@ -266,9 +264,7 @@ class FexiproIndex:
         qs = self._prepare_query(q)
         positions, scores, stats = scan_above(self, qs, float(threshold))
         elapsed = time.perf_counter() - started
-        ids = [int(self.order[p]) for p in positions]
-        return RetrievalResult(ids=ids, scores=[float(s) for s in scores],
-                               stats=stats, elapsed=elapsed)
+        return assemble_result(self.order, positions, scores, stats, elapsed)
 
     # ------------------------------------------------------------------
     # Dynamic updates

@@ -1,0 +1,441 @@
+"""Sharded intra-query parallel scan: :class:`ShardedFexiproIndex`.
+
+PR 1 parallelized *across* queries; a single query still scanned all n
+items on one core.  This module partitions the length-sorted item matrix
+into S contiguous length bands ("shards") and answers **one** query by
+scanning the shards concurrently on the GIL-releasing NumPy kernels of the
+blocked engine — the intra-query axis of parallelism, the one that cuts
+tail latency for a single hot query.
+
+Exactness is preserved by construction:
+
+- All shards share *one* preprocessed :class:`~repro.core.index.FexiproIndex`
+  (one sort, one SVD basis, one scaling, one reduction), so every arithmetic
+  operation a shard performs is the same operation — on the same arrays —
+  the single-shard scan performs.  Scores are therefore bit-identical.
+- Each shard runs the unchanged Algorithm 4/5 cascade
+  (:func:`repro.core.blocked.scan_blocked`) over its span, with its live
+  threshold *seeded* from a shared best-so-far cell
+  (:class:`SharedThreshold`) and re-polled at block boundaries.  The cell
+  only ever holds thresholds *achieved* by k collected results, and it only
+  grows; a stale read merely weakens pruning, never drops a true top-k item.
+- Because later shards hold shorter items, the Cauchy–Schwarz test can
+  eliminate whole shards before their scan starts, once the shared
+  threshold exceeds ``||q|| * shard.max_norm`` — counted as
+  ``shards_skipped`` in :class:`~repro.core.stats.PruningStats`.
+- A final exact merge of the per-shard
+  :class:`~repro.core.topk.TopKBuffer`s (:meth:`TopKBuffer.merge`, replayed
+  in ascending-position order) reproduces the single scan's selection,
+  including its tie handling.
+
+Pruning *counters* other than the result-defining ones are a property of
+the execution schedule, not of the answer: a shard seeded with a strong
+threshold scans fewer items than the single sequential scan would have at
+the same positions (and a weakly seeded shard scans more), so the
+aggregated counters are the exact sum of the per-shard counters but are
+not expected to equal the single-scan counters — except for ``shards=1``,
+where the sharded scan *is* the single scan.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import ShardedFexiproIndex
+>>> rng = np.random.default_rng(0)
+>>> items = rng.normal(scale=0.3, size=(10_000, 32))
+>>> index = ShardedFexiproIndex(items, shards=4)
+>>> result = index.query(rng.normal(scale=0.3, size=32), k=5)
+>>> len(result.ids)
+5
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .._validation import as_query_vector, check_k
+from ..exceptions import ValidationError
+from .blocked import scan_blocked
+from .index import FexiproIndex, QueryState
+from .stats import (
+    PruningStats,
+    RetrievalResult,
+    StageTimings,
+    assemble_result,
+)
+from .topk import TopKBuffer
+
+__all__ = [
+    "ShardedFexiproIndex",
+    "SharedThreshold",
+    "default_shards",
+    "shard_spans",
+]
+
+
+def default_shards() -> int:
+    """A sensible shard count for this host: one per core, in [2, 16].
+
+    Two shards minimum so the shard-skip test has something to skip even on
+    a single-core host (shards then run sequentially, each seeded by its
+    predecessors); sixteen maximum because the per-query fan-out cost grows
+    with S while the marginal parallelism of tiny shards shrinks.
+    """
+    return max(2, min(16, os.cpu_count() or 1))
+
+
+def shard_spans(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Split positions ``[0, n)`` into ``shards`` contiguous spans.
+
+    Sizes differ by at most one, larger spans first.  With ``shards > n``
+    the tail spans are empty (``start == stop``) — legal, scanned as
+    no-ops — so a shard count chosen for a big index keeps working after
+    heavy :meth:`ShardedFexiproIndex.remove_items`.
+    """
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        raise ValidationError(
+            f"shards must be a positive integer; got {shards!r}"
+        )
+    if n < 0:
+        raise ValidationError(f"n must be non-negative; got {n}")
+    base, extra = divmod(n, shards)
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        spans.append((start, start + size))
+        start += size
+    return spans
+
+
+class SharedThreshold:
+    """A monotonically growing cross-shard best-so-far threshold cell.
+
+    Shards :meth:`offer` their buffer's threshold when they complete (the
+    k-th best score among results they actually collected — ``-inf`` while
+    fewer than k exist, which the cell ignores) and read :attr:`value` when
+    they start and at block boundaries.  The value is therefore always a
+    score *achieved by k collected items*, i.e. a valid lower bound on the
+    global k-th best; pruning against it is exact.
+
+    Reads are deliberately lock-free: a torn/stale read can only return an
+    older (smaller) value, which weakens pruning but never misprunes.
+    Writes take the lock so the cell never moves backwards.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: float = -math.inf):
+        self._value = float(value)
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        """Current best-so-far threshold (monotone, lock-free read)."""
+        return self._value
+
+    def offer(self, candidate: float) -> bool:
+        """Raise the cell to ``candidate`` if it improves it.
+
+        Returns ``True`` if the cell moved.  ``-inf`` offers (a shard that
+        never filled its buffer) are no-ops.
+        """
+        candidate = float(candidate)
+        if candidate <= self._value:
+            return False
+        with self._lock:
+            if candidate > self._value:
+                self._value = candidate
+                return True
+            return False
+
+
+@dataclass
+class ShardScanReport:
+    """Per-shard outcome of one sharded scan (tests, benchmarks, metrics)."""
+
+    span: Tuple[int, int]
+    stats: PruningStats
+    seeded_threshold: float
+
+    @property
+    def skipped(self) -> bool:
+        """Whether the whole shard was eliminated before its scan started."""
+        return self.stats.shards_skipped > 0
+
+
+class ShardedFexiproIndex:
+    """Exact top-k retrieval with intra-query parallel shard scans.
+
+    Parameters
+    ----------
+    items:
+        Item matrix, rows as vectors — exactly as for
+        :class:`~repro.core.index.FexiproIndex`.
+    shards:
+        Number of contiguous length bands (default: one per core, in
+        [2, 16]).  ``shards=1`` degenerates to the plain single scan.
+    workers:
+        Threads for the intra-query fan-out (default: ``shards``); the
+        effective pool size is clamped to the host core count, and the
+        shards run sequentially — in band order, each seeded by its
+        predecessors — when only one worker is available.
+    **index_options:
+        Forwarded to :class:`FexiproIndex` (``variant``, ``rho``, ``e``,
+        ``block_size``, ...).  Only the ``blocked`` engine supports span
+        scans, so ``engine`` must be left at its default.
+
+    The preprocessed single index is exposed as :attr:`index`; it is fully
+    usable on its own (and serves as the serial baseline in benchmarks and
+    the identity oracle in tests).
+    """
+
+    def __init__(self, items, *, shards: Optional[int] = None,
+                 workers: Optional[int] = None, **index_options):
+        engine = index_options.setdefault("engine", "blocked")
+        if engine != "blocked":
+            raise ValidationError(
+                "ShardedFexiproIndex requires the blocked engine; "
+                f"got engine={engine!r}"
+            )
+        self._configure(FexiproIndex(items, **index_options), shards, workers)
+
+    @classmethod
+    def from_index(cls, index: FexiproIndex, *,
+                   shards: Optional[int] = None,
+                   workers: Optional[int] = None) -> "ShardedFexiproIndex":
+        """Wrap an already preprocessed index without re-running Algorithm 3."""
+        if not isinstance(index, FexiproIndex):
+            raise ValidationError(
+                f"from_index needs a FexiproIndex; got {type(index).__name__}"
+            )
+        if index.engine != "blocked":
+            raise ValidationError(
+                "ShardedFexiproIndex requires the blocked engine; "
+                f"the wrapped index uses {index.engine!r}"
+            )
+        self = cls.__new__(cls)
+        self._configure(index, shards, workers)
+        return self
+
+    def _configure(self, index: FexiproIndex, shards: Optional[int],
+                   workers: Optional[int]) -> None:
+        self.index = index
+        if shards is None:
+            shards = default_shards()
+        if not isinstance(shards, int) or isinstance(shards, bool) \
+                or shards < 1:
+            raise ValidationError(
+                f"shards must be a positive integer; got {shards!r}"
+            )
+        self.n_shards = int(shards)
+        if workers is None:
+            workers = self.n_shards
+        if not isinstance(workers, int) or isinstance(workers, bool) \
+                or workers < 1:
+            raise ValidationError(
+                f"workers must be a positive integer; got {workers!r}"
+            )
+        self.workers = int(workers)
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Pass-through surface
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.index.n
+
+    @property
+    def d(self) -> int:
+        return self.index.d
+
+    @property
+    def order(self):
+        return self.index.order
+
+    @property
+    def spans(self) -> List[Tuple[int, int]]:
+        """Current shard spans (recomputed from ``n``, so updates are safe)."""
+        return shard_spans(self.index.n, self.n_shards)
+
+    def add_items(self, new_items) -> List[int]:
+        """Delegate to the inner index; spans follow the new ``n``."""
+        return self.index.add_items(new_items)
+
+    def remove_items(self, ids) -> int:
+        """Delegate to the inner index; spans follow the new ``n``."""
+        return self.index.remove_items(ids)
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+
+    def query(self, query, k: int = 10) -> RetrievalResult:
+        """Exact top-k for one query, scanned shard-parallel.
+
+        Returns ids/scores identical to ``self.index.query(query, k)``;
+        ``stats`` is the exact sum of the per-shard pruning counters (plus
+        ``shards_skipped``).
+        """
+        result, __ = self.query_detailed(query, k)
+        return result
+
+    def query_detailed(
+        self, query, k: int = 10, *, pool=None,
+        timings: Optional[StageTimings] = None,
+    ) -> Tuple[RetrievalResult, List[ShardScanReport]]:
+        """Like :meth:`query`, also returning per-shard scan reports."""
+        q = as_query_vector(query, self.index.d)
+        k = check_k(k, self.index.n)
+        started = time.perf_counter()
+        qs = self.index._prepare_query(q)
+        buffer, total, reports, scan_timings = self._scan_sharded(
+            qs, k, pool=pool, collect_timings=timings is not None,
+        )
+        if timings is not None and scan_timings is not None:
+            timings.merge(scan_timings)
+        elapsed = time.perf_counter() - started
+        result = assemble_result(self.index.order,
+                                 *buffer.items_and_scores(),
+                                 total, elapsed)
+        return result, reports
+
+    def batch_query(self, queries, k: int = 10) -> List[RetrievalResult]:
+        """Run :meth:`query` over rows of a query matrix, independently."""
+        from .._validation import as_query_matrix
+
+        queries = as_query_matrix(queries, self.index.d)
+        return [self.query(row, k) for row in queries]
+
+    # ------------------------------------------------------------------
+    # The sharded scan
+    # ------------------------------------------------------------------
+
+    def _scan_sharded(self, qs: QueryState, k: int, *, pool=None,
+                      collect_timings: bool = False):
+        """Fan one prepared query out over the shards and merge exactly.
+
+        Returns ``(merged_buffer, total_stats, reports, timings)``.  The
+        caller may supply a :class:`repro.serve.executor.WorkerPool` (the
+        serving layer shares its own); otherwise the index's lazily created
+        pool is used.  With one worker the pool runs the shard closures
+        inline in submission order — the deterministic mode the property
+        tests pin down.
+        """
+        index = self.index
+        spans = self.spans
+        norms = index.norms_sorted
+        shared = SharedThreshold()
+
+        def run_shard(span: Tuple[int, int]):
+            start, stop = span
+            shard_timings = StageTimings() if collect_timings else None
+            seed = shared.value
+            if start >= stop:
+                return (TopKBuffer(k), PruningStats(), seed, shard_timings)
+            if qs.q_norm * float(norms[start]) <= seed:
+                # Cauchy-Schwarz at shard granularity: no item in this
+                # shard can beat a threshold already achieved by k
+                # collected results.  The whole band dies unscanned.
+                stats = PruningStats(n_items=stop - start,
+                                     length_terminated=1,
+                                     shards_skipped=1)
+                return (TopKBuffer(k), stats, seed, shard_timings)
+            buffer, stats = scan_blocked(
+                index, qs, k, index.block_size, timings=shard_timings,
+                start=start, stop=stop, shared=shared,
+            )
+            shared.offer(buffer.threshold)
+            return (buffer, stats, seed, shard_timings)
+
+        outputs = self._resolve_pool(pool).map(run_shard, spans)
+
+        merged = TopKBuffer(k)
+        total = PruningStats()
+        timings = StageTimings() if collect_timings else None
+        reports: List[ShardScanReport] = []
+        for span, (buffer, stats, seed, shard_timings) in zip(spans, outputs):
+            merged.merge(buffer)
+            total.merge(stats)
+            reports.append(ShardScanReport(span=span, stats=stats,
+                                           seeded_threshold=seed))
+            if timings is not None and shard_timings is not None:
+                timings.merge(shard_timings)
+        return merged, total, reports, timings
+
+    def _resolve_pool(self, pool):
+        if pool is not None:
+            return pool
+        if self._pool is None:
+            from ..serve.executor import WorkerPool
+
+            self._pool = WorkerPool(max(1, min(self.workers, self.n_shards)))
+        return self._pool
+
+    @property
+    def resolved_workers(self) -> int:
+        """Effective intra-query pool size (after shard/core clamping)."""
+        return self._resolve_pool(None).workers
+
+    # ------------------------------------------------------------------
+    # Persistence and lifecycle
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the sharded index (inner index + shard configuration).
+
+        Same pickle caveats as :meth:`FexiproIndex.save`; the worker pool
+        is never stored — it is recreated (and re-clamped to the loading
+        host's cores) on first use.
+        """
+        import pickle
+
+        with open(path, "wb") as handle:
+            pickle.dump({"format": 1, "index": self}, handle,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path) -> "ShardedFexiproIndex":
+        """Load an index previously stored with :meth:`save`."""
+        import pickle
+
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if not isinstance(payload, dict) or payload.get("format") != 1:
+            raise ValidationError(
+                f"{path!r} is not a saved ShardedFexiproIndex"
+            )
+        index = payload["index"]
+        if not isinstance(index, cls):
+            raise ValidationError(f"{path!r} does not contain a "
+                                  f"{cls.__name__}")
+        return index
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = None  # thread pools do not pickle
+        return state
+
+    def close(self) -> None:
+        """Shut the internal worker pool down (if one was ever created)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedFexiproIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedFexiproIndex(shards={self.n_shards}, "
+            f"workers={self.workers}, index={self.index!r})"
+        )

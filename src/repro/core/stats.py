@@ -35,6 +35,12 @@ class PruningStats:
       bound (Lemma 1 / Theorem 4; Lines 14–17).
     - ``full_products``: vectors for which the *entire* exact product was
       computed (Lines 18–20) — the quantity reported in Tables 3 and 7.
+    - ``shards_skipped``: whole length-band shards eliminated before their
+      scan even started, because the cross-shard best-so-far threshold
+      already exceeded ``||q|| * max ||p||`` of the shard (the
+      Cauchy–Schwarz test applied at shard granularity by
+      :class:`repro.core.sharded.ShardedFexiproIndex`).  Always 0 for a
+      single-shard scan.
     """
 
     n_items: int = 0
@@ -45,6 +51,7 @@ class PruningStats:
     pruned_incremental: int = 0
     pruned_monotone: int = 0
     full_products: int = 0
+    shards_skipped: int = 0
 
     def merge(self, other: "PruningStats") -> None:
         """Accumulate another query's counters into this record (in place)."""
@@ -182,3 +189,24 @@ class RetrievalResult:
         if not self.ids:
             raise IndexError("empty retrieval result")
         return self.ids[0]
+
+
+def assemble_result(order, positions: Iterable[int],
+                    scores: Iterable[float], stats: PruningStats,
+                    elapsed: float = 0.0) -> RetrievalResult:
+    """Materialize a :class:`RetrievalResult` from scan-space positions.
+
+    ``order`` is the index's position→original-id mapping
+    (:attr:`repro.core.index.FexiproIndex.order`); ``positions`` and
+    ``scores`` come sorted by descending score (usually from
+    :meth:`repro.core.topk.TopKBuffer.items_and_scores`).
+
+    This is the *single* implementation of the id mapping and result
+    assembly.  Every retrieval entry point — :meth:`FexiproIndex.query`,
+    :meth:`FexiproIndex.query_above`, :func:`repro.core.batch.batch_retrieve`,
+    the serving layer and the sharded scan — delegates here, so the mapping
+    cannot drift between paths.
+    """
+    ids = [int(order[p]) for p in positions]
+    return RetrievalResult(ids=ids, scores=[float(s) for s in scores],
+                           stats=stats, elapsed=elapsed)

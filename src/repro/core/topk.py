@@ -86,6 +86,24 @@ class TopKBuffer:
             return True
         return False
 
+    def merge(self, other: "TopKBuffer") -> "TopKBuffer":
+        """Fold another buffer's candidates into this one (in place).
+
+        Candidates are replayed in ascending ``item_id`` order.  Item ids on
+        the scan hot path are positions in the length-sorted order, so
+        replaying per-shard buffers shard by shard reproduces the visit
+        order — and therefore the admission/eviction behaviour, including
+        tie handling — of the single sequential scan over the union of
+        retained candidates.  Merging buffers built with a different ``k``
+        is allowed; ``self.k`` governs the merged capacity.
+
+        Returns ``self`` so merges can be chained/reduced.
+        """
+        for score, item_id in sorted(other._heap,
+                                     key=lambda pair: pair[1]):
+            self.push(score, item_id)
+        return self
+
     def would_accept(self, score: float) -> bool:
         """Whether a score strictly beats the current threshold (or fills space)."""
         return len(self._heap) < self.k or score > self._heap[0][0]

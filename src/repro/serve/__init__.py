@@ -5,8 +5,14 @@ extension of single-query FEXIPRO; this package is that extension's serving
 layer:
 
 - :class:`RetrievalService` — answers query batches through a chunked
-  thread pool, with per-query latency capture and pruning-counter rollups;
-- :class:`ServiceConfig` — worker/chunking/instrumentation tunables;
+  thread pool, with per-query latency capture and pruning-counter rollups.
+  Wrapping a :class:`~repro.core.sharded.ShardedFexiproIndex` unlocks a
+  second parallelism axis: small batches are routed down the *intra-query*
+  path (each query fanned over the index's length-band shards), large
+  batches down the *inter-query* path (queries spread over workers) —
+  identical results either way, choice recorded per batch;
+- :class:`ServiceConfig` — worker/chunking/instrumentation/routing
+  tunables;
 - :class:`MetricsRegistry`, :class:`Counter`, :class:`Histogram` — a
   dependency-free metrics substrate the engines feed;
 - :class:`WorkerPool` + chunking helpers — the execution layer.

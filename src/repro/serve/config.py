@@ -41,12 +41,22 @@ class ServiceConfig:
         When true, engines attribute per-stage wall time to the service's
         metrics registry (a few clock calls per block — cheap for the
         blocked engine, expensive for the reference engine).
+    intra_query_batch_max:
+        Largest batch that is routed down the *intra-query* (sharded) path
+        when the service wraps a
+        :class:`~repro.core.sharded.ShardedFexiproIndex`.  ``None`` (the
+        default) picks ``max(2, resolved workers) - 1``: once a batch has
+        at least as many queries as the pool has workers, one-query-per-
+        worker parallelism saturates the host with less coordination than
+        fanning each query over shards.  ``0`` disables the intra-query
+        path entirely.  Ignored for plain :class:`FexiproIndex` services.
     """
 
     workers: int = 4
     chunk_size: Optional[int] = None
     default_k: int = 10
     collect_timings: bool = True
+    intra_query_batch_max: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.workers, int) or self.workers < 1:
@@ -62,4 +72,11 @@ class ServiceConfig:
         if not isinstance(self.default_k, int) or self.default_k < 1:
             raise ValidationError(
                 f"default_k must be a positive integer; got {self.default_k!r}"
+            )
+        if self.intra_query_batch_max is not None and (
+                not isinstance(self.intra_query_batch_max, int)
+                or self.intra_query_batch_max < 0):
+            raise ValidationError(
+                f"intra_query_batch_max must be a non-negative integer or "
+                f"None; got {self.intra_query_batch_max!r}"
             )

@@ -10,11 +10,15 @@ overlaps.
 
 from __future__ import annotations
 
+import logging
 import math
+import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..exceptions import ValidationError
+
+logger = logging.getLogger(__name__)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -63,12 +67,24 @@ class WorkerPool:
     no pool, no handoff — which doubles as the serial baseline for the
     parallel-speedup benchmark and keeps single-worker deployments free of
     threading entirely.
+
+    The effective pool size is ``min(workers, host cores)``: the scans are
+    NumPy-kernel-bound, so threads beyond the core count only add
+    scheduling noise.  The original request survives as :attr:`requested`
+    (and both ends up in the serving metrics snapshot), so a config written
+    for a big machine ports to a laptop without edits or surprises.
     """
 
     def __init__(self, workers: int):
         if workers < 1:
             raise ValidationError(f"workers must be positive; got {workers}")
-        self.workers = int(workers)
+        self.requested = int(workers)
+        self.workers = max(1, min(self.requested, os.cpu_count() or 1))
+        if self.workers != self.requested:
+            logger.debug(
+                "worker pool clamped to %d (requested %d, host has %d cores)",
+                self.workers, self.requested, os.cpu_count() or 1,
+            )
         self._executor: Optional[ThreadPoolExecutor] = None
         self._closed = False
 

@@ -20,17 +20,20 @@ engines' per-stage wall times.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from .._validation import as_query_matrix, as_query_vector, check_k
 from ..core.index import FexiproIndex, prepare_query_states
+from ..core.sharded import ShardedFexiproIndex
 from ..core.stats import (
     PruningStats,
     RetrievalResult,
     StageTimings,
     aggregate_stats,
+    assemble_result,
 )
 from .config import ServiceConfig
 from .executor import WorkerPool, chunk_spans, resolve_chunk_size
@@ -44,7 +47,10 @@ class BatchResponse:
     ``results`` are in request order and identical (ids, scores, pruning
     counters) to what a serial ``[index.query(q, k) for q in queries]``
     would produce; each result's ``elapsed`` covers its own scan.  ``stats``
-    is the exact sum of the per-query pruning counters.
+    is the exact sum of the per-query pruning counters.  ``mode`` records
+    which parallelism axis answered the batch: ``"inter"`` (queries spread
+    over workers) or ``"intra"`` (each query fanned over index shards) —
+    ids and scores are identical either way.
     """
 
     results: List[RetrievalResult] = field(default_factory=list)
@@ -52,6 +58,7 @@ class BatchResponse:
     elapsed: float = 0.0
     prepare_time: float = 0.0
     timings: Optional[StageTimings] = None
+    mode: str = "inter"
 
     def __len__(self) -> int:
         return len(self.results)
@@ -68,8 +75,15 @@ class RetrievalService:
     Parameters
     ----------
     index:
-        A preprocessed :class:`~repro.core.index.FexiproIndex`.  The
-        service only reads it; one index can back several services.
+        A preprocessed :class:`~repro.core.index.FexiproIndex` — or a
+        :class:`~repro.core.sharded.ShardedFexiproIndex`, which additionally
+        unlocks the *intra-query* path: small batches (by default, fewer
+        queries than pool workers) are answered one query at a time with
+        that query fanned over the index's length-band shards, cutting the
+        latency of a single hot query instead of only the throughput of a
+        big batch.  The routing is adaptive per batch and never changes
+        results.  The service only reads the index; one index can back
+        several services.
     config:
         A :class:`~repro.serve.config.ServiceConfig` (defaults are sane for
         a small multicore host).
@@ -81,10 +95,16 @@ class RetrievalService:
     worker pool down.
     """
 
-    def __init__(self, index: FexiproIndex,
+    def __init__(self,
+                 index: Union[FexiproIndex, ShardedFexiproIndex],
                  config: Optional[ServiceConfig] = None,
                  metrics: Optional[MetricsRegistry] = None):
-        self.index = index
+        if isinstance(index, ShardedFexiproIndex):
+            self.sharded_index: Optional[ShardedFexiproIndex] = index
+            self.index = index.index
+        else:
+            self.sharded_index = None
+            self.index = index
         self.config = config if config is not None else ServiceConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._pool = WorkerPool(self.config.workers)
@@ -108,10 +128,53 @@ class RetrievalService:
         states = prepare_query_states(self.index, queries)
         prepare_time = time.perf_counter() - prep_started
 
-        chunk_size = resolve_chunk_size(len(states), self.config.workers,
+        collect = self.config.collect_timings
+        timings: Optional[StageTimings] = None
+        if collect:
+            timings = StageTimings(prepare=prepare_time)
+
+        mode = self._select_mode(len(states))
+        if mode == "intra":
+            results = self._scan_intra_query(states, k, timings)
+        else:
+            results = self._scan_inter_query(states, k, timings)
+
+        total_stats = aggregate_stats(r.stats for r in results)
+        elapsed = time.perf_counter() - wall_started
+        self._observe(results, total_stats, elapsed, timings, mode)
+        return BatchResponse(results=results, stats=total_stats,
+                             elapsed=elapsed, prepare_time=prepare_time,
+                             timings=timings, mode=mode)
+
+    # ------------------------------------------------------------------
+    # The two parallelism axes
+    # ------------------------------------------------------------------
+
+    def _select_mode(self, batch_size: int) -> str:
+        """Pick the parallelism axis for one batch (``"inter"``/``"intra"``).
+
+        Big batches keep the pool busy with one query per worker (least
+        coordination per unit of work); batches smaller than the pool would
+        leave workers idle, so — when the service wraps a sharded index —
+        each query is instead fanned over the index's shards.  Both paths
+        return identical ids and scores, so this is purely a scheduling
+        decision; :class:`BatchResponse.mode` records the choice.
+        """
+        if self.sharded_index is None or batch_size == 0:
+            return "inter"
+        limit = self.config.intra_query_batch_max
+        if limit is None:
+            limit = max(2, self._pool.workers) - 1
+        return "intra" if 0 < batch_size <= limit else "inter"
+
+    def _scan_inter_query(self, states, k: int,
+                          timings: Optional[StageTimings],
+                          ) -> List[RetrievalResult]:
+        """Spread whole queries over the pool (the PR-1 batch path)."""
+        collect = timings is not None
+        chunk_size = resolve_chunk_size(len(states), self._pool.workers,
                                         self.config.chunk_size)
         spans = chunk_spans(len(states), chunk_size)
-        collect = self.config.collect_timings
 
         def run_chunk(span: Tuple[int, int]):
             start, stop = span
@@ -122,40 +185,51 @@ class RetrievalService:
                 buffer, stats = self.index._scan(state, k,
                                                  timings=chunk_timings)
                 elapsed = time.perf_counter() - scan_started
-                positions, scores = buffer.items_and_scores()
-                ids = [int(self.index.order[p]) for p in positions]
-                chunk_results.append(RetrievalResult(
-                    ids=ids, scores=scores, stats=stats, elapsed=elapsed,
+                chunk_results.append(assemble_result(
+                    self.index.order, *buffer.items_and_scores(),
+                    stats, elapsed,
                 ))
             return chunk_results, chunk_timings
 
-        chunk_outputs = self._pool.map(run_chunk, spans)
-
         results: List[RetrievalResult] = []
-        timings: Optional[StageTimings] = None
-        if collect:
-            timings = StageTimings(prepare=prepare_time)
-        for chunk_results, chunk_timings in chunk_outputs:
+        for chunk_results, chunk_timings in self._pool.map(run_chunk, spans):
             results.extend(chunk_results)
             if timings is not None and chunk_timings is not None:
                 timings.merge(chunk_timings)
+        return results
 
-        total_stats = aggregate_stats(r.stats for r in results)
-        elapsed = time.perf_counter() - wall_started
-        self._observe(results, total_stats, elapsed, timings)
-        return BatchResponse(results=results, stats=total_stats,
-                             elapsed=elapsed, prepare_time=prepare_time,
-                             timings=timings)
+    def _scan_intra_query(self, states, k: int,
+                          timings: Optional[StageTimings],
+                          ) -> List[RetrievalResult]:
+        """Answer queries one at a time, each fanned over the index shards."""
+        sharded = self.sharded_index
+        collect = timings is not None
+        results: List[RetrievalResult] = []
+        for state in states:
+            scan_started = time.perf_counter()
+            buffer, stats, _reports, scan_timings = sharded._scan_sharded(
+                state, k, pool=self._pool, collect_timings=collect,
+            )
+            elapsed = time.perf_counter() - scan_started
+            if timings is not None and scan_timings is not None:
+                timings.merge(scan_timings)
+            results.append(assemble_result(
+                self.index.order, *buffer.items_and_scores(),
+                stats, elapsed,
+            ))
+        return results
 
     # ------------------------------------------------------------------
     # Metrics and lifecycle
     # ------------------------------------------------------------------
 
     def _observe(self, results: List[RetrievalResult], stats: PruningStats,
-                 elapsed: float, timings: Optional[StageTimings]) -> None:
+                 elapsed: float, timings: Optional[StageTimings],
+                 mode: str = "inter") -> None:
         metrics = self.metrics
         metrics.counter("batches").inc()
         metrics.counter("queries").inc(len(results))
+        metrics.counter(f"policy.{mode}_query").inc()
         batch_hist = metrics.histogram("latency.batch_seconds")
         batch_hist.observe(elapsed)
         scan_hist = metrics.histogram("latency.scan_seconds")
@@ -166,8 +240,22 @@ class RetrievalService:
             metrics.record_stage_timings(timings)
 
     def metrics_snapshot(self) -> dict:
-        """A JSON-serializable snapshot of the service's metrics."""
-        return self.metrics.snapshot()
+        """A JSON-serializable snapshot of the service's metrics.
+
+        Besides the registry contents this reports the deployment shape:
+        ``workers`` (requested vs. core-clamped resolved pool size and the
+        host core count) and ``shards`` (the wrapped index's shard count,
+        or ``None`` for a plain single-scan index).
+        """
+        snapshot = self.metrics.snapshot()
+        snapshot["workers"] = {
+            "requested": self._pool.requested,
+            "resolved": self._pool.workers,
+            "host_cores": os.cpu_count() or 1,
+        }
+        snapshot["shards"] = (self.sharded_index.n_shards
+                              if self.sharded_index is not None else None)
+        return snapshot
 
     def close(self) -> None:
         """Shut the worker pool down; the service cannot serve afterwards."""

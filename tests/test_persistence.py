@@ -51,3 +51,41 @@ def test_load_rejects_wrong_payload_type(tmp_path):
         pickle.dump({"format": 1, "index": "not an index"}, handle)
     with pytest.raises(ValidationError):
         FexiproIndex.load(path)
+
+
+# ----------------------------------------------------------------------
+# Sharded index persistence
+# ----------------------------------------------------------------------
+
+def test_sharded_save_load_round_trip(tmp_path, small_items, small_queries):
+    from repro import ShardedFexiproIndex
+
+    sharded = ShardedFexiproIndex(small_items, shards=5, workers=3,
+                                  variant="F-SIR")
+    path = tmp_path / "sharded.pkl"
+    sharded.save(path)
+    loaded = ShardedFexiproIndex.load(path)
+    assert loaded.n_shards == 5
+    assert loaded.workers == 3
+    assert loaded.spans == sharded.spans
+    assert loaded._pool is None  # pools are never persisted
+    for q in small_queries[:5]:
+        a = sharded.query(q, k=6)
+        b = loaded.query(q, k=6)
+        assert a.ids == b.ids
+        assert a.scores == b.scores
+
+
+def test_sharded_and_plain_formats_reject_each_other(tmp_path, small_items):
+    from repro import ShardedFexiproIndex
+
+    sharded = ShardedFexiproIndex(small_items, shards=3, workers=1)
+    sharded_path = tmp_path / "sharded.pkl"
+    sharded.save(sharded_path)
+    with pytest.raises(ValidationError):
+        FexiproIndex.load(sharded_path)
+
+    plain_path = tmp_path / "plain.pkl"
+    sharded.index.save(plain_path)
+    with pytest.raises(ValidationError):
+        ShardedFexiproIndex.load(plain_path)

@@ -257,3 +257,104 @@ def test_service_config_validation():
         ServiceConfig(default_k=0)
     config = ServiceConfig(workers=2, chunk_size=5, default_k=3)
     assert (config.workers, config.chunk_size, config.default_k) == (2, 5, 3)
+
+
+# ----------------------------------------------------------------------
+# Adaptive parallelism policy (sharded index serving)
+# ----------------------------------------------------------------------
+
+def _sharded_service(config=None, n=400, d=12, seed=89, shards=4):
+    from repro import ShardedFexiproIndex
+
+    items, queries = make_mf_like(n, d, seed=seed)
+    sharded = ShardedFexiproIndex(items, shards=shards, workers=2,
+                                  variant="F-SIR")
+    return RetrievalService(sharded, config), queries
+
+
+def test_service_accepts_sharded_index_and_routes_small_batches():
+    service, queries = _sharded_service(ServiceConfig(workers=2))
+    with service:
+        one = service.batch(queries[:1], k=5)
+        many = service.batch(queries, k=5)
+        snapshot = service.metrics_snapshot()
+    assert one.mode == "intra"
+    assert many.mode == "inter"
+    assert snapshot["counters"]["policy.intra_query"] == 1
+    assert snapshot["counters"]["policy.inter_query"] == 1
+    serial = [service.index.query(q, k=5) for q in queries]
+    assert one.results[0].ids == serial[0].ids
+    assert one.results[0].scores == serial[0].scores
+    for a, b in zip(many.results, serial):
+        assert a.ids == b.ids
+        assert a.scores == b.scores
+
+
+def test_intra_query_batch_max_overrides_policy():
+    forced, queries = _sharded_service(
+        ServiceConfig(workers=2, intra_query_batch_max=1_000))
+    with forced as service:
+        response = service.batch(queries, k=4)
+    assert response.mode == "intra"
+    serial = [service.index.query(q, k=4) for q in queries]
+    for a, b in zip(response.results, serial):
+        assert a.ids == b.ids and a.scores == b.scores
+
+    disabled, queries = _sharded_service(
+        ServiceConfig(workers=2, intra_query_batch_max=0))
+    with disabled as service:
+        response = service.batch(queries[:1], k=4)
+    assert response.mode == "inter"
+
+
+def test_plain_index_never_routes_intra():
+    items, queries = make_mf_like(300, 10, seed=90)
+    index = FexiproIndex(items)
+    with RetrievalService(index, ServiceConfig(workers=2)) as service:
+        response = service.batch(queries[:1], k=3)
+        snapshot = service.metrics_snapshot()
+    assert response.mode == "inter"
+    assert snapshot["shards"] is None
+
+
+def test_intra_path_collects_timings_and_metrics():
+    service, queries = _sharded_service(ServiceConfig(workers=2))
+    with service:
+        response = service.batch(queries[:1], k=5)
+        snapshot = service.metrics_snapshot()
+    assert response.mode == "intra"
+    assert response.timings is not None
+    assert response.timings.total > 0.0
+    assert snapshot["counters"]["queries"] == 1
+    assert snapshot["histograms"]["latency.scan_seconds"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# Worker resolution
+# ----------------------------------------------------------------------
+
+def test_worker_pool_clamps_to_host_cores():
+    import os
+
+    cores = os.cpu_count() or 1
+    pool = WorkerPool(1_000)
+    assert pool.requested == 1_000
+    assert pool.workers == min(1_000, cores)
+    pool.close()
+    pool = WorkerPool(1)
+    assert (pool.requested, pool.workers) == (1, 1)
+    pool.close()
+
+
+def test_metrics_snapshot_reports_deployment_shape():
+    import os
+
+    items, queries = make_mf_like(200, 8, seed=91)
+    index = FexiproIndex(items)
+    with RetrievalService(index, ServiceConfig(workers=3)) as service:
+        service.batch(queries[:2], k=3)
+        snapshot = service.metrics_snapshot()
+    workers = snapshot["workers"]
+    assert workers["requested"] == 3
+    assert workers["resolved"] == min(3, os.cpu_count() or 1)
+    assert workers["host_cores"] == (os.cpu_count() or 1)

@@ -97,3 +97,43 @@ def test_negative_scores_supported():
         buf.push(score, i)
     __, scores = buf.items_and_scores()
     assert scores == [-1.0, -3.0]
+
+
+def test_merge_equals_sequential_pushes():
+    pairs = [(3.0, 0), (1.0, 1), (4.0, 2), (1.5, 3), (9.0, 4), (2.6, 5)]
+    sequential = TopKBuffer(3)
+    for score, item in pairs:
+        sequential.push(score, item)
+    left, right = TopKBuffer(3), TopKBuffer(3)
+    for score, item in pairs[:3]:
+        left.push(score, item)
+    for score, item in pairs[3:]:
+        right.push(score, item)
+    assert left.merge(right) is left
+    assert left.items_and_scores() == sequential.items_and_scores()
+    assert left.threshold == sequential.threshold
+
+
+def test_merge_with_duplicate_scores_keeps_scan_order_ties():
+    # Ties at the k-th slot are decided by scan order: a later item with
+    # an equal score is not an improvement.  Merging replays the other
+    # buffer in ascending item order, so a split scan resolves ties
+    # exactly like the sequential scan that saw all items in order.
+    sequential = TopKBuffer(2)
+    for item in range(5):
+        sequential.push(1.0, item)
+    left, right = TopKBuffer(2), TopKBuffer(2)
+    for item in (0, 1):
+        left.push(1.0, item)
+    for item in (2, 3, 4):
+        right.push(1.0, item)
+    left.merge(right)
+    assert left.items_and_scores() == sequential.items_and_scores()
+    assert left.items_and_scores()[0] == [0, 1]
+
+
+def test_merge_empty_and_partial_buffers():
+    empty, partial = TopKBuffer(3), TopKBuffer(3)
+    partial.push(2.0, 7)
+    assert empty.merge(partial).items_and_scores() == ([7], [2.0])
+    assert partial.merge(TopKBuffer(3)).items_and_scores() == ([7], [2.0])
