@@ -286,8 +286,37 @@ def _cmd_serve(args) -> None:
          for stage, seconds in snapshot["stage_seconds"].items()],
     )
 
+    if args.deadline_ms is not None:
+        _serve_deadline_section(args, workload, index, serial)
+
     if args.shards:
         _serve_sharded_section(args, workload, index, serial, serial_time)
+
+
+def _serve_deadline_section(args, workload, index, serial) -> None:
+    """The ``--deadline-ms`` addendum: exact-prefix degradation in action."""
+    from .serve import RetrievalService, ServiceConfig
+
+    report.print_header(
+        f"Deadline degradation - {args.deadline_ms} ms budget per query"
+    )
+    config = ServiceConfig(workers=args.workers,
+                           deadline_ms=args.deadline_ms)
+    with RetrievalService(index, config) as service:
+        response = service.batch(workload.queries, k=args.k)
+    hits = 0
+    for result, truth in zip(response.results, serial):
+        hits += len(set(result.ids) & set(truth.ids))
+    m = len(workload.queries)
+    report.print_table(
+        ["metric", "value"],
+        [["queries degraded (deadline hit)", response.deadline_hits],
+         ["batch complete", response.complete],
+         [f"recall@{args.k} of degraded batch vs full scan",
+          round(hits / (args.k * m), 3) if m else 0.0],
+         ["items scanned (batch total)", response.stats.scanned],
+         ["items in scope (batch total)", response.stats.n_items]],
+    )
 
 
 def _serve_sharded_section(args, workload, index, serial,
@@ -437,6 +466,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="also demo intra-query parallelism: fan "
                                   "each query over this many length-band "
                                   "shards (0 = off)")
+            cmd.add_argument("--deadline-ms", type=float, default=None,
+                             help="per-query scan budget in ms; expired "
+                                  "queries degrade to the exact top-k of "
+                                  "the scanned length-sorted prefix "
+                                  "(default: no deadline)")
         cmd.set_defaults(func=func)
     return parser
 

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
+from .. import _faultsites
 from .stats import PruningStats, StageTimings
 from .topk import TopKBuffer
 
@@ -65,7 +66,7 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
                  block_size: int = DEFAULT_BLOCK_SIZE,
                  timings: Optional[StageTimings] = None,
                  *, start: int = 0, stop: Optional[int] = None,
-                 shared=None,
+                 shared=None, deadline=None,
                  ) -> Tuple[TopKBuffer, PruningStats]:
     """Blocked, vectorized equivalent of :func:`repro.core.scanner.scan_reference`.
 
@@ -83,6 +84,18 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
     read merely weakens pruning — decisions stay exact — and with the
     defaults (full span, no cell) the scan is bit-identical to the
     reference engine.
+
+    ``deadline`` is an optional :class:`repro.serve.resilience.Deadline`,
+    polled at the same block boundaries as ``shared``.  On expiry the scan
+    stops *before* the next block and flags ``stats.deadline_hit``; the
+    returned buffer is then the **exact** top-k of the ``stats.scanned``
+    items visited so far — every pruned item is provably below the achieved
+    threshold, and the length-sorted order makes the visited set a
+    contiguous prefix.  A deadline that never fires changes nothing: the
+    poll only gates which blocks run, never how any item is scored
+    (property-tested).  Each block boundary is also a ``scan``
+    fault-injection site (:mod:`repro._faultsites`), a no-op unless an
+    injector is armed.
     """
     stop = index.n if stop is None else stop
     buffer = TopKBuffer(k)
@@ -116,6 +129,11 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
     for bstart, bstop in block_schedule(stop - start, k, block_size):
         bstart += start
         bstop += start
+        if deadline is not None and deadline.expired():
+            stats.deadline_hit = 1
+            break
+        if _faultsites.active is not None:
+            _faultsites.fire(_faultsites.SCAN, f"block={bstart}")
         if shared is not None:
             polled = shared.value
             if polled > t:

@@ -373,32 +373,31 @@ class FexiproIndex:
     # ------------------------------------------------------------------
 
     def save(self, path) -> None:
-        """Persist the preprocessed index to ``path`` (pickle format).
+        """Persist the preprocessed index to ``path`` (checksummed pickle).
 
         Recommender deployments preprocess offline and serve online; this
         avoids re-running the thin SVD / scaling / reduction at start-up.
-        Only load files you trust — pickle executes code on load.
+        The file carries a SHA-256 checksum of the serialized payload
+        (format 2, :mod:`repro.core.persist`), so corruption fails loudly
+        at load time.  Only load files you trust — pickle executes code on
+        load.
         """
-        import pickle
+        from .persist import save_checksummed
 
-        with open(path, "wb") as handle:
-            pickle.dump({"format": 1, "index": self}, handle,
-                        protocol=pickle.HIGHEST_PROTOCOL)
+        save_checksummed(path, "FexiproIndex", self)
 
     @classmethod
     def load(cls, path) -> "FexiproIndex":
-        """Load an index previously stored with :meth:`save`."""
-        import pickle
+        """Load an index previously stored with :meth:`save`.
 
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-        if not isinstance(payload, dict) or payload.get("format") != 1:
-            raise ValidationError(f"{path!r} is not a saved FexiproIndex")
-        index = payload["index"]
-        if not isinstance(index, cls):
-            raise ValidationError(f"{path!r} does not contain a "
-                                  f"{cls.__name__}")
-        return index
+        Verifies the embedded checksum first and raises
+        :class:`~repro.exceptions.IndexIntegrityError` (naming the path)
+        for truncated, bit-flipped or undecodable files; format-1 files
+        from older versions load through a compatibility path.
+        """
+        from .persist import load_checksummed
+
+        return load_checksummed(path, "FexiproIndex", cls)
 
     # ------------------------------------------------------------------
     # Internals
@@ -412,10 +411,12 @@ class FexiproIndex:
         """
         return prepare_query_states(self, q.reshape(1, -1))[0]
 
-    def _scan(self, qs: QueryState, k: int, timings=None):
+    def _scan(self, qs: QueryState, k: int, timings=None, deadline=None):
         if self.engine == "reference":
-            return scan_reference(self, qs, k, timings=timings)
-        return scan_blocked(self, qs, k, self.block_size, timings=timings)
+            return scan_reference(self, qs, k, timings=timings,
+                                  deadline=deadline)
+        return scan_blocked(self, qs, k, self.block_size, timings=timings,
+                            deadline=deadline)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

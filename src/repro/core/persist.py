@@ -1,0 +1,132 @@
+"""Versioned, checksummed index persistence (save format 2).
+
+Format-1 files (PRs 1–2) were a single pickled ``{"format": 1, "index":
+obj}`` dict: corruption surfaced as a raw ``UnpicklingError`` (or worse,
+loaded silently).  Format 2 splits the file into a small pickled *header*
+followed by the pickled *payload bytes*, with the payload's SHA-256 and
+length recorded in the header::
+
+    pickle({"format": 2, "kind": "FexiproIndex",
+            "sha256": <hex digest of payload>, "nbytes": <len(payload)>})
+    <payload bytes: pickle(index)>
+
+``load_checksummed`` verifies length and digest *before* unpickling the
+payload, so a bit-flipped or truncated file fails loudly with
+:class:`~repro.exceptions.IndexIntegrityError` naming the path — it never
+reaches the unpickler.  Format-1 files still load through a compatibility
+path (no checksum to verify), and undecodable files of either vintage are
+wrapped in the same error instead of leaking ``EOFError`` /
+``UnpicklingError``.
+
+``kind`` keeps the plain and sharded formats rejecting each other, as
+before — a *well-formed* file of the wrong kind is a caller mistake
+(:class:`~repro.exceptions.ValidationError`), not corruption.
+
+The serialized payload passes through the ``io`` fault site
+(:mod:`repro._faultsites`) *after* the checksum is computed, modelling
+bit rot between write and read — so the integrity machinery is tested
+end to end by injecting real byte corruption, not by monkeypatching
+hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+from .. import _faultsites
+from ..exceptions import IndexIntegrityError, ValidationError
+
+#: Current on-disk format version.
+FORMAT_VERSION = 2
+
+
+def save_checksummed(path, kind: str, obj) -> None:
+    """Write ``obj`` to ``path`` in the checksummed format-2 layout."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    header = {
+        "format": FORMAT_VERSION,
+        "kind": kind,
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "nbytes": len(payload),
+    }
+    # The fault site sits between checksum and write — an injected
+    # ``corrupt`` models the disk flipping bits under us, which load
+    # must catch against the vouched-for digest.
+    payload = _faultsites.transform(_faultsites.IO, payload,
+                                    f"save:{path}")
+    with open(path, "wb") as handle:
+        pickle.dump(header, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.write(payload)
+
+
+def load_checksummed(path, kind: str, cls):
+    """Load and verify an index saved by :func:`save_checksummed`.
+
+    Accepts format-2 (verified) and legacy format-1 (unverified) files.
+    Raises :class:`IndexIntegrityError` for unreadable, truncated or
+    corrupted files, and :class:`ValidationError` for well-formed files
+    that are simply not a saved ``cls``.
+    """
+    handle = open(path, "rb")  # a missing file is the caller's error,
+    with handle:               # not corruption: FileNotFoundError stands
+        try:
+            head = pickle.load(handle)
+        except Exception as error:
+            raise IndexIntegrityError(
+                path, f"unreadable header ({type(error).__name__}: {error})"
+            ) from error
+        if isinstance(head, dict) and head.get("format") == 1:
+            # Legacy single-pickle layout: the header *is* the payload.
+            return _check_kind(path, cls, head.get("index"))
+        if not isinstance(head, dict) or \
+                head.get("format") != FORMAT_VERSION:
+            raise ValidationError(
+                f"{str(path)!r} is not a saved {cls.__name__}"
+            )
+        if head.get("kind") != kind:
+            raise ValidationError(
+                f"{str(path)!r} does not contain a {cls.__name__} "
+                f"(found kind {head.get('kind')!r})"
+            )
+        nbytes, sha256 = head.get("nbytes"), head.get("sha256")
+        if not isinstance(nbytes, int) or not isinstance(sha256, str):
+            raise IndexIntegrityError(
+                path, "format-2 header is missing nbytes/sha256"
+            )
+        try:
+            payload = handle.read(nbytes + 1)
+        except OSError as error:
+            raise IndexIntegrityError(
+                path, f"cannot read payload ({error})"
+            ) from error
+
+    if len(payload) != nbytes:
+        raise IndexIntegrityError(
+            path,
+            f"payload is {len(payload)} bytes, header promises "
+            f"{nbytes} (truncated or trailing garbage)",
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != sha256:
+        raise IndexIntegrityError(
+            path,
+            f"payload checksum mismatch (stored {sha256[:12]}…, "
+            f"computed {digest[:12]}…)",
+        )
+    try:
+        obj = pickle.loads(payload)
+    except Exception as error:  # checksum passed but payload undecodable
+        raise IndexIntegrityError(
+            path, f"payload failed to unpickle ({type(error).__name__}: "
+                  f"{error})"
+        ) from error
+    return _check_kind(path, cls, obj)
+
+
+def _check_kind(path, cls, obj):
+    if not isinstance(obj, cls):
+        raise ValidationError(
+            f"{str(path)!r} does not contain a {cls.__name__}"
+        )
+    return obj

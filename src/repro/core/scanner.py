@@ -16,6 +16,7 @@ import math
 from time import perf_counter
 from typing import TYPE_CHECKING, Optional, Tuple
 
+from .. import _faultsites
 from .bounds import scaled_head_bound, scaled_tail_bound
 from .stats import PruningStats, StageTimings
 from .topk import TopKBuffer
@@ -26,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - imported only for type checking
 
 def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
                    timings: Optional[StageTimings] = None,
+                   *, deadline=None,
                    ) -> Tuple[TopKBuffer, PruningStats]:
     """Run Algorithm 4 with the Algorithm 5 coordinate scan, one item at a time.
 
@@ -43,7 +45,15 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
         Optional :class:`~repro.core.stats.StageTimings` record; when given,
         per-stage wall time is accumulated into it.  Per-item clock calls
         carry real overhead — use for analysis, not throughput runs.
+    deadline:
+        Optional :class:`repro.serve.resilience.Deadline`.  This engine has
+        no blocks, so the poll runs per item; on expiry the scan stops and
+        flags ``stats.deadline_hit`` — the buffer is then the exact top-k
+        of the length-sorted prefix visited, same contract as
+        :func:`repro.core.blocked.scan_blocked`.
     """
+    if _faultsites.active is not None:
+        _faultsites.fire(_faultsites.SCAN, "scan_reference")
     buffer = TopKBuffer(k)
     stats = PruningStats(n_items=index.n)
 
@@ -64,6 +74,9 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
     t_prime = -math.inf
 
     for i in range(index.n):
+        if deadline is not None and deadline.expired():
+            stats.deadline_hit = 1
+            break
         # Line 11 of Algorithm 4: Cauchy-Schwarz early termination.  The
         # items are sorted by decreasing original length, so the first
         # failure ends the whole scan.

@@ -57,6 +57,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from .. import _faultsites
 from .._validation import as_query_vector, check_k
 from ..exceptions import ValidationError
 from .blocked import scan_blocked
@@ -318,7 +319,7 @@ class ShardedFexiproIndex:
     # ------------------------------------------------------------------
 
     def _scan_sharded(self, qs: QueryState, k: int, *, pool=None,
-                      collect_timings: bool = False):
+                      collect_timings: bool = False, deadline=None):
         """Fan one prepared query out over the shards and merge exactly.
 
         Returns ``(merged_buffer, total_stats, reports, timings)``.  The
@@ -327,18 +328,33 @@ class ShardedFexiproIndex:
         pool is used.  With one worker the pool runs the shard closures
         inline in submission order — the deterministic mode the property
         tests pin down.
+
+        ``deadline`` (a :class:`repro.serve.resilience.Deadline`) is polled
+        at shard boundaries — an expired deadline returns a shard unscanned
+        with ``deadline_hit`` set — and forwarded into each shard's
+        :func:`scan_blocked`, which polls it at block boundaries.  The
+        merged degraded result is the exact top-k of the union of the
+        per-shard scanned prefixes: every threshold in the shared cell was
+        achieved by collected (scanned) items, so pruned and unvisited
+        items are provably below the merged buffer's k-th score.  Each
+        shard runs under a ``shard=<i>`` fault-injection tag so injector
+        rules can fail shard scans without touching single-scan fallbacks.
         """
         index = self.index
         spans = self.spans
         norms = index.norms_sorted
         shared = SharedThreshold()
 
-        def run_shard(span: Tuple[int, int]):
-            start, stop = span
+        def run_shard(numbered: Tuple[int, Tuple[int, int]]):
+            shard_id, (start, stop) = numbered
             shard_timings = StageTimings() if collect_timings else None
             seed = shared.value
             if start >= stop:
                 return (TopKBuffer(k), PruningStats(), seed, shard_timings)
+            if deadline is not None and deadline.expired():
+                # Shard-boundary deadline poll: the band stays unscanned.
+                stats = PruningStats(n_items=stop - start, deadline_hit=1)
+                return (TopKBuffer(k), stats, seed, shard_timings)
             if qs.q_norm * float(norms[start]) <= seed:
                 # Cauchy-Schwarz at shard granularity: no item in this
                 # shard can beat a threshold already achieved by k
@@ -347,14 +363,17 @@ class ShardedFexiproIndex:
                                      length_terminated=1,
                                      shards_skipped=1)
                 return (TopKBuffer(k), stats, seed, shard_timings)
-            buffer, stats = scan_blocked(
-                index, qs, k, index.block_size, timings=shard_timings,
-                start=start, stop=stop, shared=shared,
-            )
+            with _faultsites.tagged(f"shard={shard_id}"):
+                buffer, stats = scan_blocked(
+                    index, qs, k, index.block_size, timings=shard_timings,
+                    start=start, stop=stop, shared=shared,
+                    deadline=deadline,
+                )
             shared.offer(buffer.threshold)
             return (buffer, stats, seed, shard_timings)
 
-        outputs = self._resolve_pool(pool).map(run_shard, spans)
+        outputs = self._resolve_pool(pool).map(run_shard,
+                                               list(enumerate(spans)))
 
         merged = TopKBuffer(k)
         total = PruningStats()
@@ -390,32 +409,26 @@ class ShardedFexiproIndex:
     def save(self, path) -> None:
         """Persist the sharded index (inner index + shard configuration).
 
-        Same pickle caveats as :meth:`FexiproIndex.save`; the worker pool
-        is never stored — it is recreated (and re-clamped to the loading
-        host's cores) on first use.
+        Checksummed format 2 (:mod:`repro.core.persist`), same pickle
+        caveats as :meth:`FexiproIndex.save`; the worker pool is never
+        stored — it is recreated (and re-clamped to the loading host's
+        cores) on first use.
         """
-        import pickle
+        from .persist import save_checksummed
 
-        with open(path, "wb") as handle:
-            pickle.dump({"format": 1, "index": self}, handle,
-                        protocol=pickle.HIGHEST_PROTOCOL)
+        save_checksummed(path, "ShardedFexiproIndex", self)
 
     @classmethod
     def load(cls, path) -> "ShardedFexiproIndex":
-        """Load an index previously stored with :meth:`save`."""
-        import pickle
+        """Load an index previously stored with :meth:`save`.
 
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-        if not isinstance(payload, dict) or payload.get("format") != 1:
-            raise ValidationError(
-                f"{path!r} is not a saved ShardedFexiproIndex"
-            )
-        index = payload["index"]
-        if not isinstance(index, cls):
-            raise ValidationError(f"{path!r} does not contain a "
-                                  f"{cls.__name__}")
-        return index
+        Checksum-verified; corrupted or truncated files raise
+        :class:`~repro.exceptions.IndexIntegrityError` naming the path,
+        and legacy format-1 files load through a compatibility path.
+        """
+        from .persist import load_checksummed
+
+        return load_checksummed(path, "ShardedFexiproIndex", cls)
 
     def __getstate__(self):
         state = self.__dict__.copy()

@@ -41,6 +41,12 @@ class PruningStats:
       Cauchy–Schwarz test applied at shard granularity by
       :class:`repro.core.sharded.ShardedFexiproIndex`).  Always 0 for a
       single-shard scan.
+    - ``deadline_hit``: 1 if the scan was truncated by an expired
+      :class:`~repro.serve.resilience.Deadline` (per shard for the sharded
+      scan, so merged records count affected shards).  The scan visits
+      items in descending-length order, so a truncated result is still the
+      *exact* top-k of the ``scanned`` prefix — but not necessarily of the
+      whole index; :attr:`RetrievalResult.complete` exposes the flag.
     """
 
     n_items: int = 0
@@ -52,6 +58,7 @@ class PruningStats:
     pruned_monotone: int = 0
     full_products: int = 0
     shards_skipped: int = 0
+    deadline_hit: int = 0
 
     def merge(self, other: "PruningStats") -> None:
         """Accumulate another query's counters into this record (in place)."""
@@ -180,6 +187,16 @@ class RetrievalResult:
     scores: List[float] = field(default_factory=list)
     stats: PruningStats = field(default_factory=PruningStats)
     elapsed: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        """``False`` when a deadline truncated the scan.
+
+        An incomplete result is still the *exact* top-k of the
+        length-sorted prefix the scan visited (``stats.scanned`` items) —
+        the exact-prefix degradation contract of ``DESIGN.md`` §2.8.
+        """
+        return self.stats.deadline_hit == 0
 
     def __len__(self) -> int:
         return len(self.ids)

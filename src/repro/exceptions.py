@@ -32,3 +32,51 @@ class DimensionMismatchError(ValidationError):
         )
         self.expected = expected
         self.got = got
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A query's deadline expired and the service policy is ``"fail"``.
+
+    Under the default ``"degrade"`` policy no exception is raised; the scan
+    instead returns the exact top-k of the length-sorted prefix it visited,
+    flagged ``complete=False``.
+    """
+
+    def __init__(self, message: str, *, items_scanned: int = 0):
+        super().__init__(message)
+        self.items_scanned = items_scanned
+
+
+class ServiceClosedError(ReproError, RuntimeError):
+    """A serving component (pool or service) was used after ``close()``.
+
+    Use-after-close is a lifecycle bug in the *caller*, not an input
+    validation failure, so this deliberately does not subclass
+    :class:`ValidationError`.
+    """
+
+
+class IndexIntegrityError(ReproError, RuntimeError):
+    """A saved index file failed verification on load.
+
+    Raised for truncated files, undecodable pickles and checksum mismatches
+    (bit rot, partial writes, corruption in transit).  The message always
+    names the offending path.
+    """
+
+    def __init__(self, path, reason: str):
+        super().__init__(f"cannot load index from {str(path)!r}: {reason}")
+        self.path = str(path)
+        self.reason = reason
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A fault raised on purpose by :class:`repro.serve.faults.FaultInjector`.
+
+    ``transient`` marks faults the serving layer is allowed to retry once
+    (the injector's model of e.g. a page-cache hiccup vs. a poisoned query).
+    """
+
+    def __init__(self, message: str, *, transient: bool = False):
+        super().__init__(message)
+        self.transient = bool(transient)

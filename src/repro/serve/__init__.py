@@ -15,7 +15,12 @@ layer:
   tunables;
 - :class:`MetricsRegistry`, :class:`Counter`, :class:`Histogram` — a
   dependency-free metrics substrate the engines feed;
-- :class:`WorkerPool` + chunking helpers — the execution layer.
+- :class:`WorkerPool` + chunking helpers — the execution layer;
+- a failure model (PR 3): per-query :class:`Deadline` budgets with
+  exact-prefix degradation, per-query fault isolation surfacing
+  :class:`QueryError` entries (with a bounded :class:`RetryPolicy`), a
+  :class:`CircuitBreaker` guarding the intra-query shard fan-out, and a
+  deterministic :class:`FaultInjector` for chaos testing.
 
 Exactness is inherited, not re-proven: the service prepares every query
 with :func:`repro.core.index.prepare_query_states` — the same single
@@ -36,24 +41,39 @@ Quickstart::
 
 from .config import ServiceConfig, default_workers
 from .executor import WorkerPool, chunk_spans, resolve_chunk_size
+from .faults import FaultInjector, FaultRule
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
     Histogram,
     MetricsRegistry,
 )
+from .resilience import (
+    CircuitBreaker,
+    Deadline,
+    QueryError,
+    RetryPolicy,
+    is_transient,
+)
 from .service import BatchResponse, RetrievalService
 
 __all__ = [
     "BatchResponse",
+    "CircuitBreaker",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "Deadline",
+    "FaultInjector",
+    "FaultRule",
     "Histogram",
     "MetricsRegistry",
+    "QueryError",
     "RetrievalService",
+    "RetryPolicy",
     "ServiceConfig",
     "WorkerPool",
     "chunk_spans",
     "default_workers",
+    "is_transient",
     "resolve_chunk_size",
 ]

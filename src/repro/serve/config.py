@@ -50,6 +50,32 @@ class ServiceConfig:
         worker parallelism saturates the host with less coordination than
         fanning each query over shards.  ``0`` disables the intra-query
         path entirely.  Ignored for plain :class:`FexiproIndex` services.
+    deadline_ms:
+        Per-query scan time budget in milliseconds (``None`` = unlimited).
+        A fresh monotonic :class:`~repro.serve.resilience.Deadline` is
+        armed per query and polled at block/shard boundaries; expiry
+        behaviour follows ``deadline_policy``.
+    deadline_policy:
+        ``"degrade"`` (default): an expired query returns the exact top-k
+        of the length-sorted prefix it scanned, flagged
+        ``complete=False`` with ``stats.deadline_hit`` set.  ``"fail"``:
+        the query raises
+        :class:`~repro.exceptions.DeadlineExceededError` instead
+        (surfaced per query in :attr:`BatchResponse.errors`; re-raised by
+        :meth:`RetrievalService.query`).
+    retries:
+        Bounded re-executions after a *transient* per-query fault
+        (exceptions carrying ``transient=True``); default 1.  Deadline
+        expiry is never retried.
+    retry_backoff_ms:
+        Sleep between attempts (via the service's injectable ``sleep``).
+    breaker_threshold:
+        Consecutive intra-query (shard fan-out) failures that trip the
+        circuit breaker; an open breaker routes batches to the proven
+        single-scan path until a cooldown probe succeeds.
+    breaker_cooldown_ms:
+        How long an open breaker refuses the intra path before letting one
+        half-open probe through.
     """
 
     workers: int = 4
@@ -57,6 +83,12 @@ class ServiceConfig:
     default_k: int = 10
     collect_timings: bool = True
     intra_query_batch_max: Optional[int] = None
+    deadline_ms: Optional[float] = None
+    deadline_policy: str = "degrade"
+    retries: int = 1
+    retry_backoff_ms: float = 0.0
+    breaker_threshold: int = 3
+    breaker_cooldown_ms: float = 1000.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.workers, int) or self.workers < 1:
@@ -79,4 +111,44 @@ class ServiceConfig:
             raise ValidationError(
                 f"intra_query_batch_max must be a non-negative integer or "
                 f"None; got {self.intra_query_batch_max!r}"
+            )
+        if self.deadline_ms is not None and not (
+                isinstance(self.deadline_ms, (int, float))
+                and not isinstance(self.deadline_ms, bool)
+                and self.deadline_ms > 0):
+            raise ValidationError(
+                f"deadline_ms must be a positive number or None; "
+                f"got {self.deadline_ms!r}"
+            )
+        if self.deadline_policy not in ("degrade", "fail"):
+            raise ValidationError(
+                f"deadline_policy must be 'degrade' or 'fail'; "
+                f"got {self.deadline_policy!r}"
+            )
+        if not isinstance(self.retries, int) or isinstance(self.retries, bool) \
+                or self.retries < 0:
+            raise ValidationError(
+                f"retries must be a non-negative integer; "
+                f"got {self.retries!r}"
+            )
+        if not isinstance(self.retry_backoff_ms, (int, float)) or \
+                isinstance(self.retry_backoff_ms, bool) or \
+                self.retry_backoff_ms < 0:
+            raise ValidationError(
+                f"retry_backoff_ms must be non-negative; "
+                f"got {self.retry_backoff_ms!r}"
+            )
+        if not isinstance(self.breaker_threshold, int) or \
+                isinstance(self.breaker_threshold, bool) or \
+                self.breaker_threshold < 1:
+            raise ValidationError(
+                f"breaker_threshold must be a positive integer; "
+                f"got {self.breaker_threshold!r}"
+            )
+        if not isinstance(self.breaker_cooldown_ms, (int, float)) or \
+                isinstance(self.breaker_cooldown_ms, bool) or \
+                self.breaker_cooldown_ms < 0:
+            raise ValidationError(
+                f"breaker_cooldown_ms must be non-negative; "
+                f"got {self.breaker_cooldown_ms!r}"
             )

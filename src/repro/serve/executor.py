@@ -16,7 +16,8 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
-from ..exceptions import ValidationError
+from .. import _faultsites
+from ..exceptions import ServiceClosedError, ValidationError
 
 logger = logging.getLogger(__name__)
 
@@ -88,21 +89,53 @@ class WorkerPool:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._closed = False
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        """Apply ``fn`` to every item, returning results in input order."""
+    def map(self, fn: Callable[[T], R], items: Sequence[T], *,
+            return_exceptions: bool = False) -> List[R]:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        Each task passes through the ``worker`` fault-injection site
+        before running (a no-op unless an injector is armed).  With
+        ``return_exceptions=True`` a task that raises contributes its
+        exception object to the result list instead of poisoning the whole
+        map — the serving layer's per-chunk isolation hook.  Calling
+        ``map`` on a closed pool raises
+        :class:`~repro.exceptions.ServiceClosedError` (use-after-close is
+        a lifecycle bug, not input validation).
+        """
         if self._closed:
-            raise ValidationError("worker pool is closed")
+            raise ServiceClosedError("worker pool is closed")
+
+        def call(item: T):
+            if _faultsites.active is not None:
+                _faultsites.fire(_faultsites.WORKER, "pool.map")
+            return fn(item)
+
+        def guarded(item: T):
+            try:
+                return call(item)
+            except Exception as error:
+                return error
+
+        task = guarded if return_exceptions else call
         if self.workers == 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            return [task(item) for item in items]
         if self._executor is None:
             self._executor = ThreadPoolExecutor(
                 max_workers=self.workers,
                 thread_name_prefix="repro-serve",
             )
-        return list(self._executor.map(fn, items))
+        return list(self._executor.map(task, items))
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
 
     def close(self) -> None:
-        """Shut the pool down; further ``map`` calls raise."""
+        """Shut the pool down; further ``map`` calls raise.
+
+        Idempotent: closing an already-closed pool is a no-op.
+        """
         self._closed = True
         if self._executor is not None:
             self._executor.shutdown(wait=True)

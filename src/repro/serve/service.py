@@ -13,9 +13,31 @@ answered in two phases:
    kernels that release the GIL, so chunks genuinely overlap on multicore
    hosts.
 
+On top of the two phases sits a failure model (PR 3 — see ``DESIGN.md``
+§2.8):
+
+- **Deadlines** — ``ServiceConfig.deadline_ms`` arms a fresh monotonic
+  :class:`~repro.serve.resilience.Deadline` per query, polled by the
+  engines at block/shard boundaries.  Expiry either degrades (the exact
+  top-k of the scanned length-sorted prefix, ``complete=False``) or fails
+  the query (:class:`~repro.exceptions.DeadlineExceededError`), per
+  ``deadline_policy``.
+- **Per-query fault isolation** — a raising query no longer poisons the
+  batch: it becomes a structured
+  :class:`~repro.serve.resilience.QueryError` in
+  :attr:`BatchResponse.errors` (after one bounded retry for transient
+  faults), every other query is served normally.
+- **Circuit breaker** — consecutive intra-query shard-fan-out failures
+  open a :class:`~repro.serve.resilience.CircuitBreaker` that routes
+  subsequent batches to the proven single-scan path until a cooldown
+  probe succeeds; the failing query itself falls back to a single scan
+  immediately, so shard faults degrade latency, not availability.
+
 Every query feeds the service's :class:`~repro.serve.metrics.MetricsRegistry`
 with latency observations, pruning-counter rollups and (optionally) the
-engines' per-stage wall times.
+engines' per-stage wall times; resilience events surface as
+``policy.breaker_*``, ``deadline.*``, ``retries*`` and ``errors.queries``
+counters.
 """
 
 from __future__ import annotations
@@ -23,8 +45,9 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
+from .. import _faultsites
 from .._validation import as_query_matrix, as_query_vector, check_k
 from ..core.index import FexiproIndex, prepare_query_states
 from ..core.sharded import ShardedFexiproIndex
@@ -35,9 +58,11 @@ from ..core.stats import (
     aggregate_stats,
     assemble_result,
 )
+from ..exceptions import DeadlineExceededError, ServiceClosedError
 from .config import ServiceConfig
 from .executor import WorkerPool, chunk_spans, resolve_chunk_size
 from .metrics import MetricsRegistry
+from .resilience import CircuitBreaker, Deadline, QueryError, RetryPolicy
 
 
 @dataclass
@@ -51,14 +76,20 @@ class BatchResponse:
     which parallelism axis answered the batch: ``"inter"`` (queries spread
     over workers) or ``"intra"`` (each query fanned over index shards) —
     ids and scores are identical either way.
+
+    Failures are isolated per query: a failed query's slot in ``results``
+    is ``None`` and a structured :class:`QueryError` lands in ``errors``;
+    deadline-degraded queries keep their (exact-prefix) result with
+    ``complete=False``.  :attr:`complete` is the batch-level rollup.
     """
 
-    results: List[RetrievalResult] = field(default_factory=list)
+    results: List[Optional[RetrievalResult]] = field(default_factory=list)
     stats: PruningStats = field(default_factory=PruningStats)
     elapsed: float = 0.0
     prepare_time: float = 0.0
     timings: Optional[StageTimings] = None
     mode: str = "inter"
+    errors: List[QueryError] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -67,6 +98,17 @@ class BatchResponse:
     def throughput(self) -> float:
         """Queries answered per wall-clock second."""
         return len(self.results) / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def deadline_hits(self) -> int:
+        """How many queries were truncated by their deadline."""
+        return sum(1 for r in self.results
+                   if r is not None and not r.complete)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every query succeeded and no deadline truncated a scan."""
+        return not self.errors and self.deadline_hits == 0
 
 
 class RetrievalService:
@@ -90,15 +132,23 @@ class RetrievalService:
     metrics:
         An optional externally owned registry; by default the service
         creates its own, exposed as :attr:`metrics`.
+    clock / sleep:
+        Injectable time sources (``time.monotonic`` / ``time.sleep``) used
+        by deadlines, the circuit breaker and retry backoff — swap in fakes
+        for deterministic resilience tests.
 
     The service is a context manager; leaving the ``with`` block shuts the
-    worker pool down.
+    worker pool down (``close()`` is idempotent, and serving after close
+    raises :class:`~repro.exceptions.ServiceClosedError`).
     """
 
     def __init__(self,
                  index: Union[FexiproIndex, ShardedFexiproIndex],
                  config: Optional[ServiceConfig] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 *,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep):
         if isinstance(index, ShardedFexiproIndex):
             self.sharded_index: Optional[ShardedFexiproIndex] = index
             self.index = index.index
@@ -108,18 +158,40 @@ class RetrievalService:
         self.config = config if config is not None else ServiceConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._pool = WorkerPool(self.config.workers)
+        self._clock = clock
+        self._breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown_ms / 1e3,
+            clock=clock,
+        )
+        self._retry = RetryPolicy(
+            retries=self.config.retries,
+            backoff_ms=self.config.retry_backoff_ms,
+            sleep=sleep,
+        )
 
     # ------------------------------------------------------------------
     # Serving API
     # ------------------------------------------------------------------
 
     def query(self, query, k: Optional[int] = None) -> RetrievalResult:
-        """Serve one query through the batch machinery (metrics included)."""
+        """Serve one query through the batch machinery (metrics included).
+
+        A failed query re-raises its underlying error (including
+        :class:`~repro.exceptions.DeadlineExceededError` under the
+        ``"fail"`` policy); a deadline-degraded one returns normally with
+        ``complete=False``.
+        """
         q = as_query_vector(query, self.index.d)
-        return self.batch(q.reshape(1, -1), k).results[0]
+        response = self.batch(q.reshape(1, -1), k)
+        if response.errors:
+            raise response.errors[0].error
+        return response.results[0]
 
     def batch(self, queries, k: Optional[int] = None) -> BatchResponse:
         """Serve a whole query matrix; rows are answered independently."""
+        if self._pool.closed:
+            raise ServiceClosedError("service is closed")
         wall_started = time.perf_counter()
         queries = as_query_matrix(queries, self.index.d)
         k = check_k(self.config.default_k if k is None else k, self.index.n)
@@ -133,18 +205,21 @@ class RetrievalService:
         if collect:
             timings = StageTimings(prepare=prepare_time)
 
+        errors: List[QueryError] = []
         mode = self._select_mode(len(states))
         if mode == "intra":
-            results = self._scan_intra_query(states, k, timings)
+            results = self._scan_intra_query(states, k, timings, errors)
         else:
-            results = self._scan_inter_query(states, k, timings)
+            results = self._scan_inter_query(states, k, timings, errors)
 
-        total_stats = aggregate_stats(r.stats for r in results)
+        total_stats = aggregate_stats(r.stats for r in results
+                                      if r is not None)
         elapsed = time.perf_counter() - wall_started
-        self._observe(results, total_stats, elapsed, timings, mode)
-        return BatchResponse(results=results, stats=total_stats,
-                             elapsed=elapsed, prepare_time=prepare_time,
-                             timings=timings, mode=mode)
+        response = BatchResponse(results=results, stats=total_stats,
+                                 elapsed=elapsed, prepare_time=prepare_time,
+                                 timings=timings, mode=mode, errors=errors)
+        self._observe(response)
+        return response
 
     # ------------------------------------------------------------------
     # The two parallelism axes
@@ -159,18 +234,39 @@ class RetrievalService:
         each query is instead fanned over the index's shards.  Both paths
         return identical ids and scores, so this is purely a scheduling
         decision; :class:`BatchResponse.mode` records the choice.
+
+        The circuit breaker has the last word: while it is open (recent
+        consecutive shard failures), intra-eligible batches are routed to
+        the proven single-scan path (``policy.breaker_short_circuits``),
+        with one half-open probe after the cooldown.
         """
         if self.sharded_index is None or batch_size == 0:
             return "inter"
         limit = self.config.intra_query_batch_max
         if limit is None:
             limit = max(2, self._pool.workers) - 1
-        return "intra" if 0 < batch_size <= limit else "inter"
+        if not 0 < batch_size <= limit:
+            return "inter"
+        allowed, event = self._breaker.allow()
+        if event == "probe":
+            self.metrics.counter("policy.breaker_probes").inc()
+        if not allowed:
+            self.metrics.counter("policy.breaker_short_circuits").inc()
+            return "inter"
+        return "intra"
 
     def _scan_inter_query(self, states, k: int,
                           timings: Optional[StageTimings],
-                          ) -> List[RetrievalResult]:
-        """Spread whole queries over the pool (the PR-1 batch path)."""
+                          errors: List[QueryError],
+                          ) -> List[Optional[RetrievalResult]]:
+        """Spread whole queries over the pool (the PR-1 batch path).
+
+        Isolation is two-level: each query inside a chunk is guarded
+        individually (:meth:`_scan_one`), and a chunk that dies before its
+        per-query guards engage (a ``worker``-site fault in the pool) is
+        retried inline once if transient, else all its queries are marked
+        failed — the rest of the batch is untouched either way.
+        """
         collect = timings is not None
         chunk_size = resolve_chunk_size(len(states), self._pool.workers,
                                         self.config.chunk_size)
@@ -179,38 +275,127 @@ class RetrievalService:
         def run_chunk(span: Tuple[int, int]):
             start, stop = span
             chunk_timings = StageTimings() if collect else None
-            chunk_results: List[RetrievalResult] = []
-            for state in states[start:stop]:
-                scan_started = time.perf_counter()
-                buffer, stats = self.index._scan(state, k,
-                                                 timings=chunk_timings)
-                elapsed = time.perf_counter() - scan_started
-                chunk_results.append(assemble_result(
-                    self.index.order, *buffer.items_and_scores(),
-                    stats, elapsed,
-                ))
-            return chunk_results, chunk_timings
+            chunk_results: List[Optional[RetrievalResult]] = []
+            chunk_errors: List[QueryError] = []
+            for offset, state in enumerate(states[start:stop]):
+                result, error = self._scan_one(start + offset, state, k,
+                                               chunk_timings)
+                chunk_results.append(result)
+                if error is not None:
+                    chunk_errors.append(error)
+            return chunk_results, chunk_errors, chunk_timings
 
-        results: List[RetrievalResult] = []
-        for chunk_results, chunk_timings in self._pool.map(run_chunk, spans):
+        results: List[Optional[RetrievalResult]] = []
+        outputs = self._pool.map(run_chunk, spans, return_exceptions=True)
+        for span, output in zip(spans, outputs):
+            retried = False
+            if isinstance(output, Exception):
+                retried = self._retry.should_retry(output, attempt=0)
+                output = self._retry_chunk(run_chunk, span, output)
+            if isinstance(output, Exception):
+                self.metrics.counter("errors.queries").inc(span[1] - span[0])
+                for qi in range(span[0], span[1]):
+                    errors.append(QueryError(index=qi, error=output,
+                                             retried=retried))
+                    results.append(None)
+                continue
+            chunk_results, chunk_errors, chunk_timings = output
             results.extend(chunk_results)
+            errors.extend(chunk_errors)
             if timings is not None and chunk_timings is not None:
                 timings.merge(chunk_timings)
         return results
 
+    def _retry_chunk(self, run_chunk, span: Tuple[int, int],
+                     error: Exception):
+        """One inline re-execution of a worker-level chunk failure."""
+        if not self._retry.should_retry(error, attempt=0):
+            return error
+        self.metrics.counter("retries").inc()
+        self._retry.backoff()
+        try:
+            return run_chunk(span)
+        except Exception as retry_error:
+            return retry_error
+
+    def _scan_one(self, qi: int, state, k: int,
+                  timings: Optional[StageTimings],
+                  ) -> Tuple[Optional[RetrievalResult], Optional[QueryError]]:
+        """One deadline-armed, fault-tagged single scan with bounded retry.
+
+        Returns ``(result, None)`` on success or ``(None, QueryError)``
+        after retries are exhausted; never raises.
+        """
+        attempt = 0
+        retried = False
+        while True:
+            try:
+                with _faultsites.tagged(f"q={qi}"):
+                    scan_started = time.perf_counter()
+                    buffer, stats = self.index._scan(
+                        state, k, timings=timings,
+                        deadline=self._new_deadline(),
+                    )
+                    elapsed = time.perf_counter() - scan_started
+                self._enforce_deadline_policy(qi, stats)
+                if retried:
+                    self.metrics.counter("retries.recovered").inc()
+                return assemble_result(
+                    self.index.order, *buffer.items_and_scores(),
+                    stats, elapsed,
+                ), None
+            except Exception as error:
+                if self._retry.should_retry(error, attempt):
+                    attempt += 1
+                    retried = True
+                    self.metrics.counter("retries").inc()
+                    self._retry.backoff()
+                    continue
+                self.metrics.counter("errors.queries").inc()
+                return None, QueryError(index=qi, error=error,
+                                        retried=retried)
+
     def _scan_intra_query(self, states, k: int,
                           timings: Optional[StageTimings],
-                          ) -> List[RetrievalResult]:
-        """Answer queries one at a time, each fanned over the index shards."""
+                          errors: List[QueryError],
+                          ) -> List[Optional[RetrievalResult]]:
+        """Answer queries one at a time, each fanned over the index shards.
+
+        A shard fan-out failure feeds the circuit breaker and the query
+        immediately falls back to the proven single-scan path
+        (:meth:`_scan_one`), so an unlucky shard costs latency, not the
+        answer.  Successes re-close a half-open breaker.
+        """
         sharded = self.sharded_index
         collect = timings is not None
-        results: List[RetrievalResult] = []
-        for state in states:
-            scan_started = time.perf_counter()
-            buffer, stats, _reports, scan_timings = sharded._scan_sharded(
-                state, k, pool=self._pool, collect_timings=collect,
-            )
-            elapsed = time.perf_counter() - scan_started
+        results: List[Optional[RetrievalResult]] = []
+        for qi, state in enumerate(states):
+            try:
+                with _faultsites.tagged(f"q={qi}"):
+                    scan_started = time.perf_counter()
+                    buffer, stats, _reports, scan_timings = \
+                        sharded._scan_sharded(
+                            state, k, pool=self._pool,
+                            collect_timings=collect,
+                            deadline=self._new_deadline(),
+                        )
+                    elapsed = time.perf_counter() - scan_started
+            except Exception:
+                self._record_breaker(self._breaker.record_failure())
+                self.metrics.counter("policy.breaker_fallback_queries").inc()
+                result, query_error = self._scan_one(qi, state, k, timings)
+                results.append(result)
+                if query_error is not None:
+                    errors.append(query_error)
+                continue
+            self._record_breaker(self._breaker.record_success())
+            try:
+                self._enforce_deadline_policy(qi, stats)
+            except DeadlineExceededError as error:
+                self.metrics.counter("errors.queries").inc()
+                errors.append(QueryError(index=qi, error=error))
+                results.append(None)
+                continue
             if timings is not None and scan_timings is not None:
                 timings.merge(scan_timings)
             results.append(assemble_result(
@@ -220,32 +405,59 @@ class RetrievalService:
         return results
 
     # ------------------------------------------------------------------
+    # Resilience plumbing
+    # ------------------------------------------------------------------
+
+    def _new_deadline(self) -> Optional[Deadline]:
+        """A fresh per-query deadline, or ``None`` when unconfigured."""
+        if self.config.deadline_ms is None:
+            return None
+        return Deadline.after_ms(self.config.deadline_ms, clock=self._clock)
+
+    def _enforce_deadline_policy(self, qi: int, stats: PruningStats) -> None:
+        """Raise under the ``"fail"`` policy when a scan was truncated."""
+        if stats.deadline_hit and self.config.deadline_policy == "fail":
+            raise DeadlineExceededError(
+                f"query {qi} exceeded its {self.config.deadline_ms} ms "
+                f"deadline after scanning {stats.scanned} of "
+                f"{stats.n_items} items",
+                items_scanned=stats.scanned,
+            )
+
+    def _record_breaker(self, event: Optional[str]) -> None:
+        if event is not None:
+            self.metrics.counter(f"policy.breaker_{event}").inc()
+
+    # ------------------------------------------------------------------
     # Metrics and lifecycle
     # ------------------------------------------------------------------
 
-    def _observe(self, results: List[RetrievalResult], stats: PruningStats,
-                 elapsed: float, timings: Optional[StageTimings],
-                 mode: str = "inter") -> None:
+    def _observe(self, response: BatchResponse) -> None:
         metrics = self.metrics
         metrics.counter("batches").inc()
-        metrics.counter("queries").inc(len(results))
-        metrics.counter(f"policy.{mode}_query").inc()
+        metrics.counter("queries").inc(len(response.results))
+        metrics.counter(f"policy.{response.mode}_query").inc()
         batch_hist = metrics.histogram("latency.batch_seconds")
-        batch_hist.observe(elapsed)
+        batch_hist.observe(response.elapsed)
         scan_hist = metrics.histogram("latency.scan_seconds")
-        for result in results:
-            scan_hist.observe(result.elapsed)
-        metrics.observe_pruning(stats)
-        if timings is not None:
-            metrics.record_stage_timings(timings)
+        for result in response.results:
+            if result is not None:
+                scan_hist.observe(result.elapsed)
+        if response.deadline_hits:
+            metrics.counter("deadline.degraded_queries").inc(
+                response.deadline_hits)
+        metrics.observe_pruning(response.stats)
+        if response.timings is not None:
+            metrics.record_stage_timings(response.timings)
 
     def metrics_snapshot(self) -> dict:
         """A JSON-serializable snapshot of the service's metrics.
 
         Besides the registry contents this reports the deployment shape:
         ``workers`` (requested vs. core-clamped resolved pool size and the
-        host core count) and ``shards`` (the wrapped index's shard count,
-        or ``None`` for a plain single-scan index).
+        host core count), ``shards`` (the wrapped index's shard count, or
+        ``None`` for a plain single-scan index) and ``breaker`` (the live
+        circuit-breaker state guarding the intra-query path).
         """
         snapshot = self.metrics.snapshot()
         snapshot["workers"] = {
@@ -255,10 +467,20 @@ class RetrievalService:
         }
         snapshot["shards"] = (self.sharded_index.n_shards
                               if self.sharded_index is not None else None)
+        snapshot["breaker"] = self._breaker.snapshot()
         return snapshot
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._pool.closed
+
     def close(self) -> None:
-        """Shut the worker pool down; the service cannot serve afterwards."""
+        """Shut the worker pool down; the service cannot serve afterwards.
+
+        Idempotent — a second ``close()`` is a no-op, while serving after
+        close raises :class:`~repro.exceptions.ServiceClosedError`.
+        """
         self._pool.close()
 
     def __enter__(self) -> "RetrievalService":

@@ -1,0 +1,271 @@
+"""Property tests for the deadline contract (PR 3, DESIGN.md §2.8).
+
+Two claims, checked across all five paper variants and both index shapes:
+
+(a) **A deadline that never fires changes nothing.**  The poll only gates
+    which blocks run; with an infinite budget the scan is *bitwise*
+    identical (ids, scores, every pruning counter) to the seed scan with
+    no deadline argument at all.
+
+(b) **A deadline that fires yields the exact top-k of the scanned
+    prefix.**  Items are visited in descending-length order, so the
+    visited set is a contiguous prefix of sorted positions (a union of
+    per-shard prefixes in the sharded case); every pruning threshold the
+    engine used was *achieved* by collected items inside that set, so the
+    degraded buffer must equal a brute-force top-k over exactly those
+    positions — verified here against an oracle that replays the engine's
+    own per-row formula with no pruning at all.
+
+The scanned set is recovered from the ``scan`` fault site (each entered
+block fires ``block=<start>`` before scanning), using a recording probe
+instead of a fault-raising injector — so the oracle observes the real
+execution rather than re-deriving the block schedule.
+"""
+
+import math
+
+import pytest
+
+from repro import FexiproIndex, ShardedFexiproIndex, _faultsites
+from repro.core.blocked import scan_blocked, block_schedule
+from repro.core.topk import TopKBuffer
+from repro.core.variants import VARIANTS
+
+from conftest import make_mf_like
+
+ALL_VARIANTS = sorted(VARIANTS)
+
+
+class PollClock:
+    """Returns 0.0 for the first ``fire_after`` deadline polls, then +inf.
+
+    The :class:`~repro.serve.resilience.Deadline` constructor consumes one
+    extra call, accounted for here, so ``fire_after=b`` lets exactly ``b``
+    ``expired()`` polls pass before the deadline reads as expired.
+    """
+
+    def __init__(self, fire_after: int):
+        self.calls = 0
+        self.fire_after = fire_after
+
+    def __call__(self) -> float:
+        self.calls += 1
+        return 0.0 if self.calls <= self.fire_after + 1 else float("inf")
+
+
+class RecordingProbe:
+    """A faultless injector: records every scan-site context it sees."""
+
+    def __init__(self):
+        self.contexts = []
+
+    def fire(self, site: str, context: str) -> None:
+        if site == _faultsites.SCAN:
+            self.contexts.append(context)
+
+    def transform(self, site: str, payload: bytes, context: str) -> bytes:
+        return payload
+
+
+def scanned_positions(contexts, span_of_shard):
+    """Recover the set of sorted positions whose block was entered."""
+    positions = set()
+    for context in contexts:
+        parts = dict(part.split("=") for part in context.split(":"))
+        bstart = int(parts["block"])
+        start, stop = span_of_shard(int(parts.get("shard", -1)))
+        # Re-derive this shard's block boundaries to find the block's stop.
+        for s, e in block_schedule(stop - start, K, BLOCK_SIZE):
+            if s + start == bstart:
+                positions.update(range(bstart, e + start))
+                break
+        else:  # pragma: no cover - schedule mismatch is a test bug
+            raise AssertionError(f"unknown block start {bstart}")
+    return positions
+
+
+K = 7
+BLOCK_SIZE = 64  # small blocks so mid-scan deadlines have blocks to split
+
+
+def make_index(variant, sharded=False):
+    items, queries = make_mf_like(900, 16, seed=23)
+    if sharded:
+        index = ShardedFexiproIndex(items, shards=3, workers=1,
+                                    variant=variant, block_size=BLOCK_SIZE)
+    else:
+        index = FexiproIndex(items, variant=variant, block_size=BLOCK_SIZE)
+    return index, queries
+
+
+def oracle_topk(index: FexiproIndex, qs, positions):
+    """Brute-force top-k over ``positions`` with the engine's row formula."""
+    w = index.w
+    q_head, q_tail = qs.q_bar[:w], qs.q_bar[w:]
+    buffer = TopKBuffer(K)
+    for row in sorted(positions):
+        value = float(q_head @ index.items_bar[row, :w])
+        value += float(q_tail @ index.items_bar[row, w:])
+        buffer.push(value, row)
+    return buffer.items_and_scores()
+
+
+def result_key(result):
+    return (result.ids, result.scores, result.stats.as_dict())
+
+
+# ----------------------------------------------------------------------
+# (a) never-firing deadlines are invisible, bit for bit
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+def test_infinite_deadline_is_bitwise_identical_single(variant):
+    from repro.serve.resilience import Deadline
+
+    index, queries = make_index(variant)
+    for q in queries[:6]:
+        qs = index._prepare_query(q)
+        seed_buffer, seed_stats = index._scan(qs, K)
+        armed_buffer, armed_stats = index._scan(
+            qs, K, deadline=Deadline(math.inf))
+        assert armed_buffer.items_and_scores() == \
+            seed_buffer.items_and_scores()
+        assert armed_stats.as_dict() == seed_stats.as_dict()
+        assert armed_stats.deadline_hit == 0
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+def test_infinite_deadline_is_bitwise_identical_sharded(variant):
+    from repro.serve.resilience import Deadline
+
+    sharded, queries = make_index(variant, sharded=True)
+    for q in queries[:6]:
+        qs = sharded.index._prepare_query(q)
+        seed_buffer, seed_stats, _r, _t = sharded._scan_sharded(qs, K)
+        armed_buffer, armed_stats, _r, _t = sharded._scan_sharded(
+            qs, K, deadline=Deadline(math.inf))
+        assert armed_buffer.items_and_scores() == \
+            seed_buffer.items_and_scores()
+        assert armed_stats.as_dict() == seed_stats.as_dict()
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+def test_unconfigured_service_deadline_matches_seed_results(variant):
+    """End to end: deadline_ms=None serves results identical to a serial loop."""
+    from repro.serve import RetrievalService, ServiceConfig
+
+    index, queries = make_index(variant)
+    serial = [index.query(q, k=K) for q in queries[:6]]
+    with RetrievalService(index, ServiceConfig(workers=1)) as service:
+        response = service.batch(queries[:6], k=K)
+    assert response.complete
+    for result, truth in zip(response.results, serial):
+        assert result.ids == truth.ids
+        assert result.scores == truth.scores
+        assert result.stats.as_dict() == truth.stats.as_dict()
+
+
+# ----------------------------------------------------------------------
+# (b) a firing deadline yields the exact top-k of the scanned prefix
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+@pytest.mark.parametrize("fire_after", [0, 1, 2, 4, 7])
+def test_degraded_single_scan_is_exact_prefix_topk(variant, fire_after):
+    from repro.serve.resilience import Deadline
+
+    index, queries = make_index(variant)
+    for q in queries[:4]:
+        qs = index._prepare_query(q)
+        deadline = Deadline(1.0, clock=PollClock(fire_after))
+        probe = RecordingProbe()
+        _faultsites.arm(probe)
+        try:
+            buffer, stats = scan_blocked(index, qs, K, BLOCK_SIZE,
+                                         deadline=deadline)
+        finally:
+            _faultsites.disarm(probe)
+        positions = scanned_positions(probe.contexts,
+                                      lambda _s: (0, index.n))
+        # The prefix is contiguous from position 0 and grows with the budget.
+        assert positions == set(range(len(positions)))
+        if stats.deadline_hit:
+            assert len(positions) < index.n or stats.length_terminated
+        ids, scores = buffer.items_and_scores()
+        oracle_ids, oracle_scores = oracle_topk(index, qs, positions)
+        assert ids == oracle_ids
+        assert scores == oracle_scores
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+@pytest.mark.parametrize("fire_after", [1, 3, 6, 10])
+def test_degraded_sharded_scan_is_exact_topk_of_scanned_union(variant,
+                                                              fire_after):
+    from repro.serve.resilience import Deadline
+
+    sharded, queries = make_index(variant, sharded=True)
+    spans = sharded.spans
+
+    def span_of_shard(shard_id):
+        return spans[shard_id]
+
+    for q in queries[:4]:
+        qs = sharded.index._prepare_query(q)
+        deadline = Deadline(1.0, clock=PollClock(fire_after))
+        probe = RecordingProbe()
+        _faultsites.arm(probe)
+        try:
+            buffer, stats, reports, _t = sharded._scan_sharded(
+                qs, K, deadline=deadline)
+        finally:
+            _faultsites.disarm(probe)
+        positions = scanned_positions(probe.contexts, span_of_shard)
+        ids, scores = buffer.items_and_scores()
+        oracle_ids, oracle_scores = oracle_topk(sharded.index, qs, positions)
+        assert ids == oracle_ids
+        assert scores == oracle_scores
+        # Sanity: with a tiny budget at least one shard must be truncated
+        # unless the scan genuinely finished inside it.
+        if stats.deadline_hit == 0:
+            assert ids == sharded.index.query(q, k=K).ids
+
+
+@pytest.mark.parametrize("sharded", [False, True])
+def test_degraded_service_result_is_exact_prefix_topk(sharded):
+    """The service-level degrade path returns the prefix oracle's answer."""
+    from repro.serve import RetrievalService, ServiceConfig
+
+    index, queries = make_index("F-SIR", sharded=sharded)
+    plain = index.index if sharded else index
+
+    calls = {"n": 0}
+
+    def stepped_clock():
+        calls["n"] += 1
+        return float(calls["n"]) * 0.25  # every poll burns 0.25 "seconds"
+
+    config = ServiceConfig(workers=1, deadline_ms=1_000.0,
+                           intra_query_batch_max=100)
+    probe = RecordingProbe()
+    service = RetrievalService(index, config, clock=stepped_clock)
+    with service:
+        _faultsites.arm(probe)
+        try:
+            response = service.batch(queries[:3], k=K)
+        finally:
+            _faultsites.disarm(probe)
+    assert not response.complete
+    assert response.deadline_hits >= 1
+    # Group recorded contexts per query tag and check each degraded
+    # result against its own scanned-set oracle.
+    spans = index.spans if sharded else None
+    for qi, result in enumerate(response.results):
+        contexts = [c.split(":", 1)[1] for c in probe.contexts
+                    if c.startswith(f"q={qi}:")]
+        positions = scanned_positions(
+            contexts,
+            (lambda s: spans[s]) if sharded else (lambda _s: (0, plain.n)))
+        qs = plain._prepare_query(queries[qi])
+        oracle_ids, oracle_scores = oracle_topk(plain, qs, positions)
+        assert [plain.order[p] for p in oracle_ids] == list(result.ids)
+        assert oracle_scores == list(result.scores)

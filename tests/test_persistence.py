@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro import FexiproIndex
-from repro.exceptions import ValidationError
+from repro.exceptions import IndexIntegrityError, ValidationError
 
 
 def test_save_load_round_trip(tmp_path, small_items, small_queries):
@@ -89,3 +89,117 @@ def test_sharded_and_plain_formats_reject_each_other(tmp_path, small_items):
     sharded.index.save(plain_path)
     with pytest.raises(ValidationError):
         ShardedFexiproIndex.load(plain_path)
+
+
+# ----------------------------------------------------------------------
+# Integrity: checksummed format 2 (PR 3)
+# ----------------------------------------------------------------------
+
+def _saved_index(tmp_path, small_items, name="index.pkl"):
+    index = FexiproIndex(small_items, variant="F-SIR")
+    path = tmp_path / name
+    index.save(path)
+    return index, path
+
+
+def test_bit_flip_is_detected_and_names_the_path(tmp_path, small_items):
+    _, path = _saved_index(tmp_path, small_items)
+    blob = bytearray(path.read_bytes())
+    blob[-100] ^= 0xFF  # flip one payload byte
+    path.write_bytes(bytes(blob))
+    with pytest.raises(IndexIntegrityError) as excinfo:
+        FexiproIndex.load(path)
+    assert str(path) in str(excinfo.value)
+    assert "checksum" in str(excinfo.value)
+
+
+def test_truncated_file_is_detected(tmp_path, small_items):
+    _, path = _saved_index(tmp_path, small_items)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(IndexIntegrityError) as excinfo:
+        FexiproIndex.load(path)
+    assert str(path) in str(excinfo.value)
+
+
+def test_trailing_garbage_is_detected(tmp_path, small_items):
+    _, path = _saved_index(tmp_path, small_items)
+    with open(path, "ab") as handle:
+        handle.write(b"extra bytes after the payload")
+    with pytest.raises(IndexIntegrityError):
+        FexiproIndex.load(path)
+
+
+def test_empty_and_garbage_files_raise_integrity_error(tmp_path):
+    empty = tmp_path / "empty.pkl"
+    empty.write_bytes(b"")
+    with pytest.raises(IndexIntegrityError) as excinfo:
+        FexiproIndex.load(empty)
+    assert str(empty) in str(excinfo.value)
+
+    garbage = tmp_path / "garbage.pkl"
+    garbage.write_bytes(b"\x00\x01this was never a pickle")
+    with pytest.raises(IndexIntegrityError):
+        FexiproIndex.load(garbage)
+
+
+def test_missing_file_is_not_corruption(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        FexiproIndex.load(tmp_path / "never-saved.pkl")
+
+
+def test_legacy_format_1_files_still_load(tmp_path, small_items,
+                                          small_queries):
+    index = FexiproIndex(small_items, variant="F-SI")
+    path = tmp_path / "legacy.pkl"
+    with open(path, "wb") as handle:  # the PR-1/PR-2 single-pickle layout
+        pickle.dump({"format": 1, "index": index}, handle)
+    loaded = FexiproIndex.load(path)
+    for q in small_queries[:3]:
+        assert loaded.query(q, k=4).ids == index.query(q, k=4).ids
+
+
+def test_format_2_header_records_kind_and_checksum(tmp_path, small_items):
+    from repro.core.persist import FORMAT_VERSION
+
+    _, path = _saved_index(tmp_path, small_items)
+    with open(path, "rb") as handle:
+        head = pickle.load(handle)
+        payload = handle.read()
+    assert head["format"] == FORMAT_VERSION
+    assert head["kind"] == "FexiproIndex"
+    assert head["nbytes"] == len(payload)
+    import hashlib
+
+    assert head["sha256"] == hashlib.sha256(payload).hexdigest()
+
+
+def test_sharded_bit_flip_is_detected(tmp_path, small_items):
+    from repro import ShardedFexiproIndex
+
+    sharded = ShardedFexiproIndex(small_items, shards=3, workers=1)
+    path = tmp_path / "sharded.pkl"
+    sharded.save(path)
+    blob = bytearray(path.read_bytes())
+    blob[-50] ^= 0x01
+    path.write_bytes(bytes(blob))
+    with pytest.raises(IndexIntegrityError):
+        ShardedFexiproIndex.load(path)
+
+
+def test_io_fault_injection_corrupts_save_detectably(tmp_path, small_items):
+    from repro.serve import FaultInjector, FaultRule
+
+    index = FexiproIndex(small_items)
+    path = tmp_path / "chaos.pkl"
+    injector = FaultInjector(
+        [FaultRule(site="io", kind="corrupt", match="save")], seed=3)
+    with injector:
+        index.save(path)
+    assert injector.fired["io"] == 1
+    # The corrupt site fires after the checksum is computed (bit rot
+    # between write and read), so the header vouches for the true bytes
+    # and load must reject the flipped payload.
+    with pytest.raises(IndexIntegrityError) as excinfo:
+        FexiproIndex.load(path)
+    assert str(path) in str(excinfo.value)

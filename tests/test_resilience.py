@@ -1,0 +1,518 @@
+"""Tests for the serving-layer failure model (PR 3).
+
+Every behaviour is driven by *real* injected faults
+(:class:`repro.serve.FaultInjector`) and injectable clocks — no mocks of
+the code under test.  ``REPRO_FAULT_SEED`` (swept by the CI chaos job)
+varies the injector seed; all assertions hold for every seed because the
+rules used here are deterministic (probability 1) and the properties
+asserted are seed-independent.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro import FexiproIndex, ShardedFexiproIndex
+from repro.exceptions import (
+    DeadlineExceededError,
+    InjectedFault,
+    ValidationError,
+)
+from repro.serve import (
+    CircuitBreaker,
+    Deadline,
+    FaultInjector,
+    FaultRule,
+    QueryError,
+    RetrievalService,
+    RetryPolicy,
+    ServiceConfig,
+    is_transient,
+)
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+
+def test_deadline_expires_monotonically():
+    clock = FakeClock()
+    deadline = Deadline(10.0, clock=clock)
+    assert not deadline.expired()
+    assert deadline.remaining() == 10.0
+    clock.advance(9.999)
+    assert not deadline.expired()
+    clock.advance(0.001)
+    assert deadline.expired()
+    clock.advance(100.0)
+    assert deadline.expired()  # never un-expires
+    assert deadline.remaining() < 0
+
+
+def test_deadline_after_ms_and_validation():
+    clock = FakeClock()
+    deadline = Deadline.after_ms(250.0, clock=clock)
+    assert deadline.seconds == 0.25
+    assert Deadline(math.inf, clock=clock).expired() is False
+    for bad in (0, -1.0, float("nan")):
+        with pytest.raises(ValidationError):
+            Deadline(bad, clock=clock)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+def test_breaker_trips_after_consecutive_failures():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+    assert breaker.allow() == (True, None)
+    assert breaker.record_failure() is None
+    assert breaker.record_failure() is None
+    assert breaker.record_success() is None  # resets the streak
+    assert breaker.record_failure() is None
+    assert breaker.record_failure() is None
+    assert breaker.record_failure() == "opened"
+    assert breaker.state == CircuitBreaker.OPEN
+    assert breaker.allow() == (False, None)  # cooling down
+
+
+def test_breaker_half_open_probe_recloses_or_reopens():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+    assert breaker.record_failure() == "opened"
+    assert breaker.allow() == (False, None)
+    clock.advance(5.0)
+    assert breaker.allow() == (True, "probe")
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    assert breaker.allow() == (False, None)  # one probe at a time
+    assert breaker.record_success() == "reclosed"
+    assert breaker.state == CircuitBreaker.CLOSED
+
+    assert breaker.record_failure() == "opened"
+    clock.advance(5.0)
+    assert breaker.allow() == (True, "probe")
+    assert breaker.record_failure() == "opened"  # probe failed: re-open
+    assert breaker.allow() == (False, None)
+    snap = breaker.snapshot()
+    assert snap["opened_total"] == 3
+    assert snap["reclosed_total"] == 1
+    assert snap["probes_total"] == 2
+
+
+def test_breaker_validation():
+    with pytest.raises(ValidationError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValidationError):
+        CircuitBreaker(cooldown=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Retry policy and transience
+# ----------------------------------------------------------------------
+
+def test_is_transient_is_attribute_based():
+    assert is_transient(InjectedFault("boom", transient=True))
+    assert not is_transient(InjectedFault("boom", transient=False))
+    assert not is_transient(ValueError("no attribute"))
+    assert not is_transient(DeadlineExceededError("late", items_scanned=5))
+
+
+def test_retry_policy_bounds_attempts_and_sleeps():
+    naps = []
+    policy = RetryPolicy(retries=1, backoff_ms=20.0, sleep=naps.append)
+    transient = InjectedFault("flaky", transient=True)
+    assert policy.should_retry(transient, attempt=0)
+    assert not policy.should_retry(transient, attempt=1)
+    assert not policy.should_retry(ValueError("hard"), attempt=0)
+    policy.backoff()
+    assert naps == [0.02]
+    assert not RetryPolicy(retries=0).should_retry(transient, attempt=0)
+
+
+def test_query_error_is_structured():
+    error = QueryError(index=3, error=InjectedFault("kaput"), retried=True)
+    assert error.as_dict() == {"index": 3, "error_type": "InjectedFault",
+                               "message": "kaput", "retried": True}
+
+
+# ----------------------------------------------------------------------
+# Fault injector
+# ----------------------------------------------------------------------
+
+def test_fault_rule_validation():
+    with pytest.raises(ValidationError):
+        FaultRule(site="gpu", kind="raise")
+    with pytest.raises(ValidationError):
+        FaultRule(site="scan", kind="melt")
+    with pytest.raises(ValidationError):
+        FaultRule(site="scan", kind="corrupt")  # corrupt is io-only
+    with pytest.raises(ValidationError):
+        FaultRule(site="scan", kind="raise", probability=1.5)
+    with pytest.raises(ValidationError):
+        FaultRule(site="scan", kind="raise", limit=-1)
+
+
+def test_injector_is_deterministic_per_seed():
+    def firings(seed):
+        rule = FaultRule(site="scan", kind="raise", probability=0.5)
+        injector = FaultInjector([rule], seed=seed)
+        fired = []
+        for i in range(50):
+            try:
+                injector.fire("scan", f"call={i}")
+                fired.append(False)
+            except InjectedFault:
+                fired.append(True)
+        return fired
+
+    assert firings(FAULT_SEED) == firings(FAULT_SEED)
+    assert any(firings(FAULT_SEED))
+
+
+def test_injector_match_limit_and_arming():
+    from repro import _faultsites
+
+    rule = FaultRule(site="scan", kind="raise", match="q=2", limit=1)
+    injector = FaultInjector([rule], seed=FAULT_SEED)
+    with injector:
+        assert _faultsites.active is injector
+        _faultsites.fire(_faultsites.SCAN, "q=1:block=0")  # no match
+        with _faultsites.tagged("q=2"):
+            with pytest.raises(InjectedFault):
+                _faultsites.fire(_faultsites.SCAN, "block=0")
+            _faultsites.fire(_faultsites.SCAN, "block=1")  # limit spent
+    assert _faultsites.active is None  # disarmed on exit
+    _faultsites.fire(_faultsites.SCAN, "q=2:block=0")  # no-op when disarmed
+    assert injector.fired["scan"] == 1
+
+
+def test_injector_corrupt_flips_exactly_one_byte():
+    rule = FaultRule(site="io", kind="corrupt")
+    injector = FaultInjector([rule], seed=FAULT_SEED)
+    payload = bytes(range(256))
+    corrupted = injector.transform("io", payload, "save:x")
+    assert len(corrupted) == len(payload)
+    diffs = [i for i, (a, b) in enumerate(zip(payload, corrupted)) if a != b]
+    assert len(diffs) == 1
+    assert corrupted[diffs[0]] == payload[diffs[0]] ^ 0xFF
+
+
+# ----------------------------------------------------------------------
+# Service: deadlines
+# ----------------------------------------------------------------------
+
+def _service(index, **config):
+    config.setdefault("workers", 1)
+    return RetrievalService(index, ServiceConfig(**config))
+
+
+def test_service_degrades_on_deadline(small_items, small_queries):
+    index = FexiproIndex(small_items, variant="F-SIR")
+    clock = FakeClock()
+
+    def racing_clock():
+        clock.advance(1.0)  # every poll observes a huge elapsed time
+        return clock()
+
+    service = RetrievalService(
+        index, ServiceConfig(workers=1, deadline_ms=1.0),
+        clock=racing_clock)
+    with service:
+        response = service.batch(small_queries[:6], k=5)
+        snapshot = service.metrics_snapshot()
+    assert not response.complete
+    assert response.deadline_hits == 6
+    assert not response.errors  # degrade, not fail
+    for result in response.results:
+        assert result is not None
+        assert not result.complete
+        assert result.stats.deadline_hit == 1
+    assert response.stats.deadline_hit == 6
+    assert snapshot["counters"]["deadline.degraded_queries"] == 6
+    assert snapshot["counters"]["pruning.deadline_hit"] == 6
+
+
+def test_service_fail_policy_raises_per_query(small_items, small_queries):
+    index = FexiproIndex(small_items, variant="F-SIR")
+
+    def instant_clock():
+        instant_clock.now += 1.0
+        return instant_clock.now
+
+    instant_clock.now = 0.0
+    service = RetrievalService(
+        index,
+        ServiceConfig(workers=1, deadline_ms=1.0, deadline_policy="fail"),
+        clock=instant_clock)
+    with service:
+        response = service.batch(small_queries[:4], k=5)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            service.query(small_queries[0], k=5)
+    assert len(response.errors) == 4
+    assert response.results == [None] * 4
+    assert not response.complete
+    for error in response.errors:
+        assert error.error_type == "DeadlineExceededError"
+        assert not error.retried  # deadline expiry is never transient
+    assert excinfo.value.items_scanned >= 0
+
+
+def test_no_deadline_batches_are_complete(small_items, small_queries):
+    index = FexiproIndex(small_items, variant="F-SIR")
+    with _service(index) as service:
+        response = service.batch(small_queries[:6], k=5)
+    assert response.complete
+    assert response.deadline_hits == 0
+    serial = [index.query(q, k=5) for q in small_queries[:6]]
+    for a, b in zip(response.results, serial):
+        assert a.ids == b.ids
+        assert a.scores == b.scores
+
+
+# ----------------------------------------------------------------------
+# Service: per-query fault isolation and retry
+# ----------------------------------------------------------------------
+
+def test_one_poisoned_query_does_not_poison_the_batch(small_items,
+                                                      small_queries):
+    index = FexiproIndex(small_items, variant="F-SIR")
+    queries = small_queries[:5]
+    serial = [index.query(q, k=4) for q in queries]
+    injector = FaultInjector(
+        [FaultRule(site="scan", kind="raise", match="q=2")],
+        seed=FAULT_SEED)
+    with _service(index) as service, injector:
+        response = service.batch(queries, k=4)
+        snapshot = service.metrics_snapshot()
+    assert len(response.errors) == 1
+    assert response.errors[0].index == 2
+    assert response.errors[0].error_type == "InjectedFault"
+    assert not response.errors[0].retried  # not transient: no retry
+    assert response.results[2] is None
+    for i, truth in enumerate(serial):
+        if i == 2:
+            continue
+        assert response.results[i].ids == truth.ids
+        assert response.results[i].scores == truth.scores
+    assert not response.complete
+    assert snapshot["counters"]["errors.queries"] == 1
+
+
+def test_transient_fault_is_retried_and_recovers(small_items, small_queries):
+    index = FexiproIndex(small_items, variant="F-SIR")
+    queries = small_queries[:5]
+    serial = [index.query(q, k=4) for q in queries]
+    injector = FaultInjector(
+        [FaultRule(site="scan", kind="raise", match="q=1",
+                   transient=True, limit=1)],
+        seed=FAULT_SEED)
+    with _service(index) as service, injector:
+        response = service.batch(queries, k=4)
+        snapshot = service.metrics_snapshot()
+    assert injector.fired["scan"] == 1
+    assert not response.errors
+    assert response.complete
+    for result, truth in zip(response.results, serial):
+        assert result.ids == truth.ids
+        assert result.scores == truth.scores
+    assert snapshot["counters"]["retries"] == 1
+    assert snapshot["counters"]["retries.recovered"] == 1
+
+
+def test_transient_fault_beyond_retry_budget_fails_structured(small_items,
+                                                              small_queries):
+    index = FexiproIndex(small_items, variant="F-SIR")
+    injector = FaultInjector(
+        [FaultRule(site="scan", kind="raise", match="q=0",
+                   transient=True)],  # unlimited: survives the retry too
+        seed=FAULT_SEED)
+    with _service(index) as service, injector:
+        response = service.batch(small_queries[:3], k=4)
+    assert len(response.errors) == 1
+    assert response.errors[0].index == 0
+    assert response.errors[0].retried  # the retry happened, then gave up
+    assert response.results[0] is None
+    assert response.results[1] is not None
+
+
+def test_worker_level_fault_fails_chunk_not_batch(small_items,
+                                                  small_queries):
+    index = FexiproIndex(small_items, variant="F-SIR")
+    queries = small_queries[:6]
+    serial = [index.query(q, k=3) for q in queries]
+    # chunk_size=2 -> spans (0,2) (2,4) (4,6); the first worker task dies
+    # before its per-query guards engage.
+    injector = FaultInjector(
+        [FaultRule(site="worker", kind="raise", limit=1)],
+        seed=FAULT_SEED)
+    with _service(index, chunk_size=2) as service, injector:
+        response = service.batch(queries, k=3)
+    assert sorted(e.index for e in response.errors) == [0, 1]
+    assert response.results[0] is None and response.results[1] is None
+    for i in range(2, 6):
+        assert response.results[i].ids == serial[i].ids
+
+
+def test_transient_worker_fault_retries_the_chunk(small_items,
+                                                  small_queries):
+    index = FexiproIndex(small_items, variant="F-SIR")
+    queries = small_queries[:6]
+    serial = [index.query(q, k=3) for q in queries]
+    injector = FaultInjector(
+        [FaultRule(site="worker", kind="raise", limit=1, transient=True)],
+        seed=FAULT_SEED)
+    with _service(index, chunk_size=2) as service, injector:
+        response = service.batch(queries, k=3)
+        snapshot = service.metrics_snapshot()
+    assert not response.errors
+    for result, truth in zip(response.results, serial):
+        assert result.ids == truth.ids
+    assert snapshot["counters"]["retries"] == 1
+
+
+def test_single_query_failure_reraises(small_items, small_queries):
+    index = FexiproIndex(small_items, variant="F-SIR")
+    injector = FaultInjector(
+        [FaultRule(site="scan", kind="raise", match="q=0")],
+        seed=FAULT_SEED)
+    with _service(index) as service, injector:
+        with pytest.raises(InjectedFault):
+            service.query(small_queries[0], k=4)
+
+
+# ----------------------------------------------------------------------
+# Service: circuit breaker around the intra-query path
+# ----------------------------------------------------------------------
+
+def _sharded_breaker_service(items, clock, **overrides):
+    sharded = ShardedFexiproIndex(items, shards=3, workers=1,
+                                  variant="F-SIR")
+    config = dict(workers=1, intra_query_batch_max=100,
+                  breaker_threshold=3, breaker_cooldown_ms=1_000.0)
+    config.update(overrides)
+    return RetrievalService(sharded, ServiceConfig(**config), clock=clock)
+
+
+def test_shard_faults_fall_back_per_query_then_trip_breaker(small_items,
+                                                            small_queries):
+    clock = FakeClock()
+    queries = small_queries[:3]
+    injector = FaultInjector(
+        [FaultRule(site="scan", kind="raise", match="shard=")],
+        seed=FAULT_SEED)
+    service = _sharded_breaker_service(small_items, clock)
+    serial = [service.index.query(q, k=4) for q in queries]
+    with service:
+        with injector:
+            first = service.batch(queries, k=4)  # 3 shard failures: trips
+            assert first.mode == "intra"
+            second = service.batch(queries, k=4)  # breaker open: inter
+        snapshot = service.metrics_snapshot()
+
+        # Every query was still answered — by the single-scan fallback.
+        assert not first.errors and first.complete
+        for result, truth in zip(first.results, serial):
+            assert result.ids == truth.ids
+            assert result.scores == truth.scores
+        assert second.mode == "inter"
+        assert not second.errors
+
+        assert snapshot["breaker"]["state"] == "open"
+        assert snapshot["counters"]["policy.breaker_opened"] == 1
+        assert snapshot["counters"]["policy.breaker_fallback_queries"] == 3
+        assert snapshot["counters"]["policy.breaker_short_circuits"] == 1
+
+        # Cooldown passes, the probe succeeds (faults are gone), and the
+        # breaker re-closes: intra routing resumes.
+        clock.advance(2.0)
+        third = service.batch(queries, k=4)
+        assert third.mode == "intra"
+        assert not third.errors
+        snapshot = service.metrics_snapshot()
+        assert snapshot["breaker"]["state"] == "closed"
+        assert snapshot["counters"]["policy.breaker_probes"] == 1
+        assert snapshot["counters"]["policy.breaker_reclosed"] == 1
+
+
+def test_failed_probe_reopens_breaker(small_items, small_queries):
+    clock = FakeClock()
+    injector = FaultInjector(
+        [FaultRule(site="scan", kind="raise", match="shard=")],
+        seed=FAULT_SEED)
+    service = _sharded_breaker_service(small_items, clock,
+                                       breaker_threshold=1)
+    with service, injector:
+        one = service.batch(small_queries[:1], k=4)  # trip on first failure
+        assert one.mode == "intra" and not one.errors
+        clock.advance(2.0)
+        probe = service.batch(small_queries[:1], k=4)  # probe fails again
+        assert probe.mode == "intra" and not probe.errors
+        snapshot = service.metrics_snapshot()
+    assert snapshot["breaker"]["state"] == "open"
+    assert snapshot["counters"]["policy.breaker_opened"] == 2
+    assert snapshot["counters"]["policy.breaker_probes"] == 1
+
+
+# ----------------------------------------------------------------------
+# Chaos: mixed faults under the CI seed sweep
+# ----------------------------------------------------------------------
+
+def test_service_survives_mixed_chaos(small_items, small_queries):
+    """Under randomized faults the service still answers structured.
+
+    Seed-independent invariants only: every query slot is either a correct
+    result or a structured error; the service never leaks an unhandled
+    exception; counters stay consistent.
+    """
+    index = FexiproIndex(small_items, variant="F-SIR")
+    queries = small_queries[:8]
+    serial = [index.query(q, k=4) for q in queries]
+    injector = FaultInjector(
+        [FaultRule(site="scan", kind="raise", probability=0.2,
+                   transient=True),
+         FaultRule(site="worker", kind="raise", probability=0.1)],
+        seed=FAULT_SEED)
+    with _service(index, chunk_size=2) as service, injector:
+        response = service.batch(queries, k=4)
+    assert len(response.results) == len(queries)
+    failed = {error.index for error in response.errors}
+    for i, (result, truth) in enumerate(zip(response.results, serial)):
+        if i in failed:
+            assert result is None
+        else:
+            assert result.ids == truth.ids
+            assert result.scores == truth.scores
+    for error in response.errors:
+        assert error.error_type == "InjectedFault"
+        assert error.as_dict()["index"] == error.index
+
+
+def test_stall_fault_drives_real_deadline(small_items, small_queries):
+    """A stalled scan blows a real wall-clock deadline (no fake clocks)."""
+    index = FexiproIndex(small_items, variant="F-SIR")
+    injector = FaultInjector(
+        [FaultRule(site="scan", kind="stall", stall_seconds=0.05,
+                   match="q=0")],
+        seed=FAULT_SEED)
+    with _service(index, deadline_ms=10.0) as service, injector:
+        response = service.batch(small_queries[:2], k=4)
+    assert response.results[0] is not None
+    assert not response.results[0].complete  # stalled past its budget
+    assert response.deadline_hits >= 1

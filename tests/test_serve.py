@@ -5,7 +5,7 @@ import pytest
 
 from repro import FexiproIndex
 from repro.core.stats import PruningStats, StageTimings, aggregate_stats
-from repro.exceptions import ValidationError
+from repro.exceptions import ServiceClosedError, ValidationError
 from repro.serve import (
     Counter,
     Histogram,
@@ -138,8 +138,12 @@ def test_closed_service_refuses_work():
     service = RetrievalService(index, ServiceConfig(workers=2))
     service.batch(queries[:4], k=2)
     service.close()
-    with pytest.raises(ValidationError):
+    assert service.closed
+    service.close()  # idempotent, not an error
+    with pytest.raises(ServiceClosedError):
         service.batch(queries[:4], k=2)
+    with pytest.raises(ServiceClosedError):
+        service.query(queries[0], k=2)
 
 
 # ----------------------------------------------------------------------
@@ -177,7 +181,8 @@ def test_worker_pool_inline_when_single_worker():
     assert pool.map(str, [1, 2, 3]) == ["1", "2", "3"]
     assert pool._executor is None  # never spun up a thread
     pool.close()
-    with pytest.raises(ValidationError):
+    pool.close()  # idempotent
+    with pytest.raises(ServiceClosedError):
         pool.map(str, [1])
 
 
@@ -257,6 +262,31 @@ def test_service_config_validation():
         ServiceConfig(default_k=0)
     config = ServiceConfig(workers=2, chunk_size=5, default_k=3)
     assert (config.workers, config.chunk_size, config.default_k) == (2, 5, 3)
+
+
+def test_service_config_resilience_validation():
+    with pytest.raises(ValidationError):
+        ServiceConfig(deadline_ms=0)
+    with pytest.raises(ValidationError):
+        ServiceConfig(deadline_ms=-5.0)
+    with pytest.raises(ValidationError):
+        ServiceConfig(deadline_ms=True)
+    with pytest.raises(ValidationError):
+        ServiceConfig(deadline_policy="explode")
+    with pytest.raises(ValidationError):
+        ServiceConfig(retries=-1)
+    with pytest.raises(ValidationError):
+        ServiceConfig(retry_backoff_ms=-1.0)
+    with pytest.raises(ValidationError):
+        ServiceConfig(breaker_threshold=0)
+    with pytest.raises(ValidationError):
+        ServiceConfig(breaker_cooldown_ms=-0.5)
+    config = ServiceConfig(deadline_ms=50.0, deadline_policy="fail",
+                           retries=2, retry_backoff_ms=1.0,
+                           breaker_threshold=5, breaker_cooldown_ms=10.0)
+    assert config.deadline_ms == 50.0
+    assert config.deadline_policy == "fail"
+    assert config.retries == 2
 
 
 # ----------------------------------------------------------------------
