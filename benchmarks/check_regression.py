@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""CI gate: diff fresh ``BENCH_*.json`` files against committed baselines.
+
+Usage (as CI runs it)::
+
+    # snapshot the committed baselines before benches overwrite them
+    cp benchmarks/results/BENCH_*.json /tmp/baselines/
+    # ... run the bench smokes (they rewrite benchmarks/results/) ...
+    python benchmarks/check_regression.py \
+        --baseline-dir /tmp/baselines --results-dir benchmarks/results
+
+Prints a markdown report to stdout and, when ``$GITHUB_STEP_SUMMARY`` is
+set (or ``--summary-file`` given), appends it there for the job summary
+page.  Exits 1 on any regression unless ``--no-fail`` (the nightly
+full-mode run reports without failing, since full-mode baselines may not
+be committed).  Tolerances, tiers and skip rules live in
+:mod:`repro.analysis.regression`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.regression import (  # noqa: E402
+    DEFAULT_SPECS,
+    compare_directories,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Fail on benchmark regressions vs committed baselines."
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(REPO_ROOT / "benchmarks" / "results"),
+        help="directory holding the committed BENCH_*.json baselines "
+             "(default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default=str(REPO_ROOT / "benchmarks" / "results"),
+        help="directory holding the freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--bench", action="append", default=None, metavar="NAME",
+        choices=sorted(DEFAULT_SPECS),
+        help="restrict to one bench (repeatable; default: all known)",
+    )
+    parser.add_argument(
+        "--summary-file", default=None,
+        help="append the markdown report here "
+             "(default: $GITHUB_STEP_SUMMARY when set)",
+    )
+    parser.add_argument(
+        "--no-fail", action="store_true",
+        help="report regressions but always exit 0 (nightly mode)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    report = compare_directories(args.baseline_dir, args.results_dir,
+                                 benches=args.bench)
+    markdown = report.to_markdown()
+    print(markdown)
+
+    summary_file = args.summary_file or os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_file:
+        with open(summary_file, "a", encoding="utf-8") as handle:
+            handle.write(markdown + "\n")
+
+    if report.failed and not args.no_fail:
+        print(f"FAIL: {len(report.regressions)} regression(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

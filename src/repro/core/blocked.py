@@ -67,6 +67,7 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
                  timings: Optional[StageTimings] = None,
                  *, start: int = 0, stop: Optional[int] = None,
                  shared=None, deadline=None,
+                 initial_threshold: float = -math.inf,
                  ) -> Tuple[TopKBuffer, PruningStats]:
     """Blocked, vectorized equivalent of :func:`repro.core.scanner.scan_reference`.
 
@@ -96,6 +97,15 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
     (property-tested).  Each block boundary is also a ``scan``
     fault-injection site (:mod:`repro._faultsites`), a no-op unless an
     injector is armed.
+
+    ``initial_threshold`` seeds the live threshold ``t`` before the first
+    block (the warm-start path of :mod:`repro.serve.cache`).  The caller
+    must guarantee it is a **strict** lower bound on the query's true k-th
+    inner product; every pruning test discards on ``bound <= t``, so a
+    strict bound can never touch an item whose score ties or beats the
+    true k-th value — ids and scores stay bitwise identical to the cold
+    scan (property-tested, including adversarial duplicates and ties),
+    only the pruning *counters* change.
     """
     stop = index.n if stop is None else stop
     buffer = TopKBuffer(k)
@@ -120,7 +130,7 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
         tail_factor_base = qs.scaled.max_tail * scaled.max_tail
         e_sq = scaled.e * scaled.e
 
-    t = -math.inf
+    t = float(initial_threshold)
     if shared is not None and shared.value > t:
         t = shared.value
     t_prime = -math.inf

@@ -19,7 +19,9 @@ Example
 
 from __future__ import annotations
 
+import math
 import time
+import uuid
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
@@ -160,6 +162,11 @@ class FexiproIndex:
             else _np.int64
         )
 
+        # Identity token for caches: survives pickling (a re-loaded copy of
+        # the *same* saved index keeps its uid, so cache entries stay valid),
+        # while an index built from different data gets a different uid.
+        self.uid = uuid.uuid4().hex
+
         started = time.perf_counter()
         items = as_item_matrix(items)
         self._preprocess(items, np.arange(items.shape[0], dtype=np.int64))
@@ -175,6 +182,11 @@ class FexiproIndex:
         (:meth:`add_items` / :meth:`remove_items`) keep ids stable across
         internal rebuilds.
         """
+        # Every (re)build is a new epoch: anything derived from the old
+        # sorted positions or contents (result caches, warm-start seeds)
+        # must be invalidated.  ``(uid, epoch)`` together form the identity
+        # token consumed by :mod:`repro.serve.cache`.
+        self.epoch = getattr(self, "epoch", -1) + 1
         self.n, self.d = items.shape
 
         # Algorithm 3, Line 2: sort by original length, descending.
@@ -341,6 +353,7 @@ class FexiproIndex:
         if self.reduction is not None:
             self.reduction.insert(rows_bar, positions)
         self.n += rows.shape[0]
+        self.epoch += 1  # positions shifted: cached results are stale
         return True
 
     def remove_items(self, ids) -> int:
@@ -366,6 +379,7 @@ class FexiproIndex:
         if self.reduction is not None:
             self.reduction.delete(positions)
         self.n -= positions.size
+        self.epoch += 1  # membership changed: cached results are stale
         return int(positions.size)
 
     # ------------------------------------------------------------------
@@ -411,12 +425,22 @@ class FexiproIndex:
         """
         return prepare_query_states(self, q.reshape(1, -1))[0]
 
-    def _scan(self, qs: QueryState, k: int, timings=None, deadline=None):
+    def _scan(self, qs: QueryState, k: int, timings=None, deadline=None,
+              initial_threshold: float = -math.inf):
+        """Dispatch one prepared query to the configured engine.
+
+        ``initial_threshold`` warm-starts the live pruning threshold; it
+        MUST be a *strict* lower bound on this query's true k-th inner
+        product (see :mod:`repro.serve.cache` for how such bounds are
+        obtained exactly).  The default ``-inf`` is the cold scan.
+        """
         if self.engine == "reference":
             return scan_reference(self, qs, k, timings=timings,
-                                  deadline=deadline)
+                                  deadline=deadline,
+                                  initial_threshold=initial_threshold)
         return scan_blocked(self, qs, k, self.block_size, timings=timings,
-                            deadline=deadline)
+                            deadline=deadline,
+                            initial_threshold=initial_threshold)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - imported only for type checking
 def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
                    timings: Optional[StageTimings] = None,
                    *, deadline=None,
+                   initial_threshold: float = -math.inf,
                    ) -> Tuple[TopKBuffer, PruningStats]:
     """Run Algorithm 4 with the Algorithm 5 coordinate scan, one item at a time.
 
@@ -51,6 +52,11 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
         flags ``stats.deadline_hit`` — the buffer is then the exact top-k
         of the length-sorted prefix visited, same contract as
         :func:`repro.core.blocked.scan_blocked`.
+    initial_threshold:
+        Warm-start seed for the live threshold ``t``; must be a *strict*
+        lower bound on the query's true k-th inner product (the
+        :mod:`repro.serve.cache` contract).  Ids and scores are then
+        bitwise identical to the cold scan; only pruning counters change.
     """
     if _faultsites.active is not None:
         _faultsites.fire(_faultsites.SCAN, "scan_reference")
@@ -70,7 +76,7 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
     use_reduction = index.reduction is not None
     timed = timings is not None
 
-    t = -math.inf
+    t = float(initial_threshold)
     t_prime = -math.inf
 
     for i in range(index.n):
@@ -140,8 +146,13 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
         if timed:
             tick = perf_counter()
         if buffer.push(v, i):
-            t = buffer.threshold
-            if use_reduction and t > -math.inf:
+            # Guarded update: a warm-start seed can exceed the buffer's
+            # own k-th best (the buffer may even still be filling, when
+            # its threshold is -inf), in which case the seed stays in
+            # charge — identical to the blocked engine's rule.
+            if buffer.threshold > t:
+                t = buffer.threshold
+            if use_reduction and t > -math.inf and buffer.full:
                 # Line 17 of Algorithm 4: refresh t' via Equation 8 using
                 # the constants of the item now holding the k-th slot.
                 t_prime = index.reduction.threshold(

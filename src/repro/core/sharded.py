@@ -319,7 +319,8 @@ class ShardedFexiproIndex:
     # ------------------------------------------------------------------
 
     def _scan_sharded(self, qs: QueryState, k: int, *, pool=None,
-                      collect_timings: bool = False, deadline=None):
+                      collect_timings: bool = False, deadline=None,
+                      initial_threshold: float = -math.inf):
         """Fan one prepared query out over the shards and merge exactly.
 
         Returns ``(merged_buffer, total_stats, reports, timings)``.  The
@@ -328,6 +329,14 @@ class ShardedFexiproIndex:
         pool is used.  With one worker the pool runs the shard closures
         inline in submission order — the deterministic mode the property
         tests pin down.
+
+        ``initial_threshold`` seeds the :class:`SharedThreshold` cell before
+        any shard starts (the warm-start path of :mod:`repro.serve.cache`).
+        The caller must guarantee a **strict** lower bound on the query's
+        true k-th inner product; the cell then behaves exactly as if an
+        earlier shard had offered that value — every shard prunes against
+        it from its first block, and whole shards may be skipped outright,
+        while ids and scores stay bitwise identical to the cold scan.
 
         ``deadline`` (a :class:`repro.serve.resilience.Deadline`) is polled
         at shard boundaries — an expired deadline returns a shard unscanned
@@ -343,7 +352,7 @@ class ShardedFexiproIndex:
         index = self.index
         spans = self.spans
         norms = index.norms_sorted
-        shared = SharedThreshold()
+        shared = SharedThreshold(initial_threshold)
 
         def run_shard(numbered: Tuple[int, Tuple[int, int]]):
             shard_id, (start, stop) = numbered

@@ -20,7 +20,11 @@ layer:
   exact-prefix degradation, per-query fault isolation surfacing
   :class:`QueryError` entries (with a bounded :class:`RetryPolicy`), a
   :class:`CircuitBreaker` guarding the intra-query shard fan-out, and a
-  deterministic :class:`FaultInjector` for chaos testing.
+  deterministic :class:`FaultInjector` for chaos testing;
+- :class:`QueryCache` (PR 4) — an exactness-preserving LRU result cache
+  with epoch-bound invalidation and a threshold warm-start path that
+  seeds both engines' pruning from cached evidence (see
+  :mod:`repro.serve.cache` for the exactness argument).
 
 Exactness is inherited, not re-proven: the service prepares every query
 with :func:`repro.core.index.prepare_query_states` — the same single
@@ -39,6 +43,7 @@ Quickstart::
         print(service.metrics_snapshot())
 """
 
+from .cache import CacheEntry, CacheLookup, QueryCache
 from .config import ServiceConfig, default_workers
 from .executor import WorkerPool, chunk_spans, resolve_chunk_size
 from .faults import FaultInjector, FaultRule
@@ -59,6 +64,8 @@ from .service import BatchResponse, RetrievalService
 
 __all__ = [
     "BatchResponse",
+    "CacheEntry",
+    "CacheLookup",
     "CircuitBreaker",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
@@ -67,6 +74,7 @@ __all__ = [
     "FaultRule",
     "Histogram",
     "MetricsRegistry",
+    "QueryCache",
     "QueryError",
     "RetrievalService",
     "RetryPolicy",

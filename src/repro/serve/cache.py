@@ -1,0 +1,422 @@
+"""Exactness-preserving query cache with threshold warm-start.
+
+The paper's workload analysis (§7, Fig. 9) shows recommender query traffic
+is heavily skewed: a small set of hot users dominates.  This module turns
+that skew into served work saved, without ever surrendering FEXIPRO's
+exactness guarantee.  Two mechanisms, in decreasing order of payoff:
+
+**Exact result reuse.**  A query whose canonical fingerprint, ``k`` and
+index epoch all match a cached entry is answered straight from the cache —
+the returned :class:`~repro.core.stats.RetrievalResult` is a copy of the
+one the original scan produced, so ids and scores are bitwise identical by
+construction.  Safety comes from *epoch binding*: every entry records the
+``(uid, epoch)`` of the index that produced it, and
+:class:`~repro.core.index.FexiproIndex` bumps its ``epoch`` on every
+rebuild, ``add_items`` and ``remove_items``.  A stale entry is therefore
+structurally unservable — it is dropped (and counted) at lookup, never
+returned.
+
+**Threshold warm-start.**  A near-hit cannot reuse the cached *answer*,
+but it can reuse the cached *evidence*.  FEXIPRO's pruning cascade is
+driven by a live threshold ``t`` that is sound for any value strictly
+below the query's true k-th inner product: every pruning test in both
+engines discards on ``bound <= t``, so a strict lower bound can never
+touch an item whose score ties or beats the true k-th value.  The cache
+derives such bounds from two kinds of neighbours:
+
+- *same query, larger k*: a cached exact top-``k'`` result with
+  ``k' >= k`` pins the true k-th score exactly — it is ``scores[k-1]``;
+- *similarity bucket*: a cached result for a query that rounds to the
+  same coarse bucket names ``k'`` concrete items; re-scoring those items
+  for the **new** query (with the scan's own split-product formula, so
+  round-off matches bitwise) yields ``k'`` real achieved scores, whose
+  k-th largest is a valid lower bound on the new query's true k-th score.
+
+In both cases the seed handed to the engines is ``nextafter(B, -inf)`` —
+one ulp *below* the bound ``B`` — making it strictly smaller than the true
+k-th score even when ``B`` equals it.  Seeding only the threshold (never
+pre-populating the :class:`~repro.core.topk.TopKBuffer`) means the scan's
+admission sequence over surviving items is untouched, so tie-breaking is
+bit-for-bit the cold scan's (property-tested across all variants, both
+engines and the sharded scan, including adversarial duplicates and ties).
+
+The cache itself is a thread-safe LRU with optional TTL.  It is index-
+agnostic: one cache may sit in front of several services, and entries from
+different indexes (or different epochs of the same index) can coexist —
+the epoch token keeps them from ever crossing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.stats import RetrievalResult
+from ..exceptions import ValidationError
+
+__all__ = [
+    "CacheEntry",
+    "CacheLookup",
+    "QueryCache",
+    "canonical_query_bytes",
+    "bucket_query_bytes",
+]
+
+#: Default number of entries a :class:`QueryCache` retains.
+DEFAULT_CAPACITY = 256
+
+
+def canonical_query_bytes(q: np.ndarray) -> bytes:
+    """Canonical byte representation of a query vector (the cache key).
+
+    Queries are hashed as contiguous float64 with negative zeros
+    normalized to positive (``q + 0.0`` is exact for every finite value
+    and maps ``-0.0`` to ``+0.0``).  Two queries that differ only in zero
+    signs produce value-identical inner products, so folding them onto one
+    fingerprint trades nothing; every other bit pattern stays distinct —
+    there is **no** lossy quantization on the exact-hit path.
+    """
+    arr = np.ascontiguousarray(q, dtype=np.float64) + 0.0
+    return arr.tobytes()
+
+
+def bucket_query_bytes(q: np.ndarray, decimals: int) -> bytes:
+    """Coarse byte representation for the warm-start similarity bucket.
+
+    Unlike :func:`canonical_query_bytes` this *is* lossy — queries that
+    round to the same ``decimals``-places grid share a bucket.  That is
+    safe because bucket neighbours never exchange results, only candidate
+    item lists that are re-scored exactly for the new query.
+    """
+    arr = np.round(np.ascontiguousarray(q, dtype=np.float64), decimals) + 0.0
+    return arr.tobytes()
+
+
+def _digest(payload: bytes) -> bytes:
+    return hashlib.blake2b(payload, digest_size=16).digest()
+
+
+@dataclass
+class CacheEntry:
+    """One cached exact answer, bound to the index state that produced it.
+
+    ``token`` is the producing index's ``(uid, epoch)`` pair; ``positions``
+    are the result items' positions in the index's *length-sorted* order at
+    that epoch (the coordinate system the engines scan in), kept so bucket
+    neighbours can re-score the items without an id → position search.
+    """
+
+    key: Tuple
+    qkey: Tuple
+    bkey: Optional[Tuple]
+    token: Tuple[str, int]
+    qbytes: bytes
+    k: int
+    result: RetrievalResult
+    positions: Tuple[int, ...]
+    created: float
+
+
+@dataclass
+class CacheLookup:
+    """Outcome of one cache probe.
+
+    ``kind`` is ``"hit"`` (``result`` is a private copy of the cached
+    answer, servable as-is), ``"warm"`` (the scan should be seeded —
+    either ``seed`` is already a valid strict lower bound, or ``entry``
+    names a bucket neighbour to re-score via
+    :meth:`QueryCache.bucket_seed`) or ``"miss"``.
+    """
+
+    kind: str
+    result: Optional[RetrievalResult] = None
+    seed: float = -math.inf
+    entry: Optional[CacheEntry] = None
+
+
+def _copy_result(result: RetrievalResult) -> RetrievalResult:
+    """An independent copy: cache internals must never alias caller state."""
+    return RetrievalResult(
+        ids=list(result.ids),
+        scores=list(result.scores),
+        stats=replace(result.stats),
+        elapsed=result.elapsed,
+    )
+
+
+class QueryCache:
+    """LRU result cache + warm-start seed source for FEXIPRO serving.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; least-recently-used entries are evicted
+        beyond it.
+    ttl_s:
+        Optional time-to-live in seconds (measured on ``clock``); expired
+        entries are dropped at lookup.  ``None`` disables expiry.
+    warm_start:
+        When ``False``, near-hits are not consulted — the cache serves
+        exact hits only.
+    bucket_decimals:
+        Decimal places for the similarity-bucket fingerprint.  ``None``
+        (the default) disables bucket matching; same-query-larger-``k``
+        warm-starts still work.  Small values (1–2) bucket aggressively;
+        the setting only affects *speed*, never results.
+    clock:
+        Injectable monotonic time source for TTL tests.
+
+    Thread-safe; all bookkeeping runs under one lock (lookups are a dict
+    probe and a hash — noise next to a scan).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, *,
+                 ttl_s: Optional[float] = None,
+                 warm_start: bool = True,
+                 bucket_decimals: Optional[int] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if not isinstance(capacity, int) or isinstance(capacity, bool) \
+                or capacity < 1:
+            raise ValidationError(
+                f"cache capacity must be a positive integer; got {capacity!r}"
+            )
+        if ttl_s is not None and not (
+                isinstance(ttl_s, (int, float))
+                and not isinstance(ttl_s, bool) and ttl_s > 0):
+            raise ValidationError(
+                f"ttl_s must be a positive number or None; got {ttl_s!r}"
+            )
+        if bucket_decimals is not None and (
+                not isinstance(bucket_decimals, int)
+                or isinstance(bucket_decimals, bool) or bucket_decimals < 0):
+            raise ValidationError(
+                f"bucket_decimals must be a non-negative integer or None; "
+                f"got {bucket_decimals!r}"
+            )
+        self.capacity = capacity
+        self.ttl_s = None if ttl_s is None else float(ttl_s)
+        self.warm_start = bool(warm_start)
+        self.bucket_decimals = bucket_decimals
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, CacheEntry]" = OrderedDict()
+        self._by_query: Dict[Tuple, Dict[int, Tuple]] = {}
+        self._by_bucket: Dict[Tuple, Tuple] = {}
+        self.hits = 0
+        self.misses = 0
+        self.warm_hits = 0
+        self.stores = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, index, q: np.ndarray, k: int) -> CacheLookup:
+        """Probe the cache for ``(index, q, k)``.
+
+        ``k`` must already be clamped to the index size (the serving layer
+        clamps before probing, so an oversized request and its clamped twin
+        share an entry).  Stale (epoch-mismatched) and expired entries
+        encountered along the way are dropped and counted — a poisoned
+        entry is never served and never seeds anything.
+        """
+        token = (index.uid, index.epoch)
+        qbytes = canonical_query_bytes(q)
+        qkey = (index.variant.name, _digest(qbytes))
+        with self._lock:
+            entry = self._entries.get((qkey, k))
+            if entry is not None and self._usable(entry, token) \
+                    and entry.qbytes == qbytes:
+                self._entries.move_to_end(entry.key)
+                self.hits += 1
+                return CacheLookup("hit", result=_copy_result(entry.result))
+            self.misses += 1
+            if not self.warm_start:
+                return CacheLookup("miss")
+            # Same query cached at k' >= k: its scores[k-1] *is* the true
+            # k-th inner product, so one ulp below it is a strict bound.
+            ks = self._by_query.get(qkey)
+            if ks:
+                for cached_k in sorted(ks):
+                    if cached_k < k:
+                        continue
+                    entry = self._entries.get(ks.get(cached_k))
+                    if entry is not None and self._usable(entry, token) \
+                            and entry.qbytes == qbytes:
+                        self.warm_hits += 1
+                        bound = float(entry.result.scores[k - 1])
+                        return CacheLookup(
+                            "warm", seed=math.nextafter(bound, -math.inf)
+                        )
+            # Similarity bucket: a neighbour's item list, re-scored later
+            # for this query (needs the prepared query state — deferred to
+            # bucket_seed()).
+            if self.bucket_decimals is not None:
+                bkey = (index.variant.name,
+                        _digest(bucket_query_bytes(q, self.bucket_decimals)))
+                key = self._by_bucket.get(bkey)
+                entry = self._entries.get(key) if key is not None else None
+                if entry is not None and self._usable(entry, token) \
+                        and entry.k >= k:
+                    self.warm_hits += 1
+                    return CacheLookup("warm", entry=entry)
+            return CacheLookup("miss")
+
+    def bucket_seed(self, index, qs, entry: CacheEntry, k: int) -> float:
+        """A strict lower bound on ``qs``'s true k-th score from a neighbour.
+
+        Re-scores the neighbour's cached item positions for the *new*
+        query with the exact split-product formula the engines use
+        (``q_head @ row[:w]`` then ``+ q_tail @ row[w:]``, each rounded
+        through ``float``), so every value is a genuinely achievable score
+        of a real item.  The k-th largest of those is a lower bound on the
+        true k-th score; one ulp below it is a strict one.  Returns
+        ``-inf`` (cold scan) if the entry went stale or names fewer than
+        ``k`` items.
+        """
+        if entry.token != (index.uid, index.epoch) or len(entry.positions) < k:
+            return -math.inf
+        items_bar = index.items_bar
+        w = index.w
+        q_head = qs.q_bar[:w]
+        q_tail = qs.q_bar[w:]
+        scores = []
+        for p in entry.positions:
+            v = float(q_head @ items_bar[p, :w])
+            v += float(q_tail @ items_bar[p, w:])
+            scores.append(v)
+        scores.sort(reverse=True)
+        return math.nextafter(scores[k - 1], -math.inf)
+
+    # ------------------------------------------------------------------
+    # Store / invalidate
+    # ------------------------------------------------------------------
+
+    def store(self, index, q: np.ndarray, k: int,
+              result: RetrievalResult, positions: Sequence[int]) -> bool:
+        """Cache one exact answer; returns whether it was accepted.
+
+        Only *complete* (no deadline truncation), *full* (``k`` items —
+        after clamping, every untruncated scan yields exactly ``k``)
+        results are cacheable: anything else is not the exact top-k of the
+        whole index and must never be replayed as one.
+        """
+        if not result.complete or len(result.ids) != k:
+            return False
+        token = (index.uid, index.epoch)
+        qbytes = canonical_query_bytes(q)
+        qkey = (index.variant.name, _digest(qbytes))
+        bkey = None
+        if self.bucket_decimals is not None:
+            bkey = (index.variant.name,
+                    _digest(bucket_query_bytes(q, self.bucket_decimals)))
+        entry = CacheEntry(
+            key=(qkey, k), qkey=qkey, bkey=bkey, token=token, qbytes=qbytes,
+            k=k, result=_copy_result(result), positions=tuple(positions),
+            created=self._clock(),
+        )
+        with self._lock:
+            old = self._entries.pop(entry.key, None)
+            if old is not None:
+                self._unlink(old)
+            self._entries[entry.key] = entry
+            self._by_query.setdefault(qkey, {})[k] = entry.key
+            if bkey is not None:
+                self._by_bucket[bkey] = entry.key
+            self.stores += 1
+            while len(self._entries) > self.capacity:
+                __, evicted = self._entries.popitem(last=False)
+                self._unlink(evicted)
+                self.evictions += 1
+        return True
+
+    def invalidate(self, uid: Optional[str] = None) -> int:
+        """Drop every entry (or every entry produced by index ``uid``).
+
+        Epoch binding already makes stale entries unservable, so this hook
+        is about *capacity*: releasing slots held by an index that was
+        rebuilt or retired.  Returns the number of entries dropped.
+        """
+        with self._lock:
+            keys = [key for key, entry in self._entries.items()
+                    if uid is None or entry.token[0] == uid]
+            for key in keys:
+                self._unlink(self._entries.pop(key))
+            self.invalidations += len(keys)
+            return len(keys)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self.invalidate()
+
+    # ------------------------------------------------------------------
+    # Internals / introspection
+    # ------------------------------------------------------------------
+
+    def _usable(self, entry: CacheEntry, token: Tuple[str, int]) -> bool:
+        """Validate one entry against the live index token and TTL.
+
+        Must be called under the lock.  Drops (and counts) failures so a
+        poisoned entry costs at most one probe.
+        """
+        if entry.token != token:
+            self._entries.pop(entry.key, None)
+            self._unlink(entry)
+            self.invalidations += 1
+            return False
+        if self.ttl_s is not None \
+                and self._clock() - entry.created > self.ttl_s:
+            self._entries.pop(entry.key, None)
+            self._unlink(entry)
+            self.expirations += 1
+            return False
+        return True
+
+    def _unlink(self, entry: CacheEntry) -> None:
+        """Remove an entry's secondary-map references (under the lock)."""
+        ks = self._by_query.get(entry.qkey)
+        if ks is not None and ks.get(entry.k) == entry.key:
+            del ks[entry.k]
+            if not ks:
+                del self._by_query[entry.qkey]
+        if entry.bkey is not None \
+                and self._by_bucket.get(entry.bkey) == entry.key:
+            del self._by_bucket[entry.bkey]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable counters and configuration of this cache."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "ttl_s": self.ttl_s,
+                "warm_start": self.warm_start,
+                "bucket_decimals": self.bucket_decimals,
+                "hits": self.hits,
+                "misses": self.misses,
+                "warm_hits": self.warm_hits,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "invalidations": self.invalidations,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryCache(size={len(self._entries)}, "
+            f"capacity={self.capacity}, hits={self.hits}, "
+            f"warm_hits={self.warm_hits}, misses={self.misses})"
+        )

@@ -76,6 +76,23 @@ class ServiceConfig:
     breaker_cooldown_ms:
         How long an open breaker refuses the intra path before letting one
         half-open probe through.
+    cache_capacity:
+        Entries retained by the service's :class:`~repro.serve.cache.
+        QueryCache` (LRU beyond it).  ``0`` (the default) disables caching
+        entirely — no fingerprinting, no lookups, behaviour identical to
+        earlier releases.  Ignored when an external cache is handed to the
+        service directly.
+    cache_ttl_s:
+        Optional time-to-live for cache entries in seconds (``None`` =
+        entries live until evicted or invalidated by an index epoch bump).
+    warm_start:
+        Whether near-hits (same query at larger ``k``, or a similarity-
+        bucket neighbour) may seed the scan threshold.  Results are
+        bitwise identical either way; this only trades lookup cost
+        against pruning head-start.
+    warm_bucket_decimals:
+        Decimal places for the warm-start similarity bucket (``None`` =
+        bucket matching off; same-query warm-starts still apply).
     """
 
     workers: int = 4
@@ -89,6 +106,10 @@ class ServiceConfig:
     retry_backoff_ms: float = 0.0
     breaker_threshold: int = 3
     breaker_cooldown_ms: float = 1000.0
+    cache_capacity: int = 0
+    cache_ttl_s: Optional[float] = None
+    warm_start: bool = True
+    warm_bucket_decimals: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.workers, int) or self.workers < 1:
@@ -151,4 +172,31 @@ class ServiceConfig:
             raise ValidationError(
                 f"breaker_cooldown_ms must be non-negative; "
                 f"got {self.breaker_cooldown_ms!r}"
+            )
+        if not isinstance(self.cache_capacity, int) or \
+                isinstance(self.cache_capacity, bool) or \
+                self.cache_capacity < 0:
+            raise ValidationError(
+                f"cache_capacity must be a non-negative integer; "
+                f"got {self.cache_capacity!r}"
+            )
+        if self.cache_ttl_s is not None and not (
+                isinstance(self.cache_ttl_s, (int, float))
+                and not isinstance(self.cache_ttl_s, bool)
+                and self.cache_ttl_s > 0):
+            raise ValidationError(
+                f"cache_ttl_s must be a positive number or None; "
+                f"got {self.cache_ttl_s!r}"
+            )
+        if not isinstance(self.warm_start, bool):
+            raise ValidationError(
+                f"warm_start must be a boolean; got {self.warm_start!r}"
+            )
+        if self.warm_bucket_decimals is not None and (
+                not isinstance(self.warm_bucket_decimals, int)
+                or isinstance(self.warm_bucket_decimals, bool)
+                or self.warm_bucket_decimals < 0):
+            raise ValidationError(
+                f"warm_bucket_decimals must be a non-negative integer or "
+                f"None; got {self.warm_bucket_decimals!r}"
             )

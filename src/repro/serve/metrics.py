@@ -60,6 +60,11 @@ class Counter:
     def value(self) -> int:
         return self._value
 
+    def reset(self) -> None:
+        """Zero the counter in place (held references stay valid)."""
+        with self._lock:
+            self._value = 0
+
 
 class Histogram:
     """A fixed-bucket histogram of non-negative observations (seconds).
@@ -107,6 +112,14 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def reset(self) -> None:
+        """Drop all observations in place (bucket bounds are kept)."""
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._max = 0.0
+
     def quantile(self, q: float) -> float:
         """Approximate ``q``-quantile (upper bucket bound; max for overflow)."""
         if not 0.0 <= q <= 1.0:
@@ -147,6 +160,14 @@ class MetricsRegistry:
     :class:`~repro.serve.RetrievalService`; the pruning-counter rollup uses
     the ``pruning.<counter>`` namespace so the paper's machine-independent
     counters (Tables 3 and 7) are readable straight off a live service.
+
+    Registries are **instance-isolated** by design: there is no module- or
+    process-global registry, every ``MetricsRegistry()`` starts from zero,
+    and a service only ever shares one when the caller passes the same
+    object explicitly.  Tests (and embedders) therefore never see counts
+    leak across services or test order; :meth:`reset` additionally zeroes
+    a registry in place for callers that hold long-lived references to its
+    :class:`Counter`/:class:`Histogram` objects.
     """
 
     def __init__(self, name: str = "repro.serve"):
@@ -196,6 +217,23 @@ class MetricsRegistry:
             copy = StageTimings()
             copy.merge(self._stage_timings)
             return copy
+
+    def reset(self) -> None:
+        """Zero every metric in place.
+
+        Existing :class:`Counter` and :class:`Histogram` objects are kept
+        (and zeroed), so references handed out earlier keep reporting into
+        this registry — the isolation story for tests that reuse one
+        registry across cases instead of building a fresh one.
+        """
+        with self._lock:
+            counters = list(self._counters.values())
+            histograms = list(self._histograms.values())
+            self._stage_timings = StageTimings()
+        for counter in counters:
+            counter.reset()
+        for histogram in histograms:
+            histogram.reset()
 
     def snapshot(self) -> Dict[str, object]:
         """A point-in-time dict of every metric (JSON-serializable)."""

@@ -42,10 +42,13 @@ counters.
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
 
 from .. import _faultsites
 from .._validation import as_query_matrix, as_query_vector, check_k
@@ -59,6 +62,7 @@ from ..core.stats import (
     assemble_result,
 )
 from ..exceptions import DeadlineExceededError, ServiceClosedError
+from .cache import CacheLookup, QueryCache
 from .config import ServiceConfig
 from .executor import WorkerPool, chunk_spans, resolve_chunk_size
 from .metrics import MetricsRegistry
@@ -81,6 +85,15 @@ class BatchResponse:
     is ``None`` and a structured :class:`QueryError` lands in ``errors``;
     deadline-degraded queries keep their (exact-prefix) result with
     ``complete=False``.  :attr:`complete` is the batch-level rollup.
+
+    When the service runs a :class:`~repro.serve.cache.QueryCache`,
+    ``provenance`` records where each answer came from, aligned with
+    ``results``: ``"hit"`` (served from cache, no scan), ``"warm"``
+    (scanned with a cache-seeded threshold) or ``"cold"`` (plain scan) —
+    ``None`` when caching is disabled.  ``stats`` sums the counters of
+    *performed* scans only; a cache hit did no pruning work, so replaying
+    its cached counters would double-count the trajectory the paper's
+    tables are built from.
     """
 
     results: List[Optional[RetrievalResult]] = field(default_factory=list)
@@ -90,6 +103,7 @@ class BatchResponse:
     timings: Optional[StageTimings] = None
     mode: str = "inter"
     errors: List[QueryError] = field(default_factory=list)
+    provenance: Optional[List[str]] = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -109,6 +123,16 @@ class BatchResponse:
     def complete(self) -> bool:
         """Whether every query succeeded and no deadline truncated a scan."""
         return not self.errors and self.deadline_hits == 0
+
+    @property
+    def cache_hits(self) -> int:
+        """Queries answered straight from the cache (0 without a cache)."""
+        return self.provenance.count("hit") if self.provenance else 0
+
+    @property
+    def warm_queries(self) -> int:
+        """Queries scanned with a cache-seeded threshold."""
+        return self.provenance.count("warm") if self.provenance else 0
 
 
 class RetrievalService:
@@ -132,6 +156,13 @@ class RetrievalService:
     metrics:
         An optional externally owned registry; by default the service
         creates its own, exposed as :attr:`metrics`.
+    cache:
+        An optional externally owned :class:`~repro.serve.cache.QueryCache`
+        (one cache may front several services over the same index — epoch
+        binding keeps entries from different indexes or epochs apart).  By
+        default the service builds its own when
+        ``config.cache_capacity > 0``, exposed as :attr:`cache` (``None``
+        when caching is off).
     clock / sleep:
         Injectable time sources (``time.monotonic`` / ``time.sleep``) used
         by deadlines, the circuit breaker and retry backoff — swap in fakes
@@ -147,6 +178,7 @@ class RetrievalService:
                  config: Optional[ServiceConfig] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  *,
+                 cache: Optional[QueryCache] = None,
                  clock: Callable[[], float] = time.monotonic,
                  sleep: Callable[[float], None] = time.sleep):
         if isinstance(index, ShardedFexiproIndex):
@@ -157,6 +189,18 @@ class RetrievalService:
             self.index = index
         self.config = config if config is not None else ServiceConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if cache is not None:
+            self.cache: Optional[QueryCache] = cache
+        elif self.config.cache_capacity:
+            self.cache = QueryCache(
+                self.config.cache_capacity,
+                ttl_s=self.config.cache_ttl_s,
+                warm_start=self.config.warm_start,
+                bucket_decimals=self.config.warm_bucket_decimals,
+                clock=clock,
+            )
+        else:
+            self.cache = None
         self._pool = WorkerPool(self.config.workers)
         self._clock = clock
         self._breaker = CircuitBreaker(
@@ -189,16 +233,52 @@ class RetrievalService:
         return response.results[0]
 
     def batch(self, queries, k: Optional[int] = None) -> BatchResponse:
-        """Serve a whole query matrix; rows are answered independently."""
+        """Serve a whole query matrix; rows are answered independently.
+
+        With a cache configured, each row is first probed against it:
+        exact hits skip preparation and scanning entirely, warm near-hits
+        are scanned with a seeded threshold, and everything else runs
+        cold — see :mod:`repro.serve.cache` for the exactness argument.
+        Ids and scores are identical to the cache-less service either way.
+        """
         if self._pool.closed:
             raise ServiceClosedError("service is closed")
         wall_started = time.perf_counter()
         queries = as_query_matrix(queries, self.index.d)
         k = check_k(self.config.default_k if k is None else k, self.index.n)
+        m = queries.shape[0]
 
+        cache = self.cache
+        lookups: Optional[List[CacheLookup]] = None
+        if cache is not None:
+            lookups = [cache.lookup(self.index, queries[i], k)
+                       for i in range(m)]
+            pending = [i for i in range(m) if lookups[i].kind != "hit"]
+        else:
+            pending = list(range(m))
+
+        # Prepare only the queries that actually need a scan; hits are
+        # answered without touching Algorithm 4 at all.
         prep_started = time.perf_counter()
-        states = prepare_query_states(self.index, queries)
+        if len(pending) == m:
+            states = prepare_query_states(self.index, queries) if m else []
+        elif pending:
+            states = prepare_query_states(
+                self.index, np.ascontiguousarray(queries[pending]))
+        else:
+            states = []
         prepare_time = time.perf_counter() - prep_started
+
+        seeds: Optional[List[float]] = None
+        if lookups is not None and states:
+            seeds = []
+            for j, i in enumerate(pending):
+                lookup = lookups[i]
+                if lookup.entry is not None:
+                    seeds.append(cache.bucket_seed(
+                        self.index, states[j], lookup.entry, k))
+                else:
+                    seeds.append(lookup.seed)
 
         collect = self.config.collect_timings
         timings: Optional[StageTimings] = None
@@ -207,17 +287,43 @@ class RetrievalService:
 
         errors: List[QueryError] = []
         mode = self._select_mode(len(states))
-        if mode == "intra":
-            results = self._scan_intra_query(states, k, timings, errors)
+        if not states:
+            scanned, positions = [], []
+        elif mode == "intra":
+            scanned, positions = self._scan_intra_query(
+                states, k, timings, errors, indices=pending, seeds=seeds)
         else:
-            results = self._scan_inter_query(states, k, timings, errors)
+            scanned, positions = self._scan_inter_query(
+                states, k, timings, errors, indices=pending, seeds=seeds)
 
-        total_stats = aggregate_stats(r.stats for r in results
+        provenance: Optional[List[str]] = None
+        if lookups is None:
+            results = scanned
+        else:
+            results = [lookup.result for lookup in lookups]
+            for j, i in enumerate(pending):
+                results[i] = scanned[j]
+                result = scanned[j]
+                if result is not None and positions[j] is not None:
+                    cache.store(self.index, queries[i], k,
+                                result, positions[j])
+            provenance = []
+            seed_of = dict(zip(pending, seeds or []))
+            for i, lookup in enumerate(lookups):
+                if lookup.kind == "hit":
+                    provenance.append("hit")
+                elif seed_of.get(i, -math.inf) > -math.inf:
+                    provenance.append("warm")
+                else:
+                    provenance.append("cold")
+
+        total_stats = aggregate_stats(r.stats for r in scanned
                                       if r is not None)
         elapsed = time.perf_counter() - wall_started
         response = BatchResponse(results=results, stats=total_stats,
                                  elapsed=elapsed, prepare_time=prepare_time,
-                                 timings=timings, mode=mode, errors=errors)
+                                 timings=timings, mode=mode, errors=errors,
+                                 provenance=provenance)
         self._observe(response)
         return response
 
@@ -258,7 +364,10 @@ class RetrievalService:
     def _scan_inter_query(self, states, k: int,
                           timings: Optional[StageTimings],
                           errors: List[QueryError],
-                          ) -> List[Optional[RetrievalResult]]:
+                          *, indices: List[int],
+                          seeds: Optional[List[float]] = None,
+                          ) -> Tuple[List[Optional[RetrievalResult]],
+                                     List[Optional[Tuple[int, ...]]]]:
         """Spread whole queries over the pool (the PR-1 batch path).
 
         Isolation is two-level: each query inside a chunk is guarded
@@ -266,6 +375,13 @@ class RetrievalService:
         per-query guards engage (a ``worker``-site fault in the pool) is
         retried inline once if transient, else all its queries are marked
         failed — the rest of the batch is untouched either way.
+
+        ``indices`` maps local state positions to batch positions (they
+        differ when cache hits were carved out of the batch) — error
+        records and fault tags carry the batch position.  ``seeds`` are
+        optional per-state warm-start thresholds.  Returns per-state
+        results plus the raw scan positions backing each result (for cache
+        stores), both aligned with ``states``.
         """
         collect = timings is not None
         chunk_size = resolve_chunk_size(len(states), self._pool.workers,
@@ -276,16 +392,23 @@ class RetrievalService:
             start, stop = span
             chunk_timings = StageTimings() if collect else None
             chunk_results: List[Optional[RetrievalResult]] = []
+            chunk_positions: List[Optional[Tuple[int, ...]]] = []
             chunk_errors: List[QueryError] = []
             for offset, state in enumerate(states[start:stop]):
-                result, error = self._scan_one(start + offset, state, k,
-                                               chunk_timings)
+                seed = seeds[start + offset] if seeds is not None \
+                    else -math.inf
+                result, error, scan_positions = self._scan_one(
+                    indices[start + offset], state, k, chunk_timings,
+                    seed=seed)
                 chunk_results.append(result)
+                chunk_positions.append(scan_positions)
                 if error is not None:
                     chunk_errors.append(error)
-            return chunk_results, chunk_errors, chunk_timings
+            return chunk_results, chunk_positions, chunk_errors, \
+                chunk_timings
 
         results: List[Optional[RetrievalResult]] = []
+        positions: List[Optional[Tuple[int, ...]]] = []
         outputs = self._pool.map(run_chunk, spans, return_exceptions=True)
         for span, output in zip(spans, outputs):
             retried = False
@@ -295,16 +418,19 @@ class RetrievalService:
             if isinstance(output, Exception):
                 self.metrics.counter("errors.queries").inc(span[1] - span[0])
                 for qi in range(span[0], span[1]):
-                    errors.append(QueryError(index=qi, error=output,
+                    errors.append(QueryError(index=indices[qi], error=output,
                                              retried=retried))
                     results.append(None)
+                    positions.append(None)
                 continue
-            chunk_results, chunk_errors, chunk_timings = output
+            chunk_results, chunk_positions, chunk_errors, chunk_timings = \
+                output
             results.extend(chunk_results)
+            positions.extend(chunk_positions)
             errors.extend(chunk_errors)
             if timings is not None and chunk_timings is not None:
                 timings.merge(chunk_timings)
-        return results
+        return results, positions
 
     def _retry_chunk(self, run_chunk, span: Tuple[int, int],
                      error: Exception):
@@ -320,11 +446,17 @@ class RetrievalService:
 
     def _scan_one(self, qi: int, state, k: int,
                   timings: Optional[StageTimings],
-                  ) -> Tuple[Optional[RetrievalResult], Optional[QueryError]]:
+                  seed: float = -math.inf,
+                  ) -> Tuple[Optional[RetrievalResult], Optional[QueryError],
+                             Optional[Tuple[int, ...]]]:
         """One deadline-armed, fault-tagged single scan with bounded retry.
 
-        Returns ``(result, None)`` on success or ``(None, QueryError)``
-        after retries are exhausted; never raises.
+        ``seed`` warm-starts the engine's live threshold (must be a strict
+        lower bound on the true k-th score; ``-inf`` = cold).  Returns
+        ``(result, None, positions)`` on success — ``positions`` are the
+        result's raw length-sorted scan positions, which the cache stores
+        for bucket re-scoring — or ``(None, QueryError, None)`` after
+        retries are exhausted; never raises.
         """
         attempt = 0
         retried = False
@@ -335,15 +467,17 @@ class RetrievalService:
                     buffer, stats = self.index._scan(
                         state, k, timings=timings,
                         deadline=self._new_deadline(),
+                        initial_threshold=seed,
                     )
                     elapsed = time.perf_counter() - scan_started
                 self._enforce_deadline_policy(qi, stats)
                 if retried:
                     self.metrics.counter("retries.recovered").inc()
+                scan_positions, scores = buffer.items_and_scores()
                 return assemble_result(
-                    self.index.order, *buffer.items_and_scores(),
+                    self.index.order, scan_positions, scores,
                     stats, elapsed,
-                ), None
+                ), None, tuple(scan_positions)
             except Exception as error:
                 if self._retry.should_retry(error, attempt):
                     attempt += 1
@@ -353,23 +487,32 @@ class RetrievalService:
                     continue
                 self.metrics.counter("errors.queries").inc()
                 return None, QueryError(index=qi, error=error,
-                                        retried=retried)
+                                        retried=retried), None
 
     def _scan_intra_query(self, states, k: int,
                           timings: Optional[StageTimings],
                           errors: List[QueryError],
-                          ) -> List[Optional[RetrievalResult]]:
+                          *, indices: List[int],
+                          seeds: Optional[List[float]] = None,
+                          ) -> Tuple[List[Optional[RetrievalResult]],
+                                     List[Optional[Tuple[int, ...]]]]:
         """Answer queries one at a time, each fanned over the index shards.
 
         A shard fan-out failure feeds the circuit breaker and the query
         immediately falls back to the proven single-scan path
         (:meth:`_scan_one`), so an unlucky shard costs latency, not the
-        answer.  Successes re-close a half-open breaker.
+        answer.  Successes re-close a half-open breaker.  ``indices`` and
+        ``seeds`` behave as in :meth:`_scan_inter_query`; a warm seed
+        primes the cross-shard :class:`~repro.core.sharded.SharedThreshold`
+        (and survives into the single-scan fallback).
         """
         sharded = self.sharded_index
         collect = timings is not None
         results: List[Optional[RetrievalResult]] = []
-        for qi, state in enumerate(states):
+        positions: List[Optional[Tuple[int, ...]]] = []
+        for local, state in enumerate(states):
+            qi = indices[local]
+            seed = seeds[local] if seeds is not None else -math.inf
             try:
                 with _faultsites.tagged(f"q={qi}"):
                     scan_started = time.perf_counter()
@@ -378,13 +521,16 @@ class RetrievalService:
                             state, k, pool=self._pool,
                             collect_timings=collect,
                             deadline=self._new_deadline(),
+                            initial_threshold=seed,
                         )
                     elapsed = time.perf_counter() - scan_started
             except Exception:
                 self._record_breaker(self._breaker.record_failure())
                 self.metrics.counter("policy.breaker_fallback_queries").inc()
-                result, query_error = self._scan_one(qi, state, k, timings)
+                result, query_error, scan_positions = self._scan_one(
+                    qi, state, k, timings, seed=seed)
                 results.append(result)
+                positions.append(scan_positions)
                 if query_error is not None:
                     errors.append(query_error)
                 continue
@@ -395,14 +541,17 @@ class RetrievalService:
                 self.metrics.counter("errors.queries").inc()
                 errors.append(QueryError(index=qi, error=error))
                 results.append(None)
+                positions.append(None)
                 continue
             if timings is not None and scan_timings is not None:
                 timings.merge(scan_timings)
+            scan_positions, scores = buffer.items_and_scores()
             results.append(assemble_result(
-                self.index.order, *buffer.items_and_scores(),
+                self.index.order, scan_positions, scores,
                 stats, elapsed,
             ))
-        return results
+            positions.append(tuple(scan_positions))
+        return results, positions
 
     # ------------------------------------------------------------------
     # Resilience plumbing
@@ -440,9 +589,21 @@ class RetrievalService:
         batch_hist = metrics.histogram("latency.batch_seconds")
         batch_hist.observe(response.elapsed)
         scan_hist = metrics.histogram("latency.scan_seconds")
-        for result in response.results:
-            if result is not None:
-                scan_hist.observe(result.elapsed)
+        provenance = response.provenance
+        for qi, result in enumerate(response.results):
+            if result is None:
+                continue
+            if provenance is not None and provenance[qi] == "hit":
+                # A hit's elapsed is the *original* scan's; replaying it
+                # into the latency distribution would describe work this
+                # batch never did.
+                continue
+            scan_hist.observe(result.elapsed)
+        if provenance is not None:
+            metrics.counter("cache.hits").inc(response.cache_hits)
+            metrics.counter("cache.warm_queries").inc(response.warm_queries)
+            metrics.counter("cache.cold_queries").inc(
+                provenance.count("cold"))
         if response.deadline_hits:
             metrics.counter("deadline.degraded_queries").inc(
                 response.deadline_hits)
@@ -456,8 +617,9 @@ class RetrievalService:
         Besides the registry contents this reports the deployment shape:
         ``workers`` (requested vs. core-clamped resolved pool size and the
         host core count), ``shards`` (the wrapped index's shard count, or
-        ``None`` for a plain single-scan index) and ``breaker`` (the live
-        circuit-breaker state guarding the intra-query path).
+        ``None`` for a plain single-scan index), ``breaker`` (the live
+        circuit-breaker state guarding the intra-query path) and ``cache``
+        (the query cache's counters, or ``None`` when caching is off).
         """
         snapshot = self.metrics.snapshot()
         snapshot["workers"] = {
@@ -468,6 +630,8 @@ class RetrievalService:
         snapshot["shards"] = (self.sharded_index.n_shards
                               if self.sharded_index is not None else None)
         snapshot["breaker"] = self._breaker.snapshot()
+        snapshot["cache"] = (self.cache.snapshot()
+                             if self.cache is not None else None)
         return snapshot
 
     @property

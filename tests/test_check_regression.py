@@ -1,0 +1,214 @@
+"""Tests for the perf-regression gate (repro.analysis.regression + CLI)."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.regression import (
+    DEFAULT_SPECS,
+    MetricSpec,
+    compare_directories,
+    compare_payloads,
+    lookup_path,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+CHECK_SCRIPT = REPO_ROOT / "benchmarks" / "check_regression.py"
+
+
+def _load_baseline(bench: str) -> dict:
+    with open(RESULTS_DIR / f"BENCH_{bench}.json", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _write_payloads(directory: pathlib.Path, payloads: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    for bench, payload in payloads.items():
+        with open(directory / f"BENCH_{bench}.json", "w",
+                  encoding="utf-8") as fh:
+            json.dump(payload, fh)
+
+
+# ----------------------------------------------------------------------
+# The committed baselines are self-consistent
+# ----------------------------------------------------------------------
+
+def test_committed_baselines_pass_self_comparison():
+    report = compare_directories(RESULTS_DIR, RESULTS_DIR)
+    assert not report.failed
+    benches = {o.bench for o in report.outcomes}
+    # Every bench the gate knows has a committed baseline and was judged.
+    assert benches == set(DEFAULT_SPECS)
+
+
+def test_every_gated_metric_exists_in_its_baseline():
+    # A spec whose path is absent from the committed payload would report
+    # "missing" forever — catch the drift here, not in CI archaeology.
+    for bench, specs in DEFAULT_SPECS.items():
+        payload = _load_baseline(bench)
+        for spec in specs:
+            assert lookup_path(payload, spec.path) is not None, \
+                f"{bench}: {spec.path} missing from committed baseline"
+
+
+# ----------------------------------------------------------------------
+# Regression detection
+# ----------------------------------------------------------------------
+
+def test_injected_throughput_regression_fails(tmp_path):
+    baseline = _load_baseline("serve")
+    degraded = json.loads(json.dumps(baseline))
+    degraded["speedup"] *= 0.8
+    degraded["queries_per_second"]["pool"] *= 0.8
+    outcomes, skip = compare_payloads("serve", baseline, degraded,
+                                      DEFAULT_SPECS["serve"])
+    assert skip is None
+    failed = {o.path for o in outcomes if o.failed}
+    assert failed == {"speedup", "queries_per_second.pool"}
+
+
+def test_raw_seconds_never_fail(tmp_path):
+    baseline = _load_baseline("serve")
+    slower = json.loads(json.dumps(baseline))
+    slower["pool_seconds"] *= 100.0  # informational metric, 100x worse
+    outcomes, __ = compare_payloads("serve", baseline, slower,
+                                    DEFAULT_SPECS["serve"])
+    by_path = {o.path: o for o in outcomes}
+    assert by_path["pool_seconds"].status == "info"
+    assert not by_path["pool_seconds"].failed
+
+
+def test_abs_floor_breach_fails_even_with_matching_baseline():
+    spec = MetricSpec("hit_speedup", "higher", 0.3, abs_floor=5.0)
+    outcomes, __ = compare_payloads(
+        "cache", {"hit_speedup": 4.0}, {"hit_speedup": 4.0}, (spec,))
+    assert outcomes[0].failed
+    assert "floor" in outcomes[0].note
+
+
+def test_bool_metrics_compare_as_numbers():
+    spec = MetricSpec("identical", "higher", 0.0, abs_floor=1.0)
+    ok, __ = compare_payloads("cache", {"identical": True},
+                              {"identical": True}, (spec,))
+    assert not ok[0].failed
+    bad, __ = compare_payloads("cache", {"identical": True},
+                               {"identical": False}, (spec,))
+    assert bad[0].failed
+
+
+# ----------------------------------------------------------------------
+# Stratification: mode mismatch, host-shape demotion, missing files
+# ----------------------------------------------------------------------
+
+def test_quick_full_mode_mismatch_skips():
+    baseline = _load_baseline("serve")
+    fresh = json.loads(json.dumps(baseline))
+    fresh["quick"] = not bool(baseline.get("quick"))
+    outcomes, skip = compare_payloads("serve", baseline, fresh,
+                                      DEFAULT_SPECS["serve"])
+    assert outcomes == []
+    assert skip is not None and "mode mismatch" in skip
+
+
+def test_host_cores_mismatch_demotes_to_info():
+    baseline = _load_baseline("serve")
+    fresh = json.loads(json.dumps(baseline))
+    fresh["host_cores"] = (baseline.get("host_cores") or 1) + 7
+    fresh["speedup"] *= 0.5  # would fail the gate on the same host
+    outcomes, skip = compare_payloads("serve", baseline, fresh,
+                                      DEFAULT_SPECS["serve"])
+    assert skip is None
+    assert all(o.status == "info" for o in outcomes)
+    assert any("host cores" in o.note for o in outcomes)
+
+
+def test_missing_baseline_and_missing_fresh_are_skips(tmp_path):
+    baseline_dir = tmp_path / "base"
+    fresh_dir = tmp_path / "fresh"
+    _write_payloads(baseline_dir, {"serve": _load_baseline("serve")})
+    _write_payloads(fresh_dir, {"cache": _load_baseline("cache")})
+    report = compare_directories(baseline_dir, fresh_dir)
+    assert not report.failed and not report.outcomes
+    reasons = dict(report.skipped)
+    assert "no fresh payload" in reasons["serve"]
+    assert "trajectory established" in reasons["cache"]
+
+
+def test_bench_filter_restricts_comparison():
+    report = compare_directories(RESULTS_DIR, RESULTS_DIR,
+                                 benches=["cache"])
+    assert {o.bench for o in report.outcomes} == {"cache"}
+
+
+# ----------------------------------------------------------------------
+# Plumbing: path lookup, spec validation, markdown
+# ----------------------------------------------------------------------
+
+def test_lookup_path_dots_lists_and_misses():
+    payload = {"a": {"b": [10, {"c": 42}]}, "flat": 7}
+    assert lookup_path(payload, "flat") == 7
+    assert lookup_path(payload, "a.b.0") == 10
+    assert lookup_path(payload, "a.b.1.c") == 42
+    assert lookup_path(payload, "a.b.9") is None
+    assert lookup_path(payload, "a.missing") is None
+    assert lookup_path(payload, "flat.deeper") is None
+
+
+def test_metric_spec_validation():
+    with pytest.raises(ValueError):
+        MetricSpec("x", direction="sideways")
+    with pytest.raises(ValueError):
+        MetricSpec("x", rel_tol=-0.1)
+
+
+def test_markdown_report_shape():
+    report = compare_directories(RESULTS_DIR, RESULTS_DIR)
+    markdown = report.to_markdown()
+    assert markdown.startswith("## Benchmark regression gate")
+    assert "No regressions" in markdown
+    assert "| bench | metric |" in markdown
+
+
+# ----------------------------------------------------------------------
+# The CLI, end to end
+# ----------------------------------------------------------------------
+
+def _run_cli(*argv):
+    return subprocess.run(
+        [sys.executable, str(CHECK_SCRIPT), *argv],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+
+def test_cli_passes_on_committed_baselines(tmp_path):
+    summary = tmp_path / "summary.md"
+    proc = _run_cli("--summary-file", str(summary))
+    assert proc.returncode == 0, proc.stderr
+    assert "No regressions" in proc.stdout
+    assert "Benchmark regression gate" in summary.read_text()
+
+
+def test_cli_fails_on_injected_regression(tmp_path):
+    fresh_dir = tmp_path / "fresh"
+    degraded = _load_baseline("serve")
+    degraded["speedup"] *= 0.8
+    degraded["queries_per_second"]["pool"] *= 0.8
+    _write_payloads(fresh_dir, {"serve": degraded})
+    proc = _run_cli("--results-dir", str(fresh_dir), "--bench", "serve")
+    assert proc.returncode == 1
+    assert "regression" in proc.stdout
+    assert "FAIL" in proc.stderr
+
+
+def test_cli_no_fail_reports_without_failing(tmp_path):
+    fresh_dir = tmp_path / "fresh"
+    degraded = _load_baseline("serve")
+    degraded["speedup"] *= 0.5
+    _write_payloads(fresh_dir, {"serve": degraded})
+    proc = _run_cli("--results-dir", str(fresh_dir), "--bench", "serve",
+                    "--no-fail")
+    assert proc.returncode == 0
+    assert "regression" in proc.stdout
