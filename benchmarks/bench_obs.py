@@ -1,0 +1,158 @@
+"""Observability benchmark: what does tracing cost the hot path?
+
+PR 5 threads an optional span through query preparation, the blocked
+scan's block loop, the shard fan-out, and the serving merge.  The design
+budget is explicit: a service with **no tracer configured** pays one
+``is None`` branch per block, and a tracer that **head-samples a query
+away** decides once at the root span and hands ``None`` children down
+the same branch.  This bench measures both against the untraced
+baseline, plus the fully-traced arm for scale:
+
+1. **untraced** — ``trace_sample_rate=0.0`` (the default): no tracer
+   object exists.  This is the baseline.
+2. **unsampled** — a tracer is attached but samples nothing
+   (``sample_rate=0.0``).  The ISSUE gates this arm: tracing that is
+   configured-but-off must cost < 3% p50 versus untraced.  Rounds are
+   interleaved so clock drift and cache state cannot masquerade as a
+   regression.
+3. **traced** — ``sample_rate=1.0``, every span exported to the ring.
+   Informational only; full tracing is a debugging posture, not a
+   serving posture, and its cost scales with block count.
+
+Correctness is asserted unconditionally: all three arms return
+bit-identical ids, scores, and pruning counters — tracing is pure
+observation.  Machine-readable output lands in
+``results/BENCH_obs.json`` (CI uploads ``BENCH_*.json`` artifacts and
+the regression gate compares ``unsampled_overhead_fraction`` against
+the committed baseline).
+"""
+
+import os
+import statistics
+
+import numpy as np
+
+from repro import FexiproIndex, Tracer
+from repro.analysis import report
+from repro.serve import RetrievalService, ServiceConfig
+
+QUICK = os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+# Quick mode keeps more items than other benches on purpose: the
+# overhead fractions divide by the per-query p50, and sub-millisecond
+# queries drown the signal in scheduler jitter.
+N_ITEMS = 12_000 if QUICK else 30_000
+N_QUERIES = 24 if QUICK else 96
+D = 64
+K = 10
+ROUNDS = 7 if QUICK else 9
+OVERHEAD_GATE = 0.03  # 3% p50, full mode only (ISSUE acceptance)
+
+
+def _workload():
+    rng = np.random.default_rng(2017)
+    spectrum = np.exp(-0.08 * np.arange(D))
+    items = rng.normal(size=(N_ITEMS, D)) * spectrum
+    items *= rng.lognormal(0.0, 0.4, size=(N_ITEMS, 1)) * 0.3
+    queries = rng.normal(size=(N_QUERIES, D)) * spectrum * 0.3
+    rotation, __ = np.linalg.qr(rng.normal(size=(D, D)))
+    return items @ rotation, queries @ rotation
+
+
+def _run_batch(index, queries, sample_rate):
+    """One batch through the serving path under a tracing posture.
+
+    ``sample_rate=None`` means untraced (no tracer object at all);
+    otherwise a fresh service-external tracer with that head-sampling
+    rate is attached.
+    """
+    config = ServiceConfig(workers=1, collect_timings=False)
+    tracer = None if sample_rate is None else Tracer(
+        sample_rate=sample_rate)
+    with RetrievalService(index, config, tracer=tracer) as service:
+        response = service.batch(queries, K)
+    assert response.complete
+    return response
+
+
+def test_tracing_overhead_three_postures(benchmark, sink):
+    items, queries = _workload()
+    index = FexiproIndex(items, variant="F-SIR")
+
+    def measure():
+        # Interleaved rounds: untraced / unsampled / traced alternate so
+        # drift and cache warmth hit all arms equally.  Per-query
+        # latencies are pooled across rounds and each arm summarised by
+        # the p50 of its pooled samples (ROUNDS x N_QUERIES per arm) —
+        # at millisecond per-query scales a median over the large pooled
+        # set is far stabler than aggregating tiny per-round medians.
+        untraced, unsampled, traced = [], [], []
+        last = {}
+        for _ in range(ROUNDS):
+            for name, bucket, rate in (("untraced", untraced, None),
+                                       ("unsampled", unsampled, 0.0),
+                                       ("traced", traced, 1.0)):
+                response = _run_batch(index, queries, rate)
+                bucket.extend(r.elapsed for r in response.results)
+                last[name] = response
+        return (statistics.median(untraced), statistics.median(unsampled),
+                statistics.median(traced), last)
+
+    untraced_p50, unsampled_p50, traced_p50, last = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+
+    def _overhead(p50):
+        return (p50 - untraced_p50) / untraced_p50 if untraced_p50 else 0.0
+
+    unsampled_overhead = _overhead(unsampled_p50)
+    traced_overhead = _overhead(traced_p50)
+
+    # Tracing is pure observation: every arm returns identical results.
+    anchor = last["untraced"]
+    for name in ("unsampled", "traced"):
+        for a, b in zip(anchor.results, last[name].results):
+            assert a.ids == b.ids
+            assert a.scores == b.scores
+            assert a.stats.as_dict() == b.stats.as_dict()
+
+    cores = os.cpu_count() or 1
+    with sink.section("obs") as out:
+        report.print_header(
+            f"Tracing overhead by posture "
+            f"({N_QUERIES} queries x {N_ITEMS} items x {D} dims, k={K})",
+            f"host cores: {cores}, rounds: {ROUNDS}"
+            + (" [quick mode]" if QUICK else ""),
+            out=out,
+        )
+        report.print_table(
+            ["posture", "p50 query latency (ms)", "vs untraced"],
+            [["untraced (no tracer)", round(1e3 * untraced_p50, 4), "-"],
+             ["unsampled (rate 0.0)", round(1e3 * unsampled_p50, 4),
+              f"{unsampled_overhead:+.2%}"],
+             ["traced (rate 1.0)", round(1e3 * traced_p50, 4),
+              f"{traced_overhead:+.2%}"]],
+            out=out,
+        )
+
+    sink.write_json("BENCH_obs", {
+        "bench": "obs",
+        "quick": QUICK,
+        "host_cores": cores,
+        "workload": {"n_items": N_ITEMS, "n_queries": N_QUERIES,
+                     "d": D, "k": K},
+        "rounds": ROUNDS,
+        "untraced_p50_seconds": untraced_p50,
+        "unsampled_p50_seconds": unsampled_p50,
+        "traced_p50_seconds": traced_p50,
+        "unsampled_overhead_fraction": unsampled_overhead,
+        "traced_overhead_fraction": traced_overhead,
+        "overhead_gate": OVERHEAD_GATE,
+    })
+
+    if not QUICK:
+        assert unsampled_overhead < OVERHEAD_GATE, (
+            f"attached-but-unsampled tracer costs "
+            f"{unsampled_overhead:.2%} p50 (gate {OVERHEAD_GATE:.0%}): "
+            f"untraced {untraced_p50*1e3:.3f}ms vs unsampled "
+            f"{unsampled_p50*1e3:.3f}ms"
+        )

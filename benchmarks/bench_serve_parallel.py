@@ -17,6 +17,7 @@ asserted unconditionally.
 """
 
 import os
+import statistics
 import time
 
 import numpy as np
@@ -95,6 +96,8 @@ def test_serve_parallel_vs_serial(benchmark, sink):
                      "d": D, "k": K},
         "serial_seconds": serial_time,
         "pool_seconds": response.elapsed,
+        "scan_p50_seconds": statistics.median(
+            r.elapsed for r in response.results),
         "speedup": serial_time / response.elapsed if response.elapsed
         else 0.0,
         "queries_per_second": {

@@ -6,15 +6,21 @@ by combining three pruning techniques on top of a length-sorted sequential
 scan: an SVD transformation, a scaled integer upper bound, and a
 monotonicity reduction.
 
-Quickstart::
+Quickstart (the stable facade — see :mod:`repro.api`)::
 
     import numpy as np
-    from repro import FexiproIndex
+    from repro import Fexipro
 
     items = np.random.default_rng(0).normal(scale=0.3, size=(10_000, 50))
-    index = FexiproIndex(items, variant="F-SIR")
-    result = index.query(items[0], k=10)
+    engine = Fexipro(items, variant="F-SIR")
+    result = engine.query(items[0], k=10)
     print(result.ids, result.scores)
+    print(engine.explain(items[0], k=10).format())
+
+Everything re-exported here (and from :mod:`repro.api`, the identical
+surface) is the stable public API, guarded by an API-surface snapshot
+test against ``docs/api.md``.  Deeper module paths are implementation
+detail and may move between releases.
 
 Subpackages
 -----------
@@ -32,6 +38,9 @@ Subpackages
     Experiment runners and report printers for every table and figure.
 ``repro.serve``
     Parallel, instrumented batch serving on top of the core index.
+``repro.obs``
+    Query-level observability: tracing spans, EXPLAIN for the pruning
+    cascade, Prometheus exposition.
 """
 
 from .core import (
@@ -41,45 +50,80 @@ from .core import (
     FexiproIndex,
     PruningStats,
     RetrievalResult,
+    ScanOptions,
     ShardedFexiproIndex,
+    StageTimings,
     TopKBuffer,
     VARIANTS,
     VariantConfig,
     get_variant,
     topk_exact,
 )
-from .recommender import Recommender
-from .serve import RetrievalService, ServiceConfig
 from .exceptions import (
+    DeadlineExceededError,
     DimensionMismatchError,
     EmptyIndexError,
+    IndexIntegrityError,
     NotPreprocessedError,
+    QueryError,
     ReproError,
+    ServiceClosedError,
+    TracingError,
     ValidationError,
 )
+from .obs import (
+    JsonLinesSink,
+    MetricsServer,
+    QueryExplanation,
+    Span,
+    Tracer,
+    explain_query,
+    render_prometheus,
+)
+from .recommender import Recommender
+from .serve import BatchResponse, MetricsRegistry, RetrievalService, \
+    ServiceConfig
+from .api import Fexipro
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchResponse",
     "DEFAULT_E",
     "DEFAULT_RHO",
     "DEFAULT_VARIANT",
+    "DeadlineExceededError",
     "DimensionMismatchError",
     "EmptyIndexError",
+    "Fexipro",
     "FexiproIndex",
+    "IndexIntegrityError",
+    "JsonLinesSink",
+    "MetricsRegistry",
+    "MetricsServer",
     "NotPreprocessedError",
     "PruningStats",
+    "QueryError",
+    "QueryExplanation",
     "Recommender",
     "ReproError",
     "RetrievalResult",
     "RetrievalService",
+    "ScanOptions",
+    "ServiceClosedError",
     "ServiceConfig",
     "ShardedFexiproIndex",
+    "Span",
+    "StageTimings",
     "TopKBuffer",
+    "Tracer",
+    "TracingError",
     "VARIANTS",
     "ValidationError",
     "VariantConfig",
     "__version__",
+    "explain_query",
     "get_variant",
+    "render_prometheus",
     "topk_exact",
 ]

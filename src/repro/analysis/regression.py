@@ -205,6 +205,7 @@ DEFAULT_SPECS: Dict[str, Tuple[MetricSpec, ...]] = {
         MetricSpec("queries_per_second.pool", "higher", 0.15),
         MetricSpec("serial_seconds", "lower", 0.5, gate=False),
         MetricSpec("pool_seconds", "lower", 0.5, gate=False),
+        MetricSpec("scan_p50_seconds", "lower", 0.5, gate=False),
     ),
     "sharded": (
         MetricSpec("shards_skipped", "higher", 0.02),
@@ -217,6 +218,16 @@ DEFAULT_SPECS: Dict[str, Tuple[MetricSpec, ...]] = {
                    "higher", 0.0, abs_floor=1.0),
         MetricSpec("no_deadline_p50_seconds", "lower", 0.5, gate=False),
         MetricSpec("poll_overhead_fraction", "lower", 0.5, gate=False),
+    ),
+    "obs": (
+        # The overhead fraction hovers near zero, so relative comparison
+        # against the baseline is pure noise; the hard ceiling alone is
+        # the acceptance criterion (attached-but-unsampled tracing must
+        # stay under 3% p50).
+        MetricSpec("unsampled_overhead_fraction", "lower", 1000.0,
+                   abs_floor=0.03),
+        MetricSpec("untraced_p50_seconds", "lower", 0.5, gate=False),
+        MetricSpec("traced_overhead_fraction", "lower", 0.5, gate=False),
     ),
     "cache": (
         MetricSpec("hit_speedup", "higher", 0.3, abs_floor=5.0),

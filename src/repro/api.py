@@ -1,0 +1,208 @@
+"""The stable public facade of the reproduction.
+
+Everything an application needs lives here under names that will not
+move: the :class:`Fexipro` entry point (build / load / save / query /
+explain / serve over either index flavour), the serving layer
+(:class:`RetrievalService`, :class:`ServiceConfig`), the observability
+toolkit (:class:`Tracer`, :func:`explain_query`,
+:func:`render_prometheus`, :class:`MetricsServer`) and the complete
+exception hierarchy rooted at :class:`ReproError`.
+
+Deep imports (``repro.core.index``, ``repro.serve.service``, …) keep
+working — they are the implementation, free to be reorganised between
+releases — but code written against ``repro.api`` (or the identical
+top-level ``repro`` namespace) is what the API-surface snapshot test and
+``docs/api.md`` guard::
+
+    from repro.api import Fexipro
+
+    engine = Fexipro(items, variant="F-SIR")
+    result = engine.query(q, k=10)
+    print(engine.explain(q, k=10).format())
+
+    with engine.serve(ServiceConfig(workers=4)) as service:
+        response = service.batch(queries, k=10)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .core.index import FexiproIndex
+from .core.options import ScanOptions
+from .core.sharded import ShardedFexiproIndex
+from .core.stats import PruningStats, RetrievalResult, StageTimings
+from .exceptions import (
+    DeadlineExceededError,
+    DimensionMismatchError,
+    EmptyIndexError,
+    IndexIntegrityError,
+    NotPreprocessedError,
+    QueryError,
+    ReproError,
+    ServiceClosedError,
+    TracingError,
+    ValidationError,
+)
+from .obs import (
+    JsonLinesSink,
+    MetricsServer,
+    QueryExplanation,
+    Span,
+    Tracer,
+    explain_query,
+    render_prometheus,
+)
+from .serve.config import ServiceConfig
+from .serve.metrics import MetricsRegistry
+from .serve.service import BatchResponse, RetrievalService
+
+__all__ = [
+    "BatchResponse",
+    "DeadlineExceededError",
+    "DimensionMismatchError",
+    "EmptyIndexError",
+    "Fexipro",
+    "FexiproIndex",
+    "IndexIntegrityError",
+    "JsonLinesSink",
+    "MetricsRegistry",
+    "MetricsServer",
+    "NotPreprocessedError",
+    "PruningStats",
+    "QueryError",
+    "QueryExplanation",
+    "ReproError",
+    "RetrievalResult",
+    "RetrievalService",
+    "ScanOptions",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ShardedFexiproIndex",
+    "Span",
+    "StageTimings",
+    "Tracer",
+    "TracingError",
+    "ValidationError",
+    "explain_query",
+    "render_prometheus",
+]
+
+_Inner = Union[FexiproIndex, ShardedFexiproIndex]
+
+
+class Fexipro:
+    """One stable handle over both index flavours.
+
+    ``Fexipro(items, ...)`` preprocesses *items* (Algorithm 3) exactly
+    like :class:`~repro.core.index.FexiproIndex`; pass ``shards=`` (a
+    count, or ``0`` for the host default) to build the sharded,
+    intra-query-parallel flavour instead.  Queries, explains, saves and
+    serving all dispatch to whichever index backs the handle, so
+    application code never branches on the flavour — and never imports a
+    deep module path that a refactor might move.
+
+    The underlying index stays reachable as :attr:`index` for anything
+    this facade does not wrap.
+    """
+
+    def __init__(self, items=None, *, shards: Optional[int] = None,
+                 index: Optional[_Inner] = None, **index_options):
+        if (items is None) == (index is None):
+            raise ValidationError(
+                "pass exactly one of items (build) or index (wrap)"
+            )
+        if index is not None:
+            if index_options or shards is not None:
+                raise ValidationError(
+                    "index options only apply when building from items"
+                )
+            if not isinstance(index, (FexiproIndex, ShardedFexiproIndex)):
+                raise ValidationError(
+                    f"index must be a FexiproIndex or ShardedFexiproIndex; "
+                    f"got {type(index).__name__}"
+                )
+            self.index: _Inner = index
+        elif shards is not None:
+            self.index = ShardedFexiproIndex(
+                items, shards=shards or None, **index_options)
+        else:
+            self.index = FexiproIndex(items, **index_options)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_index(cls, index: _Inner) -> "Fexipro":
+        """Wrap an already built index (either flavour) without copying."""
+        return cls(index=index)
+
+    @classmethod
+    def load(cls, path) -> "Fexipro":
+        """Load a saved index of either flavour (checksum-verified).
+
+        Tries the plain format first and falls back to the sharded one;
+        a corrupt file raises
+        :class:`~repro.exceptions.IndexIntegrityError` either way, and a
+        well-formed file of some third kind raises
+        :class:`~repro.exceptions.ValidationError`.
+        """
+        try:
+            return cls(index=FexiproIndex.load(path))
+        except ValidationError:
+            return cls(index=ShardedFexiproIndex.load(path))
+
+    def save(self, path) -> None:
+        """Persist the underlying index (see :meth:`FexiproIndex.save`)."""
+        self.index.save(path)
+
+    # -- retrieval -----------------------------------------------------
+
+    def query(self, query, k: int = 10, *,
+              options: Optional[ScanOptions] = None) -> RetrievalResult:
+        """Exact top-k inner products for one query vector."""
+        return self.index.query(query, k, options=options)
+
+    def explain(self, query, k: int = 10, *,
+                tracer: Optional[Tracer] = None,
+                options: Optional[ScanOptions] = None) -> QueryExplanation:
+        """EXPLAIN the pruning cascade for one query (see
+        :func:`repro.obs.explain_query`)."""
+        return self.index.explain(query, k, tracer=tracer, options=options)
+
+    def serve(self, config: Optional[ServiceConfig] = None,
+              **service_kwargs) -> RetrievalService:
+        """Open a :class:`RetrievalService` over this index.
+
+        The service is a context manager; extra keyword arguments
+        (``metrics=``, ``cache=``, ``tracer=``, …) pass through to
+        :class:`RetrievalService`.
+        """
+        return RetrievalService(self.index, config, **service_kwargs)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def sharded(self) -> bool:
+        """Whether the handle wraps the intra-query-parallel flavour."""
+        return isinstance(self.index, ShardedFexiproIndex)
+
+    @property
+    def n(self) -> int:
+        """Number of indexed items."""
+        return self.index.n
+
+    @property
+    def d(self) -> int:
+        """Item vector dimensionality."""
+        return self.index.d
+
+    @property
+    def variant(self):
+        """The FEXIPRO variant configuration backing the index."""
+        inner = self.index.index if self.sharded else self.index
+        return inner.variant
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flavour = "sharded" if self.sharded else "single"
+        return (f"Fexipro(n={self.n}, d={self.d}, "
+                f"variant={self.variant.name!r}, flavour={flavour!r})")

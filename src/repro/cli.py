@@ -295,6 +295,33 @@ def _cmd_serve(args) -> None:
     if args.cache_capacity:
         _serve_cache_section(args, workload, index, serial)
 
+    if args.metrics_port is not None:
+        _serve_metrics_section(args, workload, index)
+
+
+def _serve_metrics_section(args, workload, index) -> None:
+    """The ``--metrics-port`` addendum: one live Prometheus scrape."""
+    from urllib.request import urlopen
+
+    from .serve import RetrievalService, ServiceConfig
+
+    config = ServiceConfig(workers=args.workers,
+                           metrics_port=args.metrics_port)
+    with RetrievalService(index, config) as service:
+        service.batch(workload.queries, k=args.k)
+        url = service.metrics_server.url
+        report.print_header(f"Prometheus exposition - {url}/metrics")
+        with urlopen(f"{url}/metrics") as response:
+            body = response.read().decode("utf-8")
+        with urlopen(f"{url}/healthz") as response:
+            health = response.read().decode("utf-8").strip()
+    wanted = ("repro_queries_total", "repro_latency_scan_seconds_count",
+              "repro_pruning_full_products_total", "repro_workers")
+    for line in body.splitlines():
+        if line.startswith(wanted):
+            print(line)
+    print(f"(healthz: {health}; {len(body.splitlines())} lines total)")
+
 
 def _serve_cache_section(args, workload, index, serial) -> None:
     """The ``--cache-capacity`` addendum: hits and warm-starts on a rerun."""
@@ -458,6 +485,30 @@ def service_quantile(snapshot: dict, q: float) -> float:
     return hist["max"]
 
 
+def _cmd_explain(args) -> None:
+    from .api import Fexipro
+
+    workload = _workload(args)
+    report.print_header(
+        f"EXPLAIN - per-rule pruning account (k={args.k}, "
+        f"query #{args.query})",
+        describe(workload),
+    )
+    engine = Fexipro(workload.items, variant="F-SIR",
+                     shards=args.shards or None)
+    explanation = engine.explain(workload.queries[args.query], k=args.k)
+    print(explanation.format())
+    counters = explanation.counters
+    print(f"counters: scanned={counters['scanned']} "
+          f"full_products={counters['full_products']} "
+          f"(chain verified against PruningStats)")
+    if explanation.thresholds:
+        first = explanation.thresholds[0]
+        last = explanation.thresholds[-1]
+        print(f"threshold trajectory: {len(explanation.thresholds)} polls, "
+              f"{first['threshold']:.4f} -> {last['threshold']:.4f}")
+
+
 def _cmd_aip(args) -> None:
     from .baselines import diamond_sample_topk, exact_all_pairs_topk
 
@@ -494,6 +545,7 @@ COMMANDS: Dict[str, Callable] = {
     "lsh": _cmd_lsh,
     "aip": _cmd_aip,
     "serve": _cmd_serve,
+    "explain": _cmd_explain,
 }
 
 
@@ -548,6 +600,18 @@ def build_parser() -> argparse.ArgumentParser:
                              help="let cache near-hits seed the scan "
                                   "threshold (results identical either "
                                   "way; --no-warm-start disables)")
+            cmd.add_argument("--metrics-port", type=int, default=None,
+                             help="also expose /metrics + /healthz on this "
+                                  "port (0 = any free port) and print one "
+                                  "scrape (default: off)")
+        if name == "explain":
+            cmd.add_argument("--query", type=int, default=0,
+                             help="which workload query to explain "
+                                  "(default 0)")
+            cmd.add_argument("--shards", type=int, default=0,
+                             help="explain the sharded fan-out with this "
+                                  "many shards instead of a single scan "
+                                  "(0 = single)")
         cmd.set_defaults(func=func)
     return parser
 

@@ -21,6 +21,7 @@ from .bounds import (
     uniform_integer_bound,
 )
 from .index import FexiproIndex, QueryState, prepare_query_states, topk_exact
+from .options import DEFAULT_SCAN_OPTIONS, ScanOptions, resolve_scan_options
 from .reduction import MonotoneReduction, shift_constants
 from .scaling import DEFAULT_E, ScaledItems, integer_parts, scale_uniform
 from .sharded import (
@@ -45,6 +46,7 @@ from .variants import DEFAULT_VARIANT, VARIANTS, VariantConfig, get_variant
 __all__ = [
     "DEFAULT_E",
     "DEFAULT_RHO",
+    "DEFAULT_SCAN_OPTIONS",
     "DEFAULT_VARIANT",
     "FexiproIndex",
     "MonotoneReduction",
@@ -53,6 +55,7 @@ __all__ = [
     "RetrievalResult",
     "SVDTransform",
     "ScaledItems",
+    "ScanOptions",
     "ShardedFexiproIndex",
     "SharedThreshold",
     "StageTimings",
@@ -74,6 +77,7 @@ __all__ = [
     "integer_parts",
     "integer_upper_bound",
     "prepare_query_states",
+    "resolve_scan_options",
     "scale_uniform",
     "scan_above",
     "shard_spans",

@@ -30,7 +30,8 @@ from typing import TYPE_CHECKING, Optional, Tuple
 import numpy as np
 
 from .. import _faultsites
-from .stats import PruningStats, StageTimings
+from .options import ScanOptions, _UNSET, resolve_scan_options
+from .stats import PruningStats
 from .topk import TopKBuffer
 
 if TYPE_CHECKING:  # pragma: no cover - imported only for type checking
@@ -64,49 +65,67 @@ def block_schedule(n: int, k: int, cap: int):
 
 def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
                  block_size: int = DEFAULT_BLOCK_SIZE,
-                 timings: Optional[StageTimings] = None,
+                 timings=_UNSET,
                  *, start: int = 0, stop: Optional[int] = None,
-                 shared=None, deadline=None,
-                 initial_threshold: float = -math.inf,
+                 shared=_UNSET, deadline=_UNSET,
+                 initial_threshold=_UNSET,
+                 options: Optional[ScanOptions] = None,
                  ) -> Tuple[TopKBuffer, PruningStats]:
     """Blocked, vectorized equivalent of :func:`repro.core.scanner.scan_reference`.
 
-    When ``timings`` is given, the wall time of each vectorized stage
-    section is accumulated per block (a handful of clock calls per block —
-    cheap enough to leave on in production serving), with the scalar replay
-    loop attributed to ``select``.
+    Per-call behaviour rides in ``options`` (a
+    :class:`~repro.core.options.ScanOptions`); the same-named individual
+    keywords are deprecated shims that warn and override the bundle.
+
+    When ``options.timings`` is given, the wall time of each vectorized
+    stage section is accumulated per block (a handful of clock calls per
+    block — cheap enough to leave on in production serving), with the
+    scalar replay loop attributed to ``select``.
 
     ``start``/``stop`` restrict the scan to a contiguous span of sorted
     positions (a length-band *shard*); the returned buffer then holds
-    absolute positions, so per-shard buffers merge directly.  ``shared`` is
-    an optional :class:`repro.core.sharded.SharedThreshold`: its value seeds
-    the live threshold and is re-polled at every block boundary.  The cell
-    is monotone and only ever holds *achieved* k-th-best scores, so a stale
+    absolute positions, so per-shard buffers merge directly.
+    ``options.shared`` is an optional
+    :class:`repro.core.sharded.SharedThreshold`: its value seeds the live
+    threshold and is re-polled at every block boundary.  The cell is
+    monotone and only ever holds *achieved* k-th-best scores, so a stale
     read merely weakens pruning — decisions stay exact — and with the
     defaults (full span, no cell) the scan is bit-identical to the
     reference engine.
 
-    ``deadline`` is an optional :class:`repro.serve.resilience.Deadline`,
-    polled at the same block boundaries as ``shared``.  On expiry the scan
-    stops *before* the next block and flags ``stats.deadline_hit``; the
-    returned buffer is then the **exact** top-k of the ``stats.scanned``
-    items visited so far — every pruned item is provably below the achieved
-    threshold, and the length-sorted order makes the visited set a
-    contiguous prefix.  A deadline that never fires changes nothing: the
-    poll only gates which blocks run, never how any item is scored
-    (property-tested).  Each block boundary is also a ``scan``
-    fault-injection site (:mod:`repro._faultsites`), a no-op unless an
-    injector is armed.
+    ``options.deadline`` is an optional
+    :class:`repro.serve.resilience.Deadline`, polled at the same block
+    boundaries as ``shared``.  On expiry the scan stops *before* the next
+    block and flags ``stats.deadline_hit``; the returned buffer is then
+    the **exact** top-k of the ``stats.scanned`` items visited so far —
+    every pruned item is provably below the achieved threshold, and the
+    length-sorted order makes the visited set a contiguous prefix.  A
+    deadline that never fires changes nothing: the poll only gates which
+    blocks run, never how any item is scored (property-tested).  Each
+    block boundary is also a ``scan`` fault-injection site
+    (:mod:`repro._faultsites`), a no-op unless an injector is armed.
 
-    ``initial_threshold`` seeds the live threshold ``t`` before the first
-    block (the warm-start path of :mod:`repro.serve.cache`).  The caller
-    must guarantee it is a **strict** lower bound on the query's true k-th
-    inner product; every pruning test discards on ``bound <= t``, so a
-    strict bound can never touch an item whose score ties or beats the
-    true k-th value — ids and scores stay bitwise identical to the cold
-    scan (property-tested, including adversarial duplicates and ties),
-    only the pruning *counters* change.
+    ``options.initial_threshold`` seeds the live threshold ``t`` before
+    the first block (the warm-start path of :mod:`repro.serve.cache`).
+    The caller must guarantee it is a **strict** lower bound on the
+    query's true k-th inner product; every pruning test discards on
+    ``bound <= t``, so a strict bound can never touch an item whose score
+    ties or beats the true k-th value — ids and scores stay bitwise
+    identical to the cold scan (property-tested, including adversarial
+    duplicates and ties), only the pruning *counters* change.
+
+    ``options.span`` records one ``block`` event per block boundary (the
+    same boundary where ``shared``/``deadline`` are polled) carrying the
+    live threshold at block entry, plus termination/deadline events; a
+    ``None`` span costs one branch per block.
     """
+    opts = resolve_scan_options(options, "scan_blocked", timings=timings,
+                                shared=shared, deadline=deadline,
+                                initial_threshold=initial_threshold)
+    timings = opts.timings
+    shared = opts.shared
+    deadline = opts.deadline
+    span = opts.span
     stop = index.n if stop is None else stop
     buffer = TopKBuffer(k)
     stats = PruningStats(n_items=stop - start)
@@ -130,17 +149,22 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
         tail_factor_base = qs.scaled.max_tail * scaled.max_tail
         e_sq = scaled.e * scaled.e
 
-    t = float(initial_threshold)
+    t = float(opts.initial_threshold)
     if shared is not None and shared.value > t:
         t = shared.value
     t_prime = -math.inf
     terminated = False
+    if span is not None:
+        span.set(engine="blocked", start=start, stop=stop,
+                 initial_threshold=t)
 
     for bstart, bstop in block_schedule(stop - start, k, block_size):
         bstart += start
         bstop += start
         if deadline is not None and deadline.expired():
             stats.deadline_hit = 1
+            if span is not None:
+                span.event("deadline_expired", position=bstart, threshold=t)
             break
         if _faultsites.active is not None:
             _faultsites.fire(_faultsites.SCAN, f"block={bstart}")
@@ -151,6 +175,8 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
                 if use_reduction and buffer.full:
                     t_prime = reduction.threshold(t, qs.monotone,
                                                   buffer.kth_item)
+        if span is not None:
+            span.event("block", start=bstart, stop=bstop, threshold=t)
         t0 = t
 
         # --- Vectorized precomputation under the frozen threshold t0 ----
@@ -235,6 +261,9 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
             if cs[i] <= t:
                 stats.length_terminated = 1
                 terminated = True
+                if span is not None:
+                    span.event("length_terminated", position=bstart + i,
+                               threshold=t)
                 break
             stats.scanned += 1
             if use_integer:
@@ -275,4 +304,7 @@ def scan_blocked(index: "FexiproIndex", qs: "QueryState", k: int,
             timings.select += perf_counter() - tick - full_time
         if terminated:
             break
+    if span is not None:
+        span.set(scanned=stats.scanned, full_products=stats.full_products,
+                 final_threshold=t)
     return buffer, stats

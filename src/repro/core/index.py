@@ -19,7 +19,6 @@ Example
 
 from __future__ import annotations
 
-import math
 import time
 import uuid
 from dataclasses import dataclass
@@ -37,6 +36,7 @@ from .._validation import (
 )
 from ..exceptions import EmptyIndexError, ValidationError
 from .blocked import DEFAULT_BLOCK_SIZE, scan_blocked
+from .options import ScanOptions, _UNSET, resolve_scan_options
 from .reduction import MonotoneQuery, MonotoneReduction
 from .scaling import DEFAULT_E, ScaledItems, ScaledQuery
 from .scanner import scan_reference
@@ -231,21 +231,38 @@ class FexiproIndex:
     # Query API
     # ------------------------------------------------------------------
 
-    def query(self, query, k: int = 10) -> RetrievalResult:
+    def query(self, query, k: int = 10, *,
+              options: Optional[ScanOptions] = None) -> RetrievalResult:
         """Retrieve the exact top-k items by inner product for one query.
 
         Returns a :class:`~repro.core.stats.RetrievalResult` whose ``ids``
         are row indices into the *original* item matrix, sorted by
         descending score, with pruning statistics and elapsed time attached.
+        ``options`` (a :class:`~repro.core.options.ScanOptions`) threads
+        per-call behaviour — deadline, warm-start threshold, timings, span
+        — to the engine; the default runs a plain cold scan.
         """
         q = as_query_vector(query, self.d)
         k = check_k(k, self.n)
         started = time.perf_counter()
         qs = self._prepare_query(q)
-        buffer, stats = self._scan(qs, k)
+        buffer, stats = self._scan(qs, k, options=options)
         elapsed = time.perf_counter() - started
         return assemble_result(self.order, *buffer.items_and_scores(),
                                stats, elapsed)
+
+    def explain(self, query, k: int = 10, *, tracer=None,
+                options: Optional[ScanOptions] = None):
+        """Run one query with full instrumentation and account for it.
+
+        Returns a :class:`repro.obs.QueryExplanation`: per-pruning-rule
+        candidate counts (entering/pruned/surviving each stage of the
+        Algorithm 4/5 cascade), per-stage wall time, the threshold
+        trajectory, and the raw spans.  See :func:`repro.obs.explain_query`.
+        """
+        from ..obs.explain import explain_query
+
+        return explain_query(self, query, k, tracer=tracer, options=options)
 
     def batch_query(self, queries, k: int = 10) -> List[RetrievalResult]:
         """Run :meth:`query` over rows of a query matrix, independently.
@@ -425,22 +442,25 @@ class FexiproIndex:
         """
         return prepare_query_states(self, q.reshape(1, -1))[0]
 
-    def _scan(self, qs: QueryState, k: int, timings=None, deadline=None,
-              initial_threshold: float = -math.inf):
+    def _scan(self, qs: QueryState, k: int, timings=_UNSET, deadline=_UNSET,
+              initial_threshold=_UNSET,
+              options: Optional[ScanOptions] = None):
         """Dispatch one prepared query to the configured engine.
 
-        ``initial_threshold`` warm-starts the live pruning threshold; it
-        MUST be a *strict* lower bound on this query's true k-th inner
-        product (see :mod:`repro.serve.cache` for how such bounds are
-        obtained exactly).  The default ``-inf`` is the cold scan.
+        Per-call behaviour (timings, deadline, warm-start threshold, span)
+        rides in ``options``; the individual keywords are deprecated
+        shims.  ``options.initial_threshold`` warm-starts the live pruning
+        threshold; it MUST be a *strict* lower bound on this query's true
+        k-th inner product (see :mod:`repro.serve.cache` for how such
+        bounds are obtained exactly).  The default ``-inf`` is the cold
+        scan.
         """
+        opts = resolve_scan_options(options, "FexiproIndex._scan",
+                                    timings=timings, deadline=deadline,
+                                    initial_threshold=initial_threshold)
         if self.engine == "reference":
-            return scan_reference(self, qs, k, timings=timings,
-                                  deadline=deadline,
-                                  initial_threshold=initial_threshold)
-        return scan_blocked(self, qs, k, self.block_size, timings=timings,
-                            deadline=deadline,
-                            initial_threshold=initial_threshold)
+            return scan_reference(self, qs, k, options=opts)
+        return scan_blocked(self, qs, k, self.block_size, options=opts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

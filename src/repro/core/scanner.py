@@ -18,17 +18,23 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 from .. import _faultsites
 from .bounds import scaled_head_bound, scaled_tail_bound
-from .stats import PruningStats, StageTimings
+from .options import ScanOptions, _UNSET, resolve_scan_options
+from .stats import PruningStats
 from .topk import TopKBuffer
 
 if TYPE_CHECKING:  # pragma: no cover - imported only for type checking
     from .index import FexiproIndex, QueryState
 
+#: Cap on per-scan threshold-trajectory events recorded on a span; the
+#: reference engine raises the threshold per admitted item, which is O(n)
+#: worst-case — traces stay bounded regardless.
+MAX_THRESHOLD_EVENTS = 96
+
 
 def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
-                   timings: Optional[StageTimings] = None,
-                   *, deadline=None,
-                   initial_threshold: float = -math.inf,
+                   timings=_UNSET, *, deadline=_UNSET,
+                   initial_threshold=_UNSET,
+                   options: Optional[ScanOptions] = None,
                    ) -> Tuple[TopKBuffer, PruningStats]:
     """Run Algorithm 4 with the Algorithm 5 coordinate scan, one item at a time.
 
@@ -42,22 +48,32 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
     k:
         Number of results; the returned buffer holds item positions in the
         index's *sorted* order (the index maps them back to original ids).
-    timings:
-        Optional :class:`~repro.core.stats.StageTimings` record; when given,
-        per-stage wall time is accumulated into it.  Per-item clock calls
-        carry real overhead — use for analysis, not throughput runs.
-    deadline:
-        Optional :class:`repro.serve.resilience.Deadline`.  This engine has
-        no blocks, so the poll runs per item; on expiry the scan stops and
-        flags ``stats.deadline_hit`` — the buffer is then the exact top-k
-        of the length-sorted prefix visited, same contract as
-        :func:`repro.core.blocked.scan_blocked`.
-    initial_threshold:
-        Warm-start seed for the live threshold ``t``; must be a *strict*
-        lower bound on the query's true k-th inner product (the
-        :mod:`repro.serve.cache` contract).  Ids and scores are then
-        bitwise identical to the cold scan; only pruning counters change.
+    options:
+        A :class:`~repro.core.options.ScanOptions` bundle.  ``timings``
+        accumulates per-stage wall time (per-item clock calls — use for
+        analysis, not throughput runs).  ``deadline`` is polled per item
+        (this engine has no blocks); on expiry the scan stops and flags
+        ``stats.deadline_hit`` — the buffer is then the exact top-k of the
+        length-sorted prefix visited, same contract as
+        :func:`repro.core.blocked.scan_blocked`.  ``initial_threshold``
+        warm-starts the live threshold ``t``; it must be a *strict* lower
+        bound on the query's true k-th inner product (the
+        :mod:`repro.serve.cache` contract), making ids and scores bitwise
+        identical to the cold scan with only pruning counters changed.
+        ``span`` records the threshold trajectory (capped at
+        :data:`MAX_THRESHOLD_EVENTS` raises) plus termination/deadline
+        events.  ``shared`` is ignored — this engine never runs inside a
+        shard fan-out.
+    timings, deadline, initial_threshold:
+        Deprecated aliases for the same-named ``options`` fields; passing
+        any of them warns and overrides the bundle.
     """
+    opts = resolve_scan_options(options, "scan_reference", timings=timings,
+                                deadline=deadline,
+                                initial_threshold=initial_threshold)
+    timings = opts.timings
+    deadline = opts.deadline
+    span = opts.span
     if _faultsites.active is not None:
         _faultsites.fire(_faultsites.SCAN, "scan_reference")
     buffer = TopKBuffer(k)
@@ -76,18 +92,25 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
     use_reduction = index.reduction is not None
     timed = timings is not None
 
-    t = float(initial_threshold)
+    t = float(opts.initial_threshold)
     t_prime = -math.inf
+    events_left = MAX_THRESHOLD_EVENTS if span is not None else 0
+    if span is not None:
+        span.set(engine="reference", initial_threshold=t)
 
     for i in range(index.n):
         if deadline is not None and deadline.expired():
             stats.deadline_hit = 1
+            if span is not None:
+                span.event("deadline_expired", position=i, threshold=t)
             break
         # Line 11 of Algorithm 4: Cauchy-Schwarz early termination.  The
         # items are sorted by decreasing original length, so the first
         # failure ends the whole scan.
         if q_norm * norms[i] <= t:
             stats.length_terminated = 1
+            if span is not None:
+                span.event("length_terminated", position=i, threshold=t)
             break
         stats.scanned += 1
 
@@ -152,6 +175,11 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
             # charge — identical to the blocked engine's rule.
             if buffer.threshold > t:
                 t = buffer.threshold
+                if events_left:
+                    span.event("threshold", position=i, value=t)
+                    events_left -= 1
+                    if not events_left:
+                        span.set(threshold_events_truncated=True)
             if use_reduction and t > -math.inf and buffer.full:
                 # Line 17 of Algorithm 4: refresh t' via Equation 8 using
                 # the constants of the item now holding the k-th slot.
@@ -161,6 +189,9 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
         if timed:
             timings.select += perf_counter() - tick
 
+    if span is not None:
+        span.set(scanned=stats.scanned, full_products=stats.full_products,
+                 final_threshold=t)
     return buffer, stats
 
 

@@ -62,6 +62,7 @@ from .._validation import as_query_vector, check_k
 from ..exceptions import ValidationError
 from .blocked import scan_blocked
 from .index import FexiproIndex, QueryState
+from .options import ScanOptions, _UNSET, resolve_scan_options
 from .stats import (
     PruningStats,
     RetrievalResult,
@@ -277,19 +278,21 @@ class ShardedFexiproIndex:
     # Query API
     # ------------------------------------------------------------------
 
-    def query(self, query, k: int = 10) -> RetrievalResult:
+    def query(self, query, k: int = 10, *,
+              options: Optional[ScanOptions] = None) -> RetrievalResult:
         """Exact top-k for one query, scanned shard-parallel.
 
         Returns ids/scores identical to ``self.index.query(query, k)``;
         ``stats`` is the exact sum of the per-shard pruning counters (plus
         ``shards_skipped``).
         """
-        result, __ = self.query_detailed(query, k)
+        result, __ = self.query_detailed(query, k, options=options)
         return result
 
     def query_detailed(
         self, query, k: int = 10, *, pool=None,
         timings: Optional[StageTimings] = None,
+        options: Optional[ScanOptions] = None,
     ) -> Tuple[RetrievalResult, List[ShardScanReport]]:
         """Like :meth:`query`, also returning per-shard scan reports."""
         q = as_query_vector(query, self.index.d)
@@ -298,6 +301,7 @@ class ShardedFexiproIndex:
         qs = self.index._prepare_query(q)
         buffer, total, reports, scan_timings = self._scan_sharded(
             qs, k, pool=pool, collect_timings=timings is not None,
+            options=options,
         )
         if timings is not None and scan_timings is not None:
             timings.merge(scan_timings)
@@ -306,6 +310,19 @@ class ShardedFexiproIndex:
                                  *buffer.items_and_scores(),
                                  total, elapsed)
         return result, reports
+
+    def explain(self, query, k: int = 10, *, tracer=None,
+                options: Optional[ScanOptions] = None):
+        """Run one query shard-parallel with full instrumentation.
+
+        Returns a :class:`repro.obs.QueryExplanation` whose ``shards``
+        field carries one per-shard account (span, seeded threshold,
+        skip/deadline outcome, per-rule counts).  See
+        :func:`repro.obs.explain_query`.
+        """
+        from ..obs.explain import explain_query
+
+        return explain_query(self, query, k, tracer=tracer, options=options)
 
     def batch_query(self, queries, k: int = 10) -> List[RetrievalResult]:
         """Run :meth:`query` over rows of a query matrix, independently."""
@@ -319,8 +336,9 @@ class ShardedFexiproIndex:
     # ------------------------------------------------------------------
 
     def _scan_sharded(self, qs: QueryState, k: int, *, pool=None,
-                      collect_timings: bool = False, deadline=None,
-                      initial_threshold: float = -math.inf):
+                      collect_timings: bool = False, deadline=_UNSET,
+                      initial_threshold=_UNSET,
+                      options: Optional[ScanOptions] = None):
         """Fan one prepared query out over the shards and merge exactly.
 
         Returns ``(merged_buffer, total_stats, reports, timings)``.  The
@@ -328,41 +346,66 @@ class ShardedFexiproIndex:
         serving layer shares its own); otherwise the index's lazily created
         pool is used.  With one worker the pool runs the shard closures
         inline in submission order — the deterministic mode the property
-        tests pin down.
+        tests pin down.  Per-call behaviour rides in ``options`` (a
+        :class:`~repro.core.options.ScanOptions`); the ``deadline`` /
+        ``initial_threshold`` keywords are deprecated shims.
 
-        ``initial_threshold`` seeds the :class:`SharedThreshold` cell before
-        any shard starts (the warm-start path of :mod:`repro.serve.cache`).
-        The caller must guarantee a **strict** lower bound on the query's
-        true k-th inner product; the cell then behaves exactly as if an
-        earlier shard had offered that value — every shard prunes against
-        it from its first block, and whole shards may be skipped outright,
-        while ids and scores stay bitwise identical to the cold scan.
+        ``options.initial_threshold`` seeds the :class:`SharedThreshold`
+        cell before any shard starts (the warm-start path of
+        :mod:`repro.serve.cache`).  The caller must guarantee a **strict**
+        lower bound on the query's true k-th inner product; the cell then
+        behaves exactly as if an earlier shard had offered that value —
+        every shard prunes against it from its first block, and whole
+        shards may be skipped outright, while ids and scores stay bitwise
+        identical to the cold scan.
 
-        ``deadline`` (a :class:`repro.serve.resilience.Deadline`) is polled
-        at shard boundaries — an expired deadline returns a shard unscanned
-        with ``deadline_hit`` set — and forwarded into each shard's
-        :func:`scan_blocked`, which polls it at block boundaries.  The
-        merged degraded result is the exact top-k of the union of the
-        per-shard scanned prefixes: every threshold in the shared cell was
-        achieved by collected (scanned) items, so pruned and unvisited
-        items are provably below the merged buffer's k-th score.  Each
-        shard runs under a ``shard=<i>`` fault-injection tag so injector
-        rules can fail shard scans without touching single-scan fallbacks.
+        ``options.deadline`` (a :class:`repro.serve.resilience.Deadline`)
+        is polled at shard boundaries — an expired deadline returns a
+        shard unscanned with ``deadline_hit`` set — and forwarded into
+        each shard's :func:`scan_blocked`, which polls it at block
+        boundaries.  The merged degraded result is the exact top-k of the
+        union of the per-shard scanned prefixes: every threshold in the
+        shared cell was achieved by collected (scanned) items, so pruned
+        and unvisited items are provably below the merged buffer's k-th
+        score.  Each shard runs under a ``shard=<i>`` fault-injection tag
+        so injector rules can fail shard scans without touching
+        single-scan fallbacks.
+
+        ``options.span`` makes the fan-out trace itself: one ``scan.shard``
+        child span per shard (carrying its span bounds, seeded threshold
+        and outcome — scanned / skipped / deadline / empty) plus a
+        ``merge`` event on the parent after the exact merge.
         """
+        opts = resolve_scan_options(
+            options, "ShardedFexiproIndex._scan_sharded",
+            deadline=deadline, initial_threshold=initial_threshold)
+        deadline = opts.deadline
+        trace_span = opts.span
         index = self.index
         spans = self.spans
         norms = index.norms_sorted
-        shared = SharedThreshold(initial_threshold)
+        shared = SharedThreshold(opts.initial_threshold)
+        if trace_span is not None:
+            trace_span.set(mode="sharded", shards=len(spans),
+                           initial_threshold=shared.value)
 
         def run_shard(numbered: Tuple[int, Tuple[int, int]]):
             shard_id, (start, stop) = numbered
             shard_timings = StageTimings() if collect_timings else None
             seed = shared.value
+            shard_span = trace_span.child(
+                "scan.shard", shard=shard_id, seeded_threshold=seed,
+            ) if trace_span is not None else None
             if start >= stop:
+                if shard_span is not None:
+                    shard_span.set(outcome="empty").end()
                 return (TopKBuffer(k), PruningStats(), seed, shard_timings)
             if deadline is not None and deadline.expired():
                 # Shard-boundary deadline poll: the band stays unscanned.
                 stats = PruningStats(n_items=stop - start, deadline_hit=1)
+                if shard_span is not None:
+                    shard_span.set(outcome="deadline", start=start,
+                                   stop=stop).end()
                 return (TopKBuffer(k), stats, seed, shard_timings)
             if qs.q_norm * float(norms[start]) <= seed:
                 # Cauchy-Schwarz at shard granularity: no item in this
@@ -371,14 +414,21 @@ class ShardedFexiproIndex:
                 stats = PruningStats(n_items=stop - start,
                                      length_terminated=1,
                                      shards_skipped=1)
+                if shard_span is not None:
+                    shard_span.set(outcome="skipped", start=start,
+                                   stop=stop).end()
                 return (TopKBuffer(k), stats, seed, shard_timings)
+            shard_options = opts.replace(timings=shard_timings,
+                                         shared=shared, span=shard_span)
             with _faultsites.tagged(f"shard={shard_id}"):
                 buffer, stats = scan_blocked(
-                    index, qs, k, index.block_size, timings=shard_timings,
-                    start=start, stop=stop, shared=shared,
-                    deadline=deadline,
+                    index, qs, k, index.block_size,
+                    start=start, stop=stop, options=shard_options,
                 )
             shared.offer(buffer.threshold)
+            if shard_span is not None:
+                shard_span.set(outcome="scanned",
+                               offered_threshold=buffer.threshold).end()
             return (buffer, stats, seed, shard_timings)
 
         outputs = self._resolve_pool(pool).map(run_shard,
@@ -395,6 +445,10 @@ class ShardedFexiproIndex:
                                            seeded_threshold=seed))
             if timings is not None and shard_timings is not None:
                 timings.merge(shard_timings)
+        if trace_span is not None:
+            trace_span.event("merge", threshold=merged.threshold,
+                             shards_skipped=total.shards_skipped,
+                             deadline_hit=total.deadline_hit)
         return merged, total, reports, timings
 
     def _resolve_pool(self, pool):

@@ -6,6 +6,8 @@ can catch a single base class at API boundaries.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""
@@ -80,3 +82,50 @@ class InjectedFault(ReproError, RuntimeError):
     def __init__(self, message: str, *, transient: bool = False):
         super().__init__(message)
         self.transient = bool(transient)
+
+
+class TracingError(ReproError, ValueError):
+    """A :class:`repro.obs.Tracer` was misconfigured or misused.
+
+    Raised at construction time (bad sampling rate, ring size, or sink) —
+    never from the hot export path, which degrades by counting drops
+    instead of throwing into a scan.
+    """
+
+
+@dataclass(eq=False)
+class QueryError(ReproError):
+    """A structured record of one failed query inside a served batch.
+
+    ``index`` is the query's row in the request matrix; ``results[index]``
+    is ``None`` for the failed slot, every other slot is served normally.
+    ``error`` keeps the exception object so a single-query caller
+    (:meth:`RetrievalService.query`) can re-raise it faithfully.
+
+    Historically this lived in :mod:`repro.serve.resilience` as a plain
+    record; it is now a :class:`ReproError` so ``except ReproError`` at an
+    API boundary also catches it if an embedder chooses to raise it.
+    """
+
+    index: int
+    error: BaseException
+    error_type: str = ""
+    message: str = ""
+    retried: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.error_type:
+            self.error_type = type(self.error).__name__
+        if not self.message:
+            self.message = str(self.error)
+        # Make str()/raise behave like a normal exception.
+        self.args = (self.message,)
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (the exception object itself is omitted)."""
+        return {
+            "index": self.index,
+            "error_type": self.error_type,
+            "message": self.message,
+            "retried": self.retried,
+        }

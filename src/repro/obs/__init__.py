@@ -1,0 +1,42 @@
+"""Query-level observability: tracing, EXPLAIN, and metrics exposition.
+
+Three windows into the pruning cascade, all dependency-free:
+
+- :mod:`repro.obs.trace` — :class:`Tracer`/:class:`Span` with monotonic
+  timestamps, parent/child nesting and per-span attributes, instrumented
+  at the same boundaries the engines already use for
+  :class:`~repro.core.stats.StageTimings`, shared-threshold polls and
+  deadline polls; exports to an in-memory ring, a JSON-lines file or a
+  callback, with head sampling so the disabled path costs one branch per
+  block.
+- :mod:`repro.obs.explain` — :func:`explain_query` /
+  :meth:`FexiproIndex.explain`: a per-rule candidate account whose totals
+  are machine-checked against the existing pruning counters.
+- :mod:`repro.obs.promexp` + :mod:`repro.obs.http` — Prometheus text
+  exposition (:func:`render_prometheus`) behind a stdlib HTTP thread
+  (:class:`MetricsServer`) serving ``/metrics`` and ``/healthz``.
+
+The overhead budget is enforced by ``benchmarks/bench_obs.py`` and the CI
+regression gate: tracing disabled or unsampled must stay within noise of
+the untraced baseline (<3 % on serve p50).
+"""
+
+from __future__ import annotations
+
+from .explain import QueryExplanation, StageAccount, explain_query, \
+    stage_accounts
+from .http import MetricsServer
+from .promexp import render_prometheus
+from .trace import JsonLinesSink, Span, Tracer
+
+__all__ = [
+    "JsonLinesSink",
+    "MetricsServer",
+    "QueryExplanation",
+    "Span",
+    "StageAccount",
+    "Tracer",
+    "explain_query",
+    "render_prometheus",
+    "stage_accounts",
+]

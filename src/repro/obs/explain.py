@@ -1,0 +1,348 @@
+"""EXPLAIN for the pruning cascade: a per-query, per-rule account.
+
+The aggregate ``pruning.*`` counters say what the cascade does on average;
+:func:`explain_query` says what it did to *one* query.  It runs the query
+with a span attached and converts the engine's
+:class:`~repro.core.stats.PruningStats` into a chain of
+:class:`StageAccount` records — candidates entering, pruned by, and
+surviving each rule of Algorithm 4/5, in cascade order:
+
+1. ``cauchy_schwarz`` — length termination (Line 11 of Algorithm 4); the
+   untouched suffix of the length-sorted scan counts as pruned here.
+2. ``integer_partial`` — the partial integer bound, Equation 6.
+3. ``integer_full`` — the full integer bound, Equation 3.
+4. ``incremental`` — incremental pruning on the exact partial product,
+   Equation 1.
+5. ``monotone`` — the monotone-space bound (Lemma 1 / Theorem 4).
+6. ``full_product`` — survivors whose exact inner product was computed.
+
+The chain is exact by construction: each stage's ``entered`` equals the
+previous stage's ``survived``, and the engines' own counter invariant
+(``scanned == sum(pruned_*) + full_products``, verified by the tier-1
+suite from both engine loops) guarantees the accounts sum back to the
+:class:`~repro.serve.metrics.MetricsRegistry` counters the service already
+exposes — :meth:`QueryExplanation.verify` asserts it on every build.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+from ..core.options import ScanOptions
+from ..core.stats import PruningStats, RetrievalResult, StageTimings, \
+    assemble_result
+from ..exceptions import ValidationError
+from .trace import Tracer
+
+__all__ = ["QueryExplanation", "StageAccount", "explain_query",
+           "stage_accounts"]
+
+#: Cascade order of the pruning rules (see module docstring).
+STAGES = (
+    "cauchy_schwarz",
+    "integer_partial",
+    "integer_full",
+    "incremental",
+    "monotone",
+    "full_product",
+)
+
+#: Which ``PruningStats`` field holds each pruning stage's kill count.
+_PRUNED_FIELD = {
+    "integer_partial": "pruned_integer_partial",
+    "integer_full": "pruned_integer_full",
+    "incremental": "pruned_incremental",
+    "monotone": "pruned_monotone",
+}
+
+
+@dataclass(frozen=True)
+class StageAccount:
+    """Candidate flow through one rule of the cascade."""
+
+    stage: str
+    entered: int
+    pruned: int
+    survived: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"stage": self.stage, "entered": self.entered,
+                "pruned": self.pruned, "survived": self.survived}
+
+
+def stage_accounts(stats: PruningStats) -> List[StageAccount]:
+    """Derive the per-rule candidate chain from one scan's counters.
+
+    ``cauchy_schwarz`` accounts for everything the length cut kept the
+    scan from visiting (``n_items - scanned``); each later stage enters
+    with the previous stage's survivors and prunes its own counter's
+    worth; ``full_product`` is the terminal stage (its survivors *are* the
+    computed products).  Inactive stages (a variant without integer
+    bounds, say) appear with ``pruned == 0`` so the chain shape is
+    variant-independent.
+    """
+    accounts: List[StageAccount] = []
+    entered = stats.n_items
+    pruned = stats.n_items - stats.scanned
+    accounts.append(StageAccount("cauchy_schwarz", entered, pruned,
+                                 entered - pruned))
+    entered -= pruned
+    for stage in STAGES[1:-1]:
+        pruned = getattr(stats, _PRUNED_FIELD[stage])
+        accounts.append(StageAccount(stage, entered, pruned,
+                                     entered - pruned))
+        entered -= pruned
+    accounts.append(StageAccount("full_product", entered, 0, entered))
+    return accounts
+
+
+@dataclass
+class QueryExplanation:
+    """The structured account :meth:`FexiproIndex.explain` returns.
+
+    ``stages`` is the per-rule candidate chain (see
+    :func:`stage_accounts`); ``counters`` are the raw
+    :class:`~repro.core.stats.PruningStats` values, byte-for-byte what
+    :meth:`MetricsRegistry.observe_pruning` would add to the service's
+    ``pruning.*`` counters for this query; ``rule_seconds`` is per-stage
+    wall time (the :class:`~repro.core.stats.StageTimings` taxonomy);
+    ``thresholds`` is the trajectory of the live threshold at each block
+    boundary poll (blocked engine) or admitted raise (reference engine,
+    capped); ``shards`` carries one dict per shard for the sharded path;
+    ``spans`` are the exported trace spans backing all of the above.
+    """
+
+    k: int
+    variant: str
+    engine: str
+    mode: str
+    result: RetrievalResult
+    stages: List[StageAccount]
+    rule_seconds: Dict[str, float]
+    thresholds: List[Dict[str, Any]]
+    provenance: str = "cold"
+    initial_threshold: float = -math.inf
+    shards: Optional[List[Dict[str, Any]]] = None
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """The scan's pruning counters (``PruningStats.as_dict()``)."""
+        return self.result.stats.as_dict()
+
+    def stage(self, name: str) -> StageAccount:
+        """Look one stage account up by name."""
+        for account in self.stages:
+            if account.stage == name:
+                return account
+        raise ValidationError(f"unknown stage {name!r}; have {STAGES}")
+
+    def verify(self) -> None:
+        """Assert the chain is internally consistent with the counters.
+
+        Raises :class:`~repro.exceptions.ValidationError` on any mismatch
+        — this is the machine-checked contract that ``explain`` never
+        drifts from the counters the service aggregates.
+        """
+        stats = self.result.stats
+        chained = self.stages[0].entered
+        previous = None
+        for account in self.stages:
+            if previous is not None and account.entered != previous.survived:
+                raise ValidationError(
+                    f"stage {account.stage!r} entered {account.entered}, "
+                    f"but {previous.stage!r} survived {previous.survived}"
+                )
+            if account.survived != account.entered - account.pruned:
+                raise ValidationError(
+                    f"stage {account.stage!r} does not balance: "
+                    f"{account.entered} - {account.pruned} != "
+                    f"{account.survived}"
+                )
+            previous = account
+        if chained != stats.n_items:
+            raise ValidationError(
+                f"chain enters {chained} items, stats carry {stats.n_items}"
+            )
+        if self.stages[-1].survived != stats.full_products:
+            raise ValidationError(
+                f"chain ends with {self.stages[-1].survived} full products, "
+                f"stats counted {stats.full_products}"
+            )
+        pruned_after_scan = sum(
+            account.pruned for account in self.stages[1:])
+        if stats.scanned != pruned_after_scan + stats.full_products:
+            raise ValidationError(
+                f"scanned {stats.scanned} != pruned {pruned_after_scan} "
+                f"+ full {stats.full_products}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dump of the whole explanation."""
+        return {
+            "k": self.k,
+            "variant": self.variant,
+            "engine": self.engine,
+            "mode": self.mode,
+            "ids": list(self.result.ids),
+            "scores": [float(s) for s in self.result.scores],
+            "complete": self.result.complete,
+            "elapsed": self.result.elapsed,
+            "provenance": self.provenance,
+            "initial_threshold": self.initial_threshold,
+            "stages": [account.as_dict() for account in self.stages],
+            "counters": self.counters,
+            "rule_seconds": dict(self.rule_seconds),
+            "thresholds": list(self.thresholds),
+            "shards": None if self.shards is None else list(self.shards),
+        }
+
+    def format(self) -> str:
+        """A human-readable table (what ``fexipro explain`` prints)."""
+        lines = [
+            f"query explain: k={self.k} variant={self.variant} "
+            f"engine={self.engine} mode={self.mode} "
+            f"provenance={self.provenance}",
+            f"{'stage':<16} {'entered':>10} {'pruned':>10} {'survived':>10}"
+            f" {'seconds':>10}",
+        ]
+        seconds_of = {
+            "integer_partial": self.rule_seconds.get("integer", 0.0),
+            "incremental": self.rule_seconds.get("incremental", 0.0),
+            "monotone": self.rule_seconds.get("monotone", 0.0),
+            "full_product": self.rule_seconds.get("full", 0.0),
+        }
+        for account in self.stages:
+            seconds = seconds_of.get(account.stage)
+            cell = f"{seconds:.6f}" if seconds is not None else "-"
+            lines.append(
+                f"{account.stage:<16} {account.entered:>10} "
+                f"{account.pruned:>10} {account.survived:>10} {cell:>10}"
+            )
+        if not self.result.complete:
+            lines.append("note: deadline-degraded (exact prefix top-k)")
+        if self.shards:
+            lines.append(f"shards: {len(self.shards)} "
+                         f"({sum(1 for s in self.shards if s['skipped'])} "
+                         f"skipped)")
+        return "\n".join(lines)
+
+
+def _threshold_trajectory(spans: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Pull the threshold-at-poll series out of exported span events."""
+    trajectory: List[Dict[str, Any]] = []
+    for span in spans:
+        shard = span["attributes"].get("shard")
+        for event in span["events"]:
+            if event["name"] == "block":
+                point = {"position": event["start"],
+                         "threshold": event["threshold"]}
+            elif event["name"] == "threshold":
+                point = {"position": event["position"],
+                         "threshold": event["value"]}
+            else:
+                continue
+            if shard is not None:
+                point["shard"] = shard
+            trajectory.append(point)
+    return trajectory
+
+
+def explain_query(index, query, k: int = 10, *,
+                  tracer: Optional[Tracer] = None,
+                  options: Optional[ScanOptions] = None,
+                  provenance: str = "cold") -> QueryExplanation:
+    """Run one query fully instrumented and account for every rule.
+
+    Works for both the plain :class:`~repro.core.index.FexiproIndex`
+    (either engine) and the sharded path
+    (:class:`~repro.core.sharded.ShardedFexiproIndex`) — dispatch is on
+    the presence of ``_scan_sharded``.  ``options`` carries warm-start
+    seeds / deadlines to reproduce a serving configuration; ``tracer``
+    defaults to a fresh always-sampling one whose spans end up in
+    ``explanation.spans``.
+
+    The returned explanation is :meth:`~QueryExplanation.verify`-ed before
+    it is handed back: the per-rule candidate counts provably sum to the
+    scan's pruning counters.
+    """
+    from .._validation import as_query_vector, check_k
+
+    sharded = hasattr(index, "_scan_sharded")
+    inner = index.index if sharded else index
+    q = as_query_vector(query, inner.d)
+    k = check_k(k, inner.n)
+    if tracer is None:
+        tracer = Tracer(sample_rate=1.0)
+    opts = options if options is not None else ScanOptions()
+
+    root = tracer.start("explain", k=k, variant=inner.variant.name)
+    started = perf_counter()
+    timings = StageTimings()
+
+    prep_span = root.child("prepare") if root is not None else None
+    tick = perf_counter()
+    qs = inner._prepare_query(q)
+    timings.prepare = perf_counter() - tick
+    if prep_span is not None:
+        prep_span.end()
+
+    shard_dicts: Optional[List[Dict[str, Any]]] = None
+    if sharded:
+        scan_span = root.child("scan.sharded") if root is not None else None
+        buffer, stats, reports, scan_timings = index._scan_sharded(
+            qs, k, collect_timings=True,
+            options=opts.replace(timings=None, span=scan_span),
+        )
+        if scan_timings is not None:
+            timings.merge(scan_timings)
+        shard_dicts = [
+            {
+                "shard": i,
+                "span": list(report.span),
+                "seeded_threshold": report.seeded_threshold,
+                "skipped": report.skipped,
+                "deadline_hit": bool(report.stats.deadline_hit),
+                "counters": report.stats.as_dict(),
+                "stages": [a.as_dict()
+                           for a in stage_accounts(report.stats)],
+            }
+            for i, report in enumerate(reports)
+        ]
+        engine = inner.engine
+        mode = "sharded"
+    else:
+        scan_span = root.child("scan") if root is not None else None
+        buffer, stats = inner._scan(
+            qs, k, options=opts.replace(timings=timings, span=scan_span))
+        engine = inner.engine
+        mode = "single"
+    if scan_span is not None:
+        scan_span.end()
+    elapsed = perf_counter() - started
+    if root is not None:
+        root.set(mode=mode, scanned=stats.scanned).end()
+
+    result = assemble_result(inner.order, *buffer.items_and_scores(),
+                             stats, elapsed)
+    span_dicts = [s.as_dict() for s in tracer.spans
+                  if root is not None and s.trace_id == root.trace_id]
+    explanation = QueryExplanation(
+        k=k,
+        variant=inner.variant.name,
+        engine=engine,
+        mode=mode,
+        result=result,
+        stages=stage_accounts(stats),
+        rule_seconds=timings.as_dict(),
+        thresholds=_threshold_trajectory(span_dicts),
+        provenance=provenance,
+        initial_threshold=float(opts.initial_threshold),
+        shards=shard_dicts,
+        spans=span_dicts,
+    )
+    explanation.verify()
+    return explanation

@@ -1,0 +1,139 @@
+"""The ``/metrics`` + ``/healthz`` exposition endpoint (stdlib only).
+
+:class:`MetricsServer` runs a :class:`http.server.ThreadingHTTPServer` on
+a daemon thread and serves two paths:
+
+- ``GET /metrics`` — the Prometheus text rendering
+  (:func:`repro.obs.promexp.render_prometheus`) of a fresh snapshot from
+  the wrapped *source*;
+- ``GET /healthz`` — ``200 ok`` while the source is serving, ``503`` once
+  its ``closed`` attribute goes true (a closed
+  :class:`~repro.serve.service.RetrievalService`).
+
+The *source* is duck-typed: anything with ``metrics_snapshot()`` (a
+service) or ``snapshot()`` (a bare
+:class:`~repro.serve.metrics.MetricsRegistry`) works, so the module needs
+no import from :mod:`repro.serve`.  Snapshots are taken per scrape on the
+server thread; the registry's own locks make that safe against concurrent
+serving.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..exceptions import TracingError
+from .promexp import render_prometheus
+
+__all__ = ["MetricsServer"]
+
+#: The content type Prometheus expects for text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve a metrics source over HTTP until :meth:`close`.
+
+    Parameters
+    ----------
+    source:
+        The object to snapshot per scrape — a
+        :class:`~repro.serve.service.RetrievalService`, a bare
+        :class:`~repro.serve.metrics.MetricsRegistry`, or any object with
+        a compatible ``metrics_snapshot()``/``snapshot()`` method.
+    host / port:
+        Bind address; ``port=0`` (the default) picks a free port, exposed
+        as :attr:`port` — the mode tests and colocated deployments use.
+    namespace:
+        Metric-name prefix for the rendering (default ``repro``).
+    """
+
+    def __init__(self, source: Any, *, host: str = "127.0.0.1",
+                 port: int = 0, namespace: str = "repro"):
+        if hasattr(source, "metrics_snapshot"):
+            self._snapshot = source.metrics_snapshot
+        elif hasattr(source, "snapshot"):
+            self._snapshot = source.snapshot
+        else:
+            raise TracingError(
+                f"metrics source must expose metrics_snapshot() or "
+                f"snapshot(); got {type(source).__name__}"
+            )
+        self._source = source
+        self.namespace = namespace
+        self.scrapes_total = 0
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                if self.path.split("?", 1)[0] == "/metrics":
+                    try:
+                        body = server.render().encode("utf-8")
+                    except Exception as exc:  # snapshot raced a close()
+                        self._respond(500, f"error: {exc}\n".encode())
+                        return
+                    server.scrapes_total += 1
+                    self._respond(200, body, CONTENT_TYPE)
+                elif self.path.split("?", 1)[0] == "/healthz":
+                    if server.healthy:
+                        self._respond(200, b"ok\n")
+                    else:
+                        self._respond(503, b"closed\n")
+                else:
+                    self._respond(404, b"not found\n")
+
+            def _respond(self, status: int, body: bytes,
+                         content_type: str = "text/plain; charset=utf-8",
+                         ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence stderr
+                pass
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-metrics-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    @property
+    def url(self) -> str:
+        """Base URL of the exposition server."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def healthy(self) -> bool:
+        """What ``/healthz`` reports: the source is open (or untracked)."""
+        return not getattr(self._source, "closed", False)
+
+    def render(self) -> str:
+        """One fresh Prometheus rendering (what ``/metrics`` returns)."""
+        return render_prometheus(self._snapshot(), namespace=self.namespace)
+
+    def close(self) -> None:
+        """Stop the server thread and release the port (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricsServer(url={self.url!r}, closed={self._closed})"

@@ -1,0 +1,307 @@
+"""Zero-dependency tracing: spans with monotonic timestamps and nesting.
+
+The serving stack already *times* itself (:class:`~repro.core.stats.
+StageTimings`) and *counts* itself (:class:`~repro.serve.metrics.
+MetricsRegistry`); what neither can answer is "what happened to *this*
+query" — which block raised the threshold, which shard was skipped, when
+the deadline fired.  This module adds that per-request dimension with the
+smallest possible machinery:
+
+- :class:`Span` — a named interval with ``time.perf_counter()`` (monotonic)
+  start/end stamps, key/value attributes, point-in-time events, and
+  parent/child nesting via :meth:`Span.child`;
+- :class:`Tracer` — hands out spans, applies head sampling (decided once
+  per root span, inherited by children), and exports finished spans to an
+  always-on in-memory ring buffer plus an optional sink (a callback, or a
+  JSON-lines file via :class:`JsonLinesSink`).
+
+Cost model (gated by ``benchmarks/bench_obs.py``): the *unsampled* path is
+one RNG draw per root and ``span is None`` branches at block boundaries —
+the same shape as the disabled-deadline branch the resilience layer
+already pays.  A *sampled* span costs two clock reads plus one ring append
+at export; events are appended only while a span object exists.
+
+Sinks must never break serving: an exporter that raises is counted in
+``Tracer.export_failures`` and dropped, not propagated into a scan.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+import random
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..exceptions import TracingError
+
+__all__ = ["JsonLinesSink", "Span", "Tracer"]
+
+#: Default capacity of a tracer's in-memory ring buffer.
+DEFAULT_RING_SIZE = 512
+
+
+class Span:
+    """One named, timed interval in a trace tree.
+
+    Spans are created by :meth:`Tracer.start` (roots) or :meth:`Span.child`
+    and closed by :meth:`end` (or a ``with`` block).  Timestamps come from
+    the tracer's monotonic clock, so durations are immune to wall-clock
+    jumps; ``started``/``ended`` are therefore *relative* stamps useful for
+    ordering and subtraction, not epoch times.
+    """
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id",
+        "started", "ended", "attributes", "events", "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: int,
+                 span_id: int, parent_id: Optional[int],
+                 attributes: Optional[Dict[str, Any]] = None):
+        self._tracer = tracer
+        self.name = str(name)
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.started = tracer.clock()
+        self.ended: Optional[float] = None
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+        self.events: List[Dict[str, Any]] = []
+
+    # -- annotation ----------------------------------------------------
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record a point-in-time event (e.g. one block boundary poll)."""
+        record: Dict[str, Any] = {"name": str(name), "at": self._tracer.clock()}
+        if attributes:
+            record.update(attributes)
+        self.events.append(record)
+
+    # -- structure -----------------------------------------------------
+
+    def child(self, name: str, **attributes: Any) -> "Span":
+        """Open a child span (same trace, sampled because the root was)."""
+        return self._tracer._child(self, name, attributes)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def end(self) -> "Span":
+        """Close the span (idempotent) and hand it to the exporters."""
+        if self.ended is None:
+            self.ended = self._tracer.clock()
+            self._tracer._export(self)
+        return self
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (to *now* while still open)."""
+        end = self.ended if self.ended is not None else self._tracer.clock()
+        return end - self.started
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.set(error=exc_type.__name__)
+        self.end()
+
+    # -- export --------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (what the JSONL sink writes)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started": self.started,
+            "ended": self.ended,
+            "duration": None if self.ended is None else self.ended - self.started,
+            "attributes": dict(self.attributes),
+            "events": list(self.events),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "open" if self.ended is None else f"{self.duration * 1e3:.3f}ms"
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"id={self.span_id}, parent={self.parent_id}, {state})")
+
+
+class JsonLinesSink:
+    """A thread-safe exporter that appends one JSON object per span line."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        try:
+            self._handle: Optional[io.TextIOBase] = open(
+                self.path, "a", encoding="utf-8")
+        except OSError as exc:
+            raise TracingError(
+                f"cannot open trace sink {self.path!r}: {exc}") from exc
+        self._lock = threading.Lock()
+
+    def __call__(self, span: Span) -> None:
+        line = json.dumps(span.as_dict(), sort_keys=True, default=str)
+        with self._lock:
+            if self._handle is None:
+                raise TracingError(f"trace sink {self.path!r} is closed")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class Tracer:
+    """Hands out :class:`Span` objects and collects the finished ones.
+
+    Parameters
+    ----------
+    sample_rate:
+        Probability in ``[0, 1]`` that a *root* span is recorded.  The
+        decision is made once per :meth:`start` call; children inherit it
+        (a trace is whole or absent, never partial).  ``0.0`` makes every
+        ``start()`` return ``None`` after a single RNG draw — the shape the
+        engines rely on for a near-zero disabled path.
+    ring_size:
+        Capacity of the always-on in-memory ring of finished spans
+        (oldest evicted first).
+    sink:
+        Optional extra exporter: a callable invoked with each finished
+        :class:`Span`, or a path (``str``/``os.PathLike``) opened as a
+        :class:`JsonLinesSink`.  Sink exceptions are counted in
+        :attr:`export_failures`, never raised into the traced code.
+    seed:
+        Seed for the sampling RNG (deterministic by default so tests and
+        benchmarks are reproducible; pass ``None`` for entropy seeding).
+    clock:
+        Monotonic clock used for all timestamps.
+    """
+
+    def __init__(self, *, sample_rate: float = 1.0,
+                 ring_size: int = DEFAULT_RING_SIZE,
+                 sink: Union[None, str, Callable[[Span], None]] = None,
+                 seed: Optional[int] = 0,
+                 clock: Callable[[], float] = time.perf_counter):
+        if not isinstance(sample_rate, (int, float)) \
+                or isinstance(sample_rate, bool) \
+                or not 0.0 <= float(sample_rate) <= 1.0:
+            raise TracingError(
+                f"sample_rate must be a number in [0, 1]; got {sample_rate!r}"
+            )
+        if not isinstance(ring_size, int) or isinstance(ring_size, bool) \
+                or ring_size < 1:
+            raise TracingError(
+                f"ring_size must be a positive integer; got {ring_size!r}"
+            )
+        self.sample_rate = float(sample_rate)
+        self.clock = clock
+        self._ring: deque = deque(maxlen=ring_size)
+        self._rng = random.Random(seed)
+        self._ids = itertools.count(1)
+        self._owns_sink = False
+        if sink is None or callable(sink):
+            self._sink = sink
+        else:
+            self._sink = JsonLinesSink(sink)
+            self._owns_sink = True
+        # Telemetry about the telemetry (all CPython-atomic int bumps).
+        self.started_total = 0
+        self.sampled_total = 0
+        self.exported_total = 0
+        self.export_failures = 0
+
+    # -- span creation -------------------------------------------------
+
+    def start(self, name: str, **attributes: Any) -> Optional[Span]:
+        """Open a root span, or return ``None`` if sampled out.
+
+        Callers hold the result and branch on ``is not None`` — the whole
+        per-block cost of disabled tracing.
+        """
+        self.started_total += 1
+        if self.sample_rate < 1.0:
+            if self.sample_rate == 0.0 or self._rng.random() >= self.sample_rate:
+                return None
+        self.sampled_total += 1
+        trace_id = next(self._ids)
+        return Span(self, name, trace_id=trace_id, span_id=next(self._ids),
+                    parent_id=None, attributes=attributes)
+
+    def _child(self, parent: Span, name: str,
+               attributes: Optional[Dict[str, Any]]) -> Span:
+        return Span(self, name, trace_id=parent.trace_id,
+                    span_id=next(self._ids), parent_id=parent.span_id,
+                    attributes=attributes)
+
+    # -- export --------------------------------------------------------
+
+    def _export(self, span: Span) -> None:
+        self._ring.append(span)
+        self.exported_total += 1
+        if self._sink is not None:
+            try:
+                self._sink(span)
+            except Exception:
+                self.export_failures += 1
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        """Finished spans currently in the ring (oldest first)."""
+        return list(self._ring)
+
+    def find(self, name: str) -> List[Span]:
+        """Finished spans with the given name, oldest first."""
+        return [s for s in self._ring if s.name == name]
+
+    def clear(self) -> None:
+        """Drop all buffered spans (counters are kept)."""
+        self._ring.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-ready tracer telemetry for ``metrics_snapshot()``."""
+        return {
+            "sample_rate": self.sample_rate,
+            "started_total": self.started_total,
+            "sampled_total": self.sampled_total,
+            "exported_total": self.exported_total,
+            "export_failures": self.export_failures,
+            "buffered": len(self._ring),
+        }
+
+    def close(self) -> None:
+        """Close a sink this tracer opened itself (path sinks only)."""
+        if self._owns_sink and self._sink is not None:
+            self._sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Tracer(sample_rate={self.sample_rate}, "
+                f"buffered={len(self._ring)}, "
+                f"exported={self.exported_total})")

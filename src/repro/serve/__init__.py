@@ -56,10 +56,10 @@ from .metrics import (
 from .resilience import (
     CircuitBreaker,
     Deadline,
-    QueryError,
     RetryPolicy,
     is_transient,
 )
+from ..exceptions import QueryError
 from .service import BatchResponse, RetrievalService
 
 __all__ = [

@@ -93,6 +93,24 @@ class ServiceConfig:
     warm_bucket_decimals:
         Decimal places for the warm-start similarity bucket (``None`` =
         bucket matching off; same-query warm-starts still apply).
+    trace_sample_rate:
+        Probability that one served batch is traced (a root span plus
+        prepare/cache/scan/shard children in the service's
+        :class:`~repro.obs.Tracer`).  ``0.0`` (the default) disables
+        tracing entirely: no tracer is built and the engines pay one
+        ``is None`` branch per block.  An externally owned tracer passed
+        to the service overrides this setting.
+    trace_ring_size:
+        Capacity of the service-owned tracer's in-memory span ring (only
+        used when ``trace_sample_rate > 0`` builds one).
+    metrics_port:
+        When set, the service starts an HTTP exposition thread serving
+        Prometheus text format on ``/metrics`` and a liveness probe on
+        ``/healthz`` (``0`` = pick a free port, exposed via
+        ``service.metrics_server.port``).  ``None`` (default) starts no
+        server.
+    metrics_host:
+        Bind address for the exposition server (default loopback).
     """
 
     workers: int = 4
@@ -110,6 +128,10 @@ class ServiceConfig:
     cache_ttl_s: Optional[float] = None
     warm_start: bool = True
     warm_bucket_decimals: Optional[int] = None
+    trace_sample_rate: float = 0.0
+    trace_ring_size: int = 512
+    metrics_port: Optional[int] = None
+    metrics_host: str = "127.0.0.1"
 
     def __post_init__(self) -> None:
         if not isinstance(self.workers, int) or self.workers < 1:
@@ -199,4 +221,31 @@ class ServiceConfig:
             raise ValidationError(
                 f"warm_bucket_decimals must be a non-negative integer or "
                 f"None; got {self.warm_bucket_decimals!r}"
+            )
+        if not isinstance(self.trace_sample_rate, (int, float)) or \
+                isinstance(self.trace_sample_rate, bool) or \
+                not 0.0 <= float(self.trace_sample_rate) <= 1.0:
+            raise ValidationError(
+                f"trace_sample_rate must be a number in [0, 1]; "
+                f"got {self.trace_sample_rate!r}"
+            )
+        if not isinstance(self.trace_ring_size, int) or \
+                isinstance(self.trace_ring_size, bool) or \
+                self.trace_ring_size < 1:
+            raise ValidationError(
+                f"trace_ring_size must be a positive integer; "
+                f"got {self.trace_ring_size!r}"
+            )
+        if self.metrics_port is not None and (
+                not isinstance(self.metrics_port, int)
+                or isinstance(self.metrics_port, bool)
+                or not 0 <= self.metrics_port <= 65535):
+            raise ValidationError(
+                f"metrics_port must be an integer in [0, 65535] or None; "
+                f"got {self.metrics_port!r}"
+            )
+        if not isinstance(self.metrics_host, str) or not self.metrics_host:
+            raise ValidationError(
+                f"metrics_host must be a non-empty string; "
+                f"got {self.metrics_host!r}"
             )

@@ -16,9 +16,10 @@ Four small, independently testable pieces that
   traffic to the proven single-scan path until a cooldown probe succeeds.
 - :class:`RetryPolicy` — one bounded retry for faults marked transient,
   with injectable sleep for tests.
-- :class:`QueryError` — the structured per-query failure record surfaced
-  in :attr:`repro.serve.BatchResponse.errors` instead of poisoning the
-  whole batch.
+- :class:`~repro.exceptions.QueryError` — the structured per-query failure
+  record surfaced in :attr:`repro.serve.BatchResponse.errors` instead of
+  poisoning the whole batch (moved to :mod:`repro.exceptions`; importing
+  it from here still works but warns).
 
 All clocks and sleeps are injectable so every behaviour is deterministic
 under test.
@@ -29,7 +30,7 @@ from __future__ import annotations
 import math
 import threading
 import time
-from dataclasses import dataclass
+import warnings
 from typing import Callable, Optional, Tuple
 
 from ..exceptions import ValidationError
@@ -232,33 +233,16 @@ class RetryPolicy:
             self._sleep(self.backoff_ms / 1e3)
 
 
-@dataclass
-class QueryError:
-    """A structured record of one failed query inside a served batch.
-
-    ``index`` is the query's row in the request matrix; ``results[index]``
-    is ``None`` for the failed slot, every other slot is served normally.
-    ``error`` keeps the exception object so a single-query caller
-    (:meth:`RetrievalService.query`) can re-raise it faithfully.
-    """
-
-    index: int
-    error: BaseException
-    error_type: str = ""
-    message: str = ""
-    retried: bool = False
-
-    def __post_init__(self) -> None:
-        if not self.error_type:
-            self.error_type = type(self.error).__name__
-        if not self.message:
-            self.message = str(self.error)
-
-    def as_dict(self) -> dict:
-        """JSON-ready summary (the exception object itself is omitted)."""
-        return {
-            "index": self.index,
-            "error_type": self.error_type,
-            "message": self.message,
-            "retried": self.retried,
-        }
+def __getattr__(name: str):
+    # Deprecated deep-path alias: QueryError moved to repro.exceptions so
+    # the whole public error surface hangs off one ReproError base.
+    if name == "QueryError":
+        warnings.warn(
+            "importing QueryError from repro.serve.resilience is deprecated; "
+            "import it from repro.exceptions (or the repro.api facade)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..exceptions import QueryError
+        return QueryError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -61,12 +61,15 @@ from ..core.stats import (
     aggregate_stats,
     assemble_result,
 )
-from ..exceptions import DeadlineExceededError, ServiceClosedError
+from ..core.options import ScanOptions
+from ..exceptions import DeadlineExceededError, QueryError, \
+    ServiceClosedError
+from ..obs.trace import Span, Tracer
 from .cache import CacheLookup, QueryCache
 from .config import ServiceConfig
 from .executor import WorkerPool, chunk_spans, resolve_chunk_size
 from .metrics import MetricsRegistry
-from .resilience import CircuitBreaker, Deadline, QueryError, RetryPolicy
+from .resilience import CircuitBreaker, Deadline, RetryPolicy
 
 
 @dataclass
@@ -163,6 +166,14 @@ class RetrievalService:
         default the service builds its own when
         ``config.cache_capacity > 0``, exposed as :attr:`cache` (``None``
         when caching is off).
+    tracer:
+        An optional externally owned :class:`~repro.obs.Tracer`.  By
+        default the service builds its own when
+        ``config.trace_sample_rate > 0``, exposed as :attr:`tracer`
+        (``None`` when tracing is off — the engines then pay one branch
+        per block).  Sampling is per *batch*: a sampled batch gets a
+        ``serve.batch`` root span with prepare / cache-lookup / per-query
+        scan (and per-shard) children.
     clock / sleep:
         Injectable time sources (``time.monotonic`` / ``time.sleep``) used
         by deadlines, the circuit breaker and retry backoff — swap in fakes
@@ -179,6 +190,7 @@ class RetrievalService:
                  metrics: Optional[MetricsRegistry] = None,
                  *,
                  cache: Optional[QueryCache] = None,
+                 tracer: Optional[Tracer] = None,
                  clock: Callable[[], float] = time.monotonic,
                  sleep: Callable[[float], None] = time.sleep):
         if isinstance(index, ShardedFexiproIndex):
@@ -201,6 +213,16 @@ class RetrievalService:
             )
         else:
             self.cache = None
+        if tracer is not None:
+            self.tracer: Optional[Tracer] = tracer
+        elif self.config.trace_sample_rate > 0.0:
+            self.tracer = Tracer(
+                sample_rate=self.config.trace_sample_rate,
+                ring_size=self.config.trace_ring_size,
+            )
+        else:
+            self.tracer = None
+        self.metrics_server = None
         self._pool = WorkerPool(self.config.workers)
         self._clock = clock
         self._breaker = CircuitBreaker(
@@ -213,6 +235,9 @@ class RetrievalService:
             backoff_ms=self.config.retry_backoff_ms,
             sleep=sleep,
         )
+        if self.config.metrics_port is not None:
+            self.start_metrics_server(port=self.config.metrics_port,
+                                      host=self.config.metrics_host)
 
     # ------------------------------------------------------------------
     # Serving API
@@ -247,18 +272,25 @@ class RetrievalService:
         queries = as_query_matrix(queries, self.index.d)
         k = check_k(self.config.default_k if k is None else k, self.index.n)
         m = queries.shape[0]
+        root = self.tracer.start("serve.batch", queries=m, k=k) \
+            if self.tracer is not None else None
 
         cache = self.cache
         lookups: Optional[List[CacheLookup]] = None
         if cache is not None:
+            lookup_span = root.child("cache.lookup") \
+                if root is not None else None
             lookups = [cache.lookup(self.index, queries[i], k)
                        for i in range(m)]
             pending = [i for i in range(m) if lookups[i].kind != "hit"]
+            if lookup_span is not None:
+                lookup_span.set(queries=m, hits=m - len(pending)).end()
         else:
             pending = list(range(m))
 
         # Prepare only the queries that actually need a scan; hits are
         # answered without touching Algorithm 4 at all.
+        prep_span = root.child("prepare") if root is not None else None
         prep_started = time.perf_counter()
         if len(pending) == m:
             states = prepare_query_states(self.index, queries) if m else []
@@ -268,6 +300,8 @@ class RetrievalService:
         else:
             states = []
         prepare_time = time.perf_counter() - prep_started
+        if prep_span is not None:
+            prep_span.set(prepared=len(states)).end()
 
         seeds: Optional[List[float]] = None
         if lookups is not None and states:
@@ -279,6 +313,10 @@ class RetrievalService:
                         self.index, states[j], lookup.entry, k))
                 else:
                     seeds.append(lookup.seed)
+            if root is not None:
+                for j, i in enumerate(pending):
+                    if seeds[j] > -math.inf:
+                        root.event("warm_start", query=i, seed=seeds[j])
 
         collect = self.config.collect_timings
         timings: Optional[StageTimings] = None
@@ -287,14 +325,18 @@ class RetrievalService:
 
         errors: List[QueryError] = []
         mode = self._select_mode(len(states))
+        if root is not None:
+            root.set(mode=mode)
         if not states:
             scanned, positions = [], []
         elif mode == "intra":
             scanned, positions = self._scan_intra_query(
-                states, k, timings, errors, indices=pending, seeds=seeds)
+                states, k, timings, errors, indices=pending, seeds=seeds,
+                parent_span=root)
         else:
             scanned, positions = self._scan_inter_query(
-                states, k, timings, errors, indices=pending, seeds=seeds)
+                states, k, timings, errors, indices=pending, seeds=seeds,
+                parent_span=root)
 
         provenance: Optional[List[str]] = None
         if lookups is None:
@@ -324,8 +366,60 @@ class RetrievalService:
                                  elapsed=elapsed, prepare_time=prepare_time,
                                  timings=timings, mode=mode, errors=errors,
                                  provenance=provenance)
+        if root is not None:
+            root.set(errors=len(errors),
+                     deadline_hits=response.deadline_hits).end()
         self._observe(response)
         return response
+
+    def explain(self, query, k: Optional[int] = None):
+        """EXPLAIN one query as this service would serve it.
+
+        Runs the query through :func:`repro.obs.explain.explain_query`
+        against the service's index (the sharded fan-out when one is
+        wrapped), seeded exactly as serving would seed it: the cache is
+        probed first, and a hit or warm neighbour contributes its
+        threshold seed, recorded as the explanation's ``provenance``
+        (``"hit"`` / ``"warm"`` / ``"cold"``).  Unlike serving, a hit
+        still *runs* the cascade — EXPLAIN describes work, it does not
+        skip it — and no deadline is armed, so the account is always the
+        complete one.  Results are exact regardless of provenance.
+        """
+        if self._pool.closed:
+            raise ServiceClosedError("service is closed")
+        from ..obs.explain import explain_query
+        q = as_query_vector(query, self.index.d)
+        k = check_k(self.config.default_k if k is None else k, self.index.n)
+        seed = -math.inf
+        provenance = "cold"
+        if self.cache is not None:
+            lookup = self.cache.lookup(self.index, q, k)
+            if lookup.kind == "hit" and lookup.result is not None:
+                # The cached result is exact for this very query, so the
+                # value just below its k-th score is a strict lower bound —
+                # the tightest warm start a scan could legally receive.
+                provenance = "hit"
+                kth = float(lookup.result.scores[k - 1])
+                seed = math.nextafter(kth, -math.inf)
+            elif lookup.kind == "warm":
+                if lookup.entry is not None:
+                    state = prepare_query_states(
+                        self.index, q.reshape(1, -1))[0]
+                    seed = self.cache.bucket_seed(
+                        self.index, state, lookup.entry, k)
+                else:
+                    seed = lookup.seed
+                if seed > -math.inf:
+                    provenance = "warm"
+        target = self.sharded_index if self.sharded_index is not None \
+            else self.index
+        # Explain builds its own always-sampling tracer (the service's
+        # tracer may head-sample this query away, losing the trajectory).
+        return explain_query(
+            target, q, k,
+            options=ScanOptions(initial_threshold=seed),
+            provenance=provenance,
+        )
 
     # ------------------------------------------------------------------
     # The two parallelism axes
@@ -366,6 +460,7 @@ class RetrievalService:
                           errors: List[QueryError],
                           *, indices: List[int],
                           seeds: Optional[List[float]] = None,
+                          parent_span: Optional[Span] = None,
                           ) -> Tuple[List[Optional[RetrievalResult]],
                                      List[Optional[Tuple[int, ...]]]]:
         """Spread whole queries over the pool (the PR-1 batch path).
@@ -399,7 +494,7 @@ class RetrievalService:
                     else -math.inf
                 result, error, scan_positions = self._scan_one(
                     indices[start + offset], state, k, chunk_timings,
-                    seed=seed)
+                    seed=seed, parent_span=parent_span)
                 chunk_results.append(result)
                 chunk_positions.append(scan_positions)
                 if error is not None:
@@ -447,6 +542,7 @@ class RetrievalService:
     def _scan_one(self, qi: int, state, k: int,
                   timings: Optional[StageTimings],
                   seed: float = -math.inf,
+                  parent_span: Optional[Span] = None,
                   ) -> Tuple[Optional[RetrievalResult], Optional[QueryError],
                              Optional[Tuple[int, ...]]]:
         """One deadline-armed, fault-tagged single scan with bounded retry.
@@ -461,24 +557,33 @@ class RetrievalService:
         attempt = 0
         retried = False
         while True:
+            span = parent_span.child("scan", query=qi, attempt=attempt) \
+                if parent_span is not None else None
             try:
                 with _faultsites.tagged(f"q={qi}"):
                     scan_started = time.perf_counter()
                     buffer, stats = self.index._scan(
-                        state, k, timings=timings,
-                        deadline=self._new_deadline(),
-                        initial_threshold=seed,
+                        state, k,
+                        options=ScanOptions(initial_threshold=seed,
+                                            deadline=self._new_deadline(),
+                                            timings=timings, span=span),
                     )
                     elapsed = time.perf_counter() - scan_started
                 self._enforce_deadline_policy(qi, stats)
                 if retried:
                     self.metrics.counter("retries.recovered").inc()
+                if span is not None:
+                    if stats.deadline_hit:
+                        span.event("degraded", scanned=stats.scanned)
+                    span.end()
                 scan_positions, scores = buffer.items_and_scores()
                 return assemble_result(
                     self.index.order, scan_positions, scores,
                     stats, elapsed,
                 ), None, tuple(scan_positions)
             except Exception as error:
+                if span is not None:
+                    span.set(error=type(error).__name__).end()
                 if self._retry.should_retry(error, attempt):
                     attempt += 1
                     retried = True
@@ -494,6 +599,7 @@ class RetrievalService:
                           errors: List[QueryError],
                           *, indices: List[int],
                           seeds: Optional[List[float]] = None,
+                          parent_span: Optional[Span] = None,
                           ) -> Tuple[List[Optional[RetrievalResult]],
                                      List[Optional[Tuple[int, ...]]]]:
         """Answer queries one at a time, each fanned over the index shards.
@@ -513,6 +619,8 @@ class RetrievalService:
         for local, state in enumerate(states):
             qi = indices[local]
             seed = seeds[local] if seeds is not None else -math.inf
+            span = parent_span.child("scan.sharded", query=qi) \
+                if parent_span is not None else None
             try:
                 with _faultsites.tagged(f"q={qi}"):
                     scan_started = time.perf_counter()
@@ -520,15 +628,21 @@ class RetrievalService:
                         sharded._scan_sharded(
                             state, k, pool=self._pool,
                             collect_timings=collect,
-                            deadline=self._new_deadline(),
-                            initial_threshold=seed,
+                            options=ScanOptions(
+                                initial_threshold=seed,
+                                deadline=self._new_deadline(),
+                                span=span),
                         )
                     elapsed = time.perf_counter() - scan_started
-            except Exception:
+            except Exception as fanout_error:
+                if span is not None:
+                    span.set(error=type(fanout_error).__name__,
+                             fallback=True).end()
                 self._record_breaker(self._breaker.record_failure())
                 self.metrics.counter("policy.breaker_fallback_queries").inc()
                 result, query_error, scan_positions = self._scan_one(
-                    qi, state, k, timings, seed=seed)
+                    qi, state, k, timings, seed=seed,
+                    parent_span=parent_span)
                 results.append(result)
                 positions.append(scan_positions)
                 if query_error is not None:
@@ -538,11 +652,17 @@ class RetrievalService:
             try:
                 self._enforce_deadline_policy(qi, stats)
             except DeadlineExceededError as error:
+                if span is not None:
+                    span.set(error=type(error).__name__).end()
                 self.metrics.counter("errors.queries").inc()
                 errors.append(QueryError(index=qi, error=error))
                 results.append(None)
                 positions.append(None)
                 continue
+            if span is not None:
+                if stats.deadline_hit:
+                    span.event("degraded", scanned=stats.scanned)
+                span.end()
             if timings is not None and scan_timings is not None:
                 timings.merge(scan_timings)
             scan_positions, scores = buffer.items_and_scores()
@@ -632,7 +752,26 @@ class RetrievalService:
         snapshot["breaker"] = self._breaker.snapshot()
         snapshot["cache"] = (self.cache.snapshot()
                              if self.cache is not None else None)
+        snapshot["tracer"] = (self.tracer.snapshot()
+                              if self.tracer is not None else None)
         return snapshot
+
+    def start_metrics_server(self, port: int = 0,
+                             host: str = "127.0.0.1"):
+        """Expose :meth:`metrics_snapshot` over HTTP (Prometheus format).
+
+        Starts a :class:`~repro.obs.http.MetricsServer` on a daemon
+        thread serving ``GET /metrics`` (text exposition format 0.0.4)
+        and ``GET /healthz`` (``503`` once the service is closed).
+        ``port=0`` binds a free port — read it back from the returned
+        server's ``port``/``url``.  Idempotent while a server is running;
+        :meth:`close` shuts it down with the pool.
+        """
+        if self.metrics_server is not None:
+            return self.metrics_server
+        from ..obs.http import MetricsServer
+        self.metrics_server = MetricsServer(self, host=host, port=port)
+        return self.metrics_server
 
     @property
     def closed(self) -> bool:
@@ -645,6 +784,8 @@ class RetrievalService:
         Idempotent — a second ``close()`` is a no-op, while serving after
         close raises :class:`~repro.exceptions.ServiceClosedError`.
         """
+        if self.metrics_server is not None:
+            self.metrics_server.close()
         self._pool.close()
 
     def __enter__(self) -> "RetrievalService":

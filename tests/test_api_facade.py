@@ -1,0 +1,245 @@
+"""The stable facade contract: equivalence, shims, surface snapshot.
+
+Three claims:
+
+1. **Equivalence** — `Fexipro` is a pure dispatcher: for every paper
+   variant, queries through the facade are bitwise-identical (ids,
+   scores, counters) to the underlying `FexiproIndex` /
+   `ShardedFexiproIndex` calls, and save/load round-trips preserve the
+   flavour.
+2. **Shims** — the pre-redesign spellings keep working but say so:
+   legacy per-call scan keywords (`deadline=`, `initial_threshold=`,
+   `timings=`) and `repro.serve.resilience.QueryError` emit
+   `DeprecationWarning` while producing identical behaviour.
+3. **Surface snapshot** — `repro.api.__all__` must match the block in
+   `docs/api.md` exactly; extending the public API without documenting
+   it (or vice versa) fails here, not in a downstream user's upgrade.
+"""
+
+import math
+import re
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+import repro.api
+from repro import (
+    Fexipro,
+    FexiproIndex,
+    ScanOptions,
+    ShardedFexiproIndex,
+    ValidationError,
+)
+from repro.core.blocked import scan_blocked
+from repro.core.scanner import scan_reference
+from repro.core.variants import VARIANTS
+from repro.exceptions import QueryError, ReproError
+
+from conftest import make_mf_like
+
+ALL_VARIANTS = sorted(VARIANTS)
+K = 7
+
+DOCS_API = Path(__file__).resolve().parent.parent / "docs" / "api.md"
+
+
+def make_data():
+    return make_mf_like(600, 16, seed=9)
+
+
+# ----------------------------------------------------------------------
+# Facade equivalence
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+def test_facade_matches_plain_index_bitwise(variant):
+    items, queries = make_data()
+    direct = FexiproIndex(items, variant=variant)
+    facade = Fexipro(items, variant=variant)
+    for q in queries[:5]:
+        a = direct.query(q, K)
+        b = facade.query(q, K)
+        assert a.ids == b.ids
+        assert a.scores == b.scores
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+def test_facade_matches_sharded_index_bitwise(variant):
+    items, queries = make_data()
+    direct = ShardedFexiproIndex(items, shards=3, variant=variant)
+    facade = Fexipro(items, variant=variant, shards=3)
+    assert facade.sharded
+    for q in queries[:5]:
+        a = direct.query(q, K)
+        b = facade.query(q, K)
+        assert a.ids == b.ids
+        assert a.scores == b.scores
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+
+def test_facade_save_load_roundtrip_both_flavours(tmp_path):
+    items, queries = make_data()
+    q = queries[0]
+    for shards in (None, 3):
+        engine = Fexipro(items, variant="F-SIR", shards=shards)
+        path = tmp_path / f"engine-{shards}.idx"
+        engine.save(path)
+        loaded = Fexipro.load(path)
+        assert loaded.sharded == engine.sharded
+        assert loaded.query(q, K).ids == engine.query(q, K).ids
+
+
+def test_facade_from_index_and_validation():
+    items, _ = make_data()
+    index = FexiproIndex(items, variant="F-SIR")
+    assert Fexipro.from_index(index).index is index
+    with pytest.raises(ValidationError):
+        Fexipro()  # neither items nor index
+    with pytest.raises(ValidationError):
+        Fexipro(items, index=index)  # both
+    with pytest.raises(ValidationError):
+        Fexipro(index=index, shards=2)  # options with wrap
+    with pytest.raises(ValidationError):
+        Fexipro(index=object())
+
+
+def test_facade_serve_and_explain_delegate():
+    items, queries = make_data()
+    facade = Fexipro(items, variant="F-SIR")
+    explanation = facade.explain(queries[0], K)
+    explanation.verify()
+    assert explanation.result.ids == facade.query(queries[0], K).ids
+    with facade.serve() as service:
+        response = service.batch(queries[:3], K)
+    assert response.complete
+    assert facade.n == 600 and facade.d == 16
+    assert facade.variant.name == "F-SIR"
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims
+# ----------------------------------------------------------------------
+
+
+def _prepared(engine="blocked"):
+    items, queries = make_data()
+    index = FexiproIndex(items, variant="F-SIR", engine=engine)
+    return index, index._prepare_query(queries[0])
+
+
+@pytest.mark.parametrize("engine", ["reference", "blocked"])
+def test_legacy_initial_threshold_kwarg_warns_and_matches(engine):
+    index, qs = _prepared(engine)
+    scan = scan_reference if engine == "reference" else scan_blocked
+    new_buffer, new_stats = scan(
+        index, qs, K, options=ScanOptions(initial_threshold=0.1))
+    with pytest.warns(DeprecationWarning, match="initial_threshold"):
+        old_buffer, old_stats = scan(index, qs, K, initial_threshold=0.1)
+    assert old_buffer.items_and_scores() == new_buffer.items_and_scores()
+    assert old_stats.as_dict() == new_stats.as_dict()
+
+
+def test_legacy_scan_kwargs_warn_on_index_and_sharded():
+    items, queries = make_data()
+    index = FexiproIndex(items, variant="F-SIR")
+    qs = index._prepare_query(queries[0])
+    with pytest.warns(DeprecationWarning, match="initial_threshold"):
+        index._scan(qs, K, initial_threshold=-math.inf)
+    sharded = ShardedFexiproIndex.from_index(index, shards=3)
+    with pytest.warns(DeprecationWarning, match="initial_threshold"):
+        sharded._scan_sharded(qs, K, initial_threshold=-math.inf)
+
+
+def test_options_path_does_not_warn():
+    index, qs = _prepared()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        index._scan(qs, K)
+        index._scan(qs, K, options=ScanOptions(initial_threshold=0.0))
+        scan_blocked(index, qs, K, options=ScanOptions())
+
+
+def test_scan_options_replace_is_functional():
+    base = ScanOptions()
+    assert base.initial_threshold == -math.inf
+    derived = base.replace(initial_threshold=0.5)
+    assert derived.initial_threshold == 0.5
+    assert base.initial_threshold == -math.inf  # frozen original
+
+
+def test_resilience_query_error_import_warns_and_aliases():
+    with pytest.warns(DeprecationWarning, match="repro.exceptions"):
+        from repro.serve.resilience import QueryError as LegacyQueryError
+    assert LegacyQueryError is QueryError
+    with pytest.raises(AttributeError):
+        from repro.serve import resilience
+        resilience.no_such_name
+
+
+def test_query_error_is_repro_error_dataclass():
+    error = QueryError(index=2, error=ValueError("bad"))
+    assert isinstance(error, ReproError)
+    assert error.error_type == "ValueError"
+    assert error.message == "bad"
+    assert error.args == ("bad",)
+    assert error.as_dict() == {"index": 2, "error_type": "ValueError",
+                               "message": "bad", "retried": False}
+
+
+# ----------------------------------------------------------------------
+# Surface snapshot
+# ----------------------------------------------------------------------
+
+
+def documented_surface():
+    text = DOCS_API.read_text(encoding="utf-8")
+    match = re.search(
+        r"<!-- api-surface: repro\.api -->\s*```\n(.*?)```",
+        text, re.DOTALL,
+    )
+    assert match, "docs/api.md lost its api-surface block"
+    return [line.strip() for line in match.group(1).splitlines()
+            if line.strip()]
+
+
+def test_api_surface_matches_docs():
+    assert sorted(repro.api.__all__) == documented_surface(), (
+        "repro.api.__all__ changed; update the api-surface block in "
+        "docs/api.md to match (that's the point of this test)"
+    )
+
+
+def test_api_all_names_resolve_and_top_level_superset():
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name, None) is not None
+    # The top-level namespace re-exports the whole facade identically.
+    for name in repro.api.__all__:
+        assert getattr(repro, name) is getattr(repro.api, name)
+    for name in repro.__all__:
+        if name == "__version__":
+            continue
+        assert getattr(repro, name, None) is not None
+
+
+def test_exception_hierarchy_rooted_at_repro_error():
+    from repro import exceptions
+
+    for name in ("ValidationError", "DimensionMismatchError",
+                 "EmptyIndexError", "NotPreprocessedError",
+                 "DeadlineExceededError", "ServiceClosedError",
+                 "IndexIntegrityError", "TracingError", "QueryError",
+                 "InjectedFault"):
+        assert issubclass(getattr(exceptions, name), ReproError), name
+
+
+def test_quickstart_snippet_from_readme_shape():
+    items = np.asarray(make_data()[0])
+    engine = Fexipro(items, variant="F-SIR")
+    result = engine.query(items[0], k=10)
+    assert len(result.ids) == 10
+    assert result.scores == sorted(result.scores, reverse=True)

@@ -28,6 +28,7 @@ import pytest
 
 from repro import FexiproIndex, ShardedFexiproIndex, _faultsites
 from repro.core.blocked import scan_blocked, block_schedule
+from repro.core.options import ScanOptions
 from repro.core.topk import TopKBuffer
 from repro.core.variants import VARIANTS
 
@@ -127,7 +128,7 @@ def test_infinite_deadline_is_bitwise_identical_single(variant):
         qs = index._prepare_query(q)
         seed_buffer, seed_stats = index._scan(qs, K)
         armed_buffer, armed_stats = index._scan(
-            qs, K, deadline=Deadline(math.inf))
+            qs, K, options=ScanOptions(deadline=Deadline(math.inf)))
         assert armed_buffer.items_and_scores() == \
             seed_buffer.items_and_scores()
         assert armed_stats.as_dict() == seed_stats.as_dict()
@@ -143,7 +144,7 @@ def test_infinite_deadline_is_bitwise_identical_sharded(variant):
         qs = sharded.index._prepare_query(q)
         seed_buffer, seed_stats, _r, _t = sharded._scan_sharded(qs, K)
         armed_buffer, armed_stats, _r, _t = sharded._scan_sharded(
-            qs, K, deadline=Deadline(math.inf))
+            qs, K, options=ScanOptions(deadline=Deadline(math.inf)))
         assert armed_buffer.items_and_scores() == \
             seed_buffer.items_and_scores()
         assert armed_stats.as_dict() == seed_stats.as_dict()
@@ -182,7 +183,8 @@ def test_degraded_single_scan_is_exact_prefix_topk(variant, fire_after):
         _faultsites.arm(probe)
         try:
             buffer, stats = scan_blocked(index, qs, K, BLOCK_SIZE,
-                                         deadline=deadline)
+                                         options=ScanOptions(
+                                             deadline=deadline))
         finally:
             _faultsites.disarm(probe)
         positions = scanned_positions(probe.contexts,
@@ -216,7 +218,7 @@ def test_degraded_sharded_scan_is_exact_topk_of_scanned_union(variant,
         _faultsites.arm(probe)
         try:
             buffer, stats, reports, _t = sharded._scan_sharded(
-                qs, K, deadline=deadline)
+                qs, K, options=ScanOptions(deadline=deadline))
         finally:
             _faultsites.disarm(probe)
         positions = scanned_positions(probe.contexts, span_of_shard)
