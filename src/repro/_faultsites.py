@@ -82,3 +82,18 @@ def disarm(expected: Optional[object] = None) -> None:
     global active
     if expected is None or active is expected:
         active = None
+
+
+def reset_for_worker() -> None:
+    """Scrub inherited fault state in a freshly forked/spawned scan worker.
+
+    A ``fork``-start worker inherits whatever the parent had at fork
+    time: an armed injector (whose RNG/lock state must not be shared —
+    the process pool re-arms a fresh, per-worker-seeded one) and the
+    forking thread's tag stack (a worker must not report ``q=3`` context
+    for work that belongs to a different query).  Spawn workers start
+    clean; calling this is then a no-op by construction.
+    """
+    global active, _tags
+    active = None
+    _tags = threading.local()

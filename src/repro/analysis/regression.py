@@ -235,6 +235,17 @@ DEFAULT_SPECS: Dict[str, Tuple[MetricSpec, ...]] = {
         MetricSpec("identical", "higher", 0.0, abs_floor=1.0),
         MetricSpec("hot_seconds", "lower", 0.5, gate=False),
     ),
+    "mp": (
+        # Bitwise identity across executors is the hard gate; the
+        # process-vs-serial speedup is judged run-over-run (CI runners
+        # share a host class, so the ratio is comparable even where the
+        # absolute 1.5x criterion is demoted for lack of cores).
+        MetricSpec("identical", "higher", 0.0, abs_floor=1.0),
+        MetricSpec("speedup.process_vs_serial", "higher", 0.25),
+        MetricSpec("effective_workers", "higher", 0.0, gate=False),
+        MetricSpec("process_seconds", "lower", 0.5, gate=False),
+        MetricSpec("serial_seconds", "lower", 0.5, gate=False),
+    ),
 }
 
 

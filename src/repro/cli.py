@@ -251,7 +251,8 @@ def _cmd_serve(args) -> None:
     serial_time = time.perf_counter() - started
 
     with RetrievalService(index,
-                          ServiceConfig(workers=args.workers)) as service:
+                          ServiceConfig(workers=args.workers,
+                                        executor=args.executor)) as service:
         response = service.batch(workload.queries, k=args.k)
         snapshot = service.metrics_snapshot()
 
@@ -306,6 +307,7 @@ def _serve_metrics_section(args, workload, index) -> None:
     from .serve import RetrievalService, ServiceConfig
 
     config = ServiceConfig(workers=args.workers,
+                           executor=args.executor,
                            metrics_port=args.metrics_port)
     with RetrievalService(index, config) as service:
         service.batch(workload.queries, k=args.k)
@@ -334,6 +336,7 @@ def _serve_cache_section(args, workload, index, serial) -> None:
         f"warm-start {'on' if args.warm_start else 'off'}"
     )
     config = ServiceConfig(workers=args.workers,
+                           executor=args.executor,
                            cache_capacity=args.cache_capacity,
                            warm_start=args.warm_start,
                            warm_bucket_decimals=2)
@@ -355,7 +358,9 @@ def _serve_cache_section(args, workload, index, serial) -> None:
         # The warm pass's cold twin at the same k, for a like-for-like
         # entire-product comparison.
         with RetrievalService(index,
-                              ServiceConfig(workers=args.workers)) as plain:
+                              ServiceConfig(
+                                  workers=args.workers,
+                                  executor=args.executor)) as plain:
             cold_twin = plain.batch(workload.queries, k=warm_k)
         saved = cold_twin.stats.full_products - warm.stats.full_products
     identical = all(
@@ -395,6 +400,7 @@ def _serve_deadline_section(args, workload, index, serial) -> None:
         f"Deadline degradation - {args.deadline_ms} ms budget per query"
     )
     config = ServiceConfig(workers=args.workers,
+                           executor=args.executor,
                            deadline_ms=args.deadline_ms)
     with RetrievalService(index, config) as service:
         response = service.batch(workload.queries, k=args.k)
@@ -454,7 +460,8 @@ def _serve_sharded_section(args, workload, index, serial,
           round(skipped / scanned, 3) if scanned else 0.0]],
     )
     with RetrievalService(sharded,
-                          ServiceConfig(workers=args.workers)) as service:
+                          ServiceConfig(workers=args.workers,
+                                        executor=args.executor)) as service:
         one = service.batch(workload.queries[:1], k=args.k)
         many = service.batch(workload.queries, k=args.k)
         snapshot = service.metrics_snapshot()
@@ -581,6 +588,15 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--workers", type=int, default=4,
                              help="thread-pool size for the batch "
                                   "serving comparison (default 4)")
+            cmd.add_argument("--executor", default="auto",
+                             choices=("auto", "process", "thread",
+                                      "serial"),
+                             help="scan execution backend: 'process' runs "
+                                  "scans on real cores over a shared-"
+                                  "memory index replica, 'thread' keeps "
+                                  "the GIL-bound pool, 'serial' runs "
+                                  "inline; 'auto' (default) picks "
+                                  "processes when they can win")
             cmd.add_argument("--shards", type=int, default=0,
                              help="also demo intra-query parallelism: fan "
                                   "each query over this many length-band "

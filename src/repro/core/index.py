@@ -403,19 +403,24 @@ class FexiproIndex:
     # Persistence
     # ------------------------------------------------------------------
 
-    def save(self, path) -> None:
+    def save(self, path, *, format: Optional[int] = None) -> None:
         """Persist the preprocessed index to ``path`` (checksummed pickle).
 
         Recommender deployments preprocess offline and serve online; this
         avoids re-running the thin SVD / scaling / reduction at start-up.
         The file carries a SHA-256 checksum of the serialized payload
         (format 2, :mod:`repro.core.persist`), so corruption fails loudly
-        at load time.  Only load files you trust — pickle executes code on
-        load.
+        at load time.  ``format=3`` writes the mmap-friendly layout
+        instead (page-aligned raw array segments after the metadata
+        pickle) — same checksum guarantees via :meth:`load`, plus O(meta)
+        zero-copy attach via :func:`repro.core.persist.attach_mmap` for
+        scan worker processes.  Only load files you trust — pickle
+        executes code on load.
         """
-        from .persist import save_checksummed
+        from .persist import FORMAT_VERSION, save_checksummed
 
-        save_checksummed(path, "FexiproIndex", self)
+        save_checksummed(path, "FexiproIndex", self,
+                         format=FORMAT_VERSION if format is None else format)
 
     @classmethod
     def load(cls, path) -> "FexiproIndex":

@@ -75,8 +75,13 @@ __all__ = [
     "ShardedFexiproIndex",
     "SharedThreshold",
     "default_shards",
+    "scan_shard_span",
     "shard_spans",
 ]
+
+#: Valid values for the ``executor`` knob (how the intra-query fan-out
+#: actually runs when the caller supplies no pool of its own).
+EXECUTORS = ("auto", "process", "thread", "serial")
 
 
 def default_shards() -> int:
@@ -170,6 +175,63 @@ class ShardScanReport:
         return self.stats.shards_skipped > 0
 
 
+def scan_shard_span(index: FexiproIndex, qs: QueryState, k: int,
+                    shard_id: int, start: int, stop: int, *,
+                    shared, seed: Optional[float] = None,
+                    deadline=None, timings: Optional[StageTimings] = None,
+                    span=None, options: Optional[ScanOptions] = None):
+    """Scan one shard of one prepared query — the unit of fan-out work.
+
+    This is the body of the sharded scan's per-shard task, hoisted to
+    module level so it is importable by reference from worker
+    *processes* (closures do not pickle); the in-process thread path
+    calls exactly the same function, so the two executors cannot drift.
+
+    ``shared`` is anything with the :class:`SharedThreshold` duck type —
+    the in-process cell, or a cross-process slot.  ``seed`` is the
+    threshold the shard starts from; when ``None`` it is read from
+    ``shared`` here.  Returns ``(buffer, stats, seed, outcome)`` with
+    ``outcome`` one of ``"empty"`` / ``"deadline"`` / ``"skipped"`` /
+    ``"scanned"``; the trace ``span`` (if any) is closed with the same
+    outcome attributes the sharded scan has always recorded.
+    """
+    if seed is None:
+        seed = shared.value
+    if start >= stop:
+        if span is not None:
+            span.set(outcome="empty").end()
+        return TopKBuffer(k), PruningStats(), seed, "empty"
+    if deadline is not None and deadline.expired():
+        # Shard-boundary deadline poll: the band stays unscanned.
+        stats = PruningStats(n_items=stop - start, deadline_hit=1)
+        if span is not None:
+            span.set(outcome="deadline", start=start, stop=stop).end()
+        return TopKBuffer(k), stats, seed, "deadline"
+    if qs.q_norm * float(index.norms_sorted[start]) <= seed:
+        # Cauchy-Schwarz at shard granularity: no item in this shard can
+        # beat a threshold already achieved by k collected results.  The
+        # whole band dies unscanned.
+        stats = PruningStats(n_items=stop - start,
+                             length_terminated=1,
+                             shards_skipped=1)
+        if span is not None:
+            span.set(outcome="skipped", start=start, stop=stop).end()
+        return TopKBuffer(k), stats, seed, "skipped"
+    base = options if options is not None else ScanOptions()
+    shard_options = base.replace(timings=timings, shared=shared,
+                                 deadline=deadline, span=span)
+    with _faultsites.tagged(f"shard={shard_id}"):
+        buffer, stats = scan_blocked(
+            index, qs, k, index.block_size,
+            start=start, stop=stop, options=shard_options,
+        )
+    shared.offer(buffer.threshold)
+    if span is not None:
+        span.set(outcome="scanned",
+                 offered_threshold=buffer.threshold).end()
+    return buffer, stats, seed, "scanned"
+
+
 class ShardedFexiproIndex:
     """Exact top-k retrieval with intra-query parallel shard scans.
 
@@ -186,6 +248,16 @@ class ShardedFexiproIndex:
         effective pool size is clamped to the host core count, and the
         shards run sequentially — in band order, each seeded by its
         predecessors — when only one worker is available.
+    executor:
+        How the fan-out runs when no external pool is supplied:
+        ``"process"`` scans shards on real cores via a
+        :class:`repro.serve.procpool.ProcessScanPool` over a
+        shared-memory replica (falling back in-process when the host
+        cannot start one); ``"thread"`` keeps the GIL-bound thread pool;
+        ``"serial"`` forces the deterministic inline order; ``"auto"``
+        (default) picks processes only when they can actually win —
+        multiple workers, shards and cores, and no in-process-only
+        instrumentation (armed fault injector, tracer span) active.
     **index_options:
         Forwarded to :class:`FexiproIndex` (``variant``, ``rho``, ``e``,
         ``block_size``, ...).  Only the ``blocked`` engine supports span
@@ -197,19 +269,22 @@ class ShardedFexiproIndex:
     """
 
     def __init__(self, items, *, shards: Optional[int] = None,
-                 workers: Optional[int] = None, **index_options):
+                 workers: Optional[int] = None, executor: str = "auto",
+                 **index_options):
         engine = index_options.setdefault("engine", "blocked")
         if engine != "blocked":
             raise ValidationError(
                 "ShardedFexiproIndex requires the blocked engine; "
                 f"got engine={engine!r}"
             )
-        self._configure(FexiproIndex(items, **index_options), shards, workers)
+        self._configure(FexiproIndex(items, **index_options), shards,
+                        workers, executor)
 
     @classmethod
     def from_index(cls, index: FexiproIndex, *,
                    shards: Optional[int] = None,
-                   workers: Optional[int] = None) -> "ShardedFexiproIndex":
+                   workers: Optional[int] = None,
+                   executor: str = "auto") -> "ShardedFexiproIndex":
         """Wrap an already preprocessed index without re-running Algorithm 3."""
         if not isinstance(index, FexiproIndex):
             raise ValidationError(
@@ -221,11 +296,11 @@ class ShardedFexiproIndex:
                 f"the wrapped index uses {index.engine!r}"
             )
         self = cls.__new__(cls)
-        self._configure(index, shards, workers)
+        self._configure(index, shards, workers, executor)
         return self
 
     def _configure(self, index: FexiproIndex, shards: Optional[int],
-                   workers: Optional[int]) -> None:
+                   workers: Optional[int], executor: str = "auto") -> None:
         self.index = index
         if shards is None:
             shards = default_shards()
@@ -243,7 +318,13 @@ class ShardedFexiproIndex:
                 f"workers must be a positive integer; got {workers!r}"
             )
         self.workers = int(workers)
+        if executor not in EXECUTORS:
+            raise ValidationError(
+                f"executor must be one of {EXECUTORS}; got {executor!r}"
+            )
+        self.executor = executor
         self._pool = None
+        self._procpool = None
 
     # ------------------------------------------------------------------
     # Pass-through surface
@@ -383,7 +464,11 @@ class ShardedFexiproIndex:
         trace_span = opts.span
         index = self.index
         spans = self.spans
-        norms = index.norms_sorted
+        if pool is None:
+            procpool = self._maybe_procpool(opts)
+            if procpool is not None:
+                return self._scan_sharded_process(
+                    procpool, qs, k, opts, collect_timings)
         shared = SharedThreshold(opts.initial_threshold)
         if trace_span is not None:
             trace_span.set(mode="sharded", shards=len(spans),
@@ -396,39 +481,11 @@ class ShardedFexiproIndex:
             shard_span = trace_span.child(
                 "scan.shard", shard=shard_id, seeded_threshold=seed,
             ) if trace_span is not None else None
-            if start >= stop:
-                if shard_span is not None:
-                    shard_span.set(outcome="empty").end()
-                return (TopKBuffer(k), PruningStats(), seed, shard_timings)
-            if deadline is not None and deadline.expired():
-                # Shard-boundary deadline poll: the band stays unscanned.
-                stats = PruningStats(n_items=stop - start, deadline_hit=1)
-                if shard_span is not None:
-                    shard_span.set(outcome="deadline", start=start,
-                                   stop=stop).end()
-                return (TopKBuffer(k), stats, seed, shard_timings)
-            if qs.q_norm * float(norms[start]) <= seed:
-                # Cauchy-Schwarz at shard granularity: no item in this
-                # shard can beat a threshold already achieved by k
-                # collected results.  The whole band dies unscanned.
-                stats = PruningStats(n_items=stop - start,
-                                     length_terminated=1,
-                                     shards_skipped=1)
-                if shard_span is not None:
-                    shard_span.set(outcome="skipped", start=start,
-                                   stop=stop).end()
-                return (TopKBuffer(k), stats, seed, shard_timings)
-            shard_options = opts.replace(timings=shard_timings,
-                                         shared=shared, span=shard_span)
-            with _faultsites.tagged(f"shard={shard_id}"):
-                buffer, stats = scan_blocked(
-                    index, qs, k, index.block_size,
-                    start=start, stop=stop, options=shard_options,
-                )
-            shared.offer(buffer.threshold)
-            if shard_span is not None:
-                shard_span.set(outcome="scanned",
-                               offered_threshold=buffer.threshold).end()
+            buffer, stats, seed, __ = scan_shard_span(
+                index, qs, k, shard_id, start, stop,
+                shared=shared, seed=seed, deadline=deadline,
+                timings=shard_timings, span=shard_span, options=opts,
+            )
             return (buffer, stats, seed, shard_timings)
 
         outputs = self._resolve_pool(pool).map(run_shard,
@@ -451,13 +508,104 @@ class ShardedFexiproIndex:
                              deadline_hit=total.deadline_hit)
         return merged, total, reports, timings
 
+    def _scan_sharded_process(self, procpool, qs: QueryState, k: int,
+                              opts: ScanOptions, collect_timings: bool):
+        """The multi-process twin of the in-process fan-out below.
+
+        The workers attach the published replica of :attr:`index` and run
+        the very same :func:`scan_shard_span`; the cross-shard threshold
+        lives in a shared-memory slot and the deadline travels as an
+        absolute monotonic expiry.  The merge is byte-for-byte the same
+        loop, in the same span order, so results stay bitwise identical
+        to the serial and thread paths.  Trace spans are reconstructed
+        post-hoc from the per-shard outcomes (a worker process cannot
+        write into the parent's tracer ring).
+        """
+        spans = self.spans
+        trace_span = opts.span
+        if trace_span is not None:
+            trace_span.set(mode="sharded", shards=len(spans),
+                           initial_threshold=float(opts.initial_threshold),
+                           executor="process")
+        handle = procpool.ensure_replica(self.index)
+        outputs = procpool.run_shards(
+            handle, qs, k, spans, seed=float(opts.initial_threshold),
+            deadline=opts.deadline, collect=collect_timings)
+        merged = TopKBuffer(k)
+        total = PruningStats()
+        timings = StageTimings() if collect_timings else None
+        reports: List[ShardScanReport] = []
+        for shard_id, (span, out) in enumerate(zip(spans, outputs)):
+            buffer, stats, seed, shard_timings, outcome = out
+            merged.merge(buffer)
+            total.merge(stats)
+            reports.append(ShardScanReport(span=span, stats=stats,
+                                           seeded_threshold=seed))
+            if timings is not None and shard_timings is not None:
+                timings.merge(shard_timings)
+            if trace_span is not None:
+                child = trace_span.child("scan.shard", shard=shard_id,
+                                         seeded_threshold=seed)
+                if outcome == "scanned":
+                    child.set(outcome=outcome,
+                              offered_threshold=buffer.threshold)
+                elif outcome == "empty":
+                    child.set(outcome=outcome)
+                else:
+                    child.set(outcome=outcome, start=span[0], stop=span[1])
+                child.end()
+        if trace_span is not None:
+            trace_span.event("merge", threshold=merged.threshold,
+                             shards_skipped=total.shards_skipped,
+                             deadline_hit=total.deadline_hit)
+        return merged, total, reports, timings
+
+    def _maybe_procpool(self, opts: ScanOptions):
+        """The process pool to fan out on, or ``None`` for in-process.
+
+        Explicit ``executor="process"`` gets the pool whenever the host
+        can start one (falling back to the in-process path otherwise —
+        never an error, matching the thread pool's clamp-to-one-core
+        behaviour).  ``"auto"`` is conservative: real parallelism must be
+        worth having (multiple workers, shards and cores) and nothing
+        in-process-only may be armed — a live fault injector fires in the
+        *parent's* sites, and a tracer's ring only the parent can write
+        block-level events into.
+        """
+        executor = getattr(self, "executor", "auto")
+        if executor in ("thread", "serial"):
+            return None
+        from ..serve.procpool import process_executor_usable
+
+        if not process_executor_usable():
+            return None
+        if executor == "auto":
+            workers = max(1, min(self.workers, self.n_shards))
+            if workers < 2 or self.n_shards < 2 \
+                    or (os.cpu_count() or 1) < 2 \
+                    or _faultsites.active is not None \
+                    or opts.span is not None:
+                return None
+        return self._resolve_procpool()
+
+    def _resolve_procpool(self):
+        if self._procpool is None:
+            from ..serve.procpool import ProcessScanPool
+
+            self._procpool = ProcessScanPool(
+                max(1, min(self.workers, self.n_shards)))
+        return self._procpool
+
     def _resolve_pool(self, pool):
         if pool is not None:
             return pool
         if self._pool is None:
             from ..serve.executor import WorkerPool
 
-            self._pool = WorkerPool(max(1, min(self.workers, self.n_shards)))
+            workers = max(1, min(self.workers, self.n_shards))
+            if getattr(self, "executor", "auto") == "serial":
+                workers = 1
+            self._pool = WorkerPool(workers)
         return self._pool
 
     @property
@@ -495,14 +643,24 @@ class ShardedFexiproIndex:
 
     def __getstate__(self):
         state = self.__dict__.copy()
-        state["_pool"] = None  # thread pools do not pickle
+        state["_pool"] = None      # thread pools do not pickle
+        state["_procpool"] = None  # neither do process pools
         return state
 
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Files saved before the executor knob existed restore cleanly.
+        self.__dict__.setdefault("executor", "auto")
+        self.__dict__.setdefault("_procpool", None)
+
     def close(self) -> None:
-        """Shut the internal worker pool down (if one was ever created)."""
+        """Shut the internal pools down (if any were ever created)."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self._procpool is not None:
+            self._procpool.close()
+            self._procpool = None
 
     def __enter__(self) -> "ShardedFexiproIndex":
         return self

@@ -69,7 +69,13 @@ class IndexIntegrityError(ReproError, RuntimeError):
     def __init__(self, path, reason: str):
         super().__init__(f"cannot load index from {str(path)!r}: {reason}")
         self.path = str(path)
-        self.reason = reason
+        self._reason = reason
+
+    def __reduce__(self):
+        # Two-positional-arg ctor: the default exception reduce would
+        # replay only the formatted message and fail to rebuild in the
+        # parent when a scan worker raises this across a process pool.
+        return (type(self), (self.path, self._reason))
 
 
 class InjectedFault(ReproError, RuntimeError):
@@ -82,6 +88,16 @@ class InjectedFault(ReproError, RuntimeError):
     def __init__(self, message: str, *, transient: bool = False):
         super().__init__(message)
         self.transient = bool(transient)
+
+    def __reduce__(self):
+        # Keyword-only ``transient`` would be dropped by the default
+        # exception reduce; preserve it when a worker-process fault
+        # travels back to the serving parent (the retry policy keys on it).
+        return (_rebuild_injected_fault, (self.args[0], self.transient))
+
+
+def _rebuild_injected_fault(message, transient):
+    return InjectedFault(message, transient=transient)
 
 
 class TracingError(ReproError, ValueError):

@@ -20,7 +20,9 @@ serving.
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -31,6 +33,27 @@ __all__ = ["MetricsServer"]
 
 #: The content type Prometheus expects for text exposition format.
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Servers whose listening sockets must be dropped in a forked child.  A
+#: ``fork``-start scan worker inherits the parent's bound socket; if the
+#: child kept it open, the parent could close its server yet the port
+#: would stay bound (and a child accept() could steal scrapes).  Workers
+#: never serve metrics, so the child-side fix is simply to close the
+#: inherited fd — the parent's server is untouched.
+_LIVE_SERVERS: "weakref.WeakSet[MetricsServer]" = weakref.WeakSet()
+
+
+def _close_inherited_sockets() -> None:
+    for server in list(_LIVE_SERVERS):
+        try:
+            server._httpd.socket.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        server._closed = True
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - CPython has it
+    os.register_at_fork(after_in_child=_close_inherited_sockets)
 
 
 class MetricsServer:
@@ -105,6 +128,7 @@ class MetricsServer:
         )
         self._thread.start()
         self._closed = False
+        _LIVE_SERVERS.add(self)
 
     @property
     def url(self) -> str:

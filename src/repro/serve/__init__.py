@@ -16,6 +16,10 @@ layer:
 - :class:`MetricsRegistry`, :class:`Counter`, :class:`Histogram` — a
   dependency-free metrics substrate the engines feed;
 - :class:`WorkerPool` + chunking helpers — the execution layer;
+- :class:`ProcessScanPool` (PR 6) — a multi-process executor that runs
+  scans on real cores over a shared-memory (mmap) replica of the index,
+  selected via ``ServiceConfig.executor`` (``"auto"`` picks it whenever
+  it can win; results stay bitwise identical);
 - a failure model (PR 3): per-query :class:`Deadline` budgets with
   exact-prefix degradation, per-query fault isolation surfacing
   :class:`QueryError` entries (with a bounded :class:`RetryPolicy`), a
@@ -60,6 +64,11 @@ from .resilience import (
     is_transient,
 )
 from ..exceptions import QueryError
+from .procpool import (
+    ProcessScanPool,
+    process_executor_usable,
+    resolve_start_method,
+)
 from .service import BatchResponse, RetrievalService
 
 __all__ = [
@@ -74,6 +83,7 @@ __all__ = [
     "FaultRule",
     "Histogram",
     "MetricsRegistry",
+    "ProcessScanPool",
     "QueryCache",
     "QueryError",
     "RetrievalService",
@@ -83,5 +93,7 @@ __all__ = [
     "chunk_spans",
     "default_workers",
     "is_transient",
+    "process_executor_usable",
     "resolve_chunk_size",
+    "resolve_start_method",
 ]

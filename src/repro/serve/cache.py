@@ -50,8 +50,10 @@ from __future__ import annotations
 
 import hashlib
 import math
+import os
 import threading
 import time
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Sequence, Tuple
@@ -60,6 +62,22 @@ import numpy as np
 
 from ..core.stats import RetrievalResult
 from ..exceptions import ValidationError
+
+#: Caches whose LRU lock must be re-initialized in a forked child (the
+#: fork can land mid-``store`` on another thread, leaving the child's
+#: copy of the lock held forever).  Scan worker processes never consult
+#: the parent's cache — lookups and stores happen in the serving parent —
+#: so a fresh unlocked lock is always the correct child state.
+_LIVE_CACHES: "weakref.WeakSet[QueryCache]" = weakref.WeakSet()
+
+
+def _reinit_locks_after_fork() -> None:
+    for cache in list(_LIVE_CACHES):
+        cache._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - CPython has it
+    os.register_at_fork(after_in_child=_reinit_locks_after_fork)
 
 __all__ = [
     "CacheEntry",
@@ -216,6 +234,7 @@ class QueryCache:
         self.evictions = 0
         self.expirations = 0
         self.invalidations = 0
+        _LIVE_CACHES.add(self)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -41,6 +41,20 @@ class ServiceConfig:
         When true, engines attribute per-stage wall time to the service's
         metrics registry (a few clock calls per block — cheap for the
         blocked engine, expensive for the reference engine).
+    executor:
+        How scans execute on the pool.  ``"thread"`` is the historical
+        GIL-bound thread pool; ``"process"`` runs scans in worker
+        *processes* attached zero-copy to a shared-memory replica of the
+        index (:mod:`repro.serve.procpool`) — real cores for the
+        Python-heavy pruning cascade; ``"serial"`` forces inline
+        execution; ``"auto"`` (default) picks processes when they can
+        win (multiple workers and cores, a real monotonic clock, no
+        armed fault injector) and threads otherwise.  Results are
+        bitwise identical across all four.
+    mp_start_method:
+        Start method for process executors (``"fork"`` / ``"spawn"`` /
+        ``"forkserver"``); ``None`` defers to the ``REPRO_MP_START``
+        environment variable, then the platform preference.
     intra_query_batch_max:
         Largest batch that is routed down the *intra-query* (sharded) path
         when the service wraps a
@@ -117,6 +131,8 @@ class ServiceConfig:
     chunk_size: Optional[int] = None
     default_k: int = 10
     collect_timings: bool = True
+    executor: str = "auto"
+    mp_start_method: Optional[str] = None
     intra_query_batch_max: Optional[int] = None
     deadline_ms: Optional[float] = None
     deadline_policy: str = "degrade"
@@ -147,6 +163,19 @@ class ServiceConfig:
         if not isinstance(self.default_k, int) or self.default_k < 1:
             raise ValidationError(
                 f"default_k must be a positive integer; got {self.default_k!r}"
+            )
+        if self.executor not in ("auto", "process", "thread", "serial"):
+            raise ValidationError(
+                f"executor must be one of ('auto', 'process', 'thread', "
+                f"'serial'); got {self.executor!r}"
+            )
+        if self.mp_start_method is not None and (
+                not isinstance(self.mp_start_method, str)
+                or self.mp_start_method not in
+                ("fork", "spawn", "forkserver")):
+            raise ValidationError(
+                f"mp_start_method must be 'fork', 'spawn', 'forkserver' or "
+                f"None; got {self.mp_start_method!r}"
             )
         if self.intra_query_batch_max is not None and (
                 not isinstance(self.intra_query_batch_max, int)

@@ -19,11 +19,30 @@ noise next to a single block scan.
 from __future__ import annotations
 
 import bisect
+import os
 import threading
+import weakref
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..core.stats import PruningStats, StageTimings
 from ..exceptions import ValidationError
+
+#: Registries whose locks must be re-initialized in a forked child: a
+#: ``fork`` can land while another thread holds a registry/metric lock,
+#: and the child would then inherit a lock nobody will ever release.
+#: Scan worker processes never report into the parent's registry (they
+#: return data; the parent observes), so a fresh unlocked lock is always
+#: the correct child state.
+_LIVE_REGISTRIES: "weakref.WeakSet[MetricsRegistry]" = weakref.WeakSet()
+
+
+def _reinit_locks_after_fork() -> None:
+    for registry in list(_LIVE_REGISTRIES):
+        registry._reinit_locks()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - CPython has it
+    os.register_at_fork(after_in_child=_reinit_locks_after_fork)
 
 #: Default latency buckets (seconds): log-ish spacing from 10 microseconds
 #: to 10 seconds, a range that covers a block scan of anything from a few
@@ -152,6 +171,27 @@ class Histogram:
                 "buckets": buckets,
             }
 
+    def merge_snapshot(self, snap: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Bucket layouts must match (snapshot buckets are emitted in bound
+        order, overflow last) — merging across different layouts would
+        silently misfile observations, so it raises instead.
+        """
+        buckets = snap.get("buckets", {})
+        counts = list(buckets.values())
+        if len(counts) != len(self._counts):
+            raise ValidationError(
+                f"histogram bucket layout mismatch: {len(counts)} buckets "
+                f"in snapshot, {len(self._counts)} here"
+            )
+        with self._lock:
+            for slot, count in enumerate(counts):
+                self._counts[slot] += int(count)
+            self._count += int(snap.get("count", 0))
+            self._sum += float(snap.get("sum", 0.0))
+            self._max = max(self._max, float(snap.get("max", 0.0)))
+
 
 class MetricsRegistry:
     """A named collection of counters, histograms and stage timings.
@@ -176,6 +216,15 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._stage_timings = StageTimings()
+        _LIVE_REGISTRIES.add(self)
+
+    def _reinit_locks(self) -> None:
+        """Replace every lock with a fresh one (forked-child repair only)."""
+        self._lock = threading.Lock()
+        for counter in self._counters.values():
+            counter._lock = threading.Lock()
+        for histogram in self._histograms.values():
+            histogram._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         """Fetch (or lazily create) the counter called ``name``."""
@@ -248,3 +297,21 @@ class MetricsRegistry:
             "histograms": histograms,
             "stage_seconds": stage_seconds,
         }
+
+    def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The cross-process rollup path: a worker (or a sidecar service)
+        snapshots its registry to a plain dict, ships it over whatever
+        boundary separates them, and the owner merges it here — counters
+        add, histogram buckets add, stage timings accumulate.  Metric
+        names are created on demand, so the registries need not agree on
+        a schema up front.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, hist_snap in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_snapshot(hist_snap)
+        stage = snapshot.get("stage_seconds")
+        if stage:
+            self.record_stage_timings(StageTimings(**stage))

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import math
 import os
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple, Union
@@ -223,8 +224,12 @@ class RetrievalService:
         else:
             self.tracer = None
         self.metrics_server = None
-        self._pool = WorkerPool(self.config.workers)
         self._clock = clock
+        self._executor_mode = self._resolve_executor()
+        self._pool = WorkerPool(
+            1 if self._executor_mode == "serial" else self.config.workers)
+        self._procpool = None
+        self._serial_pool: Optional[WorkerPool] = None
         self._breaker = CircuitBreaker(
             threshold=self.config.breaker_threshold,
             cooldown=self.config.breaker_cooldown_ms / 1e3,
@@ -422,6 +427,68 @@ class RetrievalService:
         )
 
     # ------------------------------------------------------------------
+    # Executor selection
+    # ------------------------------------------------------------------
+
+    def _resolve_executor(self) -> str:
+        """Resolve ``config.executor`` to a concrete backend, once.
+
+        ``"auto"`` picks processes only when they can actually win:
+        several workers, several cores, a process start method the host
+        supports, and the real monotonic clock (an injected fake clock
+        cannot tick inside another process, so deadline semantics would
+        silently change).  Explicit ``"process"`` is honoured even when
+        those heuristics say no — per-call guards still drop to the
+        serial fallback when the pool cannot serve (and count it as
+        ``policy.intra_fallback``).
+        """
+        from .procpool import process_executor_usable
+
+        mode = self.config.executor
+        if mode in ("process", "thread", "serial"):
+            return mode
+        if (self.config.workers > 1
+                and (os.cpu_count() or 1) > 1
+                and self._clock is time.monotonic
+                and process_executor_usable(self.config.mp_start_method)):
+            return "process"
+        return "thread"
+
+    def _acquire_procpool(self):
+        """The live process pool, or ``None`` when it cannot serve now.
+
+        ``None`` while a fault injector is armed: injected faults fire at
+        the *parent's* call sites, and shipping the scan to a process
+        that has no injector would quietly un-test the chaos suite.  Also
+        ``None`` when the host cannot start worker processes at all.
+        """
+        if _faultsites.active is not None:
+            return None
+        if self._procpool is None:
+            from ..exceptions import ValidationError
+            from .procpool import ProcessScanPool
+
+            try:
+                self._procpool = ProcessScanPool(
+                    self.config.workers,
+                    start_method=self.config.mp_start_method)
+            except ValidationError:
+                return None
+        return self._procpool
+
+    def _fallback_pool(self) -> WorkerPool:
+        """The honest serial fan-out used when the process pool is out.
+
+        Deliberately *not* the thread pool: GIL-bound shard scans on
+        threads were measured at 0.87x the serial scan — the regression
+        this executor exists to fix — so the degraded path runs shards
+        inline instead of pretending threads parallelize them.
+        """
+        if self._serial_pool is None or self._serial_pool.closed:
+            self._serial_pool = WorkerPool(1)
+        return self._serial_pool
+
+    # ------------------------------------------------------------------
     # The two parallelism axes
     # ------------------------------------------------------------------
 
@@ -478,6 +545,16 @@ class RetrievalService:
         results plus the raw scan positions backing each result (for cache
         stores), both aligned with ``states``.
         """
+        if self._executor_mode == "process":
+            procpool = self._acquire_procpool()
+            if procpool is not None:
+                outputs = self._map_inter_process(
+                    procpool, states, k, seeds, indices)
+                if outputs is not None:
+                    return self._assemble_inter_process(
+                        outputs, states, k, timings, errors,
+                        indices=indices, seeds=seeds,
+                        parent_span=parent_span)
         collect = timings is not None
         chunk_size = resolve_chunk_size(len(states), self._pool.workers,
                                         self.config.chunk_size)
@@ -525,6 +602,85 @@ class RetrievalService:
             errors.extend(chunk_errors)
             if timings is not None and chunk_timings is not None:
                 timings.merge(chunk_timings)
+        return results, positions
+
+    def _map_inter_process(self, procpool, states, k: int,
+                           seeds: Optional[List[float]],
+                           indices: List[int]):
+        """Ship the batch's query states to the process pool, or ``None``.
+
+        ``None`` means the pool could not serve (replica publish or task
+        dispatch failed) — counted as ``policy.process_fallback`` — and
+        the caller runs the proven thread path instead.  Query states are
+        tiny (a handful of scalars plus one reduced vector), so pickling
+        them per batch is noise next to the scans; the index itself never
+        travels — workers attach the shared-memory replica.
+        """
+        try:
+            handle = procpool.ensure_replica(self.index)
+            items = [
+                (indices[local],
+                 pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
+                 float(seeds[local]) if seeds is not None else -math.inf)
+                for local, state in enumerate(states)
+            ]
+            chunk_size = resolve_chunk_size(len(states), procpool.workers,
+                                            self.config.chunk_size)
+            return procpool.run_query_chunks(
+                handle, items, k,
+                deadline_ms=self.config.deadline_ms,
+                collect=self.config.collect_timings,
+                chunk_size=chunk_size)
+        except Exception:
+            self.metrics.counter("policy.process_fallback").inc()
+            return None
+
+    def _assemble_inter_process(self, outputs, states, k: int,
+                                timings: Optional[StageTimings],
+                                errors: List[QueryError],
+                                *, indices: List[int],
+                                seeds: Optional[List[float]],
+                                parent_span: Optional[Span],
+                                ) -> Tuple[List[Optional[RetrievalResult]],
+                                           List[Optional[Tuple[int, ...]]]]:
+        """Turn per-query worker outcomes into results, errors and stores.
+
+        ``"ok"`` outcomes carry exact positions/scores/stats from the
+        worker; the deadline policy is enforced here in the parent
+        (policy is serving-layer law, workers only report what they
+        scanned).  ``"err"`` outcomes are replayed locally through
+        :meth:`_scan_one` so retry, isolation and metrics semantics stay
+        byte-for-byte those of the thread path.
+        """
+        results: List[Optional[RetrievalResult]] = []
+        positions: List[Optional[Tuple[int, ...]]] = []
+        for local, out in enumerate(outputs):
+            qi = indices[local]
+            seed = seeds[local] if seeds is not None else -math.inf
+            if out[0] == "ok":
+                __, stats, scan_positions, scores, elapsed, qtimings = out
+                try:
+                    self._enforce_deadline_policy(qi, stats)
+                except DeadlineExceededError as error:
+                    self.metrics.counter("errors.queries").inc()
+                    errors.append(QueryError(index=qi, error=error))
+                    results.append(None)
+                    positions.append(None)
+                    continue
+                if timings is not None and qtimings is not None:
+                    timings.merge(qtimings)
+                results.append(assemble_result(
+                    self.index.order, list(scan_positions), list(scores),
+                    stats, elapsed))
+                positions.append(tuple(scan_positions))
+            else:
+                result, query_error, scan_positions = self._scan_one(
+                    qi, states[local], k, timings, seed=seed,
+                    parent_span=parent_span)
+                results.append(result)
+                positions.append(scan_positions)
+                if query_error is not None:
+                    errors.append(query_error)
         return results, positions
 
     def _retry_chunk(self, run_chunk, span: Tuple[int, int],
@@ -614,6 +770,15 @@ class RetrievalService:
         """
         sharded = self.sharded_index
         collect = timings is not None
+        procpool = None
+        pool = self._pool
+        if self._executor_mode == "process":
+            procpool = self._acquire_procpool()
+            if procpool is None:
+                # Satellite of the 0.87x fix: without real cores the
+                # shard fan-out runs honestly serial, and says so.
+                self.metrics.counter("policy.intra_fallback").inc()
+                pool = self._fallback_pool()
         results: List[Optional[RetrievalResult]] = []
         positions: List[Optional[Tuple[int, ...]]] = []
         for local, state in enumerate(states):
@@ -621,18 +786,23 @@ class RetrievalService:
             seed = seeds[local] if seeds is not None else -math.inf
             span = parent_span.child("scan.sharded", query=qi) \
                 if parent_span is not None else None
+            options = ScanOptions(initial_threshold=seed,
+                                  deadline=self._new_deadline(),
+                                  span=span)
             try:
                 with _faultsites.tagged(f"q={qi}"):
                     scan_started = time.perf_counter()
-                    buffer, stats, _reports, scan_timings = \
-                        sharded._scan_sharded(
-                            state, k, pool=self._pool,
-                            collect_timings=collect,
-                            options=ScanOptions(
-                                initial_threshold=seed,
-                                deadline=self._new_deadline(),
-                                span=span),
-                        )
+                    if procpool is not None:
+                        buffer, stats, _reports, scan_timings = \
+                            sharded._scan_sharded_process(
+                                procpool, state, k, options, collect)
+                    else:
+                        buffer, stats, _reports, scan_timings = \
+                            sharded._scan_sharded(
+                                state, k, pool=pool,
+                                collect_timings=collect,
+                                options=options,
+                            )
                     elapsed = time.perf_counter() - scan_started
             except Exception as fanout_error:
                 if span is not None:
@@ -737,7 +907,10 @@ class RetrievalService:
         Besides the registry contents this reports the deployment shape:
         ``workers`` (requested vs. core-clamped resolved pool size and the
         host core count), ``shards`` (the wrapped index's shard count, or
-        ``None`` for a plain single-scan index), ``breaker`` (the live
+        ``None`` for a plain single-scan index), ``executor`` (the
+        configured and resolved scan backend, plus the live process
+        pool's start method, per-worker task counts and replicas when one
+        exists), ``breaker`` (the live
         circuit-breaker state guarding the intra-query path) and ``cache``
         (the query cache's counters, or ``None`` when caching is off).
         """
@@ -749,6 +922,12 @@ class RetrievalService:
         }
         snapshot["shards"] = (self.sharded_index.n_shards
                               if self.sharded_index is not None else None)
+        snapshot["executor"] = {
+            "configured": self.config.executor,
+            "mode": self._executor_mode,
+            "pool": (self._procpool.snapshot()
+                     if self._procpool is not None else None),
+        }
         snapshot["breaker"] = self._breaker.snapshot()
         snapshot["cache"] = (self.cache.snapshot()
                              if self.cache is not None else None)
@@ -786,6 +965,12 @@ class RetrievalService:
         """
         if self.metrics_server is not None:
             self.metrics_server.close()
+        if self._procpool is not None:
+            self._procpool.close()
+            self._procpool = None
+        if self._serial_pool is not None:
+            self._serial_pool.close()
+            self._serial_pool = None
         self._pool.close()
 
     def __enter__(self) -> "RetrievalService":

@@ -1,0 +1,465 @@
+"""Tests for the multi-process scan executor (PR 6).
+
+The contract under test is *bitwise identity*: a scan fanned over worker
+processes attached to a shared-memory replica returns the same ids,
+scores and pruning counters as the serial in-process scan — across every
+variant, both engines, both parallelism axes, warm-started thresholds
+and deadline-degraded prefixes.  On top of that sit the fork-safety and
+replica-staleness properties: per-worker fault injectors behave
+identically under ``fork`` and ``spawn``, and a worker can never attach
+bytes from a previous index epoch.
+
+The module honours ``REPRO_MP_START`` (the CI start-method matrix knob),
+so the same tests run under fork and spawn legs.
+"""
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro import FexiproIndex
+from repro.core.options import ScanOptions
+from repro.core.persist import identity_token
+from repro.core.replica import (
+    ReplicaHandle,
+    attach_replica,
+    discard_replica,
+    publish_replica,
+)
+from repro.core.sharded import ShardedFexiproIndex
+from repro.exceptions import (
+    IndexIntegrityError,
+    InjectedFault,
+    ValidationError,
+)
+from repro.serve import (
+    FaultInjector,
+    FaultRule,
+    MetricsRegistry,
+    ProcessScanPool,
+    RetrievalService,
+    ServiceConfig,
+    process_executor_usable,
+    resolve_start_method,
+)
+from repro.serve.resilience import Deadline
+
+from conftest import make_mf_like
+
+ALL_VARIANTS = ["F-S", "F-I", "F-SI", "F-SR", "F-SIR"]
+
+needs_processes = pytest.mark.skipif(
+    not process_executor_usable(),
+    reason="no multiprocessing start method available",
+)
+
+
+def assert_same_answer(a, b):
+    """Ids and scores bitwise equal (the exactness contract)."""
+    assert a.ids == b.ids
+    np.testing.assert_array_equal(np.asarray(a.scores),
+                                  np.asarray(b.scores))
+
+
+def assert_same_result(a, b):
+    """Full identity: answer plus pruning counters.
+
+    Only serial-equivalent schedules (one scan worker, or per-query
+    independent scans) promise counter identity — concurrent shard
+    fan-out races the shared threshold, so skip counts legitimately
+    vary there, exactly as in the thread path.
+    """
+    assert_same_answer(a, b)
+    assert a.stats.as_dict() == b.stats.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Start-method resolution and config validation
+# ----------------------------------------------------------------------
+
+def test_resolve_start_method_priority(monkeypatch):
+    available = multiprocessing.get_all_start_methods()
+    monkeypatch.delenv("REPRO_MP_START", raising=False)
+    assert resolve_start_method(available[0]) == available[0]
+    monkeypatch.setenv("REPRO_MP_START", available[-1])
+    assert resolve_start_method() == available[-1]
+    # Explicit argument beats the environment.
+    assert resolve_start_method(available[0]) == available[0]
+
+
+def test_resolve_start_method_rejects_unavailable():
+    with pytest.raises(ValidationError):
+        resolve_start_method("not-a-start-method")
+    assert not process_executor_usable("not-a-start-method")
+
+
+def test_service_config_validates_executor_knobs():
+    with pytest.raises(ValidationError):
+        ServiceConfig(executor="bogus")
+    with pytest.raises(ValidationError):
+        ServiceConfig(mp_start_method="bogus")
+    assert ServiceConfig(executor="process").executor == "process"
+
+
+def test_procpool_rejects_bad_workers():
+    with pytest.raises(ValidationError):
+        ProcessScanPool(0)
+    with pytest.raises(ValidationError):
+        ProcessScanPool(True)
+
+
+def test_sharded_index_validates_executor(small_items):
+    with pytest.raises(ValidationError):
+        ShardedFexiproIndex(small_items, shards=2, executor="bogus")
+
+
+# ----------------------------------------------------------------------
+# Bitwise identity: sharded intra-query fan-out over processes
+# ----------------------------------------------------------------------
+
+@needs_processes
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+def test_process_shard_scan_matches_serial(variant):
+    # One scan worker: the process schedule is serial-equivalent, so the
+    # identity is total — ids, scores and every pruning counter.
+    items, queries = make_mf_like(600, 16, seed=90)
+    serial = ShardedFexiproIndex(items, shards=4, workers=1,
+                                 variant=variant)
+    proc = ShardedFexiproIndex(items, shards=4, workers=1,
+                               executor="process", variant=variant)
+    try:
+        for q in queries[:6]:
+            assert_same_result(serial.query(q, k=8), proc.query(q, k=8))
+        snap = proc._resolve_procpool().snapshot()
+        assert snap["effective_workers"] >= 1
+        assert snap["replicas"], "replica should be published"
+    finally:
+        serial.close()
+        proc.close()
+
+
+@needs_processes
+@pytest.mark.parametrize("variant", ["F-S", "F-SIR"])
+def test_multiworker_process_scan_matches_serial_answer(variant):
+    items, queries = make_mf_like(600, 16, seed=90)
+    serial = ShardedFexiproIndex(items, shards=4, workers=1,
+                                 variant=variant)
+    proc = ShardedFexiproIndex(items, shards=4, workers=3,
+                               executor="process", variant=variant)
+    try:
+        for q in queries[:6]:
+            assert_same_answer(serial.query(q, k=8), proc.query(q, k=8))
+        assert proc._resolve_procpool().snapshot()["effective_workers"] >= 1
+    finally:
+        serial.close()
+        proc.close()
+
+
+@needs_processes
+def test_process_shard_reports_match_serial():
+    items, queries = make_mf_like(500, 12, seed=91)
+    serial = ShardedFexiproIndex(items, shards=3, workers=1)
+    proc = ShardedFexiproIndex(items, shards=3, workers=1,
+                               executor="process")
+    try:
+        ra, reports_a = serial.query_detailed(queries[0], k=5)
+        rb, reports_b = proc.query_detailed(queries[0], k=5)
+        assert_same_result(ra, rb)
+        assert len(reports_a) == len(reports_b) == 3
+        for sa, sb in zip(reports_a, reports_b):
+            assert sa.span == sb.span
+            assert sa.skipped == sb.skipped
+            assert sa.stats.as_dict() == sb.stats.as_dict()
+    finally:
+        serial.close()
+        proc.close()
+
+
+@needs_processes
+def test_process_warm_start_threshold_matches_serial():
+    items, queries = make_mf_like(500, 12, seed=92)
+    serial = ShardedFexiproIndex(items, shards=4, workers=1)
+    proc = ShardedFexiproIndex(items, shards=4, workers=1,
+                               executor="process")
+    try:
+        q = queries[0]
+        cold = serial.query(q, k=6)
+        seed = float(np.nextafter(cold.scores[-1], -np.inf))
+        options = ScanOptions(initial_threshold=seed)
+        a = serial.query(q, k=6, options=options)
+        b = proc.query(q, k=6, options=options)
+        assert_same_result(a, b)
+        assert a.ids == cold.ids
+    finally:
+        serial.close()
+        proc.close()
+
+
+@needs_processes
+def test_process_expired_deadline_degrades_identically():
+    items, queries = make_mf_like(500, 12, seed=93)
+    serial = ShardedFexiproIndex(items, shards=4, workers=1)
+    proc = ShardedFexiproIndex(items, shards=4, workers=2,
+                               executor="process")
+    try:
+        q = queries[0]
+
+        def degraded(index):
+            deadline = Deadline.after_ms(0.01)
+            while not deadline.expired():
+                time.sleep(0.001)
+            return index.query(q, k=6,
+                               options=ScanOptions(deadline=deadline))
+        a = degraded(serial)
+        b = degraded(proc)
+        assert_same_result(a, b)
+        assert a.stats.deadline_hit == 4
+        assert len(a.ids) == 0
+    finally:
+        serial.close()
+        proc.close()
+
+
+# ----------------------------------------------------------------------
+# Bitwise identity: the service paths
+# ----------------------------------------------------------------------
+
+@needs_processes
+@pytest.mark.parametrize("engine", ["blocked", "reference"])
+@pytest.mark.parametrize("variant", ALL_VARIANTS)
+def test_service_inter_process_matches_serial(variant, engine):
+    items, queries = make_mf_like(400, 12, seed=94)
+    index = FexiproIndex(items, variant=variant, engine=engine)
+    config = ServiceConfig(workers=2, executor="process",
+                           collect_timings=False)
+    with RetrievalService(index, config) as service:
+        assert service.metrics_snapshot()["executor"]["mode"] == "process"
+        response = service.batch(queries[:8], k=6)
+        assert response.mode == "inter"
+        assert response.errors == []
+        for q, got in zip(queries[:8], response.results):
+            assert_same_result(index.query(q, k=6), got)
+
+
+@needs_processes
+def test_service_intra_process_matches_serial():
+    items, queries = make_mf_like(500, 12, seed=95)
+    sharded = ShardedFexiproIndex(items, shards=4, workers=1)
+    config = ServiceConfig(workers=4, executor="process",
+                           intra_query_batch_max=4,
+                           collect_timings=False)
+    with RetrievalService(sharded, config) as service:
+        response = service.batch(queries[:2], k=6)
+        assert response.mode == "intra"
+        assert response.errors == []
+        for q, got in zip(queries[:2], response.results):
+            assert_same_answer(sharded.index.query(q, k=6), got)
+        snap = service.metrics_snapshot()["executor"]
+        assert snap["mode"] == "process"
+        assert snap["pool"] is not None
+        assert snap["pool"]["effective_workers"] >= 1
+    sharded.close()
+
+
+@needs_processes
+def test_service_process_pool_snapshot_counts_workers():
+    items, queries = make_mf_like(400, 12, seed=96)
+    index = FexiproIndex(items)
+    config = ServiceConfig(workers=2, executor="process",
+                           collect_timings=True)
+    with RetrievalService(index, config) as service:
+        response = service.batch(queries[:10], k=5)
+        assert response.errors == []
+        pool = service.metrics_snapshot()["executor"]["pool"]
+        assert pool["live"]
+        assert pool["effective_workers"] >= 1
+        assert sum(pool["tasks_per_worker"].values()) >= 1
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: intra-query routing falls back to *serial*, and says so
+# ----------------------------------------------------------------------
+
+@needs_processes
+def test_intra_falls_back_to_serial_when_pool_unavailable():
+    items, queries = make_mf_like(500, 12, seed=97)
+    sharded = ShardedFexiproIndex(items, shards=3, workers=1)
+    config = ServiceConfig(workers=4, executor="process",
+                           collect_timings=False)
+    with RetrievalService(sharded, config) as service:
+        # An armed injector makes the process pool unusable (workers
+        # could not replay the parent's in-flight chaos deterministically
+        # without rules of their own), so the service must fall back —
+        # to the serial scan, not the GIL-bound thread fan-out.
+        with FaultInjector([]):
+            response = service.batch(queries[:1], k=6)
+        assert response.mode == "intra"
+        assert response.errors == []
+        # The fallback is the *serial* sharded scan (not the GIL-bound
+        # thread fan-out), so the identity is total.
+        assert_same_result(sharded.query(queries[0], k=6),
+                           response.results[0])
+        counters = service.metrics_snapshot()["counters"]
+        assert counters.get("policy.intra_fallback", 0) >= 1
+    sharded.close()
+
+
+# ----------------------------------------------------------------------
+# Satellite 3: replica epoch coherence across processes
+# ----------------------------------------------------------------------
+
+def test_attach_rejects_stale_replica_token(small_items):
+    index = FexiproIndex(small_items)
+    handle = publish_replica(index)
+    try:
+        index.add_items(small_items[:1])
+        stale = ReplicaHandle(path=handle.path,
+                              token=identity_token(index))
+        with pytest.raises(IndexIntegrityError, match="stale replica"):
+            attach_replica(stale)
+        # The original token still matches the published bytes.
+        attachment = attach_replica(handle)
+        assert tuple(attachment.token) == tuple(handle.token)
+        attachment.close()
+    finally:
+        discard_replica(handle)
+
+
+@needs_processes
+def test_epoch_bump_republishes_and_workers_follow():
+    items, queries = make_mf_like(400, 12, seed=98)
+    proc = ShardedFexiproIndex(items, shards=3, workers=2,
+                               executor="process")
+    serial = ShardedFexiproIndex(items, shards=3, workers=1)
+    try:
+        assert_same_answer(serial.query(queries[0], k=5),
+                           proc.query(queries[0], k=5))
+        pool = proc._resolve_procpool()
+        old = pool.snapshot()["replicas"]
+        extra = make_mf_like(8, 12, seed=99)[0]
+        proc.add_items(extra)
+        serial.add_items(extra)
+        assert_same_answer(serial.query(queries[1], k=5),
+                           proc.query(queries[1], k=5))
+        new = pool.snapshot()["replicas"]
+        assert len(new) == 1
+        assert new[0]["epoch"] == identity_token(proc)[1]
+        assert new[0]["path"] != old[0]["path"]
+    finally:
+        serial.close()
+        proc.close()
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: fork-safety — spawn-vs-fork injector parity
+# ----------------------------------------------------------------------
+
+def _fault_outcomes(start_method, items, queries):
+    """Per-task fault outcomes for one deterministic chaos run."""
+    index = ShardedFexiproIndex(items, shards=2, workers=1)
+    rules = [FaultRule("scan", "raise", probability=0.5, transient=True)]
+    outcomes = []
+    with ProcessScanPool(1, start_method=start_method,
+                         fault_rules=rules, fault_seed=11) as pool:
+        handle = pool.ensure_replica(index.index)
+        for q in queries[:6]:
+            qs = index.index._prepare_query(q)
+            for span in index.spans:
+                try:
+                    [(buffer, *_rest)] = pool.run_shards(
+                        handle, qs, 5, [span])
+                    outcomes.append(("ok", len(buffer.items_and_scores()[0])))
+                except InjectedFault as fault:
+                    assert fault.transient is True
+                    outcomes.append(("fault", str(fault)))
+    index.close()
+    return outcomes
+
+
+@pytest.mark.skipif(
+    not {"fork", "spawn"} <= set(multiprocessing.get_all_start_methods()),
+    reason="needs both fork and spawn start methods",
+)
+def test_fault_injection_parity_fork_vs_spawn():
+    items, queries = make_mf_like(300, 10, seed=100)
+    fork_outcomes = _fault_outcomes("fork", items, queries)
+    spawn_outcomes = _fault_outcomes("spawn", items, queries)
+    assert fork_outcomes == spawn_outcomes
+    kinds = {kind for kind, __ in fork_outcomes}
+    assert kinds == {"ok", "fault"}, (
+        f"seed should produce mixed outcomes, got {fork_outcomes}"
+    )
+
+
+@needs_processes
+def test_worker_faults_do_not_leak_into_parent():
+    items, queries = make_mf_like(300, 10, seed=101)
+    index = ShardedFexiproIndex(items, shards=2, workers=1)
+    rules = [FaultRule("scan", "raise", probability=1.0)]
+    with ProcessScanPool(1, fault_rules=rules, fault_seed=0) as pool:
+        handle = pool.ensure_replica(index.index)
+        qs = index.index._prepare_query(queries[0])
+        with pytest.raises(InjectedFault):
+            pool.run_shards(handle, qs, 5, index.spans)
+    # The parent's fault machinery was never armed.
+    from repro import _faultsites
+
+    assert _faultsites.active is None
+    assert_same_answer(index.query(queries[0], k=5),
+                       index.index.query(queries[0], k=5))
+    index.close()
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: fork-safe metrics — cross-process snapshot merging
+# ----------------------------------------------------------------------
+
+def test_metrics_merge_snapshot_adds_counters_and_histograms():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.counter("queries").inc(2)
+    b.counter("queries").inc(3)
+    b.counter("only_b").inc(1)
+    a.histogram("latency").observe(0.5)
+    b.histogram("latency").observe(1.5)
+    a.merge_snapshot(b.snapshot())
+    snap = a.snapshot()
+    assert snap["counters"]["queries"] == 5
+    assert snap["counters"]["only_b"] == 1
+    assert snap["histograms"]["latency"]["count"] == 2
+
+
+def test_metrics_merge_snapshot_rejects_layout_mismatch():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.histogram("latency", buckets=(1.0, 2.0)).observe(0.5)
+    b.histogram("latency", buckets=(1.0, 2.0, 3.0)).observe(0.5)
+    with pytest.raises(ValidationError):
+        a.merge_snapshot(b.snapshot())
+
+
+# ----------------------------------------------------------------------
+# Replica / pool lifecycle
+# ----------------------------------------------------------------------
+
+def test_publish_replica_requires_identity():
+    with pytest.raises(ValidationError):
+        publish_replica(object())
+
+
+@needs_processes
+def test_pool_close_unlinks_replicas_and_refuses_work(small_items):
+    import os
+
+    index = FexiproIndex(small_items)
+    pool = ProcessScanPool(1)
+    handle = pool.ensure_replica(index)
+    assert os.path.exists(handle.path)
+    pool.close()
+    assert not os.path.exists(handle.path)
+    from repro.exceptions import ServiceClosedError
+
+    with pytest.raises(ServiceClosedError):
+        pool.ensure_replica(index)

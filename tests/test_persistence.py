@@ -203,3 +203,99 @@ def test_io_fault_injection_corrupts_save_detectably(tmp_path, small_items):
     with pytest.raises(IndexIntegrityError) as excinfo:
         FexiproIndex.load(path)
     assert str(path) in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Format 3: the mmap-attachable replica layout (PR 6)
+# ----------------------------------------------------------------------
+
+def test_format3_save_load_round_trip(tmp_path, small_items, small_queries):
+    index = FexiproIndex(small_items, variant="F-SIR")
+    path = tmp_path / "index.fx3"
+    index.save(path, format=3)
+    loaded = FexiproIndex.load(path)
+    for q in small_queries[:5]:
+        a = index.query(q, k=6)
+        b = loaded.query(q, k=6)
+        assert a.ids == b.ids
+        np.testing.assert_array_equal(a.scores, b.scores)
+        assert a.stats.as_dict() == b.stats.as_dict()
+    # A full load owns its arrays, exactly like a format-2 load.
+    assert loaded.norms_sorted.flags.writeable
+    assert loaded.uid == index.uid
+    assert loaded.epoch == index.epoch
+
+
+def test_format3_attach_is_readonly_and_identical(tmp_path, small_items,
+                                                  small_queries):
+    from repro.core.persist import attach_mmap, identity_token
+
+    index = FexiproIndex(small_items, variant="F-SI")
+    path = tmp_path / "index.fx3"
+    index.save(path, format=3)
+    with attach_mmap(path, "FexiproIndex", FexiproIndex) as attachment:
+        assert tuple(attachment.token) == identity_token(index)
+        attached = attachment.obj
+        assert not attached.norms_sorted.flags.writeable
+        for q in small_queries[:5]:
+            a = index.query(q, k=6)
+            b = attached.query(q, k=6)
+            assert a.ids == b.ids
+            np.testing.assert_array_equal(a.scores, b.scores)
+            assert a.stats.as_dict() == b.stats.as_dict()
+
+
+def test_format3_buffers_are_page_aligned(tmp_path, small_items):
+    from repro.core.persist import PAGE
+
+    index = FexiproIndex(small_items)
+    path = tmp_path / "index.fx3"
+    index.save(path, format=3)
+    with open(path, "rb") as handle:
+        head = pickle.load(handle)
+        meta_start = handle.tell()
+    assert head["format"] == 3
+    data_start = -(-(meta_start + head["meta_nbytes"]) // PAGE) * PAGE
+    for off, _nbytes in head["buffers"]:
+        assert (data_start + off) % PAGE == 0
+
+
+def test_format3_payload_bit_flip_detected_on_full_load(tmp_path,
+                                                        small_items):
+    index = FexiproIndex(small_items)
+    path = tmp_path / "index.fx3"
+    index.save(path, format=3)
+    blob = bytearray(path.read_bytes())
+    blob[-64] ^= 0xFF  # deep in the last buffer segment
+    path.write_bytes(bytes(blob))
+    with pytest.raises(IndexIntegrityError) as excinfo:
+        FexiproIndex.load(path)
+    assert "checksum" in str(excinfo.value)
+
+
+def test_format3_truncation_detected_on_attach(tmp_path, small_items):
+    from repro.core.persist import attach_mmap
+
+    index = FexiproIndex(small_items)
+    path = tmp_path / "index.fx3"
+    index.save(path, format=3)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) - 4096])
+    with pytest.raises(IndexIntegrityError):
+        attach_mmap(path, "FexiproIndex", FexiproIndex)
+
+
+def test_format2_file_does_not_attach(tmp_path, small_items):
+    from repro.core.persist import attach_mmap
+
+    index = FexiproIndex(small_items)
+    path = tmp_path / "index.pkl"
+    index.save(path)  # default format 2
+    with pytest.raises(ValidationError):
+        attach_mmap(path, "FexiproIndex", FexiproIndex)
+
+
+def test_save_rejects_unknown_format(tmp_path, small_items):
+    index = FexiproIndex(small_items)
+    with pytest.raises(ValidationError):
+        index.save(tmp_path / "index.bin", format=99)
