@@ -83,12 +83,13 @@ from .obs import (
 from .recommender import Recommender
 from .serve import BatchResponse, MetricsRegistry, RetrievalService, \
     ServiceConfig
-from .api import Fexipro
+from .api import CostModel, Fexipro
 
 __version__ = "1.1.0"
 
 __all__ = [
     "BatchResponse",
+    "CostModel",
     "DEFAULT_E",
     "DEFAULT_RHO",
     "DEFAULT_VARIANT",

@@ -23,10 +23,25 @@ Tables 3/4 do, portably.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable
+import math
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..core.stats import PruningStats
+
+#: Engines the calibrated model prices (and the planner chooses between).
+PLANNER_ENGINES = ("reference", "blocked", "gemm")
+
+#: Wall-clock cap per calibration scan: the reference engine's Python
+#: loop is O(n) per query, so each measurement runs under a deadline —
+#: the *rate* (seconds per coordinate touched) is measured from whatever
+#: prefix fits, which is all the model needs.
+CALIBRATION_BUDGET_S = 0.02
+
+#: Queries sampled per engine by :func:`calibrate_cost_model`.
+CALIBRATION_SAMPLES = 4
 
 
 @dataclass(frozen=True)
@@ -107,3 +122,280 @@ def speedup_estimate(method_cost: CostBreakdown,
     if method_total <= 0:
         return float("inf")
     return baseline_total / method_total
+
+
+# ----------------------------------------------------------------------
+# Calibrated per-(index, workload) model — the planner's substrate
+# ----------------------------------------------------------------------
+
+def observed_coordinates(stats: PruningStats, w: int, d: int) -> float:
+    """Coordinates one scan actually touched, plus per-item bookkeeping.
+
+    :func:`query_cost` prices the arithmetic; one extra unit per scanned
+    item prices the cascade's per-candidate branch/bound bookkeeping so a
+    scan that prunes everything at the length test still has nonzero
+    cost.  Works unchanged for the GEMM engine, whose stats report
+    ``scanned == full_products`` — the formula then collapses to
+    ``n*d + n``, exactly what the matmul touches.
+    """
+    return query_cost(stats, w, d).total + float(stats.scanned)
+
+
+@dataclass
+class CostModel:
+    """Per-index calibrated engine cost model, re-fit online.
+
+    Built by :func:`calibrate_cost_model` (a short measurement pass) and
+    attached to the index as ``index.cost_model`` — pickled with it, so a
+    saved index keeps its calibration.  Binds to the index identity
+    ``(uid, epoch)``: any rebuild (``add_items`` / ``remove_items``)
+    invalidates the model structurally via :meth:`matches`.
+
+    Two kinds of state are fitted:
+
+    - ``rates``: seconds per *coordinate touched* for each engine
+      (:data:`PLANNER_ENGINES`).  Machine- and substrate-dependent — this
+      is where "a NumPy GEMM coordinate is ~100× cheaper than a Python
+      reference-loop coordinate" lives.
+    - ``fractions``: the observed pruning selectivity of the cascade on
+      recent traffic (what fraction of items is scanned before the
+      Cauchy–Schwarz cut, what fraction each bound stage removes), which
+      turns the counters of future queries into *expected* coordinates.
+
+    Both are refit from served batches through :meth:`observe` with an
+    exponentially decaying window (``decay`` is the weight of the newest
+    observation), so a drifting workload re-steers the planner without a
+    recalibration pass.  A mis-calibrated model can only mis-*rank*
+    engines — every engine returns bitwise-identical results, so planning
+    affects latency, never answers.
+    """
+
+    uid: str
+    epoch: int
+    n: int
+    d: int
+    w: int
+    use_integer: bool
+    rates: Dict[str, float]
+    fractions: Dict[str, float]
+    calibrated_at: float = field(default_factory=time.time)
+    decay: float = 0.15
+    observations: int = 0
+
+    # -- prediction ----------------------------------------------------
+
+    def expected_coordinates(self, engine: str,
+                             n: Optional[int] = None) -> float:
+        """Expected coordinates per query for ``engine`` on ``n`` items."""
+        n = self.n if n is None else int(n)
+        if engine == "gemm":
+            # The GEMM engine streams every coordinate of every item it
+            # scans; the Cauchy–Schwarz prefix cut is workload-dependent,
+            # so the scanned fraction applies to it too.
+            scanned = self.fractions.get("gemm_scanned", 1.0) * n
+            return scanned * self.d + scanned
+        scanned = self.fractions["scanned"] * n
+        coords = scanned  # per-candidate bookkeeping
+        f_pp = self.fractions["pruned_integer_partial"]
+        f_pf = self.fractions["pruned_integer_full"]
+        if self.use_integer:
+            coords += scanned * self.w + scanned * (1.0 - f_pp) \
+                * (self.d - self.w)
+        reached = scanned * max(0.0, 1.0 - f_pp - f_pf)
+        coords += reached * self.w \
+            + scanned * self.fractions["full_products"] * (self.d - self.w)
+        return coords
+
+    def predict(self, engine: str, n: Optional[int] = None,
+                queries: int = 1) -> float:
+        """Predicted wall-clock seconds for ``queries`` queries."""
+        if engine not in self.rates:
+            raise ValueError(
+                f"engine must be one of {sorted(self.rates)}; got {engine!r}"
+            )
+        return self.rates[engine] \
+            * self.expected_coordinates(engine, n) * queries
+
+    def choose(self, engines: Optional[Sequence[str]] = None,
+               n: Optional[int] = None,
+               ) -> Tuple[str, Dict[str, float]]:
+        """Pick the cheapest engine; returns ``(engine, predictions)``."""
+        engines = tuple(self.rates) if engines is None else tuple(engines)
+        predictions = {e: self.predict(e, n) for e in engines}
+        return min(predictions, key=predictions.get), predictions
+
+    # -- online refit --------------------------------------------------
+
+    def observe(self, engine: str, stats: PruningStats,
+                elapsed: float) -> None:
+        """Fold one served scan into the decaying window.
+
+        Updates the engine's rate from ``elapsed`` over the coordinates
+        the scan actually touched, and (for cascade engines) the
+        selectivity fractions from the pruning counters.  Non-positive or
+        degenerate observations are ignored.
+        """
+        if elapsed <= 0 or stats.n_items <= 0 or engine not in self.rates:
+            return
+        coords = observed_coordinates(stats, self.w, self.d)
+        if coords > 0:
+            self._ewma_rate(engine, elapsed / coords)
+        self.observations += 1
+        if stats.scanned <= 0:
+            return
+        scanned_frac = stats.scanned / stats.n_items
+        if engine == "gemm":
+            self._ewma_fraction("gemm_scanned", scanned_frac)
+            return
+        self._ewma_fraction("scanned", scanned_frac)
+        self._ewma_fraction("pruned_integer_partial",
+                            stats.pruned_integer_partial / stats.scanned)
+        self._ewma_fraction("pruned_integer_full",
+                            stats.pruned_integer_full / stats.scanned)
+        self._ewma_fraction("full_products",
+                            stats.full_products / stats.scanned)
+
+    def _ewma_rate(self, key: str, value: float) -> None:
+        if not math.isfinite(value) or value <= 0:
+            return
+        self.rates[key] = (1.0 - self.decay) * self.rates[key] \
+            + self.decay * value
+
+    def _ewma_fraction(self, key: str, value: float) -> None:
+        value = min(max(float(value), 0.0), 1.0)
+        old = self.fractions.get(key, value)
+        self.fractions[key] = (1.0 - self.decay) * old + self.decay * value
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def matches(self, index) -> bool:
+        """Whether this model was calibrated for ``index`` as it is now."""
+        return self.uid == getattr(index, "uid", None) \
+            and self.epoch == getattr(index, "epoch", None)
+
+    def age_seconds(self, now: Optional[float] = None) -> float:
+        """Seconds since the calibration measurement pass ran."""
+        return max(0.0, (time.time() if now is None else now)
+                   - self.calibrated_at)
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (CLI / metrics / explain exposure)."""
+        return {
+            "uid": self.uid,
+            "epoch": self.epoch,
+            "n": self.n,
+            "d": self.d,
+            "w": self.w,
+            "rates": dict(self.rates),
+            "fractions": dict(self.fractions),
+            "age_seconds": self.age_seconds(),
+            "observations": self.observations,
+            "predictions": {e: self.predict(e) for e in self.rates},
+        }
+
+
+def calibrate_cost_model(index, *, k: int = 10,
+                         samples: int = CALIBRATION_SAMPLES,
+                         budget_s: float = CALIBRATION_BUDGET_S,
+                         ) -> CostModel:
+    """Short measurement pass: fit a :class:`CostModel` for ``index``.
+
+    Samples item rows at evenly spaced positions of the length-sorted
+    order as stand-in queries (the matrix-factorization setting queries
+    and items share a space), runs every :data:`PLANNER_ENGINES` engine
+    on each under a :data:`CALIBRATION_BUDGET_S` deadline, and fits each
+    engine's seconds-per-coordinate as the median observed rate.  The
+    cascade selectivity fractions come from the blocked runs.
+
+    The pass is deliberately cheap — a handful of deadline-capped scans —
+    so it can run at build/load time or lazily on the first ``auto``
+    query.  The model keeps improving online via :meth:`CostModel.observe`.
+    """
+    from time import perf_counter
+
+    from ..core.blocked import scan_blocked
+    from ..core.gemm import scan_gemm
+    from ..core.index import prepare_query_states
+    from ..core.scanner import scan_reference
+    from ..serve.resilience import Deadline
+    from ..core.options import ScanOptions
+
+    samples = max(1, min(int(samples), index.n))
+    positions = [int(i * (index.n - 1) / max(1, samples - 1))
+                 for i in range(samples)] if samples > 1 else [0]
+    queries = index.items_sorted[sorted(set(positions))]
+    states = prepare_query_states(index, queries)
+    k = max(1, min(int(k), index.n))
+
+    runners = {
+        "reference": lambda qs, opts: scan_reference(index, qs, k,
+                                                     options=opts),
+        "blocked": lambda qs, opts: scan_blocked(index, qs, k,
+                                                 index.block_size,
+                                                 options=opts),
+        "gemm": lambda qs, opts: scan_gemm(index, qs, k, options=opts),
+    }
+    rates: Dict[str, float] = {}
+    blocked_stats = []
+    gemm_stats = []
+    for engine in PLANNER_ENGINES:
+        rate_samples = []
+        for qs in states:
+            opts = ScanOptions(deadline=Deadline(budget_s))
+            tick = perf_counter()
+            __, stats = runners[engine](qs, opts)
+            elapsed = perf_counter() - tick
+            coords = observed_coordinates(stats, index.w, index.d)
+            if elapsed > 0 and coords > 0:
+                rate_samples.append(elapsed / coords)
+            if engine == "blocked":
+                blocked_stats.append(stats)
+            elif engine == "gemm":
+                gemm_stats.append(stats)
+        rates[engine] = statistics.median(rate_samples) \
+            if rate_samples else 1e-9
+
+    fractions: Dict[str, float] = {
+        "scanned": 1.0,
+        "pruned_integer_partial": 0.0,
+        "pruned_integer_full": 0.0,
+        "full_products": 1.0,
+        "gemm_scanned": 1.0,
+    }
+    scanned = sum(s.scanned for s in blocked_stats)
+    visited = sum(s.n_items for s in blocked_stats)
+    if scanned > 0 and visited > 0:
+        fractions["scanned"] = scanned / visited
+        fractions["pruned_integer_partial"] = \
+            sum(s.pruned_integer_partial for s in blocked_stats) / scanned
+        fractions["pruned_integer_full"] = \
+            sum(s.pruned_integer_full for s in blocked_stats) / scanned
+        fractions["full_products"] = \
+            sum(s.full_products for s in blocked_stats) / scanned
+    g_scanned = sum(s.scanned for s in gemm_stats)
+    g_visited = sum(s.n_items for s in gemm_stats)
+    if g_scanned > 0 and g_visited > 0:
+        fractions["gemm_scanned"] = g_scanned / g_visited
+
+    return CostModel(
+        uid=index.uid, epoch=index.epoch, n=index.n, d=index.d, w=index.w,
+        use_integer=index.scaled is not None,
+        rates=rates, fractions=fractions,
+    )
+
+
+def ensure_cost_model(index, **calibrate_kwargs) -> CostModel:
+    """Return the index's current cost model, (re)calibrating if needed.
+
+    Reuses ``index.cost_model`` when it matches the index's
+    ``(uid, epoch)`` identity; otherwise runs
+    :func:`calibrate_cost_model` and attaches the result.  This is the
+    lazy path behind ``engine="auto"`` — the first planned query pays the
+    measurement pass, later ones just consult (and refine) the model.
+    """
+    model = getattr(index, "cost_model", None)
+    if model is not None and model.matches(index):
+        return model
+    model = calibrate_cost_model(index, **calibrate_kwargs)
+    index.cost_model = model
+    return model

@@ -235,6 +235,18 @@ DEFAULT_SPECS: Dict[str, Tuple[MetricSpec, ...]] = {
         MetricSpec("identical", "higher", 0.0, abs_floor=1.0),
         MetricSpec("hot_seconds", "lower", 0.5, gate=False),
     ),
+    "planner": (
+        # Bitwise identity between the planned run and every fixed
+        # engine is the hard gate; the plan must also keep beating the
+        # worst fixed engine somewhere (the reason the planner exists).
+        # Closeness to the per-cell *best* engine is informational here —
+        # quick-mode cells are too small to time that margin reliably —
+        # and enforced as a hard assert by the full-mode bench instead.
+        MetricSpec("identical", "higher", 0.0, abs_floor=1.0),
+        MetricSpec("adaptive_vs_worst_max", "higher", 0.5, abs_floor=1.0),
+        MetricSpec("adaptive_within_best_min", "higher", 0.5, gate=False),
+        MetricSpec("adaptive_seconds_total", "lower", 0.5, gate=False),
+    ),
     "mp": (
         # Bitwise identity across executors is the hard gate; the
         # process-vs-serial speedup is judged run-over-run (CI runners

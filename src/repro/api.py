@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from .analysis.cost_model import CostModel
 from .core.index import FexiproIndex
 from .core.options import ScanOptions
 from .core.sharded import ShardedFexiproIndex
@@ -59,6 +60,7 @@ from .serve.service import BatchResponse, RetrievalService
 
 __all__ = [
     "BatchResponse",
+    "CostModel",
     "DeadlineExceededError",
     "DimensionMismatchError",
     "EmptyIndexError",
@@ -101,6 +103,14 @@ class Fexipro:
     serving all dispatch to whichever index backs the handle, so
     application code never branches on the flavour — and never imports a
     deep module path that a refactor might move.
+
+    Pass ``engine="auto"`` (an index option) to let the cost-based
+    planner pick the scan engine per query: a short calibration pass
+    fits a :class:`CostModel` on first use (or via :meth:`calibrate`),
+    and every query is routed to the engine — reference cascade,
+    blocked cascade, or GEMM — the model predicts cheapest.  Results
+    are bitwise identical across engines, so the knob only ever changes
+    latency.
 
     The underlying index stays reachable as :attr:`index` for anything
     this facade does not wrap.
@@ -178,6 +188,28 @@ class Fexipro:
         :class:`RetrievalService`.
         """
         return RetrievalService(self.index, config, **service_kwargs)
+
+    # -- planner -------------------------------------------------------
+
+    def calibrate(self, **kwargs) -> CostModel:
+        """Fit (or refit) the per-index engine cost model now.
+
+        Runs the short measurement pass of
+        :func:`repro.analysis.cost_model.calibrate_cost_model` against
+        the underlying index and attaches the resulting
+        :class:`CostModel` (it also rides along in :meth:`save`).
+        Calibration is otherwise lazy — the first ``engine="auto"``
+        query triggers it — so calling this is only needed to move the
+        measurement cost off the query path, or to force a refit.
+        """
+        inner = self.index.index if self.sharded else self.index
+        return inner.calibrate(**kwargs)
+
+    @property
+    def cost_model(self) -> Optional[CostModel]:
+        """The calibrated engine cost model (``None`` before first fit)."""
+        inner = self.index.index if self.sharded else self.index
+        return inner.cost_model
 
     # -- introspection -------------------------------------------------
 

@@ -15,6 +15,7 @@ from typing import List
 import numpy as np
 
 from .._validation import as_query_matrix, check_k
+from ..core.gemm import gemm_topk
 from ..core.stats import PruningStats, RetrievalResult
 from .base import RetrievalMethod
 
@@ -56,20 +57,14 @@ class MiniBatch(RetrievalMethod):
         return results
 
     def _topk_rows(self, batch: np.ndarray, k: int) -> List[RetrievalResult]:
-        scores = batch @ self._items_t  # (batch, n) — the GEMM
-        if k >= self.n:
-            top = np.argsort(-scores, axis=1, kind="stable")
-        else:
-            top = np.argpartition(-scores, k, axis=1)[:, :k]
-            row_scores = np.take_along_axis(scores, top, axis=1)
-            reorder = np.argsort(-row_scores, axis=1, kind="stable")
-            top = np.take_along_axis(top, reorder, axis=1)
+        # The GEMM + select kernel is shared with repro.core.gemm, so the
+        # Table-5 numbers and the first-class engine can never diverge.
+        __, top, top_scores = gemm_topk(batch, self._items_t, k)
         results = []
         for row in range(batch.shape[0]):
-            ids = [int(i) for i in top[row]]
             results.append(RetrievalResult(
-                ids=ids,
-                scores=[float(scores[row, i]) for i in top[row]],
+                ids=[int(i) for i in top[row]],
+                scores=[float(s) for s in top_scores[row]],
                 stats=PruningStats(n_items=self.n, scanned=self.n,
                                    full_products=self.n),
             ))

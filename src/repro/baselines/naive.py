@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.gemm import topk_select
 from ..core.stats import PruningStats, RetrievalResult
 from ..core.topk import TopKBuffer
 from .base import RetrievalMethod
@@ -47,14 +48,12 @@ class NaiveBlas(RetrievalMethod):
     name = "Naive-BLAS"
 
     def _retrieve(self, query: np.ndarray, k: int) -> RetrievalResult:
+        # Score/select kernel shared with repro.core.gemm (clamped
+        # argpartition pivot, argsort fallback for k >= n).
         scores = self.items @ query
-        if k >= self.n:
-            top = np.argsort(-scores, kind="stable")
-        else:
-            top = np.argpartition(-scores, k)[:k]
-            top = top[np.argsort(-scores[top], kind="stable")]
+        ids, top_scores = topk_select(scores, k)
         stats = PruningStats(n_items=self.n, scanned=self.n,
                              full_products=self.n)
-        return RetrievalResult(ids=[int(i) for i in top],
-                               scores=[float(scores[i]) for i in top],
+        return RetrievalResult(ids=[int(i) for i in ids],
+                               scores=[float(s) for s in top_scores],
                                stats=stats)

@@ -232,6 +232,33 @@ def _cmd_lsh(args) -> None:
     report.print_table(["config", f"recall@{args.k}", "time (s)"], rows)
 
 
+def _cmd_calibrate(args) -> None:
+    from .analysis.cost_model import calibrate_cost_model
+    from .core.index import FexiproIndex
+
+    workload = _workload(args)
+    report.print_header(
+        f"Cost-model calibration - per-engine measurement pass (k={args.k})",
+        describe(workload),
+    )
+    index = FexiproIndex(workload.items, variant="F-SIR")
+    model = calibrate_cost_model(index, k=args.k)
+    info = model.as_dict()
+    report.print_table(
+        ["engine", "s / coordinate", "predicted s / query"],
+        [[name, f"{model.rates[name]:.3e}",
+          f"{info['predictions'][name]:.3e}"]
+         for name in sorted(model.rates)],
+    )
+    report.print_table(
+        ["observed fraction", "value"],
+        [[name, round(value, 4)]
+         for name, value in sorted(model.fractions.items())],
+    )
+    engine, __ = model.choose()
+    print(f"planner would choose: {engine}")
+
+
 def _cmd_serve(args) -> None:
     import time
 
@@ -252,12 +279,18 @@ def _cmd_serve(args) -> None:
 
     with RetrievalService(index,
                           ServiceConfig(workers=args.workers,
-                                        executor=args.executor)) as service:
+                                        executor=args.executor,
+                                        engine=args.engine)) as service:
         response = service.batch(workload.queries, k=args.k)
         snapshot = service.metrics_snapshot()
 
+    # Ids and scores are the engine-pinned contract; pruning counters are
+    # schedule- and engine-dependent, so they only join the check when no
+    # --engine override can route the pool to a different engine.
     identical = all(
-        a.ids == b.ids and a.stats.as_dict() == b.stats.as_dict()
+        a.ids == b.ids and a.scores == b.scores
+        and (args.engine is not None
+             or a.stats.as_dict() == b.stats.as_dict())
         for a, b in zip(serial, response.results)
     )
     m = len(workload.queries)
@@ -269,17 +302,21 @@ def _cmd_serve(args) -> None:
           round(response.throughput, 1)]],
     )
     scan_hist = snapshot["histograms"]["latency.scan_seconds"]
-    report.print_table(
-        ["metric", "value"],
-        [["results identical to serial", identical],
-         ["prepare time (s)", round(response.prepare_time, 4)],
-         ["scan p50 (s)", service_quantile(snapshot, 0.5)],
-         ["scan max (s)", round(scan_hist["max"], 5)],
-         ["entire products (batch total)",
-          response.stats.full_products],
-         ["avg entire products / query",
-          round(response.stats.full_products / m, 2) if m else 0.0]],
-    )
+    rows = [["results identical to serial", identical],
+            ["prepare time (s)", round(response.prepare_time, 4)],
+            ["scan p50 (s)", service_quantile(snapshot, 0.5)],
+            ["scan max (s)", round(scan_hist["max"], 5)],
+            ["entire products (batch total)",
+             response.stats.full_products],
+            ["avg entire products / query",
+             round(response.stats.full_products / m, 2) if m else 0.0]]
+    if response.planner is not None:
+        rows.append(["mode (planner decorated)", response.mode])
+        rows.append(["planner engine", response.planner["engine"]])
+        if response.planner["mispredict_ratio"] is not None:
+            rows.append(["planner mispredict ratio",
+                         round(response.planner["mispredict_ratio"], 3)])
+    report.print_table(["metric", "value"], rows)
     report.print_header("Per-stage wall time (s)")
     report.print_table(
         ["stage", "seconds"],
@@ -552,6 +589,7 @@ COMMANDS: Dict[str, Callable] = {
     "lsh": _cmd_lsh,
     "aip": _cmd_aip,
     "serve": _cmd_serve,
+    "calibrate": _cmd_calibrate,
     "explain": _cmd_explain,
 }
 
@@ -597,6 +635,14 @@ def build_parser() -> argparse.ArgumentParser:
                                   "the GIL-bound pool, 'serial' runs "
                                   "inline; 'auto' (default) picks "
                                   "processes when they can win")
+            cmd.add_argument("--engine", default=None,
+                             choices=("auto", "reference", "blocked",
+                                      "gemm"),
+                             help="scan engine override: 'auto' turns on "
+                                  "the cost-based planner (per-batch "
+                                  "engine choice, bitwise-identical "
+                                  "results); default: the index's own "
+                                  "engine")
             cmd.add_argument("--shards", type=int, default=0,
                              help="also demo intra-query parallelism: fan "
                                   "each query over this many length-band "

@@ -44,7 +44,7 @@ from .stats import RetrievalResult, assemble_result
 from .svd import DEFAULT_RHO, SVDTransform, fit_svd, identity_transform
 from .variants import DEFAULT_VARIANT, VariantConfig, get_variant
 
-_ENGINES = ("blocked", "reference")
+_ENGINES = ("blocked", "reference", "gemm", "auto")
 
 
 @dataclass
@@ -123,8 +123,14 @@ class FexiproIndex:
     e:
         Integer scaling parameter (Section 4.2; default 100).
     engine:
-        ``"blocked"`` (vectorized, default) or ``"reference"`` (literal
-        per-vector Algorithm 4/5 — slower, used for verification).
+        ``"blocked"`` (vectorized cascade, default), ``"reference"``
+        (literal per-vector Algorithm 4/5 — slower, used for
+        verification), ``"gemm"`` (BLAS matmul candidate generation with
+        exact rescoring — wins when pruning selectivity collapses), or
+        ``"auto"`` (per-query cost-based choice between the three via a
+        calibrated :class:`repro.analysis.cost_model.CostModel`).  Every
+        engine returns bitwise-identical ids and scores; only latency and
+        pruning counters differ.
     block_size:
         Items per vectorized block for the blocked engine.
 
@@ -166,6 +172,11 @@ class FexiproIndex:
         # the *same* saved index keeps its uid, so cache entries stay valid),
         # while an index built from different data gets a different uid.
         self.uid = uuid.uuid4().hex
+
+        # Calibrated engine cost model (repro.analysis.cost_model), fitted
+        # lazily on the first "auto" scan or explicitly via calibrate();
+        # pickled with the index so saved calibrations survive reload.
+        self.cost_model = None
 
         started = time.perf_counter()
         items = as_item_matrix(items)
@@ -447,9 +458,39 @@ class FexiproIndex:
         """
         return prepare_query_states(self, q.reshape(1, -1))[0]
 
+    def calibrate(self, **kwargs):
+        """Run the cost-model measurement pass now and attach the result.
+
+        Fits per-engine seconds-per-coordinate rates and observed cascade
+        selectivity from a handful of deadline-capped sample scans (see
+        :func:`repro.analysis.cost_model.calibrate_cost_model`).  The
+        model rides along in :meth:`save`, so serving processes load a
+        pre-calibrated index; ``engine="auto"`` scans keep re-fitting it
+        online from their own observations.  Returns the fitted
+        :class:`~repro.analysis.cost_model.CostModel`.
+        """
+        from ..analysis.cost_model import calibrate_cost_model
+
+        self.cost_model = calibrate_cost_model(self, **kwargs)
+        return self.cost_model
+
+    def plan_engine(self, engines=None):
+        """Cost-model choice of concrete engine (the ``"auto"`` resolver).
+
+        Ensures a calibrated model exists (lazy measurement pass on first
+        use, recalibration after an epoch bump) and returns
+        ``(engine, predictions)`` with the predicted per-query seconds
+        for every candidate engine.
+        """
+        from ..analysis.cost_model import ensure_cost_model
+
+        model = ensure_cost_model(self)
+        return model.choose(engines)
+
     def _scan(self, qs: QueryState, k: int, timings=_UNSET, deadline=_UNSET,
               initial_threshold=_UNSET,
-              options: Optional[ScanOptions] = None):
+              options: Optional[ScanOptions] = None, *,
+              engine: Optional[str] = None):
         """Dispatch one prepared query to the configured engine.
 
         Per-call behaviour (timings, deadline, warm-start threshold, span)
@@ -459,12 +500,35 @@ class FexiproIndex:
         k-th inner product (see :mod:`repro.serve.cache` for how such
         bounds are obtained exactly).  The default ``-inf`` is the cold
         scan.
+
+        ``engine`` overrides the index's configured engine for this call
+        (the serving planner's per-batch dispatch); ``"auto"`` — as an
+        override or as the configured engine — resolves through
+        :meth:`plan_engine` and feeds the scan's observed cost back into
+        the model.  Results are engine-independent (bitwise), so the
+        override can never change an answer.
         """
         opts = resolve_scan_options(options, "FexiproIndex._scan",
                                     timings=timings, deadline=deadline,
                                     initial_threshold=initial_threshold)
-        if self.engine == "reference":
+        engine = self.engine if engine is None else engine
+        if engine not in _ENGINES:
+            raise ValidationError(
+                f"engine must be one of {_ENGINES}; got {engine!r}"
+            )
+        if engine == "auto":
+            engine, __ = self.plan_engine()
+            tick = time.perf_counter()
+            buffer, stats = self._scan(qs, k, options=opts, engine=engine)
+            self.cost_model.observe(engine, stats,
+                                    time.perf_counter() - tick)
+            return buffer, stats
+        if engine == "reference":
             return scan_reference(self, qs, k, options=opts)
+        if engine == "gemm":
+            from .gemm import scan_gemm
+
+            return scan_gemm(self, qs, k, options=opts)
         return scan_blocked(self, qs, k, self.block_size, options=opts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

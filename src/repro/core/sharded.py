@@ -83,6 +83,14 @@ __all__ = [
 #: actually runs when the caller supplies no pool of its own).
 EXECUTORS = ("auto", "process", "thread", "serial")
 
+#: The span-capable scan kernels — what a shard can actually run, and
+#: what the planner chooses between for a sharded query.
+SPAN_ENGINES = ("blocked", "gemm")
+
+#: Engines a sharded index may use: the span-capable kernels plus the
+#: planner.  ``"reference"`` has no span scan and is rejected.
+SHARD_ENGINES = SPAN_ENGINES + ("auto",)
+
 
 def default_shards() -> int:
     """A sensible shard count for this host: one per core, in [2, 16].
@@ -179,7 +187,8 @@ def scan_shard_span(index: FexiproIndex, qs: QueryState, k: int,
                     shard_id: int, start: int, stop: int, *,
                     shared, seed: Optional[float] = None,
                     deadline=None, timings: Optional[StageTimings] = None,
-                    span=None, options: Optional[ScanOptions] = None):
+                    span=None, options: Optional[ScanOptions] = None,
+                    engine: str = "blocked"):
     """Scan one shard of one prepared query — the unit of fan-out work.
 
     This is the body of the sharded scan's per-shard task, hoisted to
@@ -194,6 +203,12 @@ def scan_shard_span(index: FexiproIndex, qs: QueryState, k: int,
     ``outcome`` one of ``"empty"`` / ``"deadline"`` / ``"skipped"`` /
     ``"scanned"``; the trace ``span`` (if any) is closed with the same
     outcome attributes the sharded scan has always recorded.
+
+    ``engine`` selects the span-capable scan kernel: ``"blocked"``
+    (default, the cascade) or ``"gemm"``
+    (:func:`repro.core.gemm.scan_gemm`).  Both return bitwise-identical
+    buffers over the same span, so the planner may choose per shard
+    without affecting the merged result.
     """
     if seed is None:
         seed = shared.value
@@ -221,10 +236,18 @@ def scan_shard_span(index: FexiproIndex, qs: QueryState, k: int,
     shard_options = base.replace(timings=timings, shared=shared,
                                  deadline=deadline, span=span)
     with _faultsites.tagged(f"shard={shard_id}"):
-        buffer, stats = scan_blocked(
-            index, qs, k, index.block_size,
-            start=start, stop=stop, options=shard_options,
-        )
+        if engine == "gemm":
+            from .gemm import scan_gemm
+
+            buffer, stats = scan_gemm(
+                index, qs, k,
+                start=start, stop=stop, options=shard_options,
+            )
+        else:
+            buffer, stats = scan_blocked(
+                index, qs, k, index.block_size,
+                start=start, stop=stop, options=shard_options,
+            )
     shared.offer(buffer.threshold)
     if span is not None:
         span.set(outcome="scanned",
@@ -260,8 +283,11 @@ class ShardedFexiproIndex:
         instrumentation (armed fault injector, tracer span) active.
     **index_options:
         Forwarded to :class:`FexiproIndex` (``variant``, ``rho``, ``e``,
-        ``block_size``, ...).  Only the ``blocked`` engine supports span
-        scans, so ``engine`` must be left at its default.
+        ``block_size``, ...).  ``engine`` may be ``"blocked"`` (default),
+        ``"gemm"`` or ``"auto"`` — the span-capable kernels; with
+        ``"auto"`` the cost model picks blocked vs GEMM once per query,
+        before the fan-out.  ``"reference"`` has no span scan and is
+        rejected.
 
     The preprocessed single index is exposed as :attr:`index`; it is fully
     usable on its own (and serves as the serial baseline in benchmarks and
@@ -272,10 +298,10 @@ class ShardedFexiproIndex:
                  workers: Optional[int] = None, executor: str = "auto",
                  **index_options):
         engine = index_options.setdefault("engine", "blocked")
-        if engine != "blocked":
+        if engine not in SHARD_ENGINES:
             raise ValidationError(
-                "ShardedFexiproIndex requires the blocked engine; "
-                f"got engine={engine!r}"
+                "ShardedFexiproIndex requires a span-capable engine "
+                f"{SHARD_ENGINES}; got engine={engine!r}"
             )
         self._configure(FexiproIndex(items, **index_options), shards,
                         workers, executor)
@@ -290,10 +316,10 @@ class ShardedFexiproIndex:
             raise ValidationError(
                 f"from_index needs a FexiproIndex; got {type(index).__name__}"
             )
-        if index.engine != "blocked":
+        if index.engine not in SHARD_ENGINES:
             raise ValidationError(
-                "ShardedFexiproIndex requires the blocked engine; "
-                f"the wrapped index uses {index.engine!r}"
+                "ShardedFexiproIndex requires a span-capable engine "
+                f"{SHARD_ENGINES}; the wrapped index uses {index.engine!r}"
             )
         self = cls.__new__(cls)
         self._configure(index, shards, workers, executor)
@@ -419,7 +445,8 @@ class ShardedFexiproIndex:
     def _scan_sharded(self, qs: QueryState, k: int, *, pool=None,
                       collect_timings: bool = False, deadline=_UNSET,
                       initial_threshold=_UNSET,
-                      options: Optional[ScanOptions] = None):
+                      options: Optional[ScanOptions] = None,
+                      engine: Optional[str] = None):
         """Fan one prepared query out over the shards and merge exactly.
 
         Returns ``(merged_buffer, total_stats, reports, timings)``.  The
@@ -464,7 +491,17 @@ class ShardedFexiproIndex:
         trace_span = opts.span
         index = self.index
         spans = self.spans
-        if pool is None:
+        if engine is None:
+            engine = index.engine
+        # The planner resolves "auto" once per query, *before* the
+        # fan-out — every shard then runs the same kernel, and both
+        # kernels return bitwise-identical buffers over any span, so the
+        # decision can never change the merged result.
+        planned = engine == "auto"
+        if planned:
+            engine, __ = index.plan_engine(SPAN_ENGINES)
+        started = time.perf_counter() if planned else 0.0
+        if pool is None and engine == "blocked":
             procpool = self._maybe_procpool(opts)
             if procpool is not None:
                 return self._scan_sharded_process(
@@ -472,6 +509,7 @@ class ShardedFexiproIndex:
         shared = SharedThreshold(opts.initial_threshold)
         if trace_span is not None:
             trace_span.set(mode="sharded", shards=len(spans),
+                           engine=engine,
                            initial_threshold=shared.value)
 
         def run_shard(numbered: Tuple[int, Tuple[int, int]]):
@@ -485,6 +523,7 @@ class ShardedFexiproIndex:
                 index, qs, k, shard_id, start, stop,
                 shared=shared, seed=seed, deadline=deadline,
                 timings=shard_timings, span=shard_span, options=opts,
+                engine=engine,
             )
             return (buffer, stats, seed, shard_timings)
 
@@ -506,6 +545,9 @@ class ShardedFexiproIndex:
             trace_span.event("merge", threshold=merged.threshold,
                              shards_skipped=total.shards_skipped,
                              deadline_hit=total.deadline_hit)
+        if planned and index.cost_model is not None:
+            index.cost_model.observe(
+                engine, total, time.perf_counter() - started)
         return merged, total, reports, timings
 
     def _scan_sharded_process(self, procpool, qs: QueryState, k: int,

@@ -112,7 +112,10 @@ class QueryExplanation:
     ``thresholds`` is the trajectory of the live threshold at each block
     boundary poll (blocked engine) or admitted raise (reference engine,
     capped); ``shards`` carries one dict per shard for the sharded path;
-    ``spans`` are the exported trace spans backing all of the above.
+    ``planner`` records the cost-based engine decision (chosen engine,
+    per-engine predicted costs, calibration age) when the index is
+    configured with ``engine="auto"``, else ``None``; ``spans`` are the
+    exported trace spans backing all of the above.
     """
 
     k: int
@@ -126,6 +129,7 @@ class QueryExplanation:
     provenance: str = "cold"
     initial_threshold: float = -math.inf
     shards: Optional[List[Dict[str, Any]]] = None
+    planner: Optional[Dict[str, Any]] = None
     spans: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
@@ -198,6 +202,7 @@ class QueryExplanation:
             "rule_seconds": dict(self.rule_seconds),
             "thresholds": list(self.thresholds),
             "shards": None if self.shards is None else list(self.shards),
+            "planner": None if self.planner is None else dict(self.planner),
         }
 
     def format(self) -> str:
@@ -224,6 +229,14 @@ class QueryExplanation:
             )
         if not self.result.complete:
             lines.append("note: deadline-degraded (exact prefix top-k)")
+        if self.planner is not None:
+            predictions = self.planner.get("predictions") or {}
+            predicted = ", ".join(
+                f"{name}={seconds:.2e}s"
+                for name, seconds in sorted(predictions.items()))
+            lines.append(
+                f"planner: chose {self.planner['engine']}"
+                + (f" ({predicted})" if predicted else ""))
         if self.shards:
             lines.append(f"shards: {len(self.shards)} "
                          f"({sum(1 for s in self.shards if s['skipped'])} "
@@ -279,6 +292,23 @@ def explain_query(index, query, k: int = 10, *,
         tracer = Tracer(sample_rate=1.0)
     opts = options if options is not None else ScanOptions()
 
+    # Resolve an "auto" engine here, through the same cost model serving
+    # uses, so the explanation reports the engine that actually ran and
+    # the predictions behind the choice.
+    planner: Optional[Dict[str, Any]] = None
+    engine_override: Optional[str] = None
+    if inner.engine == "auto":
+        from ..core.sharded import SPAN_ENGINES
+
+        engine_override, predictions = inner.plan_engine(
+            SPAN_ENGINES if sharded else None)
+        planner = {
+            "engine": engine_override,
+            "predictions": predictions,
+            "calibration_age_seconds": inner.cost_model.age_seconds(),
+            "observations": inner.cost_model.observations,
+        }
+
     root = tracer.start("explain", k=k, variant=inner.variant.name)
     started = perf_counter()
     timings = StageTimings()
@@ -296,6 +326,7 @@ def explain_query(index, query, k: int = 10, *,
         buffer, stats, reports, scan_timings = index._scan_sharded(
             qs, k, collect_timings=True,
             options=opts.replace(timings=None, span=scan_span),
+            engine=engine_override,
         )
         if scan_timings is not None:
             timings.merge(scan_timings)
@@ -312,13 +343,14 @@ def explain_query(index, query, k: int = 10, *,
             }
             for i, report in enumerate(reports)
         ]
-        engine = inner.engine
+        engine = engine_override or inner.engine
         mode = "sharded"
     else:
         scan_span = root.child("scan") if root is not None else None
         buffer, stats = inner._scan(
-            qs, k, options=opts.replace(timings=timings, span=scan_span))
-        engine = inner.engine
+            qs, k, options=opts.replace(timings=timings, span=scan_span),
+            engine=engine_override)
+        engine = engine_override or inner.engine
         mode = "single"
     if scan_span is not None:
         scan_span.end()
@@ -342,6 +374,7 @@ def explain_query(index, query, k: int = 10, *,
         provenance=provenance,
         initial_threshold=float(opts.initial_threshold),
         shards=shard_dicts,
+        planner=planner,
         spans=span_dicts,
     )
     explanation.verify()

@@ -11,6 +11,11 @@ imports from :mod:`repro.serve`, no sockets, trivially testable.
 Mapping rules:
 
 - counter ``pruning.full_products`` → ``repro_pruning_full_products_total``
+- counter ``planner.decisions.gemm`` → the labeled family
+  ``repro_planner_decisions_total{engine="gemm"}`` (per-engine planner
+  decisions roll up under one metric name, the conventional shape for
+  a label-partitioned counter)
+- gauge ``planner.mispredict_ratio`` → ``repro_planner_mispredict_ratio``
 - histogram ``latency.scan_seconds`` → ``repro_latency_scan_seconds_bucket``
   (cumulative, with the mandatory ``+Inf`` bucket), ``..._sum``,
   ``..._count``
@@ -81,14 +86,37 @@ def _spill_numeric(lines: List[str], namespace: str, prefix: str,
         lines.append(f"{name} {_format_value(value)}")
 
 
+#: Counter-name prefixes whose trailing segment becomes a label value
+#: (``planner.decisions.gemm`` → ``..._total{engine="gemm"}``).
+_LABELED_COUNTERS = {"planner.decisions.": ("planner_decisions", "engine")}
+
+
 def render_prometheus(snapshot: Dict[str, Any],
                       namespace: str = "repro") -> str:
     """Render a metrics snapshot dict as Prometheus exposition text."""
     lines: List[str] = []
 
+    labeled: Dict[str, List[str]] = {}
     for raw, value in sorted(snapshot.get("counters", {}).items()):
-        name = _metric_name(namespace, raw, "_total")
+        for prefix, (family, label) in _LABELED_COUNTERS.items():
+            if raw.startswith(prefix) and raw != prefix:
+                name = f"{namespace}_{family}_total"
+                labeled.setdefault(name, []).append(
+                    f'{name}{{{label}="{raw[len(prefix):]}"}} '
+                    f"{_format_value(value)}"
+                )
+                break
+        else:
+            name = _metric_name(namespace, raw, "_total")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_format_value(value)}")
+    for name, family_lines in sorted(labeled.items()):
         lines.append(f"# TYPE {name} counter")
+        lines.extend(family_lines)
+
+    for raw, value in sorted(snapshot.get("gauges", {}).items()):
+        name = _metric_name(namespace, raw)
+        lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name} {_format_value(value)}")
 
     for raw, hist in sorted(snapshot.get("histograms", {}).items()):

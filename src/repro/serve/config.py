@@ -41,6 +41,18 @@ class ServiceConfig:
         When true, engines attribute per-stage wall time to the service's
         metrics registry (a few clock calls per block — cheap for the
         blocked engine, expensive for the reference engine).
+    engine:
+        Per-service scan-engine override: ``"reference"``, ``"blocked"``,
+        ``"gemm"`` or ``"auto"``.  ``None`` (the default) defers to the
+        index's own configured engine — exactly the historical behaviour.
+        ``"auto"`` turns the cost-based planner on at the serving layer:
+        each batch is routed to the engine the index's calibrated
+        :class:`~repro.analysis.cost_model.CostModel` predicts cheapest,
+        the decision and predicted/actual cost are exposed through
+        :attr:`BatchResponse.mode` / :attr:`BatchResponse.planner` and
+        the ``planner.*`` metrics, and observed scan costs are fed back
+        into the model.  All engines return bitwise-identical ids and
+        scores, so this knob can only ever change latency.
     executor:
         How scans execute on the pool.  ``"thread"`` is the historical
         GIL-bound thread pool; ``"process"`` runs scans in worker
@@ -131,6 +143,7 @@ class ServiceConfig:
     chunk_size: Optional[int] = None
     default_k: int = 10
     collect_timings: bool = True
+    engine: Optional[str] = None
     executor: str = "auto"
     mp_start_method: Optional[str] = None
     intra_query_batch_max: Optional[int] = None
@@ -163,6 +176,12 @@ class ServiceConfig:
         if not isinstance(self.default_k, int) or self.default_k < 1:
             raise ValidationError(
                 f"default_k must be a positive integer; got {self.default_k!r}"
+            )
+        if self.engine is not None and self.engine not in (
+                "reference", "blocked", "gemm", "auto"):
+            raise ValidationError(
+                f"engine must be one of ('reference', 'blocked', 'gemm', "
+                f"'auto') or None; got {self.engine!r}"
             )
         if self.executor not in ("auto", "process", "thread", "serial"):
             raise ValidationError(

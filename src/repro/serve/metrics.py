@@ -5,9 +5,11 @@ with only what the serving layer needs and zero dependencies:
 
 - :class:`Counter` — monotonically increasing integers (queries served,
   pruning-counter rollups);
+- :class:`Gauge` — last-written point-in-time values (planner mispredict
+  ratio, cost-model calibration age);
 - :class:`Histogram` — fixed-bucket latency distributions with
   approximate quantiles;
-- :class:`MetricsRegistry` — a named collection of both, plus one
+- :class:`MetricsRegistry` — a named collection of all three, plus one
   aggregated :class:`~repro.core.stats.StageTimings` record fed by the
   retrieval engines.
 
@@ -83,6 +85,36 @@ class Counter:
         """Zero the counter in place (held references stay valid)."""
         with self._lock:
             self._value = 0
+
+
+class Gauge:
+    """A thread-safe point-in-time value (goes up and down).
+
+    Unlike a :class:`Counter`, :meth:`set` overwrites — the reading is
+    "the latest known value", not an accumulation.  Used for planner
+    telemetry (mispredict ratio, calibration age) where a sum would be
+    meaningless.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the gauge in place (held references stay valid)."""
+        with self._lock:
+            self._value = 0.0
 
 
 class Histogram:
@@ -214,6 +246,7 @@ class MetricsRegistry:
         self.name = str(name)
         self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._stage_timings = StageTimings()
         _LIVE_REGISTRIES.add(self)
@@ -223,6 +256,8 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         for counter in self._counters.values():
             counter._lock = threading.Lock()
+        for gauge in self._gauges.values():
+            gauge._lock = threading.Lock()
         for histogram in self._histograms.values():
             histogram._lock = threading.Lock()
 
@@ -232,6 +267,13 @@ class MetricsRegistry:
             if name not in self._counters:
                 self._counters[name] = Counter()
             return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Fetch (or lazily create) the gauge called ``name``."""
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge()
+            return self._gauges[name]
 
     def histogram(self, name: str,
                   buckets: Optional[Sequence[float]] = None) -> Histogram:
@@ -277,10 +319,13 @@ class MetricsRegistry:
         """
         with self._lock:
             counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
             histograms = list(self._histograms.values())
             self._stage_timings = StageTimings()
         for counter in counters:
             counter.reset()
+        for gauge in gauges:
+            gauge.reset()
         for histogram in histograms:
             histogram.reset()
 
@@ -288,12 +333,14 @@ class MetricsRegistry:
         """A point-in-time dict of every metric (JSON-serializable)."""
         with self._lock:
             counters = {k: c.value for k, c in sorted(self._counters.items())}
+            gauges = {k: g.value for k, g in sorted(self._gauges.items())}
             histograms = {k: h.snapshot()
                           for k, h in sorted(self._histograms.items())}
             stage_seconds = self._stage_timings.as_dict()
         return {
             "name": self.name,
             "counters": counters,
+            "gauges": gauges,
             "histograms": histograms,
             "stage_seconds": stage_seconds,
         }
@@ -310,6 +357,10 @@ class MetricsRegistry:
         """
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            # Gauges are point-in-time readings; the incoming snapshot is
+            # newer than whatever was set here, so last-write wins.
+            self.gauge(name).set(float(value))
         for name, hist_snap in snapshot.get("histograms", {}).items():
             self.histogram(name).merge_snapshot(hist_snap)
         stage = snapshot.get("stage_seconds")

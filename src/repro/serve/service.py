@@ -83,7 +83,14 @@ class BatchResponse:
     is the exact sum of the per-query pruning counters.  ``mode`` records
     which parallelism axis answered the batch: ``"inter"`` (queries spread
     over workers) or ``"intra"`` (each query fanned over index shards) —
-    ids and scores are identical either way.
+    ids and scores are identical either way.  When the service's
+    ``config.engine`` knob is set, ``mode`` is suffixed with the engine
+    that ran the scans (``"inter/gemm"``) and ``planner`` carries the
+    decision record: the chosen engine, the cost model's per-engine
+    predictions, predicted vs. actual scan seconds and the resulting
+    mispredict ratio (``None`` fields when the engine was fixed rather
+    than planned).  Planning never changes results — every engine is
+    bitwise-identical — so the record is purely a latency account.
 
     Failures are isolated per query: a failed query's slot in ``results``
     is ``None`` and a structured :class:`QueryError` lands in ``errors``;
@@ -108,6 +115,7 @@ class BatchResponse:
     mode: str = "inter"
     errors: List[QueryError] = field(default_factory=list)
     provenance: Optional[List[str]] = None
+    planner: Optional[dict] = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -330,6 +338,7 @@ class RetrievalService:
 
         errors: List[QueryError] = []
         mode = self._select_mode(len(states))
+        engine, planner_info = self._plan_batch(len(states), mode, root)
         if root is not None:
             root.set(mode=mode)
         if not states:
@@ -337,11 +346,11 @@ class RetrievalService:
         elif mode == "intra":
             scanned, positions = self._scan_intra_query(
                 states, k, timings, errors, indices=pending, seeds=seeds,
-                parent_span=root)
+                parent_span=root, engine=engine)
         else:
             scanned, positions = self._scan_inter_query(
                 states, k, timings, errors, indices=pending, seeds=seeds,
-                parent_span=root)
+                parent_span=root, engine=engine)
 
         provenance: Optional[List[str]] = None
         if lookups is None:
@@ -366,11 +375,14 @@ class RetrievalService:
 
         total_stats = aggregate_stats(r.stats for r in scanned
                                       if r is not None)
+        if planner_info is not None:
+            mode = self._finish_plan(planner_info, mode, engine,
+                                     scanned, total_stats)
         elapsed = time.perf_counter() - wall_started
         response = BatchResponse(results=results, stats=total_stats,
                                  elapsed=elapsed, prepare_time=prepare_time,
                                  timings=timings, mode=mode, errors=errors,
-                                 provenance=provenance)
+                                 provenance=provenance, planner=planner_info)
         if root is not None:
             root.set(errors=len(errors),
                      deadline_hits=response.deadline_hits).end()
@@ -509,6 +521,9 @@ class RetrievalService:
         """
         if self.sharded_index is None or batch_size == 0:
             return "inter"
+        if self.config.engine == "reference":
+            # The reference engine has no span scan to fan out.
+            return "inter"
         limit = self.config.intra_query_batch_max
         if limit is None:
             limit = max(2, self._pool.workers) - 1
@@ -522,12 +537,88 @@ class RetrievalService:
             return "inter"
         return "intra"
 
+    def _plan_batch(self, pending: int, mode: str,
+                    root: Optional[Span]) -> Tuple[Optional[str],
+                                                   Optional[dict]]:
+        """The planner's ``plan()`` step: pick this batch's scan engine.
+
+        With ``config.engine`` unset this is a no-op (``(None, None)``) —
+        scans run on the index's own engine, exactly as before the knob
+        existed.  A fixed engine is passed through with a minimal
+        decision record.  ``"auto"`` consults the index's calibrated
+        :class:`~repro.analysis.cost_model.CostModel` (calibrating it on
+        first use) and picks the engine with the lowest predicted batch
+        cost — restricted to the span-capable engines when the batch is
+        routed down the intra-query (sharded) path, since ``reference``
+        has no span scan.  The decision is counted per engine
+        (``planner.decisions.<engine>``), gauged (calibration age) and
+        traced (a ``plan`` event on the batch's root span); the actual
+        cost is reconciled by :meth:`_finish_plan` after the scans.
+        """
+        configured = self.config.engine
+        if configured is None or pending == 0:
+            return configured, None
+        info: dict = {"configured": configured, "engine": configured,
+                      "mode": mode, "queries": pending,
+                      "predictions": None, "predicted_seconds": None,
+                      "actual_seconds": None, "mispredict_ratio": None}
+        if configured == "auto":
+            from ..analysis.cost_model import ensure_cost_model
+            from ..core.sharded import SPAN_ENGINES
+
+            model = ensure_cost_model(self.index)
+            engines = SPAN_ENGINES if mode == "intra" else None
+            engine, predictions = model.choose(engines)
+            info.update(
+                engine=engine,
+                predictions=predictions,
+                predicted_seconds=predictions[engine] * pending,
+                calibration_age_seconds=model.age_seconds(),
+                observations=model.observations,
+            )
+            self.metrics.gauge("planner.calibration_age_seconds").set(
+                model.age_seconds())
+            self.metrics.gauge("planner.observations").set(
+                model.observations)
+        else:
+            engine = configured
+        self.metrics.counter(f"planner.decisions.{engine}").inc()
+        if root is not None:
+            root.event("plan", engine=engine, configured=configured,
+                       predicted_seconds=info["predicted_seconds"])
+        return engine, info
+
+    def _finish_plan(self, info: dict, mode: str, engine: str,
+                     scanned, total_stats: PruningStats) -> str:
+        """Reconcile the plan with what the scans actually cost.
+
+        Records actual scan seconds and the mispredict ratio
+        (actual / predicted, 1.0 = perfectly calibrated) into the
+        decision record and the ``planner.mispredict_ratio`` gauge, and
+        — for planned (``"auto"``) batches — feeds the observation back
+        into the cost model's decaying window, so a drifting workload
+        re-steers future decisions without a recalibration pass.
+        Returns the engine-suffixed batch mode (``"inter/gemm"``).
+        """
+        actual = sum(r.elapsed for r in scanned if r is not None)
+        info["actual_seconds"] = actual
+        predicted = info["predicted_seconds"]
+        if predicted and actual > 0:
+            ratio = actual / predicted
+            info["mispredict_ratio"] = ratio
+            self.metrics.gauge("planner.mispredict_ratio").set(ratio)
+        if info["configured"] == "auto" and actual > 0 \
+                and self.index.cost_model is not None:
+            self.index.cost_model.observe(engine, total_stats, actual)
+        return f"{mode}/{engine}"
+
     def _scan_inter_query(self, states, k: int,
                           timings: Optional[StageTimings],
                           errors: List[QueryError],
                           *, indices: List[int],
                           seeds: Optional[List[float]] = None,
                           parent_span: Optional[Span] = None,
+                          engine: Optional[str] = None,
                           ) -> Tuple[List[Optional[RetrievalResult]],
                                      List[Optional[Tuple[int, ...]]]]:
         """Spread whole queries over the pool (the PR-1 batch path).
@@ -545,7 +636,10 @@ class RetrievalService:
         results plus the raw scan positions backing each result (for cache
         stores), both aligned with ``states``.
         """
-        if self._executor_mode == "process":
+        if self._executor_mode == "process" \
+                and engine in (None, "blocked"):
+            # Worker processes run the blocked cascade; an explicit
+            # non-blocked engine decision must be honoured in-process.
             procpool = self._acquire_procpool()
             if procpool is not None:
                 outputs = self._map_inter_process(
@@ -571,7 +665,7 @@ class RetrievalService:
                     else -math.inf
                 result, error, scan_positions = self._scan_one(
                     indices[start + offset], state, k, chunk_timings,
-                    seed=seed, parent_span=parent_span)
+                    seed=seed, parent_span=parent_span, engine=engine)
                 chunk_results.append(result)
                 chunk_positions.append(scan_positions)
                 if error is not None:
@@ -699,12 +793,15 @@ class RetrievalService:
                   timings: Optional[StageTimings],
                   seed: float = -math.inf,
                   parent_span: Optional[Span] = None,
+                  engine: Optional[str] = None,
                   ) -> Tuple[Optional[RetrievalResult], Optional[QueryError],
                              Optional[Tuple[int, ...]]]:
         """One deadline-armed, fault-tagged single scan with bounded retry.
 
         ``seed`` warm-starts the engine's live threshold (must be a strict
-        lower bound on the true k-th score; ``-inf`` = cold).  Returns
+        lower bound on the true k-th score; ``-inf`` = cold).  ``engine``
+        overrides the index's configured engine for this scan (the
+        planner's per-batch decision; ``None`` = index default).  Returns
         ``(result, None, positions)`` on success — ``positions`` are the
         result's raw length-sorted scan positions, which the cache stores
         for bucket re-scoring — or ``(None, QueryError, None)`` after
@@ -723,6 +820,7 @@ class RetrievalService:
                         options=ScanOptions(initial_threshold=seed,
                                             deadline=self._new_deadline(),
                                             timings=timings, span=span),
+                        engine=engine,
                     )
                     elapsed = time.perf_counter() - scan_started
                 self._enforce_deadline_policy(qi, stats)
@@ -756,6 +854,7 @@ class RetrievalService:
                           *, indices: List[int],
                           seeds: Optional[List[float]] = None,
                           parent_span: Optional[Span] = None,
+                          engine: Optional[str] = None,
                           ) -> Tuple[List[Optional[RetrievalResult]],
                                      List[Optional[Tuple[int, ...]]]]:
         """Answer queries one at a time, each fanned over the index shards.
@@ -772,7 +871,11 @@ class RetrievalService:
         collect = timings is not None
         procpool = None
         pool = self._pool
-        if self._executor_mode == "process":
+        if self._executor_mode == "process" \
+                and engine in (None, "blocked"):
+            # Worker processes run the blocked cascade; a GEMM engine
+            # decision stays in-process on the thread pool, whose BLAS
+            # kernels release the GIL anyway.
             procpool = self._acquire_procpool()
             if procpool is None:
                 # Satellite of the 0.87x fix: without real cores the
@@ -802,6 +905,7 @@ class RetrievalService:
                                 state, k, pool=pool,
                                 collect_timings=collect,
                                 options=options,
+                                engine=engine,
                             )
                     elapsed = time.perf_counter() - scan_started
             except Exception as fanout_error:
@@ -812,7 +916,7 @@ class RetrievalService:
                 self.metrics.counter("policy.breaker_fallback_queries").inc()
                 result, query_error, scan_positions = self._scan_one(
                     qi, state, k, timings, seed=seed,
-                    parent_span=parent_span)
+                    parent_span=parent_span, engine=engine)
                 results.append(result)
                 positions.append(scan_positions)
                 if query_error is not None:
@@ -875,7 +979,10 @@ class RetrievalService:
         metrics = self.metrics
         metrics.counter("batches").inc()
         metrics.counter("queries").inc(len(response.results))
-        metrics.counter(f"policy.{response.mode}_query").inc()
+        # The mode may carry a "/<engine>" planner suffix; the policy
+        # counter tracks the parallelism axis alone.
+        metrics.counter(
+            f"policy.{response.mode.split('/')[0]}_query").inc()
         batch_hist = metrics.histogram("latency.batch_seconds")
         batch_hist.observe(response.elapsed)
         scan_hist = metrics.histogram("latency.scan_seconds")
