@@ -59,12 +59,15 @@ from .core import (
     get_variant,
     topk_exact,
 )
+from .core.budget import FlopBudget, ResultBounds
 from .exceptions import (
+    BudgetExhaustedError,
     DeadlineExceededError,
     DimensionMismatchError,
     EmptyIndexError,
     IndexIntegrityError,
     NotPreprocessedError,
+    OverloadSheddedError,
     QueryError,
     ReproError,
     ServiceClosedError,
@@ -89,6 +92,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "BatchResponse",
+    "BudgetExhaustedError",
     "CostModel",
     "DEFAULT_E",
     "DEFAULT_RHO",
@@ -98,16 +102,19 @@ __all__ = [
     "EmptyIndexError",
     "Fexipro",
     "FexiproIndex",
+    "FlopBudget",
     "IndexIntegrityError",
     "JsonLinesSink",
     "MetricsRegistry",
     "MetricsServer",
     "NotPreprocessedError",
+    "OverloadSheddedError",
     "PruningStats",
     "QueryError",
     "QueryExplanation",
     "Recommender",
     "ReproError",
+    "ResultBounds",
     "RetrievalResult",
     "RetrievalService",
     "ScanOptions",

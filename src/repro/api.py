@@ -29,16 +29,19 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from .analysis.cost_model import CostModel
+from .core.budget import FlopBudget, ResultBounds
 from .core.index import FexiproIndex
 from .core.options import ScanOptions
 from .core.sharded import ShardedFexiproIndex
 from .core.stats import PruningStats, RetrievalResult, StageTimings
 from .exceptions import (
+    BudgetExhaustedError,
     DeadlineExceededError,
     DimensionMismatchError,
     EmptyIndexError,
     IndexIntegrityError,
     NotPreprocessedError,
+    OverloadSheddedError,
     QueryError,
     ReproError,
     ServiceClosedError,
@@ -60,21 +63,25 @@ from .serve.service import BatchResponse, RetrievalService
 
 __all__ = [
     "BatchResponse",
+    "BudgetExhaustedError",
     "CostModel",
     "DeadlineExceededError",
     "DimensionMismatchError",
     "EmptyIndexError",
     "Fexipro",
     "FexiproIndex",
+    "FlopBudget",
     "IndexIntegrityError",
     "JsonLinesSink",
     "MetricsRegistry",
     "MetricsServer",
     "NotPreprocessedError",
+    "OverloadSheddedError",
     "PruningStats",
     "QueryError",
     "QueryExplanation",
     "ReproError",
+    "ResultBounds",
     "RetrievalResult",
     "RetrievalService",
     "ScanOptions",
@@ -168,8 +175,34 @@ class Fexipro:
     # -- retrieval -----------------------------------------------------
 
     def query(self, query, k: int = 10, *,
-              options: Optional[ScanOptions] = None) -> RetrievalResult:
-        """Exact top-k inner products for one query vector."""
+              options: Optional[ScanOptions] = None,
+              budget: Optional[float] = None) -> RetrievalResult:
+        """Exact top-k inner products for one query vector.
+
+        ``budget`` arms a fresh per-call
+        :class:`~repro.core.budget.FlopBudget` of that many coordinate
+        units (a full un-pruned scan costs about ``n * d``).  On
+        exhaustion the result is the exact top-k of the length-sorted
+        prefix scanned, flagged ``complete=False`` with a certified
+        :class:`ResultBounds` band attached; ``budget=math.inf`` is
+        bitwise identical to an unbudgeted query.  Mutually exclusive
+        with an ``options`` bundle that already carries a budget (and
+        with a deadline — a single call gets one degradation trigger
+        denominated in either compute or wall-clock, not both).
+        """
+        if budget is not None:
+            base = options if options is not None else ScanOptions()
+            if base.budget is not None:
+                raise ValidationError(
+                    "pass budget= or options.budget, not both"
+                )
+            if base.deadline is not None:
+                raise ValidationError(
+                    "budget= cannot be combined with options.deadline: "
+                    "pick one degradation trigger (compute or wall-clock) "
+                    "per call"
+                )
+            options = base.replace(budget=FlopBudget(budget))
         return self.index.query(query, k, options=options)
 
     def explain(self, query, k: int = 10, *,

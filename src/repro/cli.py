@@ -265,6 +265,18 @@ def _cmd_serve(args) -> None:
     from .core.index import FexiproIndex
     from .serve import RetrievalService, ServiceConfig
 
+    if args.budget_flops is not None and args.deadline_ms is not None:
+        raise SystemExit(
+            "fexipro serve: --budget-flops and --deadline-ms are mutually "
+            "exclusive; pick one degradation trigger per service "
+            "(compute or wall-clock)"
+        )
+    if args.budget_flops is None and args.shed_capacity_flops is not None:
+        raise SystemExit(
+            "fexipro serve: --shed-capacity-flops requires --budget-flops "
+            "(shedding is denominated in the same FLOP currency)"
+        )
+
     workload = _workload(args)
     report.print_header(
         f"Batch serving - serial loop vs {args.workers}-worker pool "
@@ -326,6 +338,9 @@ def _cmd_serve(args) -> None:
 
     if args.deadline_ms is not None:
         _serve_deadline_section(args, workload, index, serial)
+
+    if args.budget_flops is not None:
+        _serve_budget_section(args, workload, index, serial)
 
     if args.shards:
         _serve_sharded_section(args, workload, index, serial, serial_time)
@@ -453,6 +468,54 @@ def _serve_deadline_section(args, workload, index, serial) -> None:
           round(hits / (args.k * m), 3) if m else 0.0],
          ["items scanned (batch total)", response.stats.scanned],
          ["items in scope (batch total)", response.stats.n_items]],
+    )
+
+
+def _serve_budget_section(args, workload, index, serial) -> None:
+    """The ``--budget-flops`` addendum: anytime execution with bands."""
+    import math
+
+    from .serve import RetrievalService, ServiceConfig
+
+    report.print_header(
+        f"Budgeted anytime execution - {args.budget_flops:g} coordinate "
+        f"FLOPs per query (policy {args.budget_policy!r})"
+    )
+    config = ServiceConfig(workers=args.workers,
+                           executor=args.executor,
+                           deadline_policy="budget",
+                           budget_flops=args.budget_flops,
+                           budget_policy=args.budget_policy,
+                           shed_capacity_flops=args.shed_capacity_flops)
+    with RetrievalService(index, config) as service:
+        response = service.batch(workload.queries, k=args.k)
+        snapshot = service.metrics_snapshot()
+    m = len(workload.queries)
+    hits = 0
+    widths = []
+    for result, truth in zip(response.results, serial):
+        if result is None:
+            continue
+        hits += len(set(result.ids) & set(truth.ids))
+        if result.bounds is not None and result.bounds.lower:
+            if math.isfinite(result.bounds.tail_upper):
+                widths.append(result.bounds.tail_upper
+                              - result.bounds.kth_lower)
+    counters = snapshot["counters"]
+    report.print_table(
+        ["metric", "value"],
+        [["queries degraded (budget exhausted)", response.budget_hits],
+         ["queries shed (admission control)", response.shed],
+         ["structured errors", len(response.errors)],
+         ["batch complete", response.complete],
+         [f"recall@{args.k} of budgeted batch vs full scan",
+          round(hits / (args.k * m), 3) if m else 0.0],
+         ["avg certified band width (tail_upper - kth_lower)",
+          round(sum(widths) / len(widths), 4) if widths else "n/a"],
+         ["items scanned (batch total)", response.stats.scanned],
+         ["budget.degraded_queries counter",
+          counters.get("budget.degraded_queries", 0)],
+         ["shed.queries counter", counters.get("shed.queries", 0)]],
     )
 
 
@@ -652,6 +715,25 @@ def build_parser() -> argparse.ArgumentParser:
                                   "queries degrade to the exact top-k of "
                                   "the scanned length-sorted prefix "
                                   "(default: no deadline)")
+            cmd.add_argument("--budget-flops", type=float, default=None,
+                             help="per-query compute budget in coordinate "
+                                  "FLOPs (a full scan costs about n*d); "
+                                  "turns on deadline_policy='budget' with "
+                                  "certified result bands; mutually "
+                                  "exclusive with --deadline-ms")
+            cmd.add_argument("--budget-policy", default="degrade",
+                             choices=("degrade", "fail"),
+                             help="what budget exhaustion does: 'degrade' "
+                                  "(default) returns the exact prefix "
+                                  "top-k with a certified band, 'fail' "
+                                  "raises a structured error")
+            cmd.add_argument("--shed-capacity-flops", type=float,
+                             default=None,
+                             help="aggregate FLOP capacity per batch for "
+                                  "admission control; overload shrinks "
+                                  "budgets then sheds excess queries with "
+                                  "structured errors (requires "
+                                  "--budget-flops)")
             cmd.add_argument("--cache-capacity", type=int, default=0,
                              help="also demo the exactness-preserving "
                                   "query cache with this many LRU entries "

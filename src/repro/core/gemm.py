@@ -212,6 +212,7 @@ def scan_gemm(index: "FexiproIndex", qs: "QueryState", k: int,
     timings = opts.timings
     shared = opts.shared
     deadline = opts.deadline
+    budget = opts.budget
     span = opts.span
     stop = index.n if stop is None else stop
     buffer = TopKBuffer(k)
@@ -244,6 +245,17 @@ def scan_gemm(index: "FexiproIndex", qs: "QueryState", k: int,
             if span is not None:
                 span.event("deadline_expired", position=bstart, threshold=t)
             break
+        if budget is not None:
+            # Poll-then-charge at the same boundary as the deadline poll:
+            # a spent budget stops *before* this block, so the visited set
+            # stays a contiguous prefix of exactly `scanned` items.
+            if budget.exhausted():
+                stats.budget_exhausted = 1
+                if span is not None:
+                    span.event("budget_exhausted", position=bstart,
+                               spent=budget.spent, threshold=t)
+                break
+            budget.charge((bstop - bstart) * index.items_bar.shape[1])
         if _faultsites.active is not None:
             _faultsites.fire(_faultsites.SCAN, f"block={bstart}")
         if shared is not None:

@@ -259,6 +259,14 @@ class FexiproIndex:
         qs = self._prepare_query(q)
         buffer, stats = self._scan(qs, k, options=options)
         elapsed = time.perf_counter() - started
+        if options is not None and options.budget is not None:
+            from .budget import certified_bounds
+
+            positions, scores = buffer.items_and_scores()
+            bounds = certified_bounds(qs.q_norm, self.norms_sorted, scores,
+                                      [(0, self.n, stats.scanned)])
+            return assemble_result(self.order, positions, scores,
+                                   stats, elapsed, bounds=bounds)
         return assemble_result(self.order, *buffer.items_and_scores(),
                                stats, elapsed)
 

@@ -56,6 +56,14 @@ class ScanOptions:
         record block/threshold/deadline events on it; when ``None`` (the
         default) the cost is one branch per block — same shape as a
         disarmed deadline.
+    budget:
+        Optional :class:`repro.core.budget.FlopBudget`, polled and
+        charged at the same block/shard boundaries as ``deadline`` (per
+        item in the reference engine).  On exhaustion the scan returns
+        the exact top-k of the length-sorted prefix visited, flagged via
+        ``stats.budget_exhausted``, and budget-aware callers attach a
+        certified :class:`~repro.core.budget.ResultBounds` band.  An
+        infinite budget changes nothing — bitwise identical to ``None``.
     """
 
     initial_threshold: float = -math.inf
@@ -63,6 +71,7 @@ class ScanOptions:
     timings: Optional[Any] = None
     shared: Optional[Any] = None
     span: Optional[Any] = None
+    budget: Optional[Any] = None
 
     def replace(self, **changes: Any) -> "ScanOptions":
         """A copy with the given fields swapped (dataclasses.replace)."""

@@ -73,6 +73,7 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
                                 initial_threshold=initial_threshold)
     timings = opts.timings
     deadline = opts.deadline
+    budget = opts.budget
     span = opts.span
     if _faultsites.active is not None:
         _faultsites.fire(_faultsites.SCAN, "scan_reference")
@@ -98,12 +99,24 @@ def scan_reference(index: "FexiproIndex", qs: "QueryState", k: int,
     if span is not None:
         span.set(engine="reference", initial_threshold=t)
 
+    width = items_bar.shape[1]
     for i in range(index.n):
         if deadline is not None and deadline.expired():
             stats.deadline_hit = 1
             if span is not None:
                 span.event("deadline_expired", position=i, threshold=t)
             break
+        if budget is not None:
+            # Poll-then-charge (same boundary as the deadline poll): a
+            # spent budget stops the scan *before* this item, keeping the
+            # visited set a contiguous prefix of exactly `scanned` items.
+            if budget.exhausted():
+                stats.budget_exhausted = 1
+                if span is not None:
+                    span.event("budget_exhausted", position=i,
+                               spent=budget.spent, threshold=t)
+                break
+            budget.charge(width)
         # Line 11 of Algorithm 4: Cauchy-Schwarz early termination.  The
         # items are sorted by decreasing original length, so the first
         # failure ends the whole scan.

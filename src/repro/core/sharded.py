@@ -200,9 +200,10 @@ def scan_shard_span(index: FexiproIndex, qs: QueryState, k: int,
     the in-process cell, or a cross-process slot.  ``seed`` is the
     threshold the shard starts from; when ``None`` it is read from
     ``shared`` here.  Returns ``(buffer, stats, seed, outcome)`` with
-    ``outcome`` one of ``"empty"`` / ``"deadline"`` / ``"skipped"`` /
-    ``"scanned"``; the trace ``span`` (if any) is closed with the same
-    outcome attributes the sharded scan has always recorded.
+    ``outcome`` one of ``"empty"`` / ``"deadline"`` / ``"budget"`` /
+    ``"skipped"`` / ``"scanned"``; the trace ``span`` (if any) is closed
+    with the same outcome attributes the sharded scan has always
+    recorded.
 
     ``engine`` selects the span-capable scan kernel: ``"blocked"``
     (default, the cascade) or ``"gemm"``
@@ -222,6 +223,15 @@ def scan_shard_span(index: FexiproIndex, qs: QueryState, k: int,
         if span is not None:
             span.set(outcome="deadline", start=start, stop=stop).end()
         return TopKBuffer(k), stats, seed, "deadline"
+    budget = options.budget if options is not None else None
+    if budget is not None and budget.exhausted():
+        # Shard-boundary budget poll (same site as the deadline poll): a
+        # spent budget leaves the whole band unscanned — its certified
+        # tail bound is then ``||q|| * norms[start]``.
+        stats = PruningStats(n_items=stop - start, budget_exhausted=1)
+        if span is not None:
+            span.set(outcome="budget", start=start, stop=stop).end()
+        return TopKBuffer(k), stats, seed, "budget"
     if qs.q_norm * float(index.norms_sorted[start]) <= seed:
         # Cauchy-Schwarz at shard granularity: no item in this shard can
         # beat a threshold already achieved by k collected results.  The
@@ -413,9 +423,19 @@ class ShardedFexiproIndex:
         if timings is not None and scan_timings is not None:
             timings.merge(scan_timings)
         elapsed = time.perf_counter() - started
-        result = assemble_result(self.index.order,
-                                 *buffer.items_and_scores(),
-                                 total, elapsed)
+        if options is not None and options.budget is not None:
+            from .budget import certified_bounds
+
+            positions, scores = buffer.items_and_scores()
+            bounds = certified_bounds(
+                qs.q_norm, self.index.norms_sorted, scores,
+                [(r.span[0], r.span[1], r.stats.scanned) for r in reports])
+            result = assemble_result(self.index.order, positions, scores,
+                                     total, elapsed, bounds=bounds)
+        else:
+            result = assemble_result(self.index.order,
+                                     *buffer.items_and_scores(),
+                                     total, elapsed)
         return result, reports
 
     def explain(self, query, k: int = 10, *, tracer=None,
@@ -501,7 +521,9 @@ class ShardedFexiproIndex:
         if planned:
             engine, __ = index.plan_engine(SPAN_ENGINES)
         started = time.perf_counter() if planned else 0.0
-        if pool is None and engine == "blocked":
+        budget = opts.budget
+        budgeted = budget is not None and math.isfinite(budget.total)
+        if pool is None and engine == "blocked" and not budgeted:
             procpool = self._maybe_procpool(opts)
             if procpool is not None:
                 return self._scan_sharded_process(
@@ -527,8 +549,20 @@ class ShardedFexiproIndex:
             )
             return (buffer, stats, seed, shard_timings)
 
-        outputs = self._resolve_pool(pool).map(run_shard,
-                                               list(enumerate(spans)))
+        if budgeted:
+            # Greedy best-first budget allocation: spans are descending
+            # length bands, so scanning them serially in span order feeds
+            # the shared FlopBudget to the shards with the highest
+            # Cauchy–Schwarz upper-bound potential first, and each shard
+            # inherits exactly the units its predecessors left over.  A
+            # parallel fan-out would race the accounting and split the
+            # budget arbitrarily; serial execution makes the spend — and
+            # therefore the scanned prefix — deterministic.
+            outputs = [run_shard(numbered)
+                       for numbered in enumerate(spans)]
+        else:
+            outputs = self._resolve_pool(pool).map(run_shard,
+                                                   list(enumerate(spans)))
 
         merged = TopKBuffer(k)
         total = PruningStats()
@@ -544,7 +578,8 @@ class ShardedFexiproIndex:
         if trace_span is not None:
             trace_span.event("merge", threshold=merged.threshold,
                              shards_skipped=total.shards_skipped,
-                             deadline_hit=total.deadline_hit)
+                             deadline_hit=total.deadline_hit,
+                             budget_exhausted=total.budget_exhausted)
         if planned and index.cost_model is not None:
             index.cost_model.observe(
                 engine, total, time.perf_counter() - started)

@@ -11,7 +11,10 @@ regenerated exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, Iterable, List
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - imported only for type checking
+    from .budget import ResultBounds
 
 
 @dataclass
@@ -47,6 +50,11 @@ class PruningStats:
       items in descending-length order, so a truncated result is still the
       *exact* top-k of the ``scanned`` prefix — but not necessarily of the
       whole index; :attr:`RetrievalResult.complete` exposes the flag.
+    - ``budget_exhausted``: 1 if the scan was truncated by a spent
+      :class:`~repro.core.budget.FlopBudget` (per shard for the sharded
+      scan, like ``deadline_hit``).  Same exact-prefix degradation
+      contract, with a certified band on the unseen tail attached to the
+      result (:attr:`RetrievalResult.bounds`).
     """
 
     n_items: int = 0
@@ -59,6 +67,7 @@ class PruningStats:
     full_products: int = 0
     shards_skipped: int = 0
     deadline_hit: int = 0
+    budget_exhausted: int = 0
 
     def merge(self, other: "PruningStats") -> None:
         """Accumulate another query's counters into this record (in place)."""
@@ -180,23 +189,28 @@ class RetrievalResult:
 
     ``ids`` and ``scores`` are sorted by descending inner product; ``stats``
     carries the pruning counters, and ``elapsed`` the retrieval wall-clock
-    time in seconds (0.0 when the engine was not timed).
+    time in seconds (0.0 when the engine was not timed).  ``bounds`` is
+    the certified band (:class:`repro.core.budget.ResultBounds`) attached
+    by budget-armed scans — ``None`` for unbudgeted retrievals.
     """
 
     ids: List[int] = field(default_factory=list)
     scores: List[float] = field(default_factory=list)
     stats: PruningStats = field(default_factory=PruningStats)
     elapsed: float = 0.0
+    bounds: Optional["ResultBounds"] = None
 
     @property
     def complete(self) -> bool:
-        """``False`` when a deadline truncated the scan.
+        """``False`` when a deadline or budget truncated the scan.
 
         An incomplete result is still the *exact* top-k of the
         length-sorted prefix the scan visited (``stats.scanned`` items) —
-        the exact-prefix degradation contract of ``DESIGN.md`` §2.8.
+        the exact-prefix degradation contract of ``DESIGN.md`` §2.8, with
+        the budget tier's certified band described in §2.13.
         """
-        return self.stats.deadline_hit == 0
+        return (self.stats.deadline_hit == 0
+                and self.stats.budget_exhausted == 0)
 
     def __len__(self) -> int:
         return len(self.ids)
@@ -210,13 +224,16 @@ class RetrievalResult:
 
 def assemble_result(order, positions: Iterable[int],
                     scores: Iterable[float], stats: PruningStats,
-                    elapsed: float = 0.0) -> RetrievalResult:
+                    elapsed: float = 0.0,
+                    bounds: Optional["ResultBounds"] = None,
+                    ) -> RetrievalResult:
     """Materialize a :class:`RetrievalResult` from scan-space positions.
 
     ``order`` is the index's position→original-id mapping
     (:attr:`repro.core.index.FexiproIndex.order`); ``positions`` and
     ``scores`` come sorted by descending score (usually from
-    :meth:`repro.core.topk.TopKBuffer.items_and_scores`).
+    :meth:`repro.core.topk.TopKBuffer.items_and_scores`).  ``bounds`` is
+    the optional certified band attached by budget-armed callers.
 
     This is the *single* implementation of the id mapping and result
     assembly.  Every retrieval entry point — :meth:`FexiproIndex.query`,
@@ -226,4 +243,4 @@ def assemble_result(order, positions: Iterable[int],
     """
     ids = [int(order[p]) for p in positions]
     return RetrievalResult(ids=ids, scores=[float(s) for s in scores],
-                           stats=stats, elapsed=elapsed)
+                           stats=stats, elapsed=elapsed, bounds=bounds)

@@ -49,6 +49,31 @@ class DeadlineExceededError(ReproError, TimeoutError):
         self.items_scanned = items_scanned
 
 
+class BudgetExhaustedError(ReproError, RuntimeError):
+    """A query's FLOP budget ran out and the service policy is ``"fail"``.
+
+    Under the default ``"degrade"`` budget policy no exception is raised;
+    the scan instead returns the exact top-k of the length-sorted prefix
+    it visited, flagged ``complete=False``, with a certified
+    :class:`repro.core.budget.ResultBounds` band attached.
+    """
+
+    def __init__(self, message: str, *, items_scanned: int = 0):
+        super().__init__(message)
+        self.items_scanned = items_scanned
+
+
+class OverloadSheddedError(ReproError, RuntimeError):
+    """A query was shed by admission control before any scan work ran.
+
+    Raised (inside a structured :class:`QueryError` with ``code="shed"``)
+    when queue depth times the cost model's per-query FLOP estimate
+    exceeds the configured ``shed_capacity_flops`` and shrinking budgets
+    can no longer absorb the overload.  A shed query leaks zero partial
+    state: it is never prepared, scanned, or cached.
+    """
+
+
 class ServiceClosedError(ReproError, RuntimeError):
     """A serving component (pool or service) was used after ``close()``.
 
@@ -128,6 +153,9 @@ class QueryError(ReproError):
     error_type: str = ""
     message: str = ""
     retried: bool = False
+    #: Machine-readable provenance tag; ``"shed"`` marks queries dropped
+    #: by admission control (empty for ordinary per-query failures).
+    code: str = ""
 
     def __post_init__(self) -> None:
         if not self.error_type:
@@ -138,10 +166,17 @@ class QueryError(ReproError):
         self.args = (self.message,)
 
     def as_dict(self) -> dict:
-        """JSON-ready summary (the exception object itself is omitted)."""
-        return {
+        """JSON-ready summary (the exception object itself is omitted).
+
+        ``code`` appears only when set, so pre-existing consumers of the
+        four-key shape keep working.
+        """
+        summary = {
             "index": self.index,
             "error_type": self.error_type,
             "message": self.message,
             "retried": self.retried,
         }
+        if self.code:
+            summary["code"] = self.code
+        return summary

@@ -203,6 +203,8 @@ class QueryExplanation:
             "thresholds": list(self.thresholds),
             "shards": None if self.shards is None else list(self.shards),
             "planner": None if self.planner is None else dict(self.planner),
+            "bounds": (None if self.result.bounds is None
+                       else self.result.bounds.as_dict()),
         }
 
     def format(self) -> str:
@@ -228,7 +230,15 @@ class QueryExplanation:
                 f"{account.pruned:>10} {account.survived:>10} {cell:>10}"
             )
         if not self.result.complete:
-            lines.append("note: deadline-degraded (exact prefix top-k)")
+            trigger = ("budget" if self.result.stats.budget_exhausted
+                       else "deadline")
+            lines.append(f"note: {trigger}-degraded (exact prefix top-k)")
+        if self.result.bounds is not None:
+            bounds = self.result.bounds
+            lines.append(
+                f"band: kth_lower={bounds.kth_lower:.6g} "
+                f"tail_upper={bounds.tail_upper:.6g} "
+                f"certified={bounds.certified}")
         if self.planner is not None:
             predictions = self.planner.get("predictions") or {}
             predicted = ", ".join(
@@ -337,6 +347,7 @@ def explain_query(index, query, k: int = 10, *,
                 "seeded_threshold": report.seeded_threshold,
                 "skipped": report.skipped,
                 "deadline_hit": bool(report.stats.deadline_hit),
+                "budget_exhausted": bool(report.stats.budget_exhausted),
                 "counters": report.stats.as_dict(),
                 "stages": [a.as_dict()
                            for a in stage_accounts(report.stats)],
@@ -358,8 +369,23 @@ def explain_query(index, query, k: int = 10, *,
     if root is not None:
         root.set(mode=mode, scanned=stats.scanned).end()
 
-    result = assemble_result(inner.order, *buffer.items_and_scores(),
-                             stats, elapsed)
+    bounds = None
+    if opts.budget is not None:
+        from ..core.budget import certified_bounds
+
+        positions, scores = buffer.items_and_scores()
+        if sharded:
+            segments = [(r.span[0], r.span[1], r.stats.scanned)
+                        for r in reports]
+        else:
+            segments = [(0, inner.n, stats.scanned)]
+        bounds = certified_bounds(qs.q_norm, inner.norms_sorted, scores,
+                                  segments)
+        result = assemble_result(inner.order, positions, scores, stats,
+                                 elapsed, bounds=bounds)
+    else:
+        result = assemble_result(inner.order, *buffer.items_and_scores(),
+                                 stats, elapsed)
     span_dicts = [s.as_dict() for s in tracer.spans
                   if root is not None and s.trace_id == root.trace_id]
     explanation = QueryExplanation(

@@ -88,7 +88,34 @@ class ServiceConfig:
         the query raises
         :class:`~repro.exceptions.DeadlineExceededError` instead
         (surfaced per query in :attr:`BatchResponse.errors`; re-raised by
-        :meth:`RetrievalService.query`).
+        :meth:`RetrievalService.query`).  ``"budget"``: the service runs
+        in *compute*-denominated SLO mode — every query is armed with a
+        :class:`~repro.core.budget.FlopBudget` of ``budget_flops``
+        coordinate units instead of a wall-clock deadline (the two are
+        mutually exclusive: ``deadline_ms`` must be ``None``), and
+        exhaustion behaviour follows ``budget_policy``.
+    budget_flops:
+        Per-query FLOP budget in coordinate (multiply-accumulate) units —
+        the currency of :class:`~repro.analysis.cost_model.CostModel`; a
+        full un-pruned scan costs about ``n * d`` units.  Required (and
+        only legal) when ``deadline_policy="budget"``.
+    budget_policy:
+        ``"degrade"`` (default): a budget-exhausted query returns the
+        exact top-k of the length-sorted prefix it scanned, flagged
+        ``complete=False`` with ``stats.budget_exhausted`` set and a
+        certified :class:`~repro.core.budget.ResultBounds` band attached.
+        ``"fail"``: the query raises
+        :class:`~repro.exceptions.BudgetExhaustedError` instead.
+    shed_capacity_flops:
+        Optional admission-control capacity in the same units.  When a
+        batch's aggregate demand — queue depth × the cost model's
+        per-query FLOP estimate (clamped to ``budget_flops``) — exceeds
+        this capacity, per-query budgets are shrunk proportionally (never
+        below 10% of ``budget_flops``); queries that still do not fit are
+        shed with a structured ``QueryError(code="shed")`` wrapping
+        :class:`~repro.exceptions.OverloadSheddedError`, before any scan
+        work runs.  Requires ``budget_flops``; ``None`` (default)
+        disables shedding.
     retries:
         Bounded re-executions after a *transient* per-query fault
         (exceptions carrying ``transient=True``); default 1.  Deadline
@@ -149,6 +176,9 @@ class ServiceConfig:
     intra_query_batch_max: Optional[int] = None
     deadline_ms: Optional[float] = None
     deadline_policy: str = "degrade"
+    budget_flops: Optional[float] = None
+    budget_policy: str = "degrade"
+    shed_capacity_flops: Optional[float] = None
     retries: int = 1
     retry_backoff_ms: float = 0.0
     breaker_threshold: int = 3
@@ -211,11 +241,55 @@ class ServiceConfig:
                 f"deadline_ms must be a positive number or None; "
                 f"got {self.deadline_ms!r}"
             )
-        if self.deadline_policy not in ("degrade", "fail"):
+        if self.deadline_policy not in ("degrade", "fail", "budget"):
             raise ValidationError(
-                f"deadline_policy must be 'degrade' or 'fail'; "
+                f"deadline_policy must be 'degrade', 'fail' or 'budget'; "
                 f"got {self.deadline_policy!r}"
             )
+        if self.budget_flops is not None and not (
+                isinstance(self.budget_flops, (int, float))
+                and not isinstance(self.budget_flops, bool)
+                and self.budget_flops >= 0):
+            raise ValidationError(
+                f"budget_flops must be a non-negative number or None; "
+                f"got {self.budget_flops!r}"
+            )
+        if self.budget_policy not in ("degrade", "fail"):
+            raise ValidationError(
+                f"budget_policy must be 'degrade' or 'fail'; "
+                f"got {self.budget_policy!r}"
+            )
+        if self.deadline_policy == "budget":
+            if self.budget_flops is None:
+                raise ValidationError(
+                    "deadline_policy='budget' requires budget_flops to be "
+                    "set"
+                )
+            if self.deadline_ms is not None:
+                raise ValidationError(
+                    "deadline_policy='budget' is compute-denominated and "
+                    "cannot be combined with a wall-clock deadline_ms of "
+                    f"{self.deadline_ms!r}; set one or the other"
+                )
+        elif self.budget_flops is not None:
+            raise ValidationError(
+                "budget_flops is only meaningful with "
+                "deadline_policy='budget'; "
+                f"got deadline_policy={self.deadline_policy!r}"
+            )
+        if self.shed_capacity_flops is not None:
+            if not (isinstance(self.shed_capacity_flops, (int, float))
+                    and not isinstance(self.shed_capacity_flops, bool)
+                    and self.shed_capacity_flops > 0):
+                raise ValidationError(
+                    f"shed_capacity_flops must be a positive number or "
+                    f"None; got {self.shed_capacity_flops!r}"
+                )
+            if self.budget_flops is None:
+                raise ValidationError(
+                    "shed_capacity_flops requires budget_flops (admission "
+                    "control estimates demand in budget units)"
+                )
         if not isinstance(self.retries, int) or isinstance(self.retries, bool) \
                 or self.retries < 0:
             raise ValidationError(

@@ -251,7 +251,7 @@ def _chunk_task(payload):
     and the parent re-runs ``"err"`` queries through its own retry/
     isolation machinery with the real exception semantics.
     """
-    path, token, items, k, deadline_ms, collect = payload
+    path, token, items, k, deadline_ms, budget_flops, collect = payload
     index = _attach(path, token)
     if _faultsites.active is not None:
         _faultsites.fire(_faultsites.WORKER, "procpool.chunk")
@@ -266,11 +266,17 @@ def _chunk_task(payload):
                     from .resilience import Deadline
 
                     deadline = Deadline.after_ms(deadline_ms)
+                budget = None
+                if budget_flops is not None:
+                    from ..core.budget import FlopBudget
+
+                    budget = FlopBudget(budget_flops)
                 started = time.perf_counter()
                 buffer, stats = index._scan(
                     qs, k,
                     options=ScanOptions(initial_threshold=seed,
                                         deadline=deadline,
+                                        budget=budget,
                                         timings=timings),
                 )
                 elapsed = time.perf_counter() - started
@@ -471,20 +477,26 @@ class ProcessScanPool:
         return results
 
     def run_query_chunks(self, handle: ReplicaHandle, items, k: int, *,
-                         deadline_ms=None, collect: bool = False,
+                         deadline_ms=None, budget_flops=None,
+                         collect: bool = False,
                          chunk_size: int = 1):
         """Spread whole queries over the processes (the inter-query axis).
 
         ``items`` are ``(qi, pickled_query_state, seed)`` triples; the
         return value is one structured outcome per item, in order — see
         :func:`_chunk_task` for the ``"ok"``/``"err"`` shapes.
+        ``budget_flops`` arms a fresh per-query
+        :class:`~repro.core.budget.FlopBudget` inside each worker —
+        budgets are per query, so the inter-query axis needs no shared
+        accounting cell.
         """
         pool = self._ensure_pool()
         chunk_size = max(1, int(chunk_size))
         chunks = [items[i:i + chunk_size]
                   for i in range(0, len(items), chunk_size)]
         payloads = [(handle.path, tuple(handle.token), chunk, k,
-                     deadline_ms, collect) for chunk in chunks]
+                     deadline_ms, budget_flops, collect)
+                    for chunk in chunks]
         outputs = pool.map(_chunk_task, payloads, chunksize=1)
         flat = []
         for chunk_out, wid in outputs:

@@ -62,9 +62,10 @@ from ..core.stats import (
     aggregate_stats,
     assemble_result,
 )
+from ..core.budget import FlopBudget, certified_bounds
 from ..core.options import ScanOptions
-from ..exceptions import DeadlineExceededError, QueryError, \
-    ServiceClosedError
+from ..exceptions import BudgetExhaustedError, DeadlineExceededError, \
+    OverloadSheddedError, QueryError, ServiceClosedError
 from ..obs.trace import Span, Tracer
 from .cache import CacheLookup, QueryCache
 from .config import ServiceConfig
@@ -100,7 +101,8 @@ class BatchResponse:
     When the service runs a :class:`~repro.serve.cache.QueryCache`,
     ``provenance`` records where each answer came from, aligned with
     ``results``: ``"hit"`` (served from cache, no scan), ``"warm"``
-    (scanned with a cache-seeded threshold) or ``"cold"`` (plain scan) —
+    (scanned with a cache-seeded threshold), ``"cold"`` (plain scan) or
+    ``"shed"`` (dropped by admission control before any scan) —
     ``None`` when caching is disabled.  ``stats`` sums the counters of
     *performed* scans only; a cache hit did no pruning work, so replaying
     its cached counters would double-count the trajectory the paper's
@@ -129,12 +131,29 @@ class BatchResponse:
     def deadline_hits(self) -> int:
         """How many queries were truncated by their deadline."""
         return sum(1 for r in self.results
-                   if r is not None and not r.complete)
+                   if r is not None and r.stats.deadline_hit)
+
+    @property
+    def budget_hits(self) -> int:
+        """How many queries were truncated by a spent FLOP budget."""
+        return sum(1 for r in self.results
+                   if r is not None and r.stats.budget_exhausted)
+
+    @property
+    def shed(self) -> int:
+        """Queries dropped by admission control (``code="shed"`` errors)."""
+        return sum(1 for e in self.errors if e.code == "shed")
 
     @property
     def complete(self) -> bool:
-        """Whether every query succeeded and no deadline truncated a scan."""
-        return not self.errors and self.deadline_hits == 0
+        """Whether every query succeeded with no truncated scan.
+
+        ``False`` when any query failed or was shed, or when a deadline or
+        FLOP budget truncated any scan (the truncated results are still
+        the exact top-k of their scanned prefixes).
+        """
+        return not self.errors and self.deadline_hits == 0 \
+            and self.budget_hits == 0
 
     @property
     def cache_hits(self) -> int:
@@ -301,6 +320,12 @@ class RetrievalService:
         else:
             pending = list(range(m))
 
+        # Admission control runs BEFORE preparation: a shed query is
+        # never prepared, scanned or cached — zero partial state.
+        errors: List[QueryError] = []
+        pending, budget_flops = self._admission(pending, errors, root)
+        shed_set = {e.index for e in errors}
+
         # Prepare only the queries that actually need a scan; hits are
         # answered without touching Algorithm 4 at all.
         prep_span = root.child("prepare") if root is not None else None
@@ -336,7 +361,6 @@ class RetrievalService:
         if collect:
             timings = StageTimings(prepare=prepare_time)
 
-        errors: List[QueryError] = []
         mode = self._select_mode(len(states))
         engine, planner_info = self._plan_batch(len(states), mode, root)
         if root is not None:
@@ -346,15 +370,23 @@ class RetrievalService:
         elif mode == "intra":
             scanned, positions = self._scan_intra_query(
                 states, k, timings, errors, indices=pending, seeds=seeds,
-                parent_span=root, engine=engine)
+                parent_span=root, engine=engine, budget_flops=budget_flops)
         else:
             scanned, positions = self._scan_inter_query(
                 states, k, timings, errors, indices=pending, seeds=seeds,
-                parent_span=root, engine=engine)
+                parent_span=root, engine=engine, budget_flops=budget_flops)
 
         provenance: Optional[List[str]] = None
         if lookups is None:
-            results = scanned
+            if len(scanned) == m:
+                results = scanned
+            else:
+                # Shed queries were carved out of ``pending``; their
+                # slots stay None, every scanned slot keeps its request
+                # position.
+                results = [None] * m
+                for j, i in enumerate(pending):
+                    results[i] = scanned[j]
         else:
             results = [lookup.result for lookup in lookups]
             for j, i in enumerate(pending):
@@ -363,10 +395,14 @@ class RetrievalService:
                 if result is not None and positions[j] is not None:
                     cache.store(self.index, queries[i], k,
                                 result, positions[j])
+            for i in shed_set:
+                results[i] = None
             provenance = []
             seed_of = dict(zip(pending, seeds or []))
             for i, lookup in enumerate(lookups):
-                if lookup.kind == "hit":
+                if i in shed_set:
+                    provenance.append("shed")
+                elif lookup.kind == "hit":
                     provenance.append("hit")
                 elif seed_of.get(i, -math.inf) > -math.inf:
                     provenance.append("warm")
@@ -385,7 +421,9 @@ class RetrievalService:
                                  provenance=provenance, planner=planner_info)
         if root is not None:
             root.set(errors=len(errors),
-                     deadline_hits=response.deadline_hits).end()
+                     deadline_hits=response.deadline_hits,
+                     budget_hits=response.budget_hits,
+                     shed=response.shed).end()
         self._observe(response)
         return response
 
@@ -619,6 +657,7 @@ class RetrievalService:
                           seeds: Optional[List[float]] = None,
                           parent_span: Optional[Span] = None,
                           engine: Optional[str] = None,
+                          budget_flops: Optional[float] = None,
                           ) -> Tuple[List[Optional[RetrievalResult]],
                                      List[Optional[Tuple[int, ...]]]]:
         """Spread whole queries over the pool (the PR-1 batch path).
@@ -643,12 +682,14 @@ class RetrievalService:
             procpool = self._acquire_procpool()
             if procpool is not None:
                 outputs = self._map_inter_process(
-                    procpool, states, k, seeds, indices)
+                    procpool, states, k, seeds, indices,
+                    budget_flops=budget_flops)
                 if outputs is not None:
                     return self._assemble_inter_process(
                         outputs, states, k, timings, errors,
                         indices=indices, seeds=seeds,
-                        parent_span=parent_span)
+                        parent_span=parent_span,
+                        budget_flops=budget_flops)
         collect = timings is not None
         chunk_size = resolve_chunk_size(len(states), self._pool.workers,
                                         self.config.chunk_size)
@@ -665,7 +706,8 @@ class RetrievalService:
                     else -math.inf
                 result, error, scan_positions = self._scan_one(
                     indices[start + offset], state, k, chunk_timings,
-                    seed=seed, parent_span=parent_span, engine=engine)
+                    seed=seed, parent_span=parent_span, engine=engine,
+                    budget_flops=budget_flops)
                 chunk_results.append(result)
                 chunk_positions.append(scan_positions)
                 if error is not None:
@@ -700,7 +742,8 @@ class RetrievalService:
 
     def _map_inter_process(self, procpool, states, k: int,
                            seeds: Optional[List[float]],
-                           indices: List[int]):
+                           indices: List[int],
+                           budget_flops: Optional[float] = None):
         """Ship the batch's query states to the process pool, or ``None``.
 
         ``None`` means the pool could not serve (replica publish or task
@@ -723,6 +766,7 @@ class RetrievalService:
             return procpool.run_query_chunks(
                 handle, items, k,
                 deadline_ms=self.config.deadline_ms,
+                budget_flops=budget_flops,
                 collect=self.config.collect_timings,
                 chunk_size=chunk_size)
         except Exception:
@@ -735,6 +779,7 @@ class RetrievalService:
                                 *, indices: List[int],
                                 seeds: Optional[List[float]],
                                 parent_span: Optional[Span],
+                                budget_flops: Optional[float] = None,
                                 ) -> Tuple[List[Optional[RetrievalResult]],
                                            List[Optional[Tuple[int, ...]]]]:
         """Turn per-query worker outcomes into results, errors and stores.
@@ -755,7 +800,9 @@ class RetrievalService:
                 __, stats, scan_positions, scores, elapsed, qtimings = out
                 try:
                     self._enforce_deadline_policy(qi, stats)
-                except DeadlineExceededError as error:
+                    self._enforce_budget_policy(qi, stats)
+                except (DeadlineExceededError,
+                        BudgetExhaustedError) as error:
                     self.metrics.counter("errors.queries").inc()
                     errors.append(QueryError(index=qi, error=error))
                     results.append(None)
@@ -763,14 +810,19 @@ class RetrievalService:
                     continue
                 if timings is not None and qtimings is not None:
                     timings.merge(qtimings)
+                bounds = None
+                if budget_flops is not None:
+                    bounds = certified_bounds(
+                        states[local].q_norm, self.index.norms_sorted,
+                        list(scores), [(0, self.index.n, stats.scanned)])
                 results.append(assemble_result(
                     self.index.order, list(scan_positions), list(scores),
-                    stats, elapsed))
+                    stats, elapsed, bounds=bounds))
                 positions.append(tuple(scan_positions))
             else:
                 result, query_error, scan_positions = self._scan_one(
                     qi, states[local], k, timings, seed=seed,
-                    parent_span=parent_span)
+                    parent_span=parent_span, budget_flops=budget_flops)
                 results.append(result)
                 positions.append(scan_positions)
                 if query_error is not None:
@@ -794,6 +846,7 @@ class RetrievalService:
                   seed: float = -math.inf,
                   parent_span: Optional[Span] = None,
                   engine: Optional[str] = None,
+                  budget_flops: Optional[float] = None,
                   ) -> Tuple[Optional[RetrievalResult], Optional[QueryError],
                              Optional[Tuple[int, ...]]]:
         """One deadline-armed, fault-tagged single scan with bounded retry.
@@ -801,17 +854,22 @@ class RetrievalService:
         ``seed`` warm-starts the engine's live threshold (must be a strict
         lower bound on the true k-th score; ``-inf`` = cold).  ``engine``
         overrides the index's configured engine for this scan (the
-        planner's per-batch decision; ``None`` = index default).  Returns
-        ``(result, None, positions)`` on success — ``positions`` are the
-        result's raw length-sorted scan positions, which the cache stores
-        for bucket re-scoring — or ``(None, QueryError, None)`` after
-        retries are exhausted; never raises.
+        planner's per-batch decision; ``None`` = index default).
+        ``budget_flops`` arms a fresh :class:`~repro.core.budget.FlopBudget`
+        per attempt (retries start with a full budget) and attaches the
+        certified band to the result.  Returns ``(result, None,
+        positions)`` on success — ``positions`` are the result's raw
+        length-sorted scan positions, which the cache stores for bucket
+        re-scoring — or ``(None, QueryError, None)`` after retries are
+        exhausted; never raises.
         """
         attempt = 0
         retried = False
         while True:
             span = parent_span.child("scan", query=qi, attempt=attempt) \
                 if parent_span is not None else None
+            budget = FlopBudget(budget_flops) \
+                if budget_flops is not None else None
             try:
                 with _faultsites.tagged(f"q={qi}"):
                     scan_started = time.perf_counter()
@@ -819,21 +877,28 @@ class RetrievalService:
                         state, k,
                         options=ScanOptions(initial_threshold=seed,
                                             deadline=self._new_deadline(),
+                                            budget=budget,
                                             timings=timings, span=span),
                         engine=engine,
                     )
                     elapsed = time.perf_counter() - scan_started
                 self._enforce_deadline_policy(qi, stats)
+                self._enforce_budget_policy(qi, stats)
                 if retried:
                     self.metrics.counter("retries.recovered").inc()
                 if span is not None:
-                    if stats.deadline_hit:
+                    if stats.deadline_hit or stats.budget_exhausted:
                         span.event("degraded", scanned=stats.scanned)
                     span.end()
                 scan_positions, scores = buffer.items_and_scores()
+                bounds = None
+                if budget is not None:
+                    bounds = certified_bounds(
+                        state.q_norm, self.index.norms_sorted, scores,
+                        [(0, self.index.n, stats.scanned)])
                 return assemble_result(
                     self.index.order, scan_positions, scores,
-                    stats, elapsed,
+                    stats, elapsed, bounds=bounds,
                 ), None, tuple(scan_positions)
             except Exception as error:
                 if span is not None:
@@ -855,6 +920,7 @@ class RetrievalService:
                           seeds: Optional[List[float]] = None,
                           parent_span: Optional[Span] = None,
                           engine: Optional[str] = None,
+                          budget_flops: Optional[float] = None,
                           ) -> Tuple[List[Optional[RetrievalResult]],
                                      List[Optional[Tuple[int, ...]]]]:
         """Answer queries one at a time, each fanned over the index shards.
@@ -871,8 +937,12 @@ class RetrievalService:
         collect = timings is not None
         procpool = None
         pool = self._pool
+        budgeted = budget_flops is not None and math.isfinite(budget_flops)
         if self._executor_mode == "process" \
-                and engine in (None, "blocked"):
+                and engine in (None, "blocked") and not budgeted:
+            # A finite budget needs the deterministic serial greedy
+            # allocation inside _scan_sharded — the process fan-out
+            # cannot share one accounting cell across workers.
             # Worker processes run the blocked cascade; a GEMM engine
             # decision stays in-process on the thread pool, whose BLAS
             # kernels release the GIL anyway.
@@ -889,8 +959,11 @@ class RetrievalService:
             seed = seeds[local] if seeds is not None else -math.inf
             span = parent_span.child("scan.sharded", query=qi) \
                 if parent_span is not None else None
+            budget = FlopBudget(budget_flops) \
+                if budget_flops is not None else None
             options = ScanOptions(initial_threshold=seed,
                                   deadline=self._new_deadline(),
+                                  budget=budget,
                                   span=span)
             try:
                 with _faultsites.tagged(f"q={qi}"):
@@ -916,7 +989,8 @@ class RetrievalService:
                 self.metrics.counter("policy.breaker_fallback_queries").inc()
                 result, query_error, scan_positions = self._scan_one(
                     qi, state, k, timings, seed=seed,
-                    parent_span=parent_span, engine=engine)
+                    parent_span=parent_span, engine=engine,
+                    budget_flops=budget_flops)
                 results.append(result)
                 positions.append(scan_positions)
                 if query_error is not None:
@@ -925,7 +999,8 @@ class RetrievalService:
             self._record_breaker(self._breaker.record_success())
             try:
                 self._enforce_deadline_policy(qi, stats)
-            except DeadlineExceededError as error:
+                self._enforce_budget_policy(qi, stats)
+            except (DeadlineExceededError, BudgetExhaustedError) as error:
                 if span is not None:
                     span.set(error=type(error).__name__).end()
                 self.metrics.counter("errors.queries").inc()
@@ -934,15 +1009,21 @@ class RetrievalService:
                 positions.append(None)
                 continue
             if span is not None:
-                if stats.deadline_hit:
+                if stats.deadline_hit or stats.budget_exhausted:
                     span.event("degraded", scanned=stats.scanned)
                 span.end()
             if timings is not None and scan_timings is not None:
                 timings.merge(scan_timings)
             scan_positions, scores = buffer.items_and_scores()
+            bounds = None
+            if budget is not None:
+                bounds = certified_bounds(
+                    state.q_norm, self.index.norms_sorted, scores,
+                    [(r.span[0], r.span[1], r.stats.scanned)
+                     for r in _reports])
             results.append(assemble_result(
                 self.index.order, scan_positions, scores,
-                stats, elapsed,
+                stats, elapsed, bounds=bounds,
             ))
             positions.append(tuple(scan_positions))
         return results, positions
@@ -966,6 +1047,105 @@ class RetrievalService:
                 f"{stats.n_items} items",
                 items_scanned=stats.scanned,
             )
+
+    def _enforce_budget_policy(self, qi: int, stats: PruningStats) -> None:
+        """Raise under the ``"fail"`` budget policy when a scan was cut."""
+        if stats.budget_exhausted and self.config.budget_policy == "fail":
+            raise BudgetExhaustedError(
+                f"query {qi} exhausted its "
+                f"{self.config.budget_flops:g}-coordinate FLOP budget "
+                f"after scanning {stats.scanned} of {stats.n_items} items",
+                items_scanned=stats.scanned,
+            )
+
+    def _estimate_query_flops(self) -> float:
+        """Per-query coordinate estimate for admission control.
+
+        Uses the index's calibrated
+        :class:`~repro.analysis.cost_model.CostModel` (the PR-7 planner's
+        selectivity fractions) when one can be built; falls back to the
+        un-pruned worst case ``n * d``.  The estimate only steers
+        admission — it can never change any served result.
+        """
+        engine = self.config.engine or self.index.engine
+        if engine in (None, "auto"):
+            engine = "blocked"
+        try:
+            from ..analysis.cost_model import ensure_cost_model
+
+            model = ensure_cost_model(self.index)
+            estimate = float(model.expected_coordinates(engine))
+        except Exception:
+            estimate = float(self.index.n * self.index.d)
+        if not math.isfinite(estimate) or estimate <= 0:
+            estimate = float(self.index.n * self.index.d)
+        return max(1.0, estimate)
+
+    #: Shrunk per-query budgets never drop below this fraction of
+    #: ``budget_flops`` — beyond it, admission sheds instead of starving
+    #: every query into a useless sliver of its budget.
+    SHED_BUDGET_FLOOR = 0.1
+
+    def _admission(self, pending: List[int], errors: List[QueryError],
+                   root: Optional[Span],
+                   ) -> Tuple[List[int], Optional[float]]:
+        """Overload admission control for one batch (budget mode only).
+
+        Returns ``(admitted, per_query_budget_flops)``.  Outside budget
+        mode this is a no-op returning ``(pending, None)``.  In budget
+        mode the batch's aggregate demand — queue depth × the cost
+        model's per-query estimate, clamped to ``budget_flops`` — is
+        compared against ``shed_capacity_flops``:
+
+        - fits: every query is admitted with the full budget;
+        - over capacity but ``capacity / depth`` is at least
+          :data:`SHED_BUDGET_FLOOR` of the budget: all queries are
+          admitted with proportionally shrunk budgets
+          (``shed.shrunk_queries``);
+        - otherwise: the head of the queue is admitted at the floor
+          budget and the tail is shed with structured
+          ``QueryError(code="shed")`` records (``shed.queries``) — shed
+          queries are never prepared or scanned.
+        """
+        config = self.config
+        if config.deadline_policy != "budget":
+            return pending, None
+        budget_flops = float(config.budget_flops)
+        capacity = config.shed_capacity_flops
+        if capacity is None or not pending:
+            return pending, budget_flops
+        per_query = min(self._estimate_query_flops(), budget_flops)
+        demand = per_query * len(pending)
+        if demand <= capacity:
+            return pending, budget_flops
+        floor = self.SHED_BUDGET_FLOOR * budget_flops
+        shrunk = capacity / len(pending)
+        if floor <= shrunk:
+            self.metrics.counter("shed.shrunk_queries").inc(len(pending))
+            if root is not None:
+                root.event("budget_shrunk", queries=len(pending),
+                           budget_flops=shrunk, demand=demand,
+                           capacity=float(capacity))
+            return pending, shrunk
+        admitted_count = int(capacity // floor) if floor > 0 else 0
+        admitted = pending[:admitted_count]
+        shed = pending[admitted_count:]
+        self.metrics.counter("shed.queries").inc(len(shed))
+        if admitted:
+            self.metrics.counter("shed.shrunk_queries").inc(len(admitted))
+        for qi in shed:
+            errors.append(QueryError(
+                index=qi,
+                error=OverloadSheddedError(
+                    f"query {qi} shed: batch demand {demand:g} coordinate "
+                    f"units exceeds capacity {capacity:g}"
+                ),
+                code="shed",
+            ))
+        if root is not None:
+            root.event("shed", shed=len(shed), admitted=len(admitted),
+                       demand=demand, capacity=float(capacity))
+        return admitted, (floor if admitted else budget_flops)
 
     def _record_breaker(self, event: Optional[str]) -> None:
         if event is not None:
@@ -1004,6 +1184,9 @@ class RetrievalService:
         if response.deadline_hits:
             metrics.counter("deadline.degraded_queries").inc(
                 response.deadline_hits)
+        if response.budget_hits:
+            metrics.counter("budget.degraded_queries").inc(
+                response.budget_hits)
         metrics.observe_pruning(response.stats)
         if response.timings is not None:
             metrics.record_stage_timings(response.timings)

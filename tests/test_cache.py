@@ -445,3 +445,97 @@ def test_cli_serve_no_warm_start_flag():
         ["serve", "--cache-capacity", "4", "--no-warm-start"])
     assert args.cache_capacity == 4
     assert args.warm_start is False
+
+
+# ----------------------------------------------------------------------
+# budget interaction (DESIGN.md §2.13): truncated results are never
+# cached, and warm starts never corrupt a budgeted scan
+# ----------------------------------------------------------------------
+
+def test_store_rejects_budget_truncated_results():
+    items, queries = make_mf_like(200, 10, seed=73)
+    index = FexiproIndex(items)
+    result = index.query(queries[0], 4)
+    cache = QueryCache(8)
+    result.stats.budget_exhausted = 1
+    assert not cache.store(index, queries[0], 4, result, range(4))
+    assert cache.stores == 0 and len(cache) == 0
+    result.stats.budget_exhausted = 0
+    assert cache.store(index, queries[0], 4, result, range(4))
+
+
+def test_budget_mode_service_never_caches_truncated_results():
+    items, queries = make_mf_like(600, 16, seed=21)
+    index = FexiproIndex(items, variant="F-SIR")
+    config = ServiceConfig(workers=1, cache_capacity=32,
+                           deadline_policy="budget",
+                           budget_flops=100 * 16.0)
+    with RetrievalService(index, config) as service:
+        first = service.batch(queries[:6], k=5)
+        second = service.batch(queries[:6], k=5)
+        snapshot = service.metrics_snapshot()
+    complete = sum(1 for r in first.results if r.complete)
+    assert first.budget_hits >= 1
+    assert first.budget_hits + complete == 6
+    # Only the queries that finished inside their budget were stored;
+    # truncated answers are never cached, so the rerun re-scans them.
+    assert snapshot["cache"]["size"] == complete
+    assert second.cache_hits == complete
+    for p, r in zip(second.provenance, first.results):
+        assert p == ("hit" if r.complete else "cold")
+
+
+def test_infinite_budget_results_are_cached_and_warm_startable():
+    items, queries = make_mf_like(600, 16, seed=21)
+    index = FexiproIndex(items, variant="F-SIR")
+    truth_big = [index.query(q, 9) for q in queries[:6]]
+    truth_small = [index.query(q, 4) for q in queries[:6]]
+    config = ServiceConfig(workers=1, cache_capacity=32,
+                           deadline_policy="budget",
+                           budget_flops=math.inf)
+    with RetrievalService(index, config) as service:
+        first = service.batch(queries[:6], k=9)
+        hot = service.batch(queries[:6], k=9)
+        warm = service.batch(queries[:6], k=4)
+    assert first.complete and first.budget_hits == 0
+    assert all(p == "hit" for p in hot.provenance)
+    assert all(p == "warm" for p in warm.provenance)
+    for truth, a, b in zip(truth_big, first.results, hot.results):
+        _assert_bitwise(truth, a)
+        _assert_bitwise(truth, b)
+    for truth, got in zip(truth_small, warm.results):
+        _assert_bitwise(truth, got)
+
+
+def test_warm_start_with_finite_budget_stays_exact_and_certified():
+    """Warm seeds + a finite budget: every returned score is exact, and
+    no unreturned item beats the certified band, even though the seeded
+    threshold may exclude prefix items a cold budgeted scan would keep.
+    """
+    items, queries = make_mf_like(600, 16, seed=21)
+    index = FexiproIndex(items, variant="F-SIR")
+    cache = QueryCache(64)
+    # Fill the cache with complete k=9 answers through an unbudgeted
+    # service sharing the same external cache.
+    with RetrievalService(index, ServiceConfig(workers=1),
+                          cache=cache) as filler:
+        filler.batch(queries[:6], k=9)
+    assert len(cache) == 6
+    config = ServiceConfig(workers=1, deadline_policy="budget",
+                           budget_flops=120 * 16.0)
+    with RetrievalService(index, config, cache=cache) as service:
+        warm = service.batch(queries[:6], k=4)
+    assert warm.budget_hits >= 1
+    assert all(p in ("warm", "hit") for p in warm.provenance)
+    for qi, result in enumerate(warm.results):
+        scores = items @ queries[qi]
+        for item_id, score in zip(result.ids, result.scores):
+            assert score == pytest.approx(float(scores[item_id]),
+                                          rel=1e-9, abs=1e-12)
+        if result.bounds is None:
+            continue  # served straight from the cache, complete by proof
+        ceiling = max(result.bounds.kth_lower, result.bounds.tail_upper)
+        returned = set(result.ids)
+        for item_id in range(len(items)):
+            if item_id not in returned:
+                assert float(scores[item_id]) <= ceiling + 1e-9

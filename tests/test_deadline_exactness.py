@@ -271,3 +271,53 @@ def test_degraded_service_result_is_exact_prefix_topk(sharded):
         oracle_ids, oracle_scores = oracle_topk(plain, qs, positions)
         assert [plain.order[p] for p in oracle_ids] == list(result.ids)
         assert oracle_scores == list(result.scores)
+
+
+# ----------------------------------------------------------------------
+# deadline x budget: whichever trigger fires first, the degraded result
+# is still the exact top-k of the scanned prefix (DESIGN.md §2.13)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("fire_after", [1, 3, 10_000])
+@pytest.mark.parametrize("items_budget", [30, 200, 10_000])
+def test_deadline_and_budget_combined_is_exact_prefix_topk(fire_after,
+                                                           items_budget):
+    from repro.core.budget import FlopBudget
+    from repro.serve.resilience import Deadline
+
+    index, queries = make_index("F-SIR")
+    coordinate_budget = items_budget * index.d
+    for q in queries[:3]:
+        qs = index._prepare_query(q)
+        deadline = Deadline(1.0, clock=PollClock(fire_after))
+        buffer, stats = scan_blocked(
+            index, qs, K, BLOCK_SIZE,
+            options=ScanOptions(deadline=deadline,
+                                budget=FlopBudget(coordinate_budget)))
+        prefix = set(range(stats.scanned))
+        assert buffer.items_and_scores() == oracle_topk(index, qs, prefix)
+        # The two triggers stop the same loop; at most one claims the stop.
+        assert stats.deadline_hit + stats.budget_exhausted <= 1
+        if items_budget >= index.n and fire_after == 10_000:
+            assert stats.deadline_hit == 0
+            assert stats.budget_exhausted == 0
+        elif items_budget < 200 and fire_after == 10_000:
+            assert stats.budget_exhausted == 1
+
+
+def test_budget_fires_before_late_deadline_and_band_attaches():
+    """With a loose deadline and a tight budget, the budget claims the
+    stop and the query path still certifies the band."""
+    from repro.core.budget import FlopBudget
+    from repro.serve.resilience import Deadline
+
+    index, queries = make_index("F-SIR")
+    result = index.query(
+        queries[0], K,
+        options=ScanOptions(deadline=Deadline(math.inf),
+                            budget=FlopBudget(50 * index.d)))
+    assert result.stats.budget_exhausted == 1
+    assert result.stats.deadline_hit == 0
+    assert not result.complete
+    assert result.bounds is not None
+    assert result.bounds.lower == tuple(result.scores)
