@@ -1,0 +1,223 @@
+"""Live-catalog benchmark: mutation latency, churn throughput, compaction.
+
+PR 9 adds streaming updates: ``add_items`` lands rows in a brute-force
+delta tier, ``remove_items`` tombstones, and compaction folds both back
+into the preprocessed base by re-running Algorithm 3.  This bench pins
+the three numbers that decide whether the design holds:
+
+1. **Is a write O(delta), not O(rebuild)?**  The p50 ``add_items``
+   latency for a small batch is measured against the cost of folding the
+   same catalog (one compaction = one full Algorithm 3 rebuild).  The
+   ratio is the point of the delta tier; it is gated with an absolute
+   floor so a future change that sneaks preprocessing onto the write
+   path fails loudly.
+
+2. **Do results stay exact under churn?**  An interleaved add / remove /
+   query schedule runs against all three scan engines at once; every
+   query must be bitwise identical across engines and match a NumPy
+   brute-force oracle over the visible catalog.  ``identical`` is a
+   hard gate at 1.0.
+
+3. **What does a dirty catalog cost the read path?**  p50 query latency
+   with a populated delta tier versus the same catalog after compaction,
+   plus compaction throughput (visible rows folded per second).
+
+Machine-readable output lands in ``results/BENCH_updates.json`` (CI
+uploads ``BENCH_*.json`` artifacts and ``check_regression.py`` gates on
+them).
+"""
+
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro import FexiproIndex
+from repro.analysis import report
+
+QUICK = os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+N_ITEMS = 4_000 if QUICK else 30_000
+N_QUERIES = 16 if QUICK else 64
+D = 64
+K = 10
+DELTA_BATCH = 64
+ADD_ROUNDS = 8 if QUICK else 24
+CHURN_STEPS = 6 if QUICK else 18
+ENGINES = ("reference", "blocked", "gemm")
+#: ``add_items`` must beat a rebuild by at least this factor (per row
+#: appended vs per row folded, the gap is orders of magnitude; the gate
+#: is deliberately loose so slow CI hosts never flake it).
+ADD_SPEEDUP_FLOOR = 10.0
+
+
+def _workload():
+    rng = np.random.default_rng(2017)
+    spectrum = np.exp(-0.08 * np.arange(D))
+    items = rng.normal(size=(N_ITEMS, D)) * spectrum
+    items *= rng.lognormal(0.0, 0.4, size=(N_ITEMS, 1)) * 0.3
+    queries = rng.normal(size=(N_QUERIES, D)) * spectrum * 0.3
+    deltas = rng.normal(size=(ADD_ROUNDS * DELTA_BATCH, D)) * spectrum * 0.3
+    return items, queries, deltas
+
+
+def _p50_query_latency(index, queries):
+    samples = []
+    for q in queries:
+        started = time.perf_counter()
+        index.query(q, K)
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def _oracle_checks(indexes, live, queries):
+    """Every engine agrees bitwise and matches the brute-force oracle."""
+    ids = sorted(live)
+    matrix = np.stack([live[i] for i in ids])
+    ok = True
+    for q in queries:
+        results = [index.query(q, K) for index in indexes]
+        first = results[0]
+        for other in results[1:]:
+            if other.ids != first.ids or other.scores != first.scores:
+                ok = False
+        truth = np.sort(matrix @ q)[::-1][: min(K, len(ids))]
+        if not np.allclose(first.scores, truth, atol=1e-8):
+            ok = False
+    return ok
+
+
+def test_update_latency_churn_and_compaction(benchmark, sink):
+    items, queries, deltas = _workload()
+
+    # --- add latency vs rebuild ---------------------------------------
+    index = FexiproIndex(items, variant="F-SIR")
+
+    def measure_adds():
+        samples = []
+        for round_no in range(ADD_ROUNDS):
+            batch = deltas[round_no * DELTA_BATCH:
+                           (round_no + 1) * DELTA_BATCH]
+            started = time.perf_counter()
+            index.add_items(batch)
+            samples.append(time.perf_counter() - started)
+        return samples
+
+    add_samples = benchmark.pedantic(measure_adds, rounds=1, iterations=1)
+    add_p50 = statistics.median(add_samples)
+    add_max = max(add_samples)
+
+    dirty_p50 = _p50_query_latency(index, queries)
+
+    # Compaction folds the whole delta tier: one full Algorithm 3 rebuild
+    # over the visible catalog.  This is the cost a naive write path
+    # would pay on *every* mutation.
+    folded = index._live.visible_count
+    started = time.perf_counter()
+    assert index.compact()
+    rebuild_seconds = time.perf_counter() - started
+    assert index._live.clean
+
+    clean_p50 = _p50_query_latency(index, queries)
+    add_speedup = rebuild_seconds / add_p50 if add_p50 else float("inf")
+    dirty_overhead = (dirty_p50 - clean_p50) / clean_p50 \
+        if clean_p50 else 0.0
+
+    # --- interleaved churn across engines -----------------------------
+    rng = np.random.default_rng(7)
+    indexes = [FexiproIndex(items, variant="F-SIR", engine=engine)
+               for engine in ENGINES]
+    live = {i: items[i] for i in range(N_ITEMS)}
+    identical = True
+    mutations = 0
+    churn_queries = 0
+    started = time.perf_counter()
+    for step in range(CHURN_STEPS):
+        batch = rng.normal(scale=0.3, size=(DELTA_BATCH // 2, D))
+        for index in indexes:
+            new_ids = index.add_items(batch)
+        for new_id, row in zip(new_ids, batch):
+            live[new_id] = row
+        victims = rng.choice(sorted(live), size=DELTA_BATCH // 4,
+                             replace=False).tolist()
+        for index in indexes:
+            removed = index.remove_items(victims)
+        assert removed == len(victims)
+        for v in victims:
+            del live[int(v)]
+        mutations += len(batch) + len(victims)
+        if step == CHURN_STEPS // 2:
+            for index in indexes:
+                assert index.compact()
+        sample = queries[:4]
+        identical = _oracle_checks(indexes, live, sample) and identical
+        churn_queries += len(sample) * len(indexes)
+    churn_seconds = time.perf_counter() - started
+    mutation_rate = mutations * len(indexes) / churn_seconds
+
+    cores = os.cpu_count() or 1
+    with sink.section("updates") as out:
+        report.print_header(
+            f"Live-catalog updates ({N_ITEMS} items x {D} dims, "
+            f"{ADD_ROUNDS} batches of {DELTA_BATCH} rows, k={K})",
+            f"host cores: {cores}" + (" [quick mode]" if QUICK else ""),
+            out=out,
+        )
+        report.print_table(
+            ["operation", "latency", "note"],
+            [["add_items p50 (batch)", f"{1e3 * add_p50:.4f} ms",
+              f"{DELTA_BATCH} rows, O(delta)"],
+             ["add_items max (batch)", f"{1e3 * add_max:.4f} ms", ""],
+             ["compaction (= rebuild)", f"{1e3 * rebuild_seconds:.2f} ms",
+              f"{folded} rows folded"],
+             ["add vs rebuild", f"{add_speedup:.0f}x",
+              f"floor {ADD_SPEEDUP_FLOOR:.0f}x"]],
+            out=out,
+        )
+        report.print_table(
+            ["read path", "p50 query latency (ms)", "vs clean"],
+            [["dirty (delta tier populated)", round(1e3 * dirty_p50, 4),
+              f"{dirty_overhead:+.2%}"],
+             ["clean (after compaction)", round(1e3 * clean_p50, 4), "-"]],
+            out=out,
+        )
+        report.print_table(
+            ["churn schedule", "value"],
+            [["engines in lockstep", ", ".join(ENGINES)],
+             ["mutations applied", mutations * len(indexes)],
+             ["mutations / second", f"{mutation_rate:.0f}"],
+             ["queries under churn", churn_queries],
+             ["bitwise identical + exact", identical]],
+            out=out,
+        )
+
+    sink.write_json("BENCH_updates", {
+        "bench": "updates",
+        "quick": QUICK,
+        "host_cores": cores,
+        "workload": {"n_items": N_ITEMS, "n_queries": N_QUERIES, "d": D,
+                     "k": K, "delta_batch": DELTA_BATCH,
+                     "add_rounds": ADD_ROUNDS, "churn_steps": CHURN_STEPS},
+        "add_p50_seconds": add_p50,
+        "add_max_seconds": add_max,
+        "rebuild_seconds": rebuild_seconds,
+        "rows_folded": folded,
+        "add_vs_rebuild_speedup": add_speedup,
+        "add_speedup_floor": ADD_SPEEDUP_FLOOR,
+        "dirty_query_p50_seconds": dirty_p50,
+        "clean_query_p50_seconds": clean_p50,
+        "dirty_overhead_fraction": dirty_overhead,
+        "identical": identical,
+        "mutations_per_second": mutation_rate,
+        "compaction_rows_per_second": folded / rebuild_seconds
+        if rebuild_seconds else 0.0,
+    })
+
+    # The structural contracts hold regardless of machine speed.
+    assert identical, "engines disagreed or drifted from the oracle"
+    assert add_speedup >= ADD_SPEEDUP_FLOOR, (
+        f"add_items p50 {add_p50*1e3:.3f}ms is within "
+        f"{add_speedup:.1f}x of a full rebuild "
+        f"({rebuild_seconds*1e3:.1f}ms) — writes are no longer O(delta)"
+    )

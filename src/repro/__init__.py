@@ -60,6 +60,7 @@ from .core import (
     topk_exact,
 )
 from .core.budget import FlopBudget, ResultBounds
+from .core.delta import LiveCatalog
 from .exceptions import (
     BudgetExhaustedError,
     DeadlineExceededError,
@@ -84,8 +85,8 @@ from .obs import (
     render_prometheus,
 )
 from .recommender import Recommender
-from .serve import BatchResponse, MetricsRegistry, RetrievalService, \
-    ServiceConfig
+from .serve import BatchResponse, Compactor, MetricsRegistry, \
+    RetrievalService, ServiceConfig
 from .api import CostModel, Fexipro
 
 __version__ = "1.1.0"
@@ -93,6 +94,7 @@ __version__ = "1.1.0"
 __all__ = [
     "BatchResponse",
     "BudgetExhaustedError",
+    "Compactor",
     "CostModel",
     "DEFAULT_E",
     "DEFAULT_RHO",
@@ -105,6 +107,7 @@ __all__ = [
     "FlopBudget",
     "IndexIntegrityError",
     "JsonLinesSink",
+    "LiveCatalog",
     "MetricsRegistry",
     "MetricsServer",
     "NotPreprocessedError",

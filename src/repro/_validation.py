@@ -63,10 +63,15 @@ def check_k(k: int, n: int) -> int:
     """Validate the result-list size ``k`` against the collection size ``n``.
 
     ``k`` larger than ``n`` is clamped (a recommender asked for more items
-    than exist simply returns everything), but non-positive ``k`` is an error.
+    than exist simply returns everything), but non-positive ``k`` is an
+    error — except ``k == 0`` against an empty collection, so clamping is
+    idempotent: a live catalog whose every item was removed clamps any
+    request to 0, and layered entry points may re-validate that value.
     """
     if not isinstance(k, (int, np.integer)):
         raise ValidationError(f"k must be an integer; got {type(k).__name__}")
+    if k == 0 and n == 0:
+        return 0
     if k <= 0:
         raise ValidationError(f"k must be positive; got {k}")
     return int(min(k, n))

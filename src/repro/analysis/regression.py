@@ -258,6 +258,20 @@ DEFAULT_SPECS: Dict[str, Tuple[MetricSpec, ...]] = {
         MetricSpec("adaptive_within_best_min", "higher", 0.5, gate=False),
         MetricSpec("adaptive_seconds_total", "lower", 0.5, gate=False),
     ),
+    "updates": (
+        # Exactness under churn (bitwise across engines + oracle match)
+        # and the O(delta) write contract are hard gates; the speedup
+        # ratio is same-host (add p50 vs rebuild measured in one run) so
+        # it survives hardware changes that demote raw seconds.
+        MetricSpec("identical", "higher", 0.0, abs_floor=1.0),
+        MetricSpec("add_vs_rebuild_speedup", "higher", 0.5,
+                   abs_floor=10.0),
+        MetricSpec("mutations_per_second", "higher", 0.25),
+        MetricSpec("add_p50_seconds", "lower", 0.5, gate=False),
+        MetricSpec("dirty_overhead_fraction", "lower", 0.5, gate=False),
+        MetricSpec("compaction_rows_per_second", "higher", 0.5,
+                   gate=False),
+    ),
     "mp": (
         # Bitwise identity across executors is the hard gate; the
         # process-vs-serial speedup is judged run-over-run (CI runners

@@ -26,10 +26,11 @@ top-level ``repro`` namespace) is what the API-surface snapshot test and
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 from .analysis.cost_model import CostModel
 from .core.budget import FlopBudget, ResultBounds
+from .core.delta import LiveCatalog
 from .core.index import FexiproIndex
 from .core.options import ScanOptions
 from .core.sharded import ShardedFexiproIndex
@@ -57,6 +58,7 @@ from .obs import (
     explain_query,
     render_prometheus,
 )
+from .serve.compactor import Compactor
 from .serve.config import ServiceConfig
 from .serve.metrics import MetricsRegistry
 from .serve.service import BatchResponse, RetrievalService
@@ -64,6 +66,7 @@ from .serve.service import BatchResponse, RetrievalService
 __all__ = [
     "BatchResponse",
     "BudgetExhaustedError",
+    "Compactor",
     "CostModel",
     "DeadlineExceededError",
     "DimensionMismatchError",
@@ -73,6 +76,7 @@ __all__ = [
     "FlopBudget",
     "IndexIntegrityError",
     "JsonLinesSink",
+    "LiveCatalog",
     "MetricsRegistry",
     "MetricsServer",
     "NotPreprocessedError",
@@ -243,6 +247,41 @@ class Fexipro:
         """The calibrated engine cost model (``None`` before first fit)."""
         inner = self.index.index if self.sharded else self.index
         return inner.cost_model
+
+    # -- live catalog --------------------------------------------------
+
+    def add_items(self, new_items) -> List[int]:
+        """Append rows to the live catalog; returns their assigned ids.
+
+        ``O(delta)`` — writes land in the brute-force delta tier and are
+        visible to the next query atomically; no rebuild runs until
+        :meth:`compact`.  Results stay exact throughout.
+        """
+        return self.index.add_items(new_items)
+
+    def remove_items(self, ids) -> int:
+        """Tombstone items by id; returns how many were actually removed.
+
+        Idempotent; removing every item leaves an empty catalog whose
+        queries return well-formed empty results.
+        """
+        return self.index.remove_items(ids)
+
+    def compact(self) -> bool:
+        """Fold the delta tier and tombstones into the base tier now.
+
+        Re-runs Algorithm 3 preprocessing over the visible catalog and
+        swaps the fresh snapshot atomically; returns whether there was
+        anything to fold.  Serving deployments normally leave this to the
+        background compactor (``ServiceConfig.compaction_interval_s``).
+        """
+        return self.index.compact()
+
+    @property
+    def pending_mutations(self) -> int:
+        """Delta rows plus tombstones awaiting the next compaction."""
+        inner = self.index.index if self.sharded else self.index
+        return inner._live.pending_mutations
 
     # -- introspection -------------------------------------------------
 

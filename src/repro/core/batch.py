@@ -47,15 +47,20 @@ def batch_retrieve(index: FexiproIndex, queries, k: int = 10,
     the whole matrix.  Each result's ``elapsed`` covers its own scan (the
     shared preparation is not attributed to individual queries).
     """
-    queries = as_query_matrix(queries, index.d)
-    k = check_k(k, index.n)
-    states = prepare_query_states(index, queries)
+    # One snapshot for the whole batch: preparation and every scan share
+    # a single frozen catalog even if writes or a compaction land mid-batch.
+    snap = index._live
+    queries = as_query_matrix(queries, snap.d)
+    k = check_k(k, snap.visible_count)
+    if k == 0:
+        return [RetrievalResult() for __ in queries]
+    states = prepare_query_states(snap, queries)
     results: List[RetrievalResult] = []
     for state in states:
         started = time.perf_counter()
-        buffer, stats = index._scan(state, k)
+        buffer, stats = index._scan(state, k, snapshot=snap)
         elapsed = time.perf_counter() - started
-        results.append(assemble_result(index.order,
+        results.append(assemble_result(snap.full_order,
                                        *buffer.items_and_scores(),
                                        stats, elapsed))
     return results

@@ -19,6 +19,7 @@ Example
 
 from __future__ import annotations
 
+import threading
 import time
 import uuid
 from dataclasses import dataclass
@@ -34,8 +35,16 @@ from .._validation import (
     safe_norm,
     safe_row_norms,
 )
-from ..exceptions import EmptyIndexError, ValidationError
+from ..exceptions import ValidationError
 from .blocked import DEFAULT_BLOCK_SIZE, scan_blocked
+from .delta import (
+    LiveCatalog,
+    catalog_bounds,
+    compacted_live,
+    effective_k,
+    finish_catalog_above,
+    finish_catalog_scan,
+)
 from .options import ScanOptions, _UNSET, resolve_scan_options
 from .reduction import MonotoneQuery, MonotoneReduction
 from .scaling import DEFAULT_E, ScaledItems, ScaledQuery
@@ -61,6 +70,11 @@ class QueryState:
     q_bar_tail_norm: float
     scaled: Optional[ScaledQuery]
     monotone: Optional[MonotoneQuery]
+    #: The raw (untransformed) query vector.  The delta tier of a live
+    #: catalog stores raw rows — no SVD basis exists for rows appended
+    #: after the build — so its brute-force scan needs the original
+    #: query to form exact products (:func:`repro.core.delta.scan_delta`).
+    q: Optional[np.ndarray] = None
 
 
 def prepare_query_states(index: "FexiproIndex",
@@ -84,6 +98,11 @@ def prepare_query_states(index: "FexiproIndex",
     ``(m, d) @ (d, d)`` transform here would silently break the exactness
     contract between ``batch_retrieve`` and ``index.query`` — only the
     validation is batched.
+
+    ``index`` may be either a :class:`FexiproIndex` or a captured
+    :class:`~repro.core.delta.LiveCatalog` snapshot; callers that go on
+    to scan should prepare against the *same* snapshot they scan, so a
+    compaction landing in between cannot mix two SVD bases.
     """
     queries = as_query_matrix(queries, index.d)
     states: List[QueryState] = []
@@ -101,6 +120,7 @@ def prepare_query_states(index: "FexiproIndex",
             q_bar_tail_norm=q_bar_tail_norm,
             scaled=scaled,
             monotone=monotone,
+            q=np.ascontiguousarray(row, dtype=np.float64),
         ))
     return states
 
@@ -178,65 +198,167 @@ class FexiproIndex:
         # pickled with the index so saved calibrations survive reload.
         self.cost_model = None
 
+        # Live-catalog locks: mutators (add/remove and the compaction
+        # swap) serialize on ``_mutate_lock``; at most one compaction
+        # rebuild runs at a time under ``_compact_lock``.  Queries take
+        # neither — they capture ``self._live`` once and scan a frozen
+        # snapshot.
+        self._mutate_lock = threading.Lock()
+        self._compact_lock = threading.Lock()
+
         started = time.perf_counter()
         items = as_item_matrix(items)
-        self._preprocess(items, np.arange(items.shape[0], dtype=np.int64))
+        built = self._build_base(
+            items, np.arange(items.shape[0], dtype=np.int64))
+        self._live = LiveCatalog(
+            uid=self.uid, variant=self.variant.name,
+            block_size=self.block_size,
+            epoch=0, catalog_version=0, state_version=0,
+            order=built["order"], items_sorted=built["items_sorted"],
+            norms_sorted=built["norms_sorted"],
+            transform=built["transform"], w=built["w"],
+            items_bar=built["items_bar"],
+            bar_tail_norms=built["bar_tail_norms"],
+            scaled=built["scaled"], reduction=built["reduction"],
+        )
         self._next_id = items.shape[0]
         self.preprocess_time = time.perf_counter() - started
 
-    def _preprocess(self, items: np.ndarray,
-                    external_ids: np.ndarray) -> None:
-        """Algorithm 3: full preprocessing over ``items``.
+    def _build_base(self, items: np.ndarray,
+                    external_ids: np.ndarray) -> dict:
+        """Algorithm 3: full preprocessing over ``items`` (pure builder).
 
         ``external_ids[i]`` is the id reported in query results for row
-        ``i`` of ``items`` — ``arange(n)`` at construction, but updates
-        (:meth:`add_items` / :meth:`remove_items`) keep ids stable across
-        internal rebuilds.
+        ``i`` of ``items`` — ``arange(n)`` at construction; compaction
+        feeds the surviving ids back through so ids stay stable across
+        rebuilds.  Returns the preprocessed arrays as a dict (plus
+        ``perm``, the sorted-position → input-row permutation the
+        compaction swap needs) without touching ``self`` — the caller
+        installs the result atomically as a new
+        :class:`~repro.core.delta.LiveCatalog` snapshot.
         """
-        # Every (re)build is a new epoch: anything derived from the old
-        # sorted positions or contents (result caches, warm-start seeds)
-        # must be invalidated.  ``(uid, epoch)`` together form the identity
-        # token consumed by :mod:`repro.serve.cache`.
-        self.epoch = getattr(self, "epoch", -1) + 1
-        self.n, self.d = items.shape
+        n, d = items.shape
 
         # Algorithm 3, Line 2: sort by original length, descending.
         # (Underflow-safe norms: the Cauchy-Schwarz cut must never see a
         # norm rounded down to 0 for a denormal-but-nonzero vector.)
         norms = safe_row_norms(items)
         positions = np.argsort(-norms, kind="stable")
-        self.order = external_ids[positions]
-        self.items_sorted = np.ascontiguousarray(items[positions])
-        self.norms_sorted = np.ascontiguousarray(norms[positions])
+        items_sorted = np.ascontiguousarray(items[positions])
 
         # Algorithm 3, Line 3: thin SVD (or the energy reorder for F-I).
         if self.variant.use_svd:
-            self.transform: SVDTransform = fit_svd(self.items_sorted,
-                                                   self.rho)
+            transform: SVDTransform = fit_svd(items_sorted, self.rho)
         else:
-            self.transform = identity_transform(self.items_sorted, self.rho)
-        self.w = self.transform.w
-        self.items_bar = self.transform.items
+            transform = identity_transform(items_sorted, self.rho)
+        w = transform.w
+        items_bar = transform.items
 
         # Residual norms ||p_bar_h|| for incremental pruning (Eq. 1).
-        self.bar_tail_norms = safe_row_norms(self.items_bar[:, self.w:]) \
-            if self.w < self.d else np.zeros(self.n)
+        bar_tail_norms = safe_row_norms(items_bar[:, w:]) \
+            if w < d else np.zeros(n)
 
         # Algorithm 3, Line 8: split scaling + integer approximations.
-        self.scaled: Optional[ScaledItems] = None
+        scaled: Optional[ScaledItems] = None
         if self.variant.use_integer:
-            self.scaled = ScaledItems(
-                self.items_bar, self.w, self.e,
+            scaled = ScaledItems(
+                items_bar, w, self.e,
                 split=self.split_scaling,
                 storage_dtype=self.integer_storage_dtype,
             )
 
         # Algorithm 3, Line 9: monotonicity reduction constants.
-        self.reduction: Optional[MonotoneReduction] = None
+        reduction: Optional[MonotoneReduction] = None
         if self.variant.use_reduction:
-            self.reduction = MonotoneReduction(
-                self.items_bar, self.transform.sigma, self.w
-            )
+            reduction = MonotoneReduction(items_bar, transform.sigma, w)
+
+        return {
+            "order": external_ids[positions],
+            "perm": positions,
+            "items_sorted": items_sorted,
+            "norms_sorted": np.ascontiguousarray(norms[positions]),
+            "transform": transform,
+            "w": w,
+            "items_bar": items_bar,
+            "bar_tail_norms": bar_tail_norms,
+            "scaled": scaled,
+            "reduction": reduction,
+        }
+
+    # ------------------------------------------------------------------
+    # Snapshot delegation
+    # ------------------------------------------------------------------
+    # The index publishes its whole catalog state as one immutable
+    # ``LiveCatalog`` reference; these read-only properties keep the
+    # historical flat-attribute API working (engines, tests, tooling all
+    # read ``index.items_bar`` etc.).  Each property read re-resolves
+    # ``self._live``, so *consistent multi-attribute* use must capture
+    # the snapshot once (as every query path in this library does).
+
+    @property
+    def n(self) -> int:
+        """Visible catalog size: base plus delta, minus tombstones."""
+        return self._live.visible_count
+
+    @property
+    def n_base(self) -> int:
+        """Rows in the preprocessed base tier (the engines' scan extent)."""
+        return self._live.n
+
+    @property
+    def d(self) -> int:
+        return self._live.d
+
+    @property
+    def epoch(self) -> int:
+        """Bumps when the preprocessed basis changes (build/compaction)."""
+        return self._live.epoch
+
+    @property
+    def catalog_version(self) -> int:
+        """Bumps on every visible-content change; preserved by compaction."""
+        return self._live.catalog_version
+
+    @property
+    def state_version(self) -> int:
+        """Bumps on every snapshot swap of any kind (replica identity)."""
+        return self._live.state_version
+
+    @property
+    def order(self) -> np.ndarray:
+        return self._live.order
+
+    @property
+    def items_sorted(self) -> np.ndarray:
+        return self._live.items_sorted
+
+    @property
+    def norms_sorted(self) -> np.ndarray:
+        return self._live.norms_sorted
+
+    @property
+    def transform(self):
+        return self._live.transform
+
+    @property
+    def w(self) -> int:
+        return self._live.w
+
+    @property
+    def items_bar(self) -> np.ndarray:
+        return self._live.items_bar
+
+    @property
+    def bar_tail_norms(self) -> np.ndarray:
+        return self._live.bar_tail_norms
+
+    @property
+    def scaled(self) -> Optional[ScaledItems]:
+        return self._live.scaled
+
+    @property
+    def reduction(self) -> Optional[MonotoneReduction]:
+        return self._live.reduction
 
     # ------------------------------------------------------------------
     # Query API
@@ -253,21 +375,26 @@ class FexiproIndex:
         per-call behaviour — deadline, warm-start threshold, timings, span
         — to the engine; the default runs a plain cold scan.
         """
-        q = as_query_vector(query, self.d)
-        k = check_k(k, self.n)
+        snap = self._live
+        q = as_query_vector(query, snap.d)
+        k = check_k(k, snap.visible_count)
         started = time.perf_counter()
-        qs = self._prepare_query(q)
-        buffer, stats = self._scan(qs, k, options=options)
+        if k == 0:
+            # Every item tombstoned: a well-formed empty result (the
+            # live-catalog analogue of querying an empty corpus).
+            return _empty_result(started, budgeted=options is not None
+                                 and options.budget is not None)
+        qs = self._prepare_query(q, snapshot=snap)
+        buffer, stats = self._scan(qs, k, options=options, snapshot=snap)
         elapsed = time.perf_counter() - started
         if options is not None and options.budget is not None:
-            from .budget import certified_bounds
-
             positions, scores = buffer.items_and_scores()
-            bounds = certified_bounds(qs.q_norm, self.norms_sorted, scores,
-                                      [(0, self.n, stats.scanned)])
-            return assemble_result(self.order, positions, scores,
+            bounds = catalog_bounds(snap, qs.q_norm, scores,
+                                    [(0, snap.n, stats.scanned)],
+                                    stats.delta_scanned)
+            return assemble_result(snap.full_order, positions, scores,
                                    stats, elapsed, bounds=bounds)
-        return assemble_result(self.order, *buffer.items_and_scores(),
+        return assemble_result(snap.full_order, *buffer.items_and_scores(),
                                stats, elapsed)
 
     def explain(self, query, k: int = 10, *, tracer=None,
@@ -307,116 +434,88 @@ class FexiproIndex:
         """
         from .above import scan_above
 
-        q = as_query_vector(query, self.d)
+        snap = self._live
+        q = as_query_vector(query, snap.d)
         started = time.perf_counter()
-        qs = self._prepare_query(q)
-        positions, scores, stats = scan_above(self, qs, float(threshold))
+        qs = self._prepare_query(q, snapshot=snap)
+        positions, scores, stats = scan_above(snap, qs, float(threshold))
+        if not snap.clean:
+            positions, scores = finish_catalog_above(
+                snap, qs, positions, scores, stats, float(threshold))
         elapsed = time.perf_counter() - started
-        return assemble_result(self.order, positions, scores, stats, elapsed)
+        return assemble_result(snap.full_order, positions, scores, stats,
+                               elapsed)
 
     # ------------------------------------------------------------------
     # Dynamic updates
     # ------------------------------------------------------------------
 
     def add_items(self, new_items) -> List[int]:
-        """Add item vectors to the index; returns their assigned ids.
+        """Add item vectors to the live catalog; returns their assigned ids.
 
         New ids continue from the construction count (and past removals),
-        so existing ids never change.  A fast incremental path projects the
-        new rows into the existing SVD basis — exactness is preserved as
-        long as the rows are representable there (checked by reconstruction
-        error) and, for reduction variants, their transformed norms stay
-        within the fitted bound ``b``.  When either check fails, the index
-        transparently re-runs full preprocessing (Algorithm 3).
+        so existing ids never change.  Writes land in the mutable delta
+        tier — an ``O(delta)`` array append, never a rebuild — and become
+        visible to the next query atomically.  Delta rows are scanned
+        brute-force (exact by construction) until a :meth:`compact`
+        folds them into the preprocessed base tier.
         """
         rows = as_item_matrix(new_items, name="new_items")
         if rows.shape[1] != self.d:
             raise ValidationError(
                 f"new items have {rows.shape[1]} dims, index has {self.d}"
             )
-        ids = list(range(self._next_id, self._next_id + rows.shape[0]))
-        self._next_id += rows.shape[0]
-        id_array = np.asarray(ids, dtype=np.int64)
-
-        if not self._try_incremental_add(rows, id_array):
-            combined = np.concatenate([self.items_sorted, rows], axis=0)
-            external = np.concatenate([self.order, id_array])
-            self._preprocess(combined, external)
+        with self._mutate_lock:
+            ids = list(range(self._next_id, self._next_id + rows.shape[0]))
+            self._next_id += rows.shape[0]
+            self._live = self._live.with_appended(
+                rows, np.asarray(ids, dtype=np.int64))
         return ids
-
-    def _try_incremental_add(self, rows: np.ndarray,
-                             ids: np.ndarray) -> bool:
-        """Attempt the stale-basis fast path; returns False to request rebuild."""
-        sigma = self.transform.sigma
-        if float(sigma.min()) <= 1e-12 * max(float(sigma.max()), 1.0):
-            return False  # basis cannot represent new directions reliably
-        rows_bar = (rows @ self.transform.u) / sigma
-        # Exactness guard: q_bar . p_bar == q . p for all q requires the
-        # rows to be reconstructible from the fitted basis.
-        reconstructed = (rows_bar * sigma) @ self.transform.u.T
-        scale = np.maximum(np.linalg.norm(rows, axis=1), 1.0)
-        error = np.linalg.norm(reconstructed - rows, axis=1) / scale
-        if float(error.max()) > 1e-8:
-            return False
-        norms_bar_sq = np.einsum("ij,ij->i", rows_bar, rows_bar)
-        if self.reduction is not None and \
-                float(norms_bar_sq.max()) > self.reduction.b_sq:
-            return False  # Lemma 1's b would be violated
-        if self.scaled is not None and not self.scaled.can_store(rows_bar):
-            return False  # narrow integer storage would overflow
-
-        norms = safe_row_norms(rows)
-        # Keep the length-descending order: sort new rows, then locate
-        # insertion points against the existing (descending) norms.
-        new_order = np.argsort(-norms, kind="stable")
-        rows, rows_bar = rows[new_order], rows_bar[new_order]
-        norms, ids = norms[new_order], ids[new_order]
-        positions = np.searchsorted(-self.norms_sorted, -norms, side="left")
-
-        self.items_sorted = np.insert(self.items_sorted, positions, rows,
-                                      axis=0)
-        self.norms_sorted = np.insert(self.norms_sorted, positions, norms)
-        self.order = np.insert(self.order, positions, ids)
-        self.items_bar = np.insert(self.items_bar, positions, rows_bar,
-                                   axis=0)
-        tail = rows_bar[:, self.w:]
-        self.bar_tail_norms = np.insert(
-            self.bar_tail_norms, positions,
-            np.sqrt(np.einsum("ij,ij->i", tail, tail)),
-        )
-        if self.scaled is not None:
-            self.scaled.insert(rows_bar, positions)
-        if self.reduction is not None:
-            self.reduction.insert(rows_bar, positions)
-        self.n += rows.shape[0]
-        self.epoch += 1  # positions shifted: cached results are stale
-        return True
 
     def remove_items(self, ids) -> int:
         """Remove items by id; returns how many were actually removed.
 
-        Unknown ids are ignored (idempotent deletes).  Removing every item
-        raises :class:`~repro.exceptions.EmptyIndexError` and leaves the
-        index unchanged.
+        Unknown (or already-removed) ids are ignored, making deletes
+        idempotent.  Removal writes a tombstone mask over the base and
+        delta tiers — ``O(catalog)`` mask work, no rebuild — and the next
+        :meth:`compact` reclaims the space.  Removing every item is
+        legal: the catalog is then empty and queries return well-formed
+        empty results until new items arrive.
         """
-        wanted = np.unique(np.asarray(list(ids), dtype=np.int64))
-        positions = np.nonzero(np.isin(self.order, wanted))[0]
-        if positions.size == 0:
-            return 0
-        if positions.size >= self.n:
-            raise EmptyIndexError("removing every item from the index")
-        self.items_sorted = np.delete(self.items_sorted, positions, axis=0)
-        self.norms_sorted = np.delete(self.norms_sorted, positions)
-        self.order = np.delete(self.order, positions)
-        self.items_bar = np.delete(self.items_bar, positions, axis=0)
-        self.bar_tail_norms = np.delete(self.bar_tail_norms, positions)
-        if self.scaled is not None:
-            self.scaled.delete(positions)
-        if self.reduction is not None:
-            self.reduction.delete(positions)
-        self.n -= positions.size
-        self.epoch += 1  # membership changed: cached results are stale
-        return int(positions.size)
+        with self._mutate_lock:
+            live, removed = self._live.with_tombstones(ids)
+            if removed:
+                self._live = live
+        return removed
+
+    def compact(self) -> bool:
+        """Fold the delta tier and tombstones back into the base tier.
+
+        Re-runs Algorithm 3 preprocessing over the currently visible
+        rows *outside* the mutation lock (writes keep landing while the
+        rebuild runs), then atomically swaps in the new snapshot —
+        replaying, positionally, any adds/removes that raced the rebuild
+        into the fresh delta tier.  Queries in flight keep their old
+        snapshot; new queries see the compacted catalog.  The visible
+        catalog is unchanged by construction, so ``catalog_version`` is
+        preserved (cached results stay servable) while ``epoch`` bumps
+        (warm-start positions bound to the old basis are dropped).
+
+        Returns ``True`` if a compaction ran, ``False`` if there was
+        nothing to compact (clean catalog, or every item tombstoned —
+        an empty corpus has no base to rebuild).  Thread-safe; at most
+        one compaction runs at a time.
+        """
+        with self._compact_lock:
+            live0 = self._live
+            if live0.clean or live0.visible_count == 0:
+                return False
+            rows, ids, sources = live0.visible_rows()
+            built = self._build_base(rows, ids)
+            with self._mutate_lock:
+                self._live = compacted_live(live0, self._live, built,
+                                            sources)
+        return True
 
     # ------------------------------------------------------------------
     # Persistence
@@ -458,13 +557,17 @@ class FexiproIndex:
     # Internals
     # ------------------------------------------------------------------
 
-    def _prepare_query(self, q: np.ndarray) -> QueryState:
+    def _prepare_query(self, q: np.ndarray, *,
+                       snapshot: Optional[LiveCatalog] = None) -> QueryState:
         """Lines 2–9 of Algorithm 4, via the shared batch implementation.
 
         Delegates to :func:`prepare_query_states` with a one-row matrix so
-        single-query and batch preparation can never diverge.
+        single-query and batch preparation can never diverge.  Pass the
+        ``snapshot`` the caller intends to scan so preparation and scan
+        share one SVD basis even if a compaction lands in between.
         """
-        return prepare_query_states(self, q.reshape(1, -1))[0]
+        target = self._live if snapshot is None else snapshot
+        return prepare_query_states(target, q.reshape(1, -1))[0]
 
     def calibrate(self, **kwargs):
         """Run the cost-model measurement pass now and attach the result.
@@ -498,7 +601,8 @@ class FexiproIndex:
     def _scan(self, qs: QueryState, k: int, timings=_UNSET, deadline=_UNSET,
               initial_threshold=_UNSET,
               options: Optional[ScanOptions] = None, *,
-              engine: Optional[str] = None):
+              engine: Optional[str] = None,
+              snapshot: Optional[LiveCatalog] = None):
         """Dispatch one prepared query to the configured engine.
 
         Per-call behaviour (timings, deadline, warm-start threshold, span)
@@ -515,10 +619,19 @@ class FexiproIndex:
         :meth:`plan_engine` and feeds the scan's observed cost back into
         the model.  Results are engine-independent (bitwise), so the
         override can never change an answer.
+
+        ``snapshot`` pins the :class:`~repro.core.delta.LiveCatalog` to
+        scan (defaults to the current one).  On a clean snapshot this is
+        exactly the historical base-tier scan; with pending mutations the
+        base engine runs at the inflated capacity
+        :func:`~repro.core.delta.effective_k`, the delta tier is scanned
+        brute-force into the same buffer, and tombstones are masked out
+        — see DESIGN §2.14 for the exactness argument.
         """
         opts = resolve_scan_options(options, "FexiproIndex._scan",
                                     timings=timings, deadline=deadline,
                                     initial_threshold=initial_threshold)
+        snap = self._live if snapshot is None else snapshot
         engine = self.engine if engine is None else engine
         if engine not in _ENGINES:
             raise ValidationError(
@@ -527,23 +640,84 @@ class FexiproIndex:
         if engine == "auto":
             engine, __ = self.plan_engine()
             tick = time.perf_counter()
-            buffer, stats = self._scan(qs, k, options=opts, engine=engine)
+            buffer, stats = self._scan(qs, k, options=opts, engine=engine,
+                                       snapshot=snap)
             self.cost_model.observe(engine, stats,
                                     time.perf_counter() - tick)
             return buffer, stats
+        k_eff = effective_k(snap, k)
         if engine == "reference":
-            return scan_reference(self, qs, k, options=opts)
-        if engine == "gemm":
+            buffer, stats = scan_reference(snap, qs, k_eff, options=opts)
+        elif engine == "gemm":
             from .gemm import scan_gemm
 
-            return scan_gemm(self, qs, k, options=opts)
-        return scan_blocked(self, qs, k, self.block_size, options=opts)
+            buffer, stats = scan_gemm(snap, qs, k_eff, options=opts)
+        else:
+            buffer, stats = scan_blocked(snap, qs, k_eff, self.block_size,
+                                         options=opts)
+        if snap.clean:
+            return buffer, stats
+        return finish_catalog_scan(snap, qs, k, buffer, stats, opts)
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Locks are process-local; a loaded/replicated index gets fresh
+        # ones.  Everything else — including the whole ``_live``
+        # snapshot, delta tier and tombstones — rides along.
+        state.pop("_mutate_lock", None)
+        state.pop("_compact_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        live = state.pop("_live", None)
+        if live is None:
+            # Legacy pickle (pre-live-catalog flat layout): lift the base
+            # arrays into a clean snapshot.  The flat names are popped so
+            # they do not linger in ``__dict__`` underneath the
+            # read-only properties that replaced them.
+            live = LiveCatalog(
+                uid=state.get("uid") or uuid.uuid4().hex,
+                variant=getattr(state.get("variant"), "name", "?"),
+                block_size=state.get("block_size", DEFAULT_BLOCK_SIZE),
+                epoch=state.pop("epoch", 0),
+                catalog_version=0, state_version=0,
+                order=state.pop("order"),
+                items_sorted=state.pop("items_sorted"),
+                norms_sorted=state.pop("norms_sorted"),
+                transform=state.pop("transform"),
+                w=state.pop("w"),
+                items_bar=state.pop("items_bar"),
+                bar_tail_norms=state.pop("bar_tail_norms"),
+                scaled=state.pop("scaled", None),
+                reduction=state.pop("reduction", None),
+            )
+            state.pop("n", None)
+            state.pop("d", None)
+        self.__dict__.update(state)
+        self._live = live
+        self._mutate_lock = threading.Lock()
+        self._compact_lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"FexiproIndex(variant={self.variant.name!r}, n={self.n}, "
             f"d={self.d}, w={self.w}, engine={self.engine!r})"
         )
+
+
+def _empty_result(started: float, *, budgeted: bool) -> RetrievalResult:
+    """A well-formed empty answer for an empty visible catalog."""
+    bounds = None
+    if budgeted:
+        from .budget import ResultBounds
+
+        bounds = ResultBounds(lower=(), tail_upper=float("-inf"))
+    return RetrievalResult(elapsed=time.perf_counter() - started,
+                           bounds=bounds)
 
 
 def topk_exact(items, query, k: int,

@@ -76,21 +76,27 @@ PAGE = 4096
 
 
 def identity_token(obj):
-    """The ``(uid, epoch)`` identity of a saveable index, or ``None``.
+    """The ``(uid, state_version)`` identity of a saveable index, or ``None``.
 
     A :class:`~repro.core.index.FexiproIndex` carries both directly; a
     :class:`~repro.core.sharded.ShardedFexiproIndex` inherits its inner
-    index's identity.  Objects without one (foreign types in tests) save
-    with a ``None`` token and simply cannot participate in staleness
-    checks.
+    index's identity.  ``state_version`` bumps on *every* catalog state
+    swap — appends, tombstones and compactions alike — so a replica
+    attached to an older save is recognized as stale even when the SVD
+    basis (``epoch``) has not changed.  Pre-live-catalog objects without
+    a ``state_version`` fall back to ``epoch`` (their only version
+    counter); objects with neither (foreign types in tests) save with a
+    ``None`` token and simply cannot participate in staleness checks.
     """
     target = obj if getattr(obj, "uid", None) is not None \
         else getattr(obj, "index", None)
     uid = getattr(target, "uid", None)
-    epoch = getattr(target, "epoch", None)
-    if isinstance(uid, str) and isinstance(epoch, int) \
-            and not isinstance(epoch, bool):
-        return (uid, epoch)
+    version = getattr(target, "state_version", None)
+    if version is None:
+        version = getattr(target, "epoch", None)
+    if isinstance(uid, str) and isinstance(version, int) \
+            and not isinstance(version, bool):
+        return (uid, version)
     return None
 
 
@@ -148,16 +154,24 @@ def save_checksummed(path, kind: str, obj, *,
 def _save_mmap(path, kind: str, obj) -> None:
     """Write ``obj`` to ``path`` in the page-aligned format-3 layout."""
     meta, buffers = _dump_out_of_band(obj)
+    # The payload digest covers the data region byte-for-byte — every
+    # buffer *and* the zero padding aligning it — so a flip anywhere in
+    # the region fails verification, even between buffers.  (Small
+    # live-catalog arrays at the tail of the table make padding a real
+    # fraction of the tail bytes.)
     digest = hashlib.sha256(meta)
     table = []
     offset = 0
+    end = 0
     data_nbytes = 0
     for buf in buffers:
         view = memoryview(buf)
+        digest.update(b"\0" * (offset - end))
         digest.update(view)
         table.append((offset, view.nbytes))
-        data_nbytes = offset + view.nbytes
-        offset = _align(offset + view.nbytes)
+        end = offset + view.nbytes
+        data_nbytes = end
+        offset = _align(end)
     header = {
         "format": MMAP_FORMAT,
         "kind": kind,
@@ -297,21 +311,35 @@ def _load_mmap_verified(handle, path, head):
     meta = handle.read(meta_nbytes)
     _verify_meta(path, meta, meta_nbytes, meta_sha)
     data_start = _align(meta_start + meta_nbytes)
+    gap = handle.read(data_start - (meta_start + meta_nbytes))
+    if gap.count(0) != len(gap):
+        raise IndexIntegrityError(
+            path, "padding between meta and data region is not zeroed"
+        )
+    # Stream the data region sequentially — padding included, mirroring
+    # the save-side digest — so every byte of the region is verified.
     digest = hashlib.sha256(meta)
     buffers = []
+    cursor = 0
     for off, nbytes in table:
-        handle.seek(data_start + off)
+        if off < cursor:
+            raise IndexIntegrityError(
+                path, f"buffer table overlaps at offset {off}"
+            )
+        pad = handle.read(off - cursor)
         buf = handle.read(nbytes)
-        if len(buf) != nbytes:
+        if len(pad) != off - cursor or len(buf) != nbytes:
             raise IndexIntegrityError(
                 path,
                 f"buffer at offset {off} is {len(buf)} bytes, table "
                 f"promises {nbytes} (truncated)",
             )
+        digest.update(pad)
         digest.update(buf)
         # bytearray, not bytes: a fully loaded index owns writable
         # arrays, exactly like a format-2 load.
         buffers.append(bytearray(buf))
+        cursor = off + nbytes
     if digest.hexdigest() != sha256:
         raise IndexIntegrityError(
             path,

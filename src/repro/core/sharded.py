@@ -61,7 +61,14 @@ from .. import _faultsites
 from .._validation import as_query_vector, check_k
 from ..exceptions import ValidationError
 from .blocked import scan_blocked
-from .index import FexiproIndex, QueryState
+from .delta import (
+    LiveCatalog,
+    apply_tombstones,
+    catalog_bounds,
+    effective_k,
+    scan_delta,
+)
+from .index import FexiproIndex, QueryState, _empty_result
 from .options import ScanOptions, _UNSET, resolve_scan_options
 from .stats import (
     PruningStats,
@@ -210,7 +217,20 @@ def scan_shard_span(index: FexiproIndex, qs: QueryState, k: int,
     (:func:`repro.core.gemm.scan_gemm`).  Both return bitwise-identical
     buffers over the same span, so the planner may choose per shard
     without affecting the merged result.
+
+    ``index`` may be a :class:`FexiproIndex` (worker processes attach a
+    whole replica) or a captured :class:`~repro.core.delta.LiveCatalog`
+    snapshot (the in-process fan-out).  A span starting at or past the
+    base extent is the live catalog's **delta pseudo-span**, scanned
+    brute-force by :func:`~repro.core.delta.scan_delta` under the same
+    shared-threshold/deadline/budget discipline.
     """
+    snap = getattr(index, "_live", index)
+    if start >= snap.n and stop > start:
+        return _scan_delta_span(snap, qs, k, shard_id, start, stop,
+                                shared=shared, seed=seed,
+                                deadline=deadline, span=span,
+                                options=options)
     if seed is None:
         seed = shared.value
     if start >= stop:
@@ -232,7 +252,7 @@ def scan_shard_span(index: FexiproIndex, qs: QueryState, k: int,
         if span is not None:
             span.set(outcome="budget", start=start, stop=stop).end()
         return TopKBuffer(k), stats, seed, "budget"
-    if qs.q_norm * float(index.norms_sorted[start]) <= seed:
+    if qs.q_norm * float(snap.norms_sorted[start]) <= seed:
         # Cauchy-Schwarz at shard granularity: no item in this shard can
         # beat a threshold already achieved by k collected results.  The
         # whole band dies unscanned.
@@ -250,12 +270,12 @@ def scan_shard_span(index: FexiproIndex, qs: QueryState, k: int,
             from .gemm import scan_gemm
 
             buffer, stats = scan_gemm(
-                index, qs, k,
+                snap, qs, k,
                 start=start, stop=stop, options=shard_options,
             )
         else:
             buffer, stats = scan_blocked(
-                index, qs, k, index.block_size,
+                snap, qs, k, snap.block_size,
                 start=start, stop=stop, options=shard_options,
             )
     shared.offer(buffer.threshold)
@@ -263,6 +283,38 @@ def scan_shard_span(index: FexiproIndex, qs: QueryState, k: int,
         span.set(outcome="scanned",
                  offered_threshold=buffer.threshold).end()
     return buffer, stats, seed, "scanned"
+
+
+def _scan_delta_span(snap: LiveCatalog, qs: QueryState, k: int,
+                     shard_id: int, start: int, stop: int, *,
+                     shared, seed: Optional[float], deadline, span,
+                     options: Optional[ScanOptions]):
+    """The delta pseudo-span body of :func:`scan_shard_span`.
+
+    Runs the brute-force delta scan with the same shared-threshold,
+    deadline and budget plumbing as a base shard; a whole-tier
+    Cauchy–Schwarz skip is reported as ``shards_skipped`` exactly like a
+    skipped length band.  Delta accounting lands in the ``delta_*``
+    counters, never in ``n_items``/``scanned`` (the base cascade's
+    balance invariants stay intact).
+    """
+    if seed is None:
+        seed = shared.value
+    budget = options.budget if options is not None else None
+    with _faultsites.tagged(f"shard={shard_id}"):
+        buffer, stats, outcome = scan_delta(
+            snap, qs, k, seed=seed, shared=shared, deadline=deadline,
+            budget=budget)
+    if outcome == "skipped":
+        stats.shards_skipped = 1
+    if span is not None:
+        if outcome == "scanned":
+            span.set(outcome="scanned", delta=True,
+                     offered_threshold=buffer.threshold).end()
+        else:
+            span.set(outcome=outcome, delta=True, start=start,
+                     stop=stop).end()
+    return buffer, stats, seed, outcome
 
 
 class ShardedFexiproIndex:
@@ -368,7 +420,13 @@ class ShardedFexiproIndex:
 
     @property
     def n(self) -> int:
+        """Visible catalog size (base plus delta, minus tombstones)."""
         return self.index.n
+
+    @property
+    def n_base(self) -> int:
+        """Rows in the preprocessed base tier (the shardable extent)."""
+        return self.index.n_base
 
     @property
     def d(self) -> int:
@@ -380,16 +438,25 @@ class ShardedFexiproIndex:
 
     @property
     def spans(self) -> List[Tuple[int, int]]:
-        """Current shard spans (recomputed from ``n``, so updates are safe)."""
-        return shard_spans(self.index.n, self.n_shards)
+        """Current *base* shard spans (recomputed, so updates are safe).
+
+        The delta tier, when non-empty, rides as one extra pseudo-span
+        ``(n_base, n_base + delta_count)`` appended at scan time — it is
+        not part of this property because it is not a length band.
+        """
+        return shard_spans(self.index.n_base, self.n_shards)
 
     def add_items(self, new_items) -> List[int]:
-        """Delegate to the inner index; spans follow the new ``n``."""
+        """Delegate to the inner index; the delta tier absorbs the write."""
         return self.index.add_items(new_items)
 
     def remove_items(self, ids) -> int:
-        """Delegate to the inner index; spans follow the new ``n``."""
+        """Delegate to the inner index (tombstone masks, no rebuild)."""
         return self.index.remove_items(ids)
+
+    def compact(self) -> bool:
+        """Delegate to :meth:`FexiproIndex.compact`; spans follow the swap."""
+        return self.index.compact()
 
     # ------------------------------------------------------------------
     # Query API
@@ -412,28 +479,37 @@ class ShardedFexiproIndex:
         options: Optional[ScanOptions] = None,
     ) -> Tuple[RetrievalResult, List[ShardScanReport]]:
         """Like :meth:`query`, also returning per-shard scan reports."""
-        q = as_query_vector(query, self.index.d)
-        k = check_k(k, self.index.n)
+        snap = self.index._live
+        q = as_query_vector(query, snap.d)
+        k = check_k(k, snap.visible_count)
         started = time.perf_counter()
-        qs = self.index._prepare_query(q)
+        if k == 0:
+            return _empty_result(
+                started,
+                budgeted=options is not None and options.budget is not None,
+            ), []
+        qs = self.index._prepare_query(q, snapshot=snap)
         buffer, total, reports, scan_timings = self._scan_sharded(
             qs, k, pool=pool, collect_timings=timings is not None,
-            options=options,
+            options=options, snapshot=snap,
         )
         if timings is not None and scan_timings is not None:
             timings.merge(scan_timings)
         elapsed = time.perf_counter() - started
         if options is not None and options.budget is not None:
-            from .budget import certified_bounds
-
             positions, scores = buffer.items_and_scores()
-            bounds = certified_bounds(
-                qs.q_norm, self.index.norms_sorted, scores,
-                [(r.span[0], r.span[1], r.stats.scanned) for r in reports])
-            result = assemble_result(self.index.order, positions, scores,
+            # The delta pseudo-span is not a length band, so its report
+            # cannot index ``norms_sorted``; its tail cap rides through
+            # the suffix-max bound inside ``catalog_bounds`` instead.
+            bounds = catalog_bounds(
+                snap, qs.q_norm, scores,
+                [(r.span[0], r.span[1], r.stats.scanned)
+                 for r in reports if r.span[0] < snap.n],
+                total.delta_scanned)
+            result = assemble_result(snap.full_order, positions, scores,
                                      total, elapsed, bounds=bounds)
         else:
-            result = assemble_result(self.index.order,
+            result = assemble_result(snap.full_order,
                                      *buffer.items_and_scores(),
                                      total, elapsed)
         return result, reports
@@ -466,7 +542,8 @@ class ShardedFexiproIndex:
                       collect_timings: bool = False, deadline=_UNSET,
                       initial_threshold=_UNSET,
                       options: Optional[ScanOptions] = None,
-                      engine: Optional[str] = None):
+                      engine: Optional[str] = None,
+                      snapshot: Optional[LiveCatalog] = None):
         """Fan one prepared query out over the shards and merge exactly.
 
         Returns ``(merged_buffer, total_stats, reports, timings)``.  The
@@ -510,7 +587,8 @@ class ShardedFexiproIndex:
         deadline = opts.deadline
         trace_span = opts.span
         index = self.index
-        spans = self.spans
+        snap = index._live if snapshot is None else snapshot
+        spans = self._catalog_spans(snap)
         if engine is None:
             engine = index.engine
         # The planner resolves "auto" once per query, *before* the
@@ -523,11 +601,20 @@ class ShardedFexiproIndex:
         started = time.perf_counter() if planned else 0.0
         budget = opts.budget
         budgeted = budget is not None and math.isfinite(budget.total)
+        # The base engine collects at the inflated capacity so tombstone
+        # masking can never leave fewer than k alive survivors.
+        k_eff = effective_k(snap, k)
         if pool is None and engine == "blocked" and not budgeted:
             procpool = self._maybe_procpool(opts)
             if procpool is not None:
-                return self._scan_sharded_process(
-                    procpool, qs, k, opts, collect_timings)
+                out = self._scan_sharded_process(
+                    procpool, qs, k, opts, collect_timings, snap, spans)
+                if out is not None:
+                    return out
+                # Replica publication raced a concurrent mutation (its
+                # token no longer matches this scan's snapshot): fall
+                # back to the in-process fan-out over the captured
+                # snapshot rather than scan someone else's catalog.
         shared = SharedThreshold(opts.initial_threshold)
         if trace_span is not None:
             trace_span.set(mode="sharded", shards=len(spans),
@@ -542,7 +629,7 @@ class ShardedFexiproIndex:
                 "scan.shard", shard=shard_id, seeded_threshold=seed,
             ) if trace_span is not None else None
             buffer, stats, seed, __ = scan_shard_span(
-                index, qs, k, shard_id, start, stop,
+                snap, qs, k_eff, shard_id, start, stop,
                 shared=shared, seed=seed, deadline=deadline,
                 timings=shard_timings, span=shard_span, options=opts,
                 engine=engine,
@@ -564,7 +651,7 @@ class ShardedFexiproIndex:
             outputs = self._resolve_pool(pool).map(run_shard,
                                                    list(enumerate(spans)))
 
-        merged = TopKBuffer(k)
+        merged = TopKBuffer(k_eff)
         total = PruningStats()
         timings = StageTimings() if collect_timings else None
         reports: List[ShardScanReport] = []
@@ -575,18 +662,24 @@ class ShardedFexiproIndex:
                                            seeded_threshold=seed))
             if timings is not None and shard_timings is not None:
                 timings.merge(shard_timings)
+        if snap.base_dead_count:
+            merged, masked = apply_tombstones(snap, merged, k)
+            total.tombstones_masked += masked
         if trace_span is not None:
             trace_span.event("merge", threshold=merged.threshold,
                              shards_skipped=total.shards_skipped,
                              deadline_hit=total.deadline_hit,
-                             budget_exhausted=total.budget_exhausted)
+                             budget_exhausted=total.budget_exhausted,
+                             tombstones_masked=total.tombstones_masked)
         if planned and index.cost_model is not None:
             index.cost_model.observe(
                 engine, total, time.perf_counter() - started)
         return merged, total, reports, timings
 
     def _scan_sharded_process(self, procpool, qs: QueryState, k: int,
-                              opts: ScanOptions, collect_timings: bool):
+                              opts: ScanOptions, collect_timings: bool,
+                              snap: LiveCatalog,
+                              spans: List[Tuple[int, int]]):
         """The multi-process twin of the in-process fan-out below.
 
         The workers attach the published replica of :attr:`index` and run
@@ -597,18 +690,25 @@ class ShardedFexiproIndex:
         to the serial and thread paths.  Trace spans are reconstructed
         post-hoc from the per-shard outcomes (a worker process cannot
         write into the parent's tracer ring).
+
+        Returns ``None`` when the published replica does not match this
+        scan's captured snapshot (a mutation landed between the snapshot
+        capture and replica publication) — the caller then falls back to
+        the in-process fan-out over the snapshot it actually holds.
         """
-        spans = self.spans
         trace_span = opts.span
+        handle = procpool.ensure_replica(self.index)
+        if tuple(handle.token) != (snap.uid, snap.state_version):
+            return None
         if trace_span is not None:
             trace_span.set(mode="sharded", shards=len(spans),
                            initial_threshold=float(opts.initial_threshold),
                            executor="process")
-        handle = procpool.ensure_replica(self.index)
+        k_eff = effective_k(snap, k)
         outputs = procpool.run_shards(
-            handle, qs, k, spans, seed=float(opts.initial_threshold),
+            handle, qs, k_eff, spans, seed=float(opts.initial_threshold),
             deadline=opts.deadline, collect=collect_timings)
-        merged = TopKBuffer(k)
+        merged = TopKBuffer(k_eff)
         total = PruningStats()
         timings = StageTimings() if collect_timings else None
         reports: List[ShardScanReport] = []
@@ -631,11 +731,28 @@ class ShardedFexiproIndex:
                 else:
                     child.set(outcome=outcome, start=span[0], stop=span[1])
                 child.end()
+        if snap.base_dead_count:
+            merged, masked = apply_tombstones(snap, merged, k)
+            total.tombstones_masked += masked
         if trace_span is not None:
             trace_span.event("merge", threshold=merged.threshold,
                              shards_skipped=total.shards_skipped,
-                             deadline_hit=total.deadline_hit)
+                             deadline_hit=total.deadline_hit,
+                             tombstones_masked=total.tombstones_masked)
         return merged, total, reports, timings
+
+    def _catalog_spans(self, snap: LiveCatalog) -> List[Tuple[int, int]]:
+        """The scan spans of one snapshot: base length bands + delta tail.
+
+        The live catalog's mutable tail rides as one extra pseudo-span
+        after the base bands (positions ``[n_base, n_base + delta_count)``);
+        :func:`scan_shard_span` dispatches it to the brute-force delta
+        scan.  Omitted when every delta row is tombstoned.
+        """
+        spans = shard_spans(snap.n, self.n_shards)
+        if snap.delta_count and snap.delta_alive_count:
+            spans = spans + [(snap.n, snap.n + snap.delta_count)]
+        return spans
 
     def _maybe_procpool(self, opts: ScanOptions):
         """The process pool to fan out on, or ``None`` for in-process.

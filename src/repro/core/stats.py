@@ -55,6 +55,14 @@ class PruningStats:
       scan, like ``deadline_hit``).  Same exact-prefix degradation
       contract, with a certified band on the unseen tail attached to the
       result (:attr:`RetrievalResult.bounds`).
+    - ``delta_items`` / ``delta_scanned``: alive delta-tier rows
+      considered for this query and how many the brute-force delta scan
+      actually visited (see :mod:`repro.core.delta`).  These sit
+      *outside* the base pruning cascade — ``n_items``/``scanned`` keep
+      their base-tier meaning, so the cascade balance invariants of
+      :class:`repro.obs.explain.QueryExplanation` are unchanged.
+    - ``tombstones_masked``: candidates dropped by the tombstone mask
+      during the final replay of a live-catalog scan.
     """
 
     n_items: int = 0
@@ -68,6 +76,9 @@ class PruningStats:
     shards_skipped: int = 0
     deadline_hit: int = 0
     budget_exhausted: int = 0
+    delta_items: int = 0
+    delta_scanned: int = 0
+    tombstones_masked: int = 0
 
     def merge(self, other: "PruningStats") -> None:
         """Accumulate another query's counters into this record (in place)."""

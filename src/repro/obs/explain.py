@@ -229,6 +229,12 @@ class QueryExplanation:
                 f"{account.stage:<16} {account.entered:>10} "
                 f"{account.pruned:>10} {account.survived:>10} {cell:>10}"
             )
+        stats = self.result.stats
+        if stats.delta_items or stats.tombstones_masked:
+            lines.append(
+                f"delta: items={stats.delta_items} "
+                f"scanned={stats.delta_scanned} "
+                f"tombstones_masked={stats.tombstones_masked}")
         if not self.result.complete:
             trigger = ("budget" if self.result.stats.budget_exhausted
                        else "deadline")
@@ -277,7 +283,8 @@ def _threshold_trajectory(spans: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
 def explain_query(index, query, k: int = 10, *,
                   tracer: Optional[Tracer] = None,
                   options: Optional[ScanOptions] = None,
-                  provenance: str = "cold") -> QueryExplanation:
+                  provenance: str = "cold",
+                  snapshot=None) -> QueryExplanation:
     """Run one query fully instrumented and account for every rule.
 
     Works for both the plain :class:`~repro.core.index.FexiproIndex`
@@ -286,21 +293,47 @@ def explain_query(index, query, k: int = 10, *,
     the presence of ``_scan_sharded``.  ``options`` carries warm-start
     seeds / deadlines to reproduce a serving configuration; ``tracer``
     defaults to a fresh always-sampling one whose spans end up in
-    ``explanation.spans``.
+    ``explanation.spans``.  ``snapshot`` pins the live-catalog snapshot
+    to explain against (the serving layer passes the one its cache seed
+    was computed on); by default the current snapshot is captured once
+    and used throughout, so the account stays consistent even when
+    writers or a compaction race the explanation.
 
     The returned explanation is :meth:`~QueryExplanation.verify`-ed before
     it is handed back: the per-rule candidate counts provably sum to the
-    scan's pruning counters.
+    scan's pruning counters.  The base cascade chain balances exactly as
+    before — delta-tier work (``delta_items``/``delta_scanned``) and
+    tombstone masking sit outside it, reported through the counters and
+    the formatted account's ``delta:`` line.
     """
     from .._validation import as_query_vector, check_k
 
     sharded = hasattr(index, "_scan_sharded")
     inner = index.index if sharded else index
-    q = as_query_vector(query, inner.d)
-    k = check_k(k, inner.n)
+    snap = inner._live if snapshot is None else snapshot
+    q = as_query_vector(query, snap.d)
+    k = check_k(k, snap.visible_count)
     if tracer is None:
         tracer = Tracer(sample_rate=1.0)
     opts = options if options is not None else ScanOptions()
+    if k == 0:
+        # Every visible item has been removed: nothing to scan, nothing
+        # to account — a well-formed empty explanation.
+        result = RetrievalResult()
+        explanation = QueryExplanation(
+            k=0,
+            variant=inner.variant.name,
+            engine=inner.engine,
+            mode="sharded" if sharded else "single",
+            result=result,
+            stages=stage_accounts(result.stats),
+            rule_seconds=StageTimings().as_dict(),
+            thresholds=[],
+            provenance=provenance,
+            initial_threshold=float(opts.initial_threshold),
+        )
+        explanation.verify()
+        return explanation
 
     # Resolve an "auto" engine here, through the same cost model serving
     # uses, so the explanation reports the engine that actually ran and
@@ -325,7 +358,7 @@ def explain_query(index, query, k: int = 10, *,
 
     prep_span = root.child("prepare") if root is not None else None
     tick = perf_counter()
-    qs = inner._prepare_query(q)
+    qs = inner._prepare_query(q, snapshot=snap)
     timings.prepare = perf_counter() - tick
     if prep_span is not None:
         prep_span.end()
@@ -336,7 +369,7 @@ def explain_query(index, query, k: int = 10, *,
         buffer, stats, reports, scan_timings = index._scan_sharded(
             qs, k, collect_timings=True,
             options=opts.replace(timings=None, span=scan_span),
-            engine=engine_override,
+            engine=engine_override, snapshot=snap,
         )
         if scan_timings is not None:
             timings.merge(scan_timings)
@@ -344,6 +377,7 @@ def explain_query(index, query, k: int = 10, *,
             {
                 "shard": i,
                 "span": list(report.span),
+                "delta": report.span[0] >= snap.n,
                 "seeded_threshold": report.seeded_threshold,
                 "skipped": report.skipped,
                 "deadline_hit": bool(report.stats.deadline_hit),
@@ -360,7 +394,7 @@ def explain_query(index, query, k: int = 10, *,
         scan_span = root.child("scan") if root is not None else None
         buffer, stats = inner._scan(
             qs, k, options=opts.replace(timings=timings, span=scan_span),
-            engine=engine_override)
+            engine=engine_override, snapshot=snap)
         engine = engine_override or inner.engine
         mode = "single"
     if scan_span is not None:
@@ -371,20 +405,21 @@ def explain_query(index, query, k: int = 10, *,
 
     bounds = None
     if opts.budget is not None:
-        from ..core.budget import certified_bounds
+        from ..core.delta import catalog_bounds
 
         positions, scores = buffer.items_and_scores()
         if sharded:
             segments = [(r.span[0], r.span[1], r.stats.scanned)
-                        for r in reports]
+                        for r in reports if r.span[0] < snap.n]
         else:
-            segments = [(0, inner.n, stats.scanned)]
-        bounds = certified_bounds(qs.q_norm, inner.norms_sorted, scores,
-                                  segments)
-        result = assemble_result(inner.order, positions, scores, stats,
+            segments = [(0, snap.n, stats.scanned)]
+        bounds = catalog_bounds(snap, qs.q_norm, list(scores), segments,
+                                stats.delta_scanned)
+        result = assemble_result(snap.full_order, positions, scores, stats,
                                  elapsed, bounds=bounds)
     else:
-        result = assemble_result(inner.order, *buffer.items_and_scores(),
+        result = assemble_result(snap.full_order,
+                                 *buffer.items_and_scores(),
                                  stats, elapsed)
     span_dicts = [s.as_dict() for s in tracer.spans
                   if root is not None and s.trace_id == root.trace_id]

@@ -48,6 +48,7 @@ Quickstart::
 """
 
 from .cache import CacheEntry, CacheLookup, QueryCache
+from .compactor import Compactor
 from .config import ServiceConfig, default_workers
 from .executor import WorkerPool, chunk_spans, resolve_chunk_size
 from .faults import FaultInjector, FaultRule
@@ -76,6 +77,7 @@ __all__ = [
     "CacheEntry",
     "CacheLookup",
     "CircuitBreaker",
+    "Compactor",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "Deadline",

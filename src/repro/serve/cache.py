@@ -6,15 +6,20 @@ that skew into served work saved, without ever surrendering FEXIPRO's
 exactness guarantee.  Two mechanisms, in decreasing order of payoff:
 
 **Exact result reuse.**  A query whose canonical fingerprint, ``k`` and
-index epoch all match a cached entry is answered straight from the cache —
-the returned :class:`~repro.core.stats.RetrievalResult` is a copy of the
-one the original scan produced, so ids and scores are bitwise identical by
-construction.  Safety comes from *epoch binding*: every entry records the
-``(uid, epoch)`` of the index that produced it, and
-:class:`~repro.core.index.FexiproIndex` bumps its ``epoch`` on every
-rebuild, ``add_items`` and ``remove_items``.  A stale entry is therefore
-structurally unservable — it is dropped (and counted) at lookup, never
-returned.
+catalog content all match a cached entry is answered straight from the
+cache — the returned :class:`~repro.core.stats.RetrievalResult` is a copy
+of the one the original scan produced, so ids and scores are bitwise
+identical by construction.  Safety comes from *catalog binding*: every
+entry records the ``(uid, catalog_version)`` of the catalog snapshot that
+produced it, and the live catalog (:mod:`repro.core.delta`) bumps
+``catalog_version`` on every ``add_items`` / ``remove_items`` — while a
+*compaction*, which only re-expresses the same visible items in a fresh
+SVD basis, preserves it.  An exact hit therefore **survives compaction**:
+the visible catalog is unchanged, the cached answer is still the exact
+top-k, and serving the old bitwise result is correct even though a fresh
+scan would now round differently at the ulp level.  A genuinely stale
+entry (content changed) is structurally unservable — it is dropped (and
+counted) at lookup, never returned.
 
 **Threshold warm-start.**  A near-hit cannot reuse the cached *answer*,
 but it can reuse the cached *evidence*.  FEXIPRO's pruning cascade is
@@ -40,10 +45,20 @@ admission sequence over surviving items is untouched, so tie-breaking is
 bit-for-bit the cold scan's (property-tested across all variants, both
 engines and the sharded scan, including adversarial duplicates and ties).
 
+Warm starts bind *tighter* than exact hits: besides the catalog token
+they require the entry's ``epoch`` to match the live snapshot's.  A
+compaction refits the SVD basis, so both cached scores (the larger-``k``
+bound) and cached scan positions (the bucket's coordinate system) are
+expressed in the *old* basis — a post-compaction scan rounds the same
+true products differently at the ulp level, and a seed one ulp below an
+old-basis score could land *above* the new-basis k-th value and misprune.
+Epoch binding closes that hole; exact hits are immune because they never
+feed a threshold into a new scan.
+
 The cache itself is a thread-safe LRU with optional TTL.  It is index-
 agnostic: one cache may sit in front of several services, and entries from
-different indexes (or different epochs of the same index) can coexist —
-the epoch token keeps them from ever crossing.
+different indexes (or different catalog versions of the same index) can
+coexist — the token keeps them from ever crossing.
 """
 
 from __future__ import annotations
@@ -121,20 +136,43 @@ def _digest(payload: bytes) -> bytes:
     return hashlib.blake2b(payload, digest_size=16).digest()
 
 
+def _snap(index):
+    """The live catalog snapshot behind ``index`` (or ``index`` itself).
+
+    Cache methods accept either a :class:`~repro.core.index.FexiproIndex`
+    (whose ``_live`` may be swapped by a concurrent writer mid-probe) or
+    an already captured :class:`~repro.core.delta.LiveCatalog` — the
+    serving layer passes its per-batch snapshot so lookup, seeding and
+    store all validate against one frozen catalog state.
+    """
+    return getattr(index, "_live", index)
+
+
+def _variant_name(snap) -> str:
+    """Variant as a string (an enum on the index, already a str on a snap)."""
+    return getattr(snap.variant, "name", snap.variant)
+
+
 @dataclass
 class CacheEntry:
-    """One cached exact answer, bound to the index state that produced it.
+    """One cached exact answer, bound to the catalog state that produced it.
 
-    ``token`` is the producing index's ``(uid, epoch)`` pair; ``positions``
-    are the result items' positions in the index's *length-sorted* order at
-    that epoch (the coordinate system the engines scan in), kept so bucket
-    neighbours can re-score the items without an id → position search.
+    ``token`` is the producing catalog's ``(uid, catalog_version)`` pair —
+    the exact-hit binding, preserved across compaction.  ``epoch`` records
+    the SVD basis the answer was computed in; warm-start reuse (which
+    feeds cached evidence into a *new* scan) additionally requires it to
+    match the live snapshot.  ``positions`` are the result items'
+    positions in that epoch's scan coordinates — base items in
+    length-sorted order, delta items at ``n_base + delta_index`` — kept so
+    bucket neighbours can re-score the items without an id → position
+    search.
     """
 
     key: Tuple
     qkey: Tuple
     bkey: Optional[Tuple]
     token: Tuple[str, int]
+    epoch: int
     qbytes: bytes
     k: int
     result: RetrievalResult
@@ -246,15 +284,20 @@ class QueryCache:
     def lookup(self, index, q: np.ndarray, k: int) -> CacheLookup:
         """Probe the cache for ``(index, q, k)``.
 
-        ``k`` must already be clamped to the index size (the serving layer
-        clamps before probing, so an oversized request and its clamped twin
-        share an entry).  Stale (epoch-mismatched) and expired entries
-        encountered along the way are dropped and counted — a poisoned
-        entry is never served and never seeds anything.
+        ``k`` must already be clamped to the visible catalog size (the
+        serving layer clamps before probing, so an oversized request and
+        its clamped twin share an entry).  Stale (token-mismatched) and
+        expired entries encountered along the way are dropped and counted
+        — a poisoned entry is never served and never seeds anything.
+        Warm-start candidates must *additionally* match the snapshot's
+        ``epoch``: cached evidence is expressed in the basis that computed
+        it, and only an exact hit may cross a compaction.
         """
-        token = (index.uid, index.epoch)
+        index = _snap(index)
+        token = (index.uid, index.catalog_version)
+        epoch = index.epoch
         qbytes = canonical_query_bytes(q)
-        qkey = (index.variant.name, _digest(qbytes))
+        qkey = (_variant_name(index), _digest(qbytes))
         with self._lock:
             entry = self._entries.get((qkey, k))
             if entry is not None and self._usable(entry, token) \
@@ -274,6 +317,7 @@ class QueryCache:
                         continue
                     entry = self._entries.get(ks.get(cached_k))
                     if entry is not None and self._usable(entry, token) \
+                            and entry.epoch == epoch \
                             and entry.qbytes == qbytes:
                         self.warm_hits += 1
                         bound = float(entry.result.scores[k - 1])
@@ -284,12 +328,12 @@ class QueryCache:
             # for this query (needs the prepared query state — deferred to
             # bucket_seed()).
             if self.bucket_decimals is not None:
-                bkey = (index.variant.name,
+                bkey = (_variant_name(index),
                         _digest(bucket_query_bytes(q, self.bucket_decimals)))
                 key = self._by_bucket.get(bkey)
                 entry = self._entries.get(key) if key is not None else None
                 if entry is not None and self._usable(entry, token) \
-                        and entry.k >= k:
+                        and entry.epoch == epoch and entry.k >= k:
                     self.warm_hits += 1
                     return CacheLookup("warm", entry=entry)
             return CacheLookup("miss")
@@ -298,24 +342,33 @@ class QueryCache:
         """A strict lower bound on ``qs``'s true k-th score from a neighbour.
 
         Re-scores the neighbour's cached item positions for the *new*
-        query with the exact split-product formula the engines use
-        (``q_head @ row[:w]`` then ``+ q_tail @ row[w:]``, each rounded
-        through ``float``), so every value is a genuinely achievable score
-        of a real item.  The k-th largest of those is a lower bound on the
+        query with the exact formulas the engines use — base positions via
+        the split product (``q_head @ row[:w]`` then ``+ q_tail @ row[w:]``,
+        each rounded through ``float``), delta-tier positions
+        (``p >= n_base``) via the raw dot product the brute-force delta
+        scan computes — so every value is a genuinely achievable score of
+        a real item.  The k-th largest of those is a lower bound on the
         true k-th score; one ulp below it is a strict one.  Returns
-        ``-inf`` (cold scan) if the entry went stale or names fewer than
-        ``k`` items.
+        ``-inf`` (cold scan) if the entry went stale, was computed in
+        another epoch's basis, or names fewer than ``k`` items.
         """
-        if entry.token != (index.uid, index.epoch) or len(entry.positions) < k:
+        index = _snap(index)
+        if entry.token != (index.uid, index.catalog_version) \
+                or entry.epoch != index.epoch \
+                or len(entry.positions) < k:
             return -math.inf
         items_bar = index.items_bar
+        n_base = items_bar.shape[0]
         w = index.w
         q_head = qs.q_bar[:w]
         q_tail = qs.q_bar[w:]
         scores = []
         for p in entry.positions:
-            v = float(q_head @ items_bar[p, :w])
-            v += float(q_tail @ items_bar[p, w:])
+            if p < n_base:
+                v = float(q_head @ items_bar[p, :w])
+                v += float(q_tail @ items_bar[p, w:])
+            else:
+                v = float(qs.q @ index.delta_items[p - n_base])
             scores.append(v)
         scores.sort(reverse=True)
         return math.nextafter(scores[k - 1], -math.inf)
@@ -335,15 +388,17 @@ class QueryCache:
         """
         if not result.complete or len(result.ids) != k:
             return False
-        token = (index.uid, index.epoch)
+        index = _snap(index)
+        token = (index.uid, index.catalog_version)
         qbytes = canonical_query_bytes(q)
-        qkey = (index.variant.name, _digest(qbytes))
+        qkey = (_variant_name(index), _digest(qbytes))
         bkey = None
         if self.bucket_decimals is not None:
-            bkey = (index.variant.name,
+            bkey = (_variant_name(index),
                     _digest(bucket_query_bytes(q, self.bucket_decimals)))
         entry = CacheEntry(
-            key=(qkey, k), qkey=qkey, bkey=bkey, token=token, qbytes=qbytes,
+            key=(qkey, k), qkey=qkey, bkey=bkey, token=token,
+            epoch=index.epoch, qbytes=qbytes,
             k=k, result=_copy_result(result), positions=tuple(positions),
             created=self._clock(),
         )
@@ -365,7 +420,7 @@ class QueryCache:
     def invalidate(self, uid: Optional[str] = None) -> int:
         """Drop every entry (or every entry produced by index ``uid``).
 
-        Epoch binding already makes stale entries unservable, so this hook
+        Token binding already makes stale entries unservable, so this hook
         is about *capacity*: releasing slots held by an index that was
         rebuilt or retired.  Returns the number of entries dropped.
         """
@@ -386,7 +441,7 @@ class QueryCache:
     # ------------------------------------------------------------------
 
     def _usable(self, entry: CacheEntry, token: Tuple[str, int]) -> bool:
-        """Validate one entry against the live index token and TTL.
+        """Validate one entry against the live catalog token and TTL.
 
         Must be called under the lock.  Drops (and counts) failures so a
         poisoned entry costs at most one probe.

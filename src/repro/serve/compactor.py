@@ -1,0 +1,226 @@
+"""Background compaction of a live catalog's delta tier.
+
+The live-catalog design (``DESIGN.md`` §2.14) keeps writes cheap by
+absorbing them into a brute-force-scanned mutable tail; the price is paid
+later, off the query path, by re-running Algorithm 3 over the merged
+base + delta catalog and atomically swapping the fresh epoch in.  This
+module is the "later": :class:`Compactor` is a daemon thread owned by the
+serving layer that wakes on a poll interval and compacts when either
+trigger fires:
+
+- **interval** — at least ``interval_s`` seconds elapsed since the last
+  compaction attempt and the catalog has pending mutations;
+- **delta limit** — the mutable tail holds at least ``delta_limit`` alive
+  or dead rows (checked every wake-up, so a write burst is folded into
+  the base promptly instead of waiting out the interval).
+
+Compaction itself is :meth:`repro.core.index.FexiproIndex.compact` — the
+rebuild runs outside the index's mutate lock, concurrent queries keep
+serving the old snapshot, and the swap is a single reference assignment.
+The compactor therefore never blocks the query path; it only spends CPU.
+
+Failures are contained: a raising compaction is counted
+(``compaction.errors``), logged onto the metrics registry, and the thread
+keeps running — the catalog stays on its current (exact, consistent)
+snapshot, merely uncompacted.
+
+Metrics written to the shared registry:
+
+- ``compaction.runs`` — completed compactions (the swap happened);
+- ``compaction.noops`` — wake-ups that found a clean catalog;
+- ``compaction.errors`` — compactions that raised;
+- ``compaction.seconds`` — histogram of per-compaction wall time;
+- ``compaction.items`` — gauge: visible items folded by the last run;
+- ``delta.items`` / ``delta.tombstones`` — gauges: live delta-tier size
+  and pending tombstone count after the last wake-up (whether or not it
+  compacted).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from ..exceptions import ValidationError
+
+__all__ = ["Compactor"]
+
+
+class Compactor:
+    """A daemon thread that keeps one index's delta tier folded in.
+
+    Parameters
+    ----------
+    index:
+        The :class:`~repro.core.index.FexiproIndex` to compact.  (For a
+        sharded deployment pass the inner index — shard spans are derived
+        from the snapshot per query, so a compaction-resized base simply
+        re-bands on the next scan.)
+    interval_s:
+        Target seconds between compaction attempts.  The thread polls at
+        a fraction of this so ``delta_limit`` and :meth:`close` respond
+        promptly.
+    delta_limit:
+        Optional delta-tier row count (alive + dead) that forces a
+        compaction at the next poll, ahead of the interval.
+    metrics:
+        Optional :class:`~repro.serve.metrics.MetricsRegistry` receiving
+        the ``compaction.*`` / ``delta.*`` series.
+    clock:
+        Injectable monotonic time source (tests).
+
+    ``start()`` is idempotent; ``close()`` stops the thread and joins it.
+    The object is also usable as a context manager.
+    """
+
+    #: The poll period is ``interval_s / POLLS_PER_INTERVAL`` (clamped to
+    #: at most 1 s), so a burst past ``delta_limit`` and a ``close()``
+    #: both land within a fraction of the configured interval.
+    POLLS_PER_INTERVAL = 10
+
+    def __init__(self, index, interval_s: float, *,
+                 delta_limit: Optional[int] = None,
+                 metrics=None,
+                 clock: Callable[[], float] = time.monotonic):
+        if not (isinstance(interval_s, (int, float))
+                and not isinstance(interval_s, bool) and interval_s > 0):
+            raise ValidationError(
+                f"interval_s must be a positive number; got {interval_s!r}"
+            )
+        if delta_limit is not None and (
+                not isinstance(delta_limit, int)
+                or isinstance(delta_limit, bool) or delta_limit < 1):
+            raise ValidationError(
+                f"delta_limit must be a positive integer or None; "
+                f"got {delta_limit!r}"
+            )
+        self.index = index
+        self.interval_s = float(interval_s)
+        self.delta_limit = delta_limit
+        self.metrics = metrics
+        self._clock = clock
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._last_attempt = -float("inf")
+        self.runs = 0
+        self.noops = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "Compactor":
+        """Start the daemon thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-compactor", daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop and join the thread (idempotent; safe if never started)."""
+        self._stop.set()
+        self._wake.set()
+        thread, self._thread = self._thread, None
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=max(5.0, self.interval_s))
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def kick(self) -> None:
+        """Wake the thread immediately (tests; manual flush)."""
+        self._wake.set()
+
+    def __enter__(self) -> "Compactor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+
+    def _poll_period(self) -> float:
+        return min(1.0, self.interval_s / self.POLLS_PER_INTERVAL)
+
+    def _due(self, snap) -> bool:
+        if snap.clean:
+            return False
+        if self.delta_limit is not None \
+                and snap.delta_count >= self.delta_limit:
+            return True
+        return self._clock() - self._last_attempt >= self.interval_s
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(timeout=self._poll_period())
+            self._wake.clear()
+            if self._stop.is_set():
+                break
+            self.run_once()
+
+    def run_once(self) -> bool:
+        """One wake-up: gauge the delta tier, compact if a trigger is due.
+
+        Returns whether a compaction swap happened.  Public so tests and
+        CLI flows can drive the compactor deterministically without the
+        thread.
+        """
+        snap = self.index._live
+        self._gauge(snap)
+        if not self._due(snap):
+            return False
+        self._last_attempt = self._clock()
+        started = time.perf_counter()
+        try:
+            compacted = self.index.compact()
+        except Exception:
+            self.errors += 1
+            if self.metrics is not None:
+                self.metrics.counter("compaction.errors").inc()
+            return False
+        elapsed = time.perf_counter() - started
+        if compacted:
+            self.runs += 1
+            fresh = self.index._live
+            if self.metrics is not None:
+                self.metrics.counter("compaction.runs").inc()
+                self.metrics.histogram("compaction.seconds").observe(elapsed)
+                self.metrics.gauge("compaction.items").set(fresh.visible_count)
+            self._gauge(fresh)
+        else:
+            self.noops += 1
+            if self.metrics is not None:
+                self.metrics.counter("compaction.noops").inc()
+        return compacted
+
+    def _gauge(self, snap) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.gauge("delta.items").set(snap.delta_alive_count)
+        self.metrics.gauge("delta.tombstones").set(
+            snap.base_dead_count
+            + (snap.delta_count - snap.delta_alive_count))
+
+    def snapshot(self) -> dict:
+        """JSON-serializable counters and configuration."""
+        return {
+            "running": self.running,
+            "interval_s": self.interval_s,
+            "delta_limit": self.delta_limit,
+            "runs": self.runs,
+            "noops": self.noops,
+            "errors": self.errors,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Compactor(interval_s={self.interval_s}, "
+                f"delta_limit={self.delta_limit}, runs={self.runs}, "
+                f"running={self.running})")

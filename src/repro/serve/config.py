@@ -146,6 +146,21 @@ class ServiceConfig:
     warm_bucket_decimals:
         Decimal places for the warm-start similarity bucket (``None`` =
         bucket matching off; same-query warm-starts still apply).
+    compaction_interval_s:
+        When set, the service runs a background
+        :class:`~repro.serve.compactor.Compactor` thread that wakes every
+        this-many seconds and re-runs Algorithm 3 over the merged
+        base + delta catalog whenever pending mutations exist, atomically
+        swapping the fresh epoch in (queries racing the swap see either
+        the old or the new snapshot, both exact).  ``None`` (default)
+        starts no compactor — call
+        :meth:`~repro.core.index.FexiproIndex.compact` manually.
+    compaction_delta_limit:
+        Optional delta-tier size trigger: once the mutable tail holds at
+        least this many rows the compactor compacts on its next wake-up
+        regardless of how recently it last ran (the wake-up poll runs at
+        a fraction of ``compaction_interval_s`` so the limit engages
+        promptly).  Requires ``compaction_interval_s``.
     trace_sample_rate:
         Probability that one served batch is traced (a root span plus
         prepare/cache/scan/shard children in the service's
@@ -187,6 +202,8 @@ class ServiceConfig:
     cache_ttl_s: Optional[float] = None
     warm_start: bool = True
     warm_bucket_decimals: Optional[int] = None
+    compaction_interval_s: Optional[float] = None
+    compaction_delta_limit: Optional[int] = None
     trace_sample_rate: float = 0.0
     trace_ring_size: int = 512
     metrics_port: Optional[int] = None
@@ -344,6 +361,27 @@ class ServiceConfig:
                 f"warm_bucket_decimals must be a non-negative integer or "
                 f"None; got {self.warm_bucket_decimals!r}"
             )
+        if self.compaction_interval_s is not None and not (
+                isinstance(self.compaction_interval_s, (int, float))
+                and not isinstance(self.compaction_interval_s, bool)
+                and self.compaction_interval_s > 0):
+            raise ValidationError(
+                f"compaction_interval_s must be a positive number or None; "
+                f"got {self.compaction_interval_s!r}"
+            )
+        if self.compaction_delta_limit is not None:
+            if not isinstance(self.compaction_delta_limit, int) or \
+                    isinstance(self.compaction_delta_limit, bool) or \
+                    self.compaction_delta_limit < 1:
+                raise ValidationError(
+                    f"compaction_delta_limit must be a positive integer or "
+                    f"None; got {self.compaction_delta_limit!r}"
+                )
+            if self.compaction_interval_s is None:
+                raise ValidationError(
+                    "compaction_delta_limit requires compaction_interval_s "
+                    "(the compactor thread that enforces it)"
+                )
         if not isinstance(self.trace_sample_rate, (int, float)) or \
                 isinstance(self.trace_sample_rate, bool) or \
                 not 0.0 <= float(self.trace_sample_rate) <= 1.0:

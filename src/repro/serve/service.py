@@ -62,7 +62,8 @@ from ..core.stats import (
     aggregate_stats,
     assemble_result,
 )
-from ..core.budget import FlopBudget, certified_bounds
+from ..core.budget import FlopBudget
+from ..core.delta import catalog_bounds
 from ..core.options import ScanOptions
 from ..exceptions import BudgetExhaustedError, DeadlineExceededError, \
     OverloadSheddedError, QueryError, ServiceClosedError
@@ -267,6 +268,16 @@ class RetrievalService:
             backoff_ms=self.config.retry_backoff_ms,
             sleep=sleep,
         )
+        if self.config.compaction_interval_s is not None:
+            from .compactor import Compactor
+
+            self.compactor: Optional["Compactor"] = Compactor(
+                self.index, self.config.compaction_interval_s,
+                delta_limit=self.config.compaction_delta_limit,
+                metrics=self.metrics, clock=clock,
+            ).start()
+        else:
+            self.compactor = None
         if self.config.metrics_port is not None:
             self.start_metrics_server(port=self.config.metrics_port,
                                       host=self.config.metrics_host)
@@ -301,9 +312,23 @@ class RetrievalService:
         if self._pool.closed:
             raise ServiceClosedError("service is closed")
         wall_started = time.perf_counter()
-        queries = as_query_matrix(queries, self.index.d)
-        k = check_k(self.config.default_k if k is None else k, self.index.n)
+        # One frozen catalog snapshot serves the whole batch: validation,
+        # cache decisions, preparation, every scan, bounds and cache
+        # stores all agree on a single visible catalog even when writers
+        # or the background compactor swap the live state mid-batch.
+        snap = self.index._live
+        queries = as_query_matrix(queries, snap.d)
+        k = check_k(self.config.default_k if k is None else k,
+                    snap.visible_count)
         m = queries.shape[0]
+        if k == 0:
+            # Every visible item has been removed: the exact answer to
+            # any query is the well-formed empty result.
+            response = BatchResponse(
+                results=[RetrievalResult() for __ in range(m)],
+                elapsed=time.perf_counter() - wall_started)
+            self._observe(response)
+            return response
         root = self.tracer.start("serve.batch", queries=m, k=k) \
             if self.tracer is not None else None
 
@@ -312,7 +337,7 @@ class RetrievalService:
         if cache is not None:
             lookup_span = root.child("cache.lookup") \
                 if root is not None else None
-            lookups = [cache.lookup(self.index, queries[i], k)
+            lookups = [cache.lookup(snap, queries[i], k)
                        for i in range(m)]
             pending = [i for i in range(m) if lookups[i].kind != "hit"]
             if lookup_span is not None:
@@ -331,10 +356,10 @@ class RetrievalService:
         prep_span = root.child("prepare") if root is not None else None
         prep_started = time.perf_counter()
         if len(pending) == m:
-            states = prepare_query_states(self.index, queries) if m else []
+            states = prepare_query_states(snap, queries) if m else []
         elif pending:
             states = prepare_query_states(
-                self.index, np.ascontiguousarray(queries[pending]))
+                snap, np.ascontiguousarray(queries[pending]))
         else:
             states = []
         prepare_time = time.perf_counter() - prep_started
@@ -348,7 +373,7 @@ class RetrievalService:
                 lookup = lookups[i]
                 if lookup.entry is not None:
                     seeds.append(cache.bucket_seed(
-                        self.index, states[j], lookup.entry, k))
+                        snap, states[j], lookup.entry, k))
                 else:
                     seeds.append(lookup.seed)
             if root is not None:
@@ -370,11 +395,13 @@ class RetrievalService:
         elif mode == "intra":
             scanned, positions = self._scan_intra_query(
                 states, k, timings, errors, indices=pending, seeds=seeds,
-                parent_span=root, engine=engine, budget_flops=budget_flops)
+                parent_span=root, engine=engine, budget_flops=budget_flops,
+                snap=snap)
         else:
             scanned, positions = self._scan_inter_query(
                 states, k, timings, errors, indices=pending, seeds=seeds,
-                parent_span=root, engine=engine, budget_flops=budget_flops)
+                parent_span=root, engine=engine, budget_flops=budget_flops,
+                snap=snap)
 
         provenance: Optional[List[str]] = None
         if lookups is None:
@@ -393,7 +420,7 @@ class RetrievalService:
                 results[i] = scanned[j]
                 result = scanned[j]
                 if result is not None and positions[j] is not None:
-                    cache.store(self.index, queries[i], k,
+                    cache.store(snap, queries[i], k,
                                 result, positions[j])
             for i in shed_set:
                 results[i] = None
@@ -443,12 +470,14 @@ class RetrievalService:
         if self._pool.closed:
             raise ServiceClosedError("service is closed")
         from ..obs.explain import explain_query
-        q = as_query_vector(query, self.index.d)
-        k = check_k(self.config.default_k if k is None else k, self.index.n)
+        snap = self.index._live
+        q = as_query_vector(query, snap.d)
+        k = check_k(self.config.default_k if k is None else k,
+                    snap.visible_count)
         seed = -math.inf
         provenance = "cold"
-        if self.cache is not None:
-            lookup = self.cache.lookup(self.index, q, k)
+        if self.cache is not None and k > 0:
+            lookup = self.cache.lookup(snap, q, k)
             if lookup.kind == "hit" and lookup.result is not None:
                 # The cached result is exact for this very query, so the
                 # value just below its k-th score is a strict lower bound —
@@ -459,9 +488,9 @@ class RetrievalService:
             elif lookup.kind == "warm":
                 if lookup.entry is not None:
                     state = prepare_query_states(
-                        self.index, q.reshape(1, -1))[0]
+                        snap, q.reshape(1, -1))[0]
                     seed = self.cache.bucket_seed(
-                        self.index, state, lookup.entry, k)
+                        snap, state, lookup.entry, k)
                 else:
                     seed = lookup.seed
                 if seed > -math.inf:
@@ -474,6 +503,7 @@ class RetrievalService:
             target, q, k,
             options=ScanOptions(initial_threshold=seed),
             provenance=provenance,
+            snapshot=snap,
         )
 
     # ------------------------------------------------------------------
@@ -658,6 +688,7 @@ class RetrievalService:
                           parent_span: Optional[Span] = None,
                           engine: Optional[str] = None,
                           budget_flops: Optional[float] = None,
+                          snap=None,
                           ) -> Tuple[List[Optional[RetrievalResult]],
                                      List[Optional[Tuple[int, ...]]]]:
         """Spread whole queries over the pool (the PR-1 batch path).
@@ -671,10 +702,13 @@ class RetrievalService:
         ``indices`` maps local state positions to batch positions (they
         differ when cache hits were carved out of the batch) — error
         records and fault tags carry the batch position.  ``seeds`` are
-        optional per-state warm-start thresholds.  Returns per-state
-        results plus the raw scan positions backing each result (for cache
-        stores), both aligned with ``states``.
+        optional per-state warm-start thresholds.  ``snap`` is the
+        batch's frozen catalog snapshot.  Returns per-state results plus
+        the raw scan positions backing each result (for cache stores),
+        both aligned with ``states``.
         """
+        if snap is None:
+            snap = self.index._live
         if self._executor_mode == "process" \
                 and engine in (None, "blocked"):
             # Worker processes run the blocked cascade; an explicit
@@ -683,13 +717,13 @@ class RetrievalService:
             if procpool is not None:
                 outputs = self._map_inter_process(
                     procpool, states, k, seeds, indices,
-                    budget_flops=budget_flops)
+                    budget_flops=budget_flops, snap=snap)
                 if outputs is not None:
                     return self._assemble_inter_process(
                         outputs, states, k, timings, errors,
                         indices=indices, seeds=seeds,
                         parent_span=parent_span,
-                        budget_flops=budget_flops)
+                        budget_flops=budget_flops, snap=snap)
         collect = timings is not None
         chunk_size = resolve_chunk_size(len(states), self._pool.workers,
                                         self.config.chunk_size)
@@ -707,7 +741,7 @@ class RetrievalService:
                 result, error, scan_positions = self._scan_one(
                     indices[start + offset], state, k, chunk_timings,
                     seed=seed, parent_span=parent_span, engine=engine,
-                    budget_flops=budget_flops)
+                    budget_flops=budget_flops, snap=snap)
                 chunk_results.append(result)
                 chunk_positions.append(scan_positions)
                 if error is not None:
@@ -743,18 +777,25 @@ class RetrievalService:
     def _map_inter_process(self, procpool, states, k: int,
                            seeds: Optional[List[float]],
                            indices: List[int],
-                           budget_flops: Optional[float] = None):
+                           budget_flops: Optional[float] = None,
+                           snap=None):
         """Ship the batch's query states to the process pool, or ``None``.
 
         ``None`` means the pool could not serve (replica publish or task
-        dispatch failed) — counted as ``policy.process_fallback`` — and
-        the caller runs the proven thread path instead.  Query states are
-        tiny (a handful of scalars plus one reduced vector), so pickling
-        them per batch is noise next to the scans; the index itself never
-        travels — workers attach the shared-memory replica.
+        dispatch failed, or the published replica does not match this
+        batch's catalog snapshot because a mutation raced the publish) —
+        counted as ``policy.process_fallback`` — and the caller runs the
+        proven thread path over the snapshot it actually holds.  Query
+        states are tiny (a handful of scalars plus one reduced vector),
+        so pickling them per batch is noise next to the scans; the index
+        itself never travels — workers attach the shared-memory replica.
         """
         try:
             handle = procpool.ensure_replica(self.index)
+            if snap is not None and \
+                    tuple(handle.token) != (snap.uid, snap.state_version):
+                self.metrics.counter("policy.process_fallback").inc()
+                return None
             items = [
                 (indices[local],
                  pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
@@ -780,6 +821,7 @@ class RetrievalService:
                                 seeds: Optional[List[float]],
                                 parent_span: Optional[Span],
                                 budget_flops: Optional[float] = None,
+                                snap=None,
                                 ) -> Tuple[List[Optional[RetrievalResult]],
                                            List[Optional[Tuple[int, ...]]]]:
         """Turn per-query worker outcomes into results, errors and stores.
@@ -791,6 +833,8 @@ class RetrievalService:
         :meth:`_scan_one` so retry, isolation and metrics semantics stay
         byte-for-byte those of the thread path.
         """
+        if snap is None:
+            snap = self.index._live
         results: List[Optional[RetrievalResult]] = []
         positions: List[Optional[Tuple[int, ...]]] = []
         for local, out in enumerate(outputs):
@@ -812,17 +856,18 @@ class RetrievalService:
                     timings.merge(qtimings)
                 bounds = None
                 if budget_flops is not None:
-                    bounds = certified_bounds(
-                        states[local].q_norm, self.index.norms_sorted,
-                        list(scores), [(0, self.index.n, stats.scanned)])
+                    bounds = catalog_bounds(
+                        snap, states[local].q_norm, list(scores),
+                        [(0, snap.n, stats.scanned)], stats.delta_scanned)
                 results.append(assemble_result(
-                    self.index.order, list(scan_positions), list(scores),
+                    snap.full_order, list(scan_positions), list(scores),
                     stats, elapsed, bounds=bounds))
                 positions.append(tuple(scan_positions))
             else:
                 result, query_error, scan_positions = self._scan_one(
                     qi, states[local], k, timings, seed=seed,
-                    parent_span=parent_span, budget_flops=budget_flops)
+                    parent_span=parent_span, budget_flops=budget_flops,
+                    snap=snap)
                 results.append(result)
                 positions.append(scan_positions)
                 if query_error is not None:
@@ -847,6 +892,7 @@ class RetrievalService:
                   parent_span: Optional[Span] = None,
                   engine: Optional[str] = None,
                   budget_flops: Optional[float] = None,
+                  snap=None,
                   ) -> Tuple[Optional[RetrievalResult], Optional[QueryError],
                              Optional[Tuple[int, ...]]]:
         """One deadline-armed, fault-tagged single scan with bounded retry.
@@ -861,8 +907,12 @@ class RetrievalService:
         positions)`` on success — ``positions`` are the result's raw
         length-sorted scan positions, which the cache stores for bucket
         re-scoring — or ``(None, QueryError, None)`` after retries are
-        exhausted; never raises.
+        exhausted; never raises.  ``snap`` pins the catalog snapshot the
+        scan runs over (the batch's, so a retry cannot silently move to
+        a newer catalog than its neighbours saw).
         """
+        if snap is None:
+            snap = self.index._live
         attempt = 0
         retried = False
         while True:
@@ -879,7 +929,7 @@ class RetrievalService:
                                             deadline=self._new_deadline(),
                                             budget=budget,
                                             timings=timings, span=span),
-                        engine=engine,
+                        engine=engine, snapshot=snap,
                     )
                     elapsed = time.perf_counter() - scan_started
                 self._enforce_deadline_policy(qi, stats)
@@ -893,11 +943,11 @@ class RetrievalService:
                 scan_positions, scores = buffer.items_and_scores()
                 bounds = None
                 if budget is not None:
-                    bounds = certified_bounds(
-                        state.q_norm, self.index.norms_sorted, scores,
-                        [(0, self.index.n, stats.scanned)])
+                    bounds = catalog_bounds(
+                        snap, state.q_norm, scores,
+                        [(0, snap.n, stats.scanned)], stats.delta_scanned)
                 return assemble_result(
-                    self.index.order, scan_positions, scores,
+                    snap.full_order, scan_positions, scores,
                     stats, elapsed, bounds=bounds,
                 ), None, tuple(scan_positions)
             except Exception as error:
@@ -921,6 +971,7 @@ class RetrievalService:
                           parent_span: Optional[Span] = None,
                           engine: Optional[str] = None,
                           budget_flops: Optional[float] = None,
+                          snap=None,
                           ) -> Tuple[List[Optional[RetrievalResult]],
                                      List[Optional[Tuple[int, ...]]]]:
         """Answer queries one at a time, each fanned over the index shards.
@@ -934,6 +985,8 @@ class RetrievalService:
         (and survives into the single-scan fallback).
         """
         sharded = self.sharded_index
+        if snap is None:
+            snap = self.index._live
         collect = timings is not None
         procpool = None
         pool = self._pool
@@ -968,18 +1021,25 @@ class RetrievalService:
             try:
                 with _faultsites.tagged(f"q={qi}"):
                     scan_started = time.perf_counter()
+                    out = None
                     if procpool is not None:
-                        buffer, stats, _reports, scan_timings = \
-                            sharded._scan_sharded_process(
-                                procpool, state, k, options, collect)
-                    else:
-                        buffer, stats, _reports, scan_timings = \
-                            sharded._scan_sharded(
-                                state, k, pool=pool,
-                                collect_timings=collect,
-                                options=options,
-                                engine=engine,
-                            )
+                        out = sharded._scan_sharded_process(
+                            procpool, state, k, options, collect,
+                            snap, sharded._catalog_spans(snap))
+                        # None: the published replica raced a mutation
+                        # and no longer matches this batch's snapshot —
+                        # scan the snapshot we hold, honestly serial.
+                    if out is None:
+                        out = sharded._scan_sharded(
+                            state, k,
+                            pool=(self._fallback_pool()
+                                  if procpool is not None else pool),
+                            collect_timings=collect,
+                            options=options,
+                            engine=engine,
+                            snapshot=snap,
+                        )
+                    buffer, stats, _reports, scan_timings = out
                     elapsed = time.perf_counter() - scan_started
             except Exception as fanout_error:
                 if span is not None:
@@ -990,7 +1050,7 @@ class RetrievalService:
                 result, query_error, scan_positions = self._scan_one(
                     qi, state, k, timings, seed=seed,
                     parent_span=parent_span, engine=engine,
-                    budget_flops=budget_flops)
+                    budget_flops=budget_flops, snap=snap)
                 results.append(result)
                 positions.append(scan_positions)
                 if query_error is not None:
@@ -1017,12 +1077,13 @@ class RetrievalService:
             scan_positions, scores = buffer.items_and_scores()
             bounds = None
             if budget is not None:
-                bounds = certified_bounds(
-                    state.q_norm, self.index.norms_sorted, scores,
+                bounds = catalog_bounds(
+                    snap, state.q_norm, scores,
                     [(r.span[0], r.span[1], r.stats.scanned)
-                     for r in _reports])
+                     for r in _reports if r.span[0] < snap.n],
+                    stats.delta_scanned)
             results.append(assemble_result(
-                self.index.order, scan_positions, scores,
+                snap.full_order, scan_positions, scores,
                 stats, elapsed, bounds=bounds,
             ))
             positions.append(tuple(scan_positions))
@@ -1221,6 +1282,8 @@ class RetrievalService:
         snapshot["breaker"] = self._breaker.snapshot()
         snapshot["cache"] = (self.cache.snapshot()
                              if self.cache is not None else None)
+        snapshot["compactor"] = (self.compactor.snapshot()
+                                 if self.compactor is not None else None)
         snapshot["tracer"] = (self.tracer.snapshot()
                               if self.tracer is not None else None)
         return snapshot
@@ -1253,6 +1316,8 @@ class RetrievalService:
         Idempotent — a second ``close()`` is a no-op, while serving after
         close raises :class:`~repro.exceptions.ServiceClosedError`.
         """
+        if self.compactor is not None:
+            self.compactor.close()
         if self.metrics_server is not None:
             self.metrics_server.close()
         if self._procpool is not None:

@@ -539,3 +539,101 @@ def test_warm_start_with_finite_budget_stays_exact_and_certified():
         for item_id in range(len(items)):
             if item_id not in returned:
                 assert float(scores[item_id]) <= ceiling + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Live catalogs: exact hits survive compaction, warm seeds do not
+# ----------------------------------------------------------------------
+
+def test_exact_hits_survive_compaction_bitwise():
+    """Compaction preserves the visible catalog, so a warm cache entry
+    stays exactly servable across the epoch swap — same ids, same bits.
+    """
+    items, queries = make_mf_like(400, 14, seed=81)
+    extra, __ = make_mf_like(30, 14, seed=82)
+    index = FexiproIndex(items, variant="F-SIR")
+    with RetrievalService(
+            index, ServiceConfig(workers=1, cache_capacity=64)) as service:
+        index.add_items(extra[:8])
+        index.remove_items([3, 11])
+        warm = service.batch(queries, k=6)
+        assert all(p == "cold" for p in warm.provenance)
+        assert index.compact()
+        after = service.batch(queries, k=6)
+        assert all(p == "hit" for p in after.provenance)
+        assert after.cache_hits == len(queries)
+        for a, b in zip(warm.results, after.results):
+            _assert_bitwise(a, b)
+
+
+def test_exact_hits_survive_compaction_sharded_intra():
+    items, queries = make_mf_like(500, 16, seed=83)
+    index = ShardedFexiproIndex(items, shards=3, variant="F-SIR")
+    config = ServiceConfig(workers=2, cache_capacity=64,
+                           intra_query_batch_max=64)
+    with RetrievalService(index, config) as service:
+        index.add_items(items[:6] * 0.7)
+        warm = service.batch(queries[:4], k=5)
+        assert index.compact()
+        after = service.batch(queries[:4], k=5)
+        assert all(p == "hit" for p in after.provenance)
+        for a, b in zip(warm.results, after.results):
+            _assert_bitwise(a, b)
+
+
+def test_warm_seeds_are_epoch_bound_across_compaction():
+    """Larger-k and bucket warm starts carry *scores in the old SVD
+    basis*; a post-compaction scan runs in a new basis where those bits
+    could over-prune by an ulp, so warm paths must refuse to cross the
+    epoch swap — and the queries still come back exact, just cold.
+    """
+    items, queries = make_mf_like(400, 14, seed=84)
+    index = FexiproIndex(items, variant="F-SIR")
+    index.add_items(items[:5] * 0.8)
+    cache = QueryCache(32, bucket_decimals=2)
+    q = np.ascontiguousarray(queries[0])
+    q2 = q + 1e-9  # same bucket, different exact key
+    with RetrievalService(index, ServiceConfig(workers=1),
+                          cache=cache) as service:
+        service.batch(q.reshape(1, -1), k=9)
+        assert index.compact()
+        snap = index._live
+        # Exact hit at the cached k: still served (content unchanged).
+        assert cache.lookup(snap, q, 9).kind == "hit"
+        # Larger-k warm at smaller k: refused (old-basis scores).
+        assert cache.lookup(snap, q, 4).kind == "miss"
+        # Bucket warm from a neighbour: refused for the same reason.
+        assert cache.lookup(snap, q2, 9).kind == "miss"
+        smaller = service.batch(q.reshape(1, -1), k=4)
+        assert smaller.provenance == ["cold"]
+        _assert_bitwise(index.query(q, 4), smaller.results[0])
+
+
+def test_bucket_seed_scores_delta_positions_exactly():
+    """A cached entry whose winners live in the delta tier must seed the
+    bucket warm start with raw-dot scores — and stay a strict lower
+    bound on the neighbour query's true k-th product.
+    """
+    items, queries = make_mf_like(300, 12, seed=85)
+    index = FexiproIndex(items, variant="F-SIR")
+    q = np.ascontiguousarray(queries[0])
+    q2 = q + 1e-9
+    # Delta rows engineered to dominate the top-k for this query family.
+    index.add_items(np.vstack([q * 3.0, q * 2.5, q * 2.0]))
+    cache = QueryCache(8, bucket_decimals=2)
+    with RetrievalService(index, ServiceConfig(workers=1),
+                          cache=cache) as service:
+        first = service.batch(q.reshape(1, -1), k=4)
+        snap = index._live
+        assert any(int(i) >= len(items)
+                   for i in first.results[0].ids), "delta rows not on top"
+        lookup = cache.lookup(snap, q2, 4)
+        assert lookup.kind == "warm" and lookup.entry is not None
+        from repro.core.index import prepare_query_states
+        state = prepare_query_states(snap, q2.reshape(1, -1))[0]
+        seed = cache.bucket_seed(snap, state, lookup.entry, 4)
+        true_kth = float(index.query(q2, 4).scores[-1])
+        assert -math.inf < seed < true_kth
+        resp = service.batch(q2.reshape(1, -1), k=4)
+        assert resp.provenance == ["warm"]
+        _assert_bitwise(index.query(q2, 4), resp.results[0])

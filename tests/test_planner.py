@@ -215,9 +215,15 @@ def test_cost_model_observe_refits_and_epoch_invalidates():
     model.observe("blocked", stats, 0.0)
     model.observe("nope", stats, 1.0)
     assert model.observations == 1
-    # Catalogue churn bumps the epoch: the model no longer matches and
-    # the lazy path fits a fresh one.
+    # Delta-tier churn keeps the epoch: the calibrated per-coordinate
+    # rates describe the preprocessed base scan, which mutation does not
+    # touch, so the model stays valid while writes accumulate.
     index.add_items(items[:3])
+    assert model.matches(index)
+    assert ensure_cost_model(index) is model
+    # Compaction re-runs preprocessing (epoch bump): the basis the rates
+    # were measured in is gone, so the lazy path fits a fresh model.
+    assert index.compact()
     assert not model.matches(index)
     fresh = ensure_cost_model(index)
     assert fresh is not model and fresh.matches(index)

@@ -109,10 +109,19 @@ def test_add_and_remove_items_delegate_and_respan():
     new_ids = sharded.add_items(items[:8] * 1.5)
     assert len(new_ids) == 8
     assert sharded.n == N + 8
-    assert sharded.spans[-1][1] == N + 8
+    # Base spans still cover the preprocessed tier only; the delta tier
+    # rides as one extra pseudo-span appended at scan time.
+    assert sharded.spans[-1][1] == N
+    snap = sharded.index._live
+    assert sharded._catalog_spans(snap)[-1] == (N, N + 8)
     removed = sharded.remove_items(new_ids)
     assert removed == 8
     q = queries[0]
+    assert sharded.query(q, K).ids == sharded.index.query(q, K).ids
+    # Compaction folds the (now dead) delta rows away and re-bands.
+    assert sharded.compact()
+    assert sharded.n == N
+    assert sharded.spans[-1][1] == N
     assert sharded.query(q, K).ids == sharded.index.query(q, K).ids
 
 

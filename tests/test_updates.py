@@ -4,15 +4,22 @@ import numpy as np
 import pytest
 
 from repro import FexiproIndex, VARIANTS
-from repro.exceptions import EmptyIndexError, ValidationError
+from repro.exceptions import ValidationError
 
 from conftest import make_mf_like
 
 
 def current_matrix(index: FexiproIndex):
-    """Reconstruct the (id -> vector) view of an updated index."""
-    return {int(i): index.items_sorted[pos]
-            for pos, i in enumerate(index.order)}
+    """Reconstruct the (id -> vector) view of the visible catalog."""
+    snap = index._live
+    out = {}
+    for pos in range(snap.n):
+        if not snap.base_dead[pos]:
+            out[int(snap.order[pos])] = snap.items_sorted[pos]
+    for j in range(snap.delta_count):
+        if not snap.delta_dead[j]:
+            out[int(snap.delta_ids[j])] = snap.delta_items[j]
+    return out
 
 
 def verify_against_brute_force(index, queries, k=8):
@@ -58,13 +65,20 @@ def test_incremental_path_used_for_in_span_rows():
     assert index.transform is before  # no rebuild happened
 
 
-def test_rebuild_triggered_by_out_of_norm_rows():
+def test_out_of_norm_rows_defer_rebuild_to_compaction():
     items, queries = make_mf_like(400, 10, seed=27)
     index = FexiproIndex(items, variant="F-SIR")
     before = index.transform
     giant = np.ones((1, 10)) * 50.0  # transformed norm far beyond b
     index.add_items(giant)
-    assert index.transform is not before  # rebuild happened
+    # The write lands in the brute-force delta tier: no rebuild on the
+    # query path, yet results stay exact.
+    assert index.transform is before
+    verify_against_brute_force(index, queries[:4])
+    # Compaction folds the row in, re-running preprocessing.
+    assert index.compact()
+    assert index.transform is not before
+    assert index._live.clean
     verify_against_brute_force(index, queries[:4])
 
 
@@ -88,12 +102,18 @@ def test_remove_unknown_ids_is_noop():
     assert index.n == 50
 
 
-def test_remove_everything_is_rejected():
-    items, __ = make_mf_like(20, 6, seed=30)
+def test_remove_everything_yields_empty_results():
+    items, queries = make_mf_like(20, 6, seed=30)
     index = FexiproIndex(items)
-    with pytest.raises(EmptyIndexError):
-        index.remove_items(range(20))
-    assert index.n == 20  # unchanged
+    assert index.remove_items(range(20)) == 20
+    assert index.n == 0
+    result = index.query(queries[0], k=5)
+    assert result.ids == [] and len(result.scores) == 0
+    assert result.complete
+    # The catalog revives when new items arrive.
+    (new_id,) = index.add_items(items[:1])
+    assert index.n == 1
+    assert index.query(queries[0], k=5).ids == [new_id]
 
 
 def test_ids_stay_stable_across_churn():
