@@ -1,0 +1,204 @@
+"""Reverse-MIPS benchmark: audience building vs the brute-force sweep.
+
+PR 10 adds ``reverse_query`` / ``campaign``: given a probe item, find
+every user whose exact forward top-k contains it.  The brute-force
+answer is a full forward sweep — one top-k query per user, then a
+membership check per probe.  The reverse index must beat that sweep by
+pruning most users through its bound table without ever changing the
+answer.  Three numbers decide whether the design holds:
+
+1. **Is the audience exact?**  Every campaign audience (ids *and*
+   k-th-score floats) must be bitwise identical to the brute-force
+   sweep's.  ``identical`` is a hard gate at 1.0.
+
+2. **Does pruning actually prune?**  ``pruned_fraction`` is the share
+   of (probe, user) pairs resolved without a forward verification scan.
+   Gated with an absolute floor: a change that quietly degrades the
+   bound table to verify-everything fails loudly, not slowly.
+
+3. **Is it faster than brute force?**  The cold campaign (empty bound
+   table — worst case) over all probes must beat the amortized
+   brute-force sweep by ``SPEEDUP_FLOOR``; the warm repeat is reported
+   as well.
+
+Machine-readable output lands in ``results/BENCH_reverse.json`` (CI
+uploads ``BENCH_*.json`` artifacts and ``check_regression.py`` gates on
+them).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro import FexiproIndex, ReverseIndex, campaign_scan
+
+from repro.analysis import report
+
+QUICK = os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+N_ITEMS = 2_000 if QUICK else 12_000
+N_USERS = 240 if QUICK else 1_200
+N_PROBES = 4 if QUICK else 8
+D = 48
+K = 10
+#: The cold campaign must beat the amortized brute-force sweep by this
+#: factor (deliberately loose: CI hosts are slow and noisy; the point is
+#: catching a pruning regression, not measuring peak speed).
+SPEEDUP_FLOOR = 1.5
+#: Share of (probe, user) decisions that must resolve without a forward
+#: verification scan.
+PRUNED_FRACTION_FLOOR = 0.5
+
+
+def _workload():
+    rng = np.random.default_rng(2017)
+    spectrum = np.exp(-0.08 * np.arange(D))
+    items = rng.normal(size=(N_ITEMS, D)) * spectrum
+    items *= rng.lognormal(0.0, 0.4, size=(N_ITEMS, 1)) * 0.3
+    users = rng.normal(size=(N_USERS, D)) * spectrum * 0.3
+    return items, users
+
+
+def _brute_force(index, users, probes, k):
+    """One forward top-k per user, then membership per probe.
+
+    This is the amortized baseline: the sweep is paid once and serves
+    every probe, which is the cheapest honest way to answer a batch of
+    reverse queries without a reverse index.
+    """
+    audiences = {p: ([], []) for p in probes}
+    for u in range(users.shape[0]):
+        result = index.query(users[u], k)
+        ids = list(result.ids)
+        scores = list(result.scores)
+        kth = float(scores[-1]) if len(scores) < k else float(scores[k - 1])
+        for p in probes:
+            if p in ids:
+                audiences[p][0].append(u)
+                audiences[p][1].append(kth)
+    return audiences
+
+
+def _pick_probes(index, users, rng):
+    """Half popular probes (items real users retrieve — non-trivial
+    audiences), half uniform random (typically near-empty audiences)."""
+    popular = []
+    for u in range(0, users.shape[0], 7):
+        for item in index.query(users[u], K).ids[:2]:
+            if item not in popular:
+                popular.append(int(item))
+        if len(popular) >= N_PROBES // 2:
+            break
+    random = rng.choice(N_ITEMS, size=N_PROBES - len(popular[:N_PROBES // 2]),
+                        replace=False).tolist()
+    return sorted(set(popular[:N_PROBES // 2] + random))
+
+
+def test_reverse_campaign_vs_brute_force(benchmark, sink):
+    items, users = _workload()
+    index = FexiproIndex(items, variant="F-SIR")
+    rng = np.random.default_rng(7)
+    probes = _pick_probes(index, users, rng)
+
+    started = time.perf_counter()
+    truth = _brute_force(index, users, probes, K)
+    brute_seconds = time.perf_counter() - started
+
+    # Cold campaign: fresh reverse index, empty bound table — worst case.
+    def cold_campaign():
+        rindex = ReverseIndex(index, users)
+        return rindex, campaign_scan(rindex, probes, K)
+
+    rindex, cold = benchmark.pedantic(cold_campaign, rounds=1,
+                                      iterations=1)
+    assert cold.complete
+
+    # Warm repeat: every verification of the cold pass is now an exact
+    # threshold, so later campaigns prune and admit from the table.
+    started = time.perf_counter()
+    warm = campaign_scan(rindex, probes, K)
+    warm_seconds = time.perf_counter() - started
+    assert warm.complete and warm.warm_probes == N_PROBES
+
+    identical = True
+    for p, result in zip(probes, cold.results):
+        want_ids, want_kth = truth[p]
+        if result.user_ids != want_ids or result.kth_scores != want_kth:
+            identical = False
+    for p, result in zip(probes, warm.results):
+        want_ids, want_kth = truth[p]
+        if result.user_ids != want_ids or result.kth_scores != want_kth:
+            identical = False
+
+    cold_seconds = cold.elapsed
+    speedup = brute_seconds / cold_seconds if cold_seconds else float("inf")
+    warm_speedup = brute_seconds / warm_seconds if warm_seconds \
+        else float("inf")
+    pruned_fraction = cold.stats.pruned_fraction
+    audience_total = sum(cold.audience_sizes)
+
+    cores = os.cpu_count() or 1
+    with sink.section("reverse") as out:
+        report.print_header(
+            f"Reverse MIPS ({N_ITEMS} items x {N_USERS} users x {D} dims, "
+            f"{N_PROBES} probes, k={K})",
+            f"host cores: {cores}" + (" [quick mode]" if QUICK else ""),
+            out=out,
+        )
+        report.print_table(
+            ["path", "seconds", "note"],
+            [["brute-force sweep", f"{brute_seconds:.3f}",
+              f"{N_USERS} forward queries, amortized over "
+              f"{N_PROBES} probes"],
+             ["cold campaign", f"{cold_seconds:.3f}",
+              f"{cold.stats.verified} verifications"],
+             ["warm campaign", f"{warm_seconds:.3f}",
+              f"{warm.stats.verified} verifications, "
+              f"{warm.stats.admitted_cached} cached admits"]],
+            out=out,
+        )
+        report.print_table(
+            ["metric", "value", "floor"],
+            [["identical (ids + k-th floats)", identical, "1.0"],
+             ["speedup vs brute force (cold)", f"{speedup:.2f}x",
+              f"{SPEEDUP_FLOOR}x"],
+             ["speedup vs brute force (warm)", f"{warm_speedup:.2f}x",
+              "informational"],
+             ["pruned fraction (cold)", f"{pruned_fraction:.3f}",
+              f"{PRUNED_FRACTION_FLOOR}"],
+             ["total audience", audience_total, "-"]],
+            out=out,
+        )
+
+    sink.write_json("BENCH_reverse", {
+        "bench": "reverse",
+        "quick": QUICK,
+        "host_cores": cores,
+        "workload": {"n_items": N_ITEMS, "n_users": N_USERS, "d": D,
+                     "k": K, "n_probes": N_PROBES},
+        "identical": float(identical),
+        "brute_force_seconds": brute_seconds,
+        "cold_campaign_seconds": cold_seconds,
+        "warm_campaign_seconds": warm_seconds,
+        "speedup_vs_brute_force": speedup,
+        "warm_speedup_vs_brute_force": warm_speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "pruned_fraction": pruned_fraction,
+        "pruned_fraction_floor": PRUNED_FRACTION_FLOOR,
+        "cold_verified": cold.stats.verified,
+        "warm_verified": warm.stats.verified,
+        "warm_cached_admits": warm.stats.admitted_cached,
+        "audience_total": audience_total,
+    })
+
+    # The structural contracts hold regardless of machine speed.
+    assert identical, "reverse audiences drifted from the brute-force sweep"
+    assert pruned_fraction >= PRUNED_FRACTION_FLOOR, (
+        f"only {pruned_fraction:.1%} of the user sweep was pruned — the "
+        f"bound table stopped pruning"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"cold campaign ({cold_seconds:.3f}s) is within {speedup:.2f}x of "
+        f"the brute-force sweep ({brute_seconds:.3f}s)"
+    )

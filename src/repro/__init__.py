@@ -61,6 +61,13 @@ from .core import (
 )
 from .core.budget import FlopBudget, ResultBounds
 from .core.delta import LiveCatalog
+from .core.reverse import (
+    CampaignResponse,
+    ReverseIndex,
+    ReverseResult,
+    ReverseStats,
+    campaign_scan,
+)
 from .exceptions import (
     BudgetExhaustedError,
     DeadlineExceededError,
@@ -79,26 +86,31 @@ from .obs import (
     JsonLinesSink,
     MetricsServer,
     QueryExplanation,
+    ReverseExplanation,
     Span,
     Tracer,
     explain_query,
+    explain_reverse,
     render_prometheus,
 )
 from .recommender import Recommender
 from .serve import BatchResponse, Compactor, MetricsRegistry, \
     RetrievalService, ServiceConfig
+from .serve.resilience import Deadline
 from .api import CostModel, Fexipro
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchResponse",
     "BudgetExhaustedError",
+    "CampaignResponse",
     "Compactor",
     "CostModel",
     "DEFAULT_E",
     "DEFAULT_RHO",
     "DEFAULT_VARIANT",
+    "Deadline",
     "DeadlineExceededError",
     "DimensionMismatchError",
     "EmptyIndexError",
@@ -120,6 +132,10 @@ __all__ = [
     "ResultBounds",
     "RetrievalResult",
     "RetrievalService",
+    "ReverseExplanation",
+    "ReverseIndex",
+    "ReverseResult",
+    "ReverseStats",
     "ScanOptions",
     "ServiceClosedError",
     "ServiceConfig",
@@ -133,7 +149,9 @@ __all__ = [
     "ValidationError",
     "VariantConfig",
     "__version__",
+    "campaign_scan",
     "explain_query",
+    "explain_reverse",
     "get_variant",
     "render_prometheus",
     "topk_exact",

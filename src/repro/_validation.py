@@ -33,6 +33,20 @@ def as_item_matrix(items, *, name: str = "items") -> np.ndarray:
     return np.ascontiguousarray(arr)
 
 
+def as_item_rows(items, *, name: str = "items") -> np.ndarray:
+    """Like :func:`as_item_matrix`, but a single 1-D vector is accepted.
+
+    Mutation entry points (``add_items``) share query-side ergonomics:
+    ``add_items(vec)`` appends one row, exactly as ``query(vec)`` scores
+    one vector.  The output is always a C-contiguous ``(n, d)`` float64
+    matrix, so downstream code never branches on the input rank.
+    """
+    arr = np.asarray(items, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    return as_item_matrix(arr, name=name)
+
+
 def as_query_vector(query, d: int, *, name: str = "query") -> np.ndarray:
     """Validate a single query vector against dimensionality ``d``."""
     arr = np.asarray(query, dtype=np.float64)

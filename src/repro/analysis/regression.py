@@ -272,6 +272,20 @@ DEFAULT_SPECS: Dict[str, Tuple[MetricSpec, ...]] = {
         MetricSpec("compaction_rows_per_second", "higher", 0.5,
                    gate=False),
     ),
+    "reverse": (
+        # Bitwise identity with the brute-force forward sweep (audience
+        # ids *and* k-th-score floats) is the hard gate, as is the bound
+        # table actually pruning; the cold-campaign speedup is same-run
+        # relative (campaign vs sweep on the same host) so it survives
+        # hardware changes that demote raw seconds.
+        MetricSpec("identical", "higher", 0.0, abs_floor=1.0),
+        MetricSpec("pruned_fraction", "higher", 0.1, abs_floor=0.5),
+        MetricSpec("speedup_vs_brute_force", "higher", 0.5,
+                   abs_floor=1.5),
+        MetricSpec("warm_speedup_vs_brute_force", "higher", 0.5,
+                   gate=False),
+        MetricSpec("cold_campaign_seconds", "lower", 0.5, gate=False),
+    ),
     "mp": (
         # Bitwise identity across executors is the hard gate; the
         # process-vs-serial speedup is judged run-over-run (CI runners

@@ -28,11 +28,19 @@ from __future__ import annotations
 
 from typing import List, Optional, Union
 
+from ._validation import as_query_matrix
 from .analysis.cost_model import CostModel
 from .core.budget import FlopBudget, ResultBounds
 from .core.delta import LiveCatalog
 from .core.index import FexiproIndex
 from .core.options import ScanOptions
+from .core.reverse import (
+    CampaignResponse,
+    ReverseIndex,
+    ReverseResult,
+    ReverseStats,
+    campaign_scan,
+)
 from .core.sharded import ShardedFexiproIndex
 from .core.stats import PruningStats, RetrievalResult, StageTimings
 from .exceptions import (
@@ -53,21 +61,26 @@ from .obs import (
     JsonLinesSink,
     MetricsServer,
     QueryExplanation,
+    ReverseExplanation,
     Span,
     Tracer,
     explain_query,
+    explain_reverse,
     render_prometheus,
 )
 from .serve.compactor import Compactor
 from .serve.config import ServiceConfig
 from .serve.metrics import MetricsRegistry
+from .serve.resilience import Deadline
 from .serve.service import BatchResponse, RetrievalService
 
 __all__ = [
     "BatchResponse",
     "BudgetExhaustedError",
+    "CampaignResponse",
     "Compactor",
     "CostModel",
+    "Deadline",
     "DeadlineExceededError",
     "DimensionMismatchError",
     "EmptyIndexError",
@@ -88,6 +101,10 @@ __all__ = [
     "ResultBounds",
     "RetrievalResult",
     "RetrievalService",
+    "ReverseExplanation",
+    "ReverseIndex",
+    "ReverseResult",
+    "ReverseStats",
     "ScanOptions",
     "ServiceClosedError",
     "ServiceConfig",
@@ -97,7 +114,9 @@ __all__ = [
     "Tracer",
     "TracingError",
     "ValidationError",
+    "campaign_scan",
     "explain_query",
+    "explain_reverse",
     "render_prometheus",
 ]
 
@@ -123,12 +142,23 @@ class Fexipro:
     are bitwise identical across engines, so the knob only ever changes
     latency.
 
-    The underlying index stays reachable as :attr:`index` for anything
-    this facade does not wrap.
+    Pass ``users=`` (an ``(m, d)`` matrix of user factor vectors, or a
+    prebuilt :class:`FexiproIndex` over one) to make the handle
+    **dual-corpus**: the forward surface (:meth:`query`,
+    :meth:`batch_query`) answers "which items does this user want", and
+    the reverse surface (:meth:`reverse_query`, :meth:`campaign`)
+    answers the advertiser-side "which users would put this item in
+    their exact top-k".  All four accept the same per-call kwargs —
+    ``budget=``, ``deadline=``, ``engine=``, or a full ``options=``
+    bundle.
+
+    The underlying indexes stay reachable as :attr:`index` and
+    :attr:`reverse` for anything this facade does not wrap.
     """
 
     def __init__(self, items=None, *, shards: Optional[int] = None,
-                 index: Optional[_Inner] = None, **index_options):
+                 index: Optional[_Inner] = None, users=None,
+                 **index_options):
         if (items is None) == (index is None):
             raise ValidationError(
                 "pass exactly one of items (build) or index (wrap)"
@@ -149,6 +179,9 @@ class Fexipro:
                 items, shards=shards or None, **index_options)
         else:
             self.index = FexiproIndex(items, **index_options)
+        self.reverse: Optional[ReverseIndex] = None
+        if users is not None:
+            self.attach_users(users)
 
     # -- construction --------------------------------------------------
 
@@ -178,24 +211,32 @@ class Fexipro:
 
     # -- retrieval -----------------------------------------------------
 
-    def query(self, query, k: int = 10, *,
-              options: Optional[ScanOptions] = None,
-              budget: Optional[float] = None) -> RetrievalResult:
-        """Exact top-k inner products for one query vector.
+    @staticmethod
+    def _call_options(options: Optional[ScanOptions],
+                      budget: Optional[float],
+                      deadline) -> Optional[ScanOptions]:
+        """Fold the uniform per-call kwargs into one options bundle.
 
-        ``budget`` arms a fresh per-call
-        :class:`~repro.core.budget.FlopBudget` of that many coordinate
-        units (a full un-pruned scan costs about ``n * d``).  On
-        exhaustion the result is the exact top-k of the length-sorted
-        prefix scanned, flagged ``complete=False`` with a certified
-        :class:`ResultBounds` band attached; ``budget=math.inf`` is
-        bitwise identical to an unbudgeted query.  Mutually exclusive
-        with an ``options`` bundle that already carries a budget (and
-        with a deadline — a single call gets one degradation trigger
-        denominated in either compute or wall-clock, not both).
+        Every retrieval surface (:meth:`query`, :meth:`batch_query`,
+        :meth:`reverse_query`, :meth:`campaign`) resolves its kwargs
+        here, so the validation story is identical everywhere:
+        ``budget`` arms a fresh :class:`FlopBudget` (coordinate units),
+        ``deadline`` arms a fresh monotonic
+        :class:`~repro.serve.resilience.Deadline` (seconds, or a
+        prebuilt ``Deadline``), each mutually exclusive with the same
+        field already set on ``options`` — and with each other, because
+        a single call gets one degradation trigger denominated in either
+        compute or wall-clock, not both.
         """
+        if budget is not None and deadline is not None:
+            raise ValidationError(
+                "pass budget= or deadline=, not both: pick one "
+                "degradation trigger (compute or wall-clock) per call"
+            )
+        if budget is None and deadline is None:
+            return options
+        base = options if options is not None else ScanOptions()
         if budget is not None:
-            base = options if options is not None else ScanOptions()
             if base.budget is not None:
                 raise ValidationError(
                     "pass budget= or options.budget, not both"
@@ -206,8 +247,65 @@ class Fexipro:
                     "pick one degradation trigger (compute or wall-clock) "
                     "per call"
                 )
-            options = base.replace(budget=FlopBudget(budget))
-        return self.index.query(query, k, options=options)
+            base = base.replace(budget=FlopBudget(budget))
+        if deadline is not None:
+            if base.deadline is not None:
+                raise ValidationError(
+                    "pass deadline= or options.deadline, not both"
+                )
+            if base.budget is not None:
+                raise ValidationError(
+                    "deadline= cannot be combined with options.budget: "
+                    "pick one degradation trigger (compute or wall-clock) "
+                    "per call"
+                )
+            if not isinstance(deadline, Deadline):
+                deadline = Deadline(float(deadline))
+            base = base.replace(deadline=deadline)
+        return base
+
+    def query(self, query, k: int = 10, *,
+              options: Optional[ScanOptions] = None,
+              budget: Optional[float] = None,
+              deadline=None,
+              engine: Optional[str] = None) -> RetrievalResult:
+        """Exact top-k inner products for one query vector.
+
+        ``budget`` arms a fresh per-call
+        :class:`~repro.core.budget.FlopBudget` of that many coordinate
+        units (a full un-pruned scan costs about ``n * d``).  On
+        exhaustion the result is the exact top-k of the length-sorted
+        prefix scanned, flagged ``complete=False`` with a certified
+        :class:`ResultBounds` band attached; ``budget=math.inf`` is
+        bitwise identical to an unbudgeted query.  ``deadline`` arms a
+        fresh wall-clock :class:`Deadline` of that many seconds (or
+        accepts a prebuilt one); on expiry the result is likewise the
+        exact prefix top-k, flagged via ``stats.deadline_hit``.  Budget
+        and deadline are mutually exclusive — with each other and with
+        the same fields on an ``options`` bundle — because a single
+        call gets one degradation trigger.  ``engine`` overrides the
+        scan engine for this call (results are bitwise identical across
+        engines).
+        """
+        options = self._call_options(options, budget, deadline)
+        return self.index.query(query, k, options=options, engine=engine)
+
+    def batch_query(self, queries, k: int = 10, *,
+                    options: Optional[ScanOptions] = None,
+                    budget: Optional[float] = None,
+                    deadline=None,
+                    engine: Optional[str] = None) -> List[RetrievalResult]:
+        """Exact top-k for each row of a query matrix, independently.
+
+        Accepts the same per-call kwargs as :meth:`query`; ``budget``
+        and ``deadline`` are armed **per query**, not shared across the
+        batch (use :meth:`serve` for admission-controlled batch
+        execution with shared capacity).
+        """
+        queries = as_query_matrix(queries, self.d)
+        return [self.query(row, k, options=options, budget=budget,
+                           deadline=deadline, engine=engine)
+                for row in queries]
 
     def explain(self, query, k: int = 10, *,
                 tracer: Optional[Tracer] = None,
@@ -222,9 +320,104 @@ class Fexipro:
 
         The service is a context manager; extra keyword arguments
         (``metrics=``, ``cache=``, ``tracer=``, …) pass through to
-        :class:`RetrievalService`.
+        :class:`RetrievalService`.  A handle with an attached user
+        corpus passes its :class:`ReverseIndex` along automatically, so
+        the service's :meth:`~RetrievalService.campaign` works out of
+        the box (and shares the service's query cache as an exact
+        bound source).
         """
+        if self.reverse is not None:
+            service_kwargs.setdefault("reverse", self.reverse)
         return RetrievalService(self.index, config, **service_kwargs)
+
+    # -- reverse retrieval ---------------------------------------------
+
+    def attach_users(self, users, *, cache=None,
+                     **user_index_options) -> ReverseIndex:
+        """Attach (or replace) the user corpus behind the reverse surface.
+
+        ``users`` is an ``(m, d)`` matrix of user factor vectors or a
+        prebuilt :class:`FexiproIndex` over one; extra keyword arguments
+        configure the user-side index build.  Returns the new
+        :class:`ReverseIndex` (also reachable as :attr:`reverse`).
+        """
+        self.reverse = ReverseIndex(self.index, users, cache=cache,
+                                    **user_index_options)
+        return self.reverse
+
+    def _require_reverse(self) -> ReverseIndex:
+        if self.reverse is None:
+            raise ValidationError(
+                "no user corpus attached: pass users= at construction "
+                "or call attach_users() before reverse_query/campaign"
+            )
+        return self.reverse
+
+    def reverse_query(self, item, k: int = 10, *,
+                      options: Optional[ScanOptions] = None,
+                      budget: Optional[float] = None,
+                      deadline=None,
+                      engine: Optional[str] = None) -> ReverseResult:
+        """The exact audience of catalog item ``item`` at depth ``k``.
+
+        Reverse MIPS: every visible user whose exact forward top-k
+        contains ``item``, bitwise identical to running :meth:`query`
+        for each user and checking membership.  Accepts the same
+        per-call kwargs as :meth:`query`; budgets and deadlines ride
+        into the verification scans, and a truncated verification
+        raises (:class:`DeadlineExceededError` /
+        :class:`BudgetExhaustedError`) rather than ever returning an
+        uncertain audience.  Requires a user corpus (``users=`` or
+        :meth:`attach_users`).
+        """
+        rindex = self._require_reverse()
+        options = self._call_options(options, budget, deadline)
+        return rindex.reverse_query(item, k, options=options, engine=engine)
+
+    def campaign(self, items, k: int = 10, *,
+                 options: Optional[ScanOptions] = None,
+                 budget: Optional[float] = None,
+                 deadline=None,
+                 engine: Optional[str] = None,
+                 isolate: bool = True) -> CampaignResponse:
+        """Audience-build a batch of probe items (see :func:`campaign_scan`).
+
+        One consistent snapshot pair serves every probe, failures are
+        isolated per probe (``isolate=False`` re-raises instead), and
+        the per-call kwargs mirror :meth:`query` — a ``deadline`` or
+        ``budget`` here spans the whole campaign.  For chunked parallel
+        execution with metrics and traces, serve the handle and call
+        :meth:`RetrievalService.campaign`.
+        """
+        rindex = self._require_reverse()
+        options = self._call_options(options, budget, deadline)
+        return campaign_scan(rindex, items, k, options=options,
+                             engine=engine, isolate=isolate)
+
+    def explain_reverse(self, item, k: int = 10, *,
+                        options: Optional[ScanOptions] = None,
+                        engine: Optional[str] = None) -> ReverseExplanation:
+        """EXPLAIN one reverse query's pruning cascade (see
+        :func:`repro.obs.explain_reverse`)."""
+        return self._require_reverse().explain(item, k, options=options,
+                                               engine=engine)
+
+    def add_users(self, rows) -> List[int]:
+        """Append user vectors to the reverse corpus; returns their ids.
+
+        ``O(delta)`` like :meth:`add_items`; accepts a matrix or a
+        single 1-D vector.
+        """
+        return self._require_reverse().add_users(rows)
+
+    def remove_users(self, ids) -> int:
+        """Tombstone users by id; returns how many were actually removed."""
+        return self._require_reverse().remove_users(ids)
+
+    @property
+    def n_users(self) -> int:
+        """Visible users in the reverse corpus (0 when none attached)."""
+        return 0 if self.reverse is None else self.reverse.n_users
 
     # -- planner -------------------------------------------------------
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from .._validation import (
     as_item_matrix,
+    as_item_rows,
     as_query_matrix,
     as_query_vector,
     check_k,
@@ -365,7 +366,8 @@ class FexiproIndex:
     # ------------------------------------------------------------------
 
     def query(self, query, k: int = 10, *,
-              options: Optional[ScanOptions] = None) -> RetrievalResult:
+              options: Optional[ScanOptions] = None,
+              engine: Optional[str] = None) -> RetrievalResult:
         """Retrieve the exact top-k items by inner product for one query.
 
         Returns a :class:`~repro.core.stats.RetrievalResult` whose ``ids``
@@ -373,7 +375,10 @@ class FexiproIndex:
         descending score, with pruning statistics and elapsed time attached.
         ``options`` (a :class:`~repro.core.options.ScanOptions`) threads
         per-call behaviour — deadline, warm-start threshold, timings, span
-        — to the engine; the default runs a plain cold scan.
+        — to the engine; the default runs a plain cold scan.  ``engine``
+        overrides the scan engine for this call only (``"reference"``,
+        ``"blocked"``, ``"gemm"`` or ``"auto"``); results are bitwise
+        identical across engines.
         """
         snap = self._live
         q = as_query_vector(query, snap.d)
@@ -385,7 +390,8 @@ class FexiproIndex:
             return _empty_result(started, budgeted=options is not None
                                  and options.budget is not None)
         qs = self._prepare_query(q, snapshot=snap)
-        buffer, stats = self._scan(qs, k, options=options, snapshot=snap)
+        buffer, stats = self._scan(qs, k, options=options, snapshot=snap,
+                                   engine=engine)
         elapsed = time.perf_counter() - started
         if options is not None and options.budget is not None:
             positions, scores = buffer.items_and_scores()
@@ -453,6 +459,8 @@ class FexiproIndex:
     def add_items(self, new_items) -> List[int]:
         """Add item vectors to the live catalog; returns their assigned ids.
 
+        Accepts a ``(n, d)`` matrix or a single 1-D vector (one row),
+        mirroring the query-side ergonomics.
         New ids continue from the construction count (and past removals),
         so existing ids never change.  Writes land in the mutable delta
         tier — an ``O(delta)`` array append, never a rebuild — and become
@@ -460,7 +468,7 @@ class FexiproIndex:
         brute-force (exact by construction) until a :meth:`compact`
         folds them into the preprocessed base tier.
         """
-        rows = as_item_matrix(new_items, name="new_items")
+        rows = as_item_rows(new_items, name="new_items")
         if rows.shape[1] != self.d:
             raise ValidationError(
                 f"new items have {rows.shape[1]} dims, index has {self.d}"

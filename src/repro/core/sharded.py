@@ -54,6 +54,7 @@ import math
 import os
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -463,22 +464,45 @@ class ShardedFexiproIndex:
     # ------------------------------------------------------------------
 
     def query(self, query, k: int = 10, *,
-              options: Optional[ScanOptions] = None) -> RetrievalResult:
+              options: Optional[ScanOptions] = None,
+              engine: Optional[str] = None) -> RetrievalResult:
         """Exact top-k for one query, scanned shard-parallel.
 
         Returns ids/scores identical to ``self.index.query(query, k)``;
         ``stats`` is the exact sum of the per-shard pruning counters (plus
-        ``shards_skipped``).
+        ``shards_skipped``).  ``engine`` overrides the per-shard scan
+        engine for this call only; results are bitwise identical across
+        engines.
         """
-        result, __ = self.query_detailed(query, k, options=options)
+        result, __ = self.query_detailed(query, k, options=options,
+                                         engine=engine)
         return result
 
     def query_detailed(
         self, query, k: int = 10, *, pool=None,
-        timings: Optional[StageTimings] = None,
+        timings: Optional[StageTimings] = _UNSET,
         options: Optional[ScanOptions] = None,
+        engine: Optional[str] = None,
     ) -> Tuple[RetrievalResult, List[ShardScanReport]]:
-        """Like :meth:`query`, also returning per-shard scan reports."""
+        """Like :meth:`query`, also returning per-shard scan reports.
+
+        .. deprecated::
+            The ``timings=`` keyword is deprecated; pass the accumulator
+            through the options bundle instead
+            (``options=ScanOptions(timings=...)`` or
+            ``options.replace(timings=...)``), the same channel every
+            other surface uses.
+        """
+        if timings is not _UNSET:
+            warnings.warn(
+                "query_detailed(timings=...) is deprecated; pass "
+                "options=ScanOptions(timings=...) instead",
+                DeprecationWarning, stacklevel=2,
+            )
+            if timings is not None:
+                base = options if options is not None else ScanOptions()
+                options = base.replace(timings=timings)
+        timings_acc = options.timings if options is not None else None
         snap = self.index._live
         q = as_query_vector(query, snap.d)
         k = check_k(k, snap.visible_count)
@@ -490,11 +514,11 @@ class ShardedFexiproIndex:
             ), []
         qs = self.index._prepare_query(q, snapshot=snap)
         buffer, total, reports, scan_timings = self._scan_sharded(
-            qs, k, pool=pool, collect_timings=timings is not None,
-            options=options, snapshot=snap,
+            qs, k, pool=pool, collect_timings=timings_acc is not None,
+            options=options, snapshot=snap, engine=engine,
         )
-        if timings is not None and scan_timings is not None:
-            timings.merge(scan_timings)
+        if timings_acc is not None and scan_timings is not None:
+            timings_acc.merge(scan_timings)
         elapsed = time.perf_counter() - started
         if options is not None and options.budget is not None:
             positions, scores = buffer.items_and_scores()

@@ -23,8 +23,8 @@ the untraced baseline (<3 % on serve p50).
 
 from __future__ import annotations
 
-from .explain import QueryExplanation, StageAccount, explain_query, \
-    stage_accounts
+from .explain import QueryExplanation, ReverseExplanation, StageAccount, \
+    explain_query, explain_reverse, reverse_stage_accounts, stage_accounts
 from .http import MetricsServer
 from .promexp import render_prometheus
 from .trace import JsonLinesSink, Span, Tracer
@@ -33,10 +33,13 @@ __all__ = [
     "JsonLinesSink",
     "MetricsServer",
     "QueryExplanation",
+    "ReverseExplanation",
     "Span",
     "StageAccount",
     "Tracer",
     "explain_query",
+    "explain_reverse",
     "render_prometheus",
+    "reverse_stage_accounts",
     "stage_accounts",
 ]

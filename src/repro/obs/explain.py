@@ -37,8 +37,9 @@ from ..core.stats import PruningStats, RetrievalResult, StageTimings, \
 from ..exceptions import ValidationError
 from .trace import Tracer
 
-__all__ = ["QueryExplanation", "StageAccount", "explain_query",
-           "stage_accounts"]
+__all__ = ["QueryExplanation", "ReverseExplanation", "StageAccount",
+           "explain_query", "explain_reverse", "stage_accounts",
+           "reverse_stage_accounts"]
 
 #: Cascade order of the pruning rules (see module docstring).
 STAGES = (
@@ -437,6 +438,156 @@ def explain_query(index, query, k: int = 10, *,
         shards=shard_dicts,
         planner=planner,
         spans=span_dicts,
+    )
+    explanation.verify()
+    return explanation
+
+
+# ----------------------------------------------------------------------
+# Reverse MIPS EXPLAIN
+# ----------------------------------------------------------------------
+
+#: The reverse cascade, in scan order.  A user leaves the flow at
+#: exactly one rule: pruned by the Cauchy–Schwarz norm product, pruned
+#: by its bound-table threshold, admitted outright by an exact cached
+#: threshold, or resolved (either way) by a forward verification scan.
+REVERSE_STAGES = (
+    "cauchy_schwarz",
+    "bound_table",
+    "cached_admit",
+    "forward_verify",
+)
+
+
+def reverse_stage_accounts(stats) -> List[StageAccount]:
+    """Per-rule candidate flow for one reverse scan.
+
+    ``pruned`` counts the users a rule *resolved* — eliminated for the
+    pruning rules, admitted for ``cached_admit``, and rejected for
+    ``forward_verify`` (whose ``survived`` is the verified audience).
+    """
+    entered = stats.n_users
+    accounts = []
+    flows = (
+        ("cauchy_schwarz", stats.pruned_cauchy_schwarz),
+        ("bound_table", stats.pruned_bound_table),
+        ("cached_admit", stats.admitted_cached),
+        ("forward_verify", stats.verified_rejected),
+    )
+    for stage, resolved in flows:
+        accounts.append(StageAccount(stage=stage, entered=entered,
+                                     pruned=resolved,
+                                     survived=entered - resolved))
+        entered -= resolved
+    return accounts
+
+
+@dataclass
+class ReverseExplanation:
+    """EXPLAIN for one reverse query: who was pruned by what, and why.
+
+    ``stages`` is the per-rule account over the user sweep (it provably
+    balances against ``counters`` — :meth:`verify` runs on every build),
+    ``counters`` the raw :class:`~repro.core.reverse.ReverseStats` dict
+    (including the merged forward-verification counters), ``result``
+    the exact :class:`~repro.core.reverse.ReverseResult`.
+    """
+
+    item: int
+    k: int
+    result: Any
+    stages: List[StageAccount]
+    counters: Dict[str, Any]
+    bounds: Dict[str, int]
+
+    def verify(self) -> None:
+        """Machine-check the account against the scan's counters."""
+        stats = self.result.stats
+        resolved = (stats.pruned_cauchy_schwarz + stats.pruned_bound_table
+                    + stats.admitted_cached + stats.verified)
+        if resolved != stats.n_users:
+            raise ValidationError(
+                f"reverse account does not balance: {resolved} users "
+                f"resolved of {stats.n_users} swept"
+            )
+        if stats.verified != (stats.verified_admitted
+                              + stats.verified_rejected):
+            raise ValidationError(
+                "verification split does not sum to verified count"
+            )
+        if stats.audience != self.result.audience_size:
+            raise ValidationError(
+                "admitted counters disagree with the audience size"
+            )
+        if (stats.bounds_exact + stats.bounds_length_sort
+                != stats.n_users):
+            raise ValidationError(
+                "bound provenance does not cover the user sweep"
+            )
+        final = self.stages[-1]
+        if final.survived != stats.verified_admitted:
+            raise ValidationError(
+                "stage chain tail disagrees with verified admissions"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "item": self.item,
+            "k": self.k,
+            "audience_size": self.result.audience_size,
+            "stages": [a.as_dict() for a in self.stages],
+            "counters": self.counters,
+            "bounds": dict(self.bounds),
+        }
+
+    def format(self) -> str:
+        """Human-readable per-rule account, widest rule first."""
+        stats = self.result.stats
+        lines = [
+            f"REVERSE EXPLAIN item={self.item} k={self.k} "
+            f"users={stats.n_users} audience={self.result.audience_size}",
+            f"  bounds: exact={stats.bounds_exact} "
+            f"length_sort={stats.bounds_length_sort} "
+            f"cache_hits={stats.cache_bound_hits}",
+        ]
+        verbs = {"cauchy_schwarz": "pruned", "bound_table": "pruned",
+                 "cached_admit": "admitted", "forward_verify": "rejected"}
+        for account in self.stages:
+            share = account.pruned / stats.n_users if stats.n_users else 0.0
+            lines.append(
+                f"  {account.stage:<15} entered={account.entered:<7} "
+                f"{verbs[account.stage]}={account.pruned:<7} "
+                f"({share:6.1%} of sweep)"
+            )
+        lines.append(
+            f"  verified={stats.verified} "
+            f"(admitted={stats.verified_admitted}, "
+            f"rejected={stats.verified_rejected}); forward counters: "
+            f"scanned={stats.forward.scanned} "
+            f"full_products={stats.forward.full_products}"
+        )
+        return "\n".join(lines)
+
+
+def explain_reverse(rindex, item, k: int = 10, *,
+                    options: Optional[ScanOptions] = None,
+                    engine: Optional[str] = None) -> ReverseExplanation:
+    """Run one reverse query and account for every rule of the cascade.
+
+    The returned explanation is :meth:`~ReverseExplanation.verify`-ed
+    before it is handed back: the per-rule user counts provably sum to
+    the sweep, and the stage-chain tail equals the verified audience.
+    """
+    result = rindex.reverse_query(item, k, options=options, engine=engine)
+    explanation = ReverseExplanation(
+        item=result.item,
+        k=k,
+        result=result,
+        stages=reverse_stage_accounts(result.stats),
+        counters=result.stats.as_dict(),
+        bounds={"exact": result.stats.bounds_exact,
+                "length_sort": result.stats.bounds_length_sort,
+                "cache_hits": result.stats.cache_bound_hits},
     )
     explanation.verify()
     return explanation

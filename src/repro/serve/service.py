@@ -54,6 +54,12 @@ import numpy as np
 from .. import _faultsites
 from .._validation import as_query_matrix, as_query_vector, check_k
 from ..core.index import FexiproIndex, prepare_query_states
+from ..core.reverse import (
+    CampaignResponse,
+    ReverseIndex,
+    ReverseResult,
+    ReverseStats,
+)
 from ..core.sharded import ShardedFexiproIndex
 from ..core.stats import (
     PruningStats,
@@ -203,6 +209,13 @@ class RetrievalService:
         per block).  Sampling is per *batch*: a sampled batch gets a
         ``serve.batch`` root span with prepare / cache-lookup / per-query
         scan (and per-shard) children.
+    reverse:
+        An optional :class:`~repro.core.reverse.ReverseIndex` over a user
+        corpus, unlocking :meth:`campaign` (reverse-MIPS audience
+        building).  It must wrap the same item index the service serves.
+        When the reverse index has no bound cache of its own, the
+        service's query cache is attached, so forward serving traffic
+        keeps sharpening the reverse scan's exact thresholds.
     clock / sleep:
         Injectable time sources (``time.monotonic`` / ``time.sleep``) used
         by deadlines, the circuit breaker and retry backoff — swap in fakes
@@ -220,6 +233,7 @@ class RetrievalService:
                  *,
                  cache: Optional[QueryCache] = None,
                  tracer: Optional[Tracer] = None,
+                 reverse: Optional[ReverseIndex] = None,
                  clock: Callable[[], float] = time.monotonic,
                  sleep: Callable[[float], None] = time.sleep):
         if isinstance(index, ShardedFexiproIndex):
@@ -251,6 +265,17 @@ class RetrievalService:
             )
         else:
             self.tracer = None
+        self.reverse = reverse
+        if reverse is not None:
+            if reverse._inner is not self.index:
+                from ..exceptions import ValidationError
+
+                raise ValidationError(
+                    "the reverse index must wrap the same item index the "
+                    "service serves"
+                )
+            if reverse.cache is None:
+                reverse.cache = self.cache
         self.metrics_server = None
         self._clock = clock
         self._executor_mode = self._resolve_executor()
@@ -453,6 +478,137 @@ class RetrievalService:
                      shed=response.shed).end()
         self._observe(response)
         return response
+
+    def campaign(self, items, k: Optional[int] = None, *,
+                 engine: Optional[str] = None) -> CampaignResponse:
+        """Audience-build a batch of probe items (reverse MIPS, served).
+
+        For each catalog item id in ``items``, computes the exact
+        audience — every user whose forward top-k would contain it — via
+        the attached :class:`~repro.core.reverse.ReverseIndex`.  Probes
+        are chunked over the worker pool (the reverse scan's heavy
+        arithmetic runs in GIL-releasing NumPy/BLAS kernels), one
+        snapshot pair pinned before the first probe serves them all, and
+        failures are isolated per probe exactly like :meth:`batch`: a
+        failed probe's slot is ``None`` with a structured
+        :class:`~repro.exceptions.QueryError` in ``errors``.  The
+        service's per-query deadline (``config.deadline_ms``) arms each
+        probe's verification scans; a deadline that expires mid-probe
+        fails *that probe* (an audience is exact or absent, never
+        partial).  ``engine`` overrides the configured scan engine for
+        the verification scans.
+
+        Every probe feeds the ``reverse.*`` metrics family and the
+        ``latency.reverse_seconds`` histogram; sampled campaigns get a
+        ``serve.campaign`` root span with one ``reverse.scan`` child per
+        probe.
+        """
+        if self._pool.closed:
+            raise ServiceClosedError("service is closed")
+        rindex = self.reverse
+        if rindex is None:
+            from ..exceptions import ValidationError
+
+            raise ValidationError(
+                "no reverse index attached: pass reverse= to the service "
+                "(or users= to Fexipro) before calling campaign()"
+            )
+        wall_started = time.perf_counter()
+        snapshots = rindex.pin()
+        fsnap = snapshots[0]
+        probe_ids = [int(i) for i in np.asarray(items).reshape(-1)]
+        m = len(probe_ids)
+        k = check_k(self.config.default_k if k is None else k,
+                    fsnap.visible_count)
+        if engine is None:
+            engine = self.config.engine
+        root = self.tracer.start("serve.campaign", probes=m, k=k) \
+            if self.tracer is not None else None
+
+        results: List[Optional[ReverseResult]] = [None] * m
+        provenance: List[str] = ["error"] * m
+        errors: List[QueryError] = []
+        chunk_size = resolve_chunk_size(m, self._pool.workers,
+                                        self.config.chunk_size)
+        spans = chunk_spans(m, chunk_size)
+
+        def run_chunk(span: Tuple[int, int]):
+            chunk_out = []
+            for i in range(span[0], span[1]):
+                probe_span = root.child("reverse.scan", query=i,
+                                        item=probe_ids[i]) \
+                    if root is not None else None
+                options = ScanOptions(deadline=self._new_deadline())
+                try:
+                    with _faultsites.tagged(f"q={i}"):
+                        result = rindex.reverse_query(
+                            probe_ids[i], k, options=options,
+                            engine=engine, span=probe_span,
+                            snapshots=snapshots)
+                except Exception as error:
+                    if probe_span is not None:
+                        probe_span.set(error=type(error).__name__).end()
+                    chunk_out.append((i, None, error))
+                    continue
+                if probe_span is not None:
+                    probe_span.end()
+                chunk_out.append((i, result, None))
+            return chunk_out
+
+        agg = ReverseStats()
+        outputs = self._pool.map(run_chunk, spans, return_exceptions=True)
+        for span, output in zip(spans, outputs):
+            if isinstance(output, Exception):
+                # The chunk died before its per-probe guards engaged
+                # (a worker-site fault): every probe in it is marked
+                # failed, the rest of the campaign is untouched.
+                output = [(i, None, output)
+                          for i in range(span[0], span[1])]
+            for i, result, error in output:
+                if error is not None:
+                    self.metrics.counter("errors.queries").inc()
+                    self.metrics.counter("reverse.errors").inc()
+                    errors.append(QueryError(index=i, error=error))
+                    continue
+                results[i] = result
+                provenance[i] = "warm" if result.stats.bounds_exact \
+                    else "cold"
+                agg.merge(result.stats)
+
+        mode = "reverse/inter" if engine is None \
+            else f"reverse/inter/{engine}"
+        response = CampaignResponse(
+            results=results, stats=agg,
+            elapsed=time.perf_counter() - wall_started,
+            mode=mode, errors=sorted(errors, key=lambda e: e.index),
+            provenance=provenance)
+        if root is not None:
+            root.set(errors=len(response.errors),
+                     audience=agg.audience,
+                     verified=agg.verified).end()
+        self._observe_campaign(response)
+        return response
+
+    def _observe_campaign(self, response: CampaignResponse) -> None:
+        """Feed one campaign into the ``reverse.*`` metrics family."""
+        metrics = self.metrics
+        metrics.counter("reverse.campaigns").inc()
+        metrics.counter("reverse.probes").inc(len(response.results))
+        stats = response.stats
+        metrics.counter("reverse.users_swept").inc(stats.n_users)
+        metrics.counter("reverse.pruned.cauchy_schwarz").inc(
+            stats.pruned_cauchy_schwarz)
+        metrics.counter("reverse.pruned.bound_table").inc(
+            stats.pruned_bound_table)
+        metrics.counter("reverse.cached_admits").inc(stats.admitted_cached)
+        metrics.counter("reverse.verified").inc(stats.verified)
+        metrics.counter("reverse.audience").inc(stats.audience)
+        metrics.counter("reverse.cache_bound_hits").inc(
+            stats.cache_bound_hits)
+        hist = metrics.histogram("latency.reverse_seconds")
+        for result in response.results:
+            if result is not None:
+                hist.observe(result.elapsed)
 
     def explain(self, query, k: Optional[int] = None):
         """EXPLAIN one query as this service would serve it.

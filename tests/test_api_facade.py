@@ -191,6 +191,120 @@ def test_query_error_is_repro_error_dataclass():
                                "message": "bad", "retried": False}
 
 
+def test_query_detailed_timings_kwarg_warns_and_matches():
+    items, queries = make_data()
+    sharded = ShardedFexiproIndex(items, shards=3, variant="F-SIR")
+    from repro.core.stats import StageTimings
+
+    new_acc = StageTimings()
+    new = sharded.query_detailed(queries[0], K,
+                                 options=ScanOptions(timings=new_acc))
+    old_acc = StageTimings()
+    with pytest.warns(DeprecationWarning, match="timings"):
+        old = sharded.query_detailed(queries[0], K, timings=old_acc)
+    assert old[0].ids == new[0].ids
+    assert old[0].scores == new[0].scores
+    assert old_acc.as_dict().keys() == new_acc.as_dict().keys()
+    # Even an explicit None is the legacy spelling: the kwarg itself is
+    # deprecated, only its omission is silent.
+    with pytest.warns(DeprecationWarning, match="timings"):
+        sharded.query_detailed(queries[0], K, timings=None)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        sharded.query_detailed(queries[0], K)
+
+
+# ----------------------------------------------------------------------
+# Uniform per-call kwargs (the dual-corpus facade contract)
+# ----------------------------------------------------------------------
+
+
+def test_uniform_kwargs_accepted_on_every_surface():
+    items, queries = make_data()
+    users = queries[:10]
+    facade = Fexipro(items, variant="F-SIR", users=users)
+    q = queries[0]
+    base = facade.query(q, K)
+    # budget=inf and a roomy deadline are bitwise no-ops everywhere.
+    assert facade.query(q, K, budget=math.inf).ids == base.ids
+    assert facade.query(q, K, deadline=60.0).ids == base.ids
+    assert facade.query(q, K, engine="gemm").ids == base.ids
+    batch = facade.batch_query(queries[:3], K, budget=math.inf,
+                               engine="blocked")
+    for row, got in zip(queries[:3], batch):
+        assert got.ids == facade.query(row, K).ids
+    rev = facade.reverse_query(0, K)
+    assert facade.reverse_query(0, K, budget=math.inf,
+                                engine="gemm").user_ids == rev.user_ids
+    camp = facade.campaign([0], K, deadline=60.0)
+    assert camp.results[0].user_ids == rev.user_ids
+
+
+@pytest.mark.parametrize("surface", ["query", "batch_query",
+                                     "reverse_query", "campaign"])
+def test_uniform_kwargs_validate_identically(surface):
+    items, queries = make_data()
+    facade = Fexipro(items, variant="F-SIR", users=queries[:5])
+    arg = {"query": queries[0], "batch_query": queries[:2],
+           "reverse_query": 0, "campaign": [0]}[surface]
+    call = getattr(facade, surface)
+    with pytest.raises(ValidationError, match="not both"):
+        call(arg, K, budget=100.0, deadline=1.0)
+    with pytest.raises(ValidationError, match="not both"):
+        call(arg, K, budget=100.0,
+             options=ScanOptions(budget=repro.FlopBudget(10.0)))
+    with pytest.raises(ValidationError, match="one degradation trigger"):
+        call(arg, K, budget=100.0,
+             options=ScanOptions(deadline=repro.Deadline(60.0)))
+    with pytest.raises(ValidationError, match="not both"):
+        call(arg, K, deadline=60.0,
+             options=ScanOptions(deadline=repro.Deadline(60.0)))
+    with pytest.raises(ValidationError, match="one degradation trigger"):
+        call(arg, K, deadline=60.0,
+             options=ScanOptions(budget=repro.FlopBudget(10.0)))
+
+
+def test_deadline_kwarg_accepts_prebuilt_deadline():
+    items, queries = make_data()
+    facade = Fexipro(items, variant="F-SIR")
+    base = facade.query(queries[0], K)
+    got = facade.query(queries[0], K, deadline=repro.Deadline(60.0))
+    assert got.ids == base.ids and got.scores == base.scores
+
+
+# ----------------------------------------------------------------------
+# 1-D coercion symmetry on the mutation surfaces
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_add_items_accepts_single_vector(seed):
+    items, _ = make_data()
+    rng = np.random.default_rng(seed)
+    row = rng.normal(scale=0.4, size=16)
+    as_row = Fexipro(items, variant="F-SIR")
+    as_matrix = Fexipro(items, variant="F-SIR")
+    assert as_row.add_items(row) == as_matrix.add_items(row.reshape(1, -1))
+    q = rng.normal(scale=0.4, size=16)
+    assert as_row.query(q, K).ids == as_matrix.query(q, K).ids
+    assert as_row.query(q, K).scores == as_matrix.query(q, K).scores
+    with pytest.raises(ValidationError):
+        as_row.add_items(np.zeros((2, 2, 2)))
+
+
+def test_add_users_accepts_single_vector():
+    items, queries = make_data()
+    rng = np.random.default_rng(3)
+    row = rng.normal(scale=0.4, size=16)
+    as_row = Fexipro(items, variant="F-SIR", users=queries[:6])
+    as_matrix = Fexipro(items, variant="F-SIR", users=queries[:6])
+    assert as_row.add_users(row) == as_matrix.add_users(row.reshape(1, -1))
+    assert as_row.n_users == as_matrix.n_users == 7
+    a = as_row.reverse_query(0, K)
+    b = as_matrix.reverse_query(0, K)
+    assert a.user_ids == b.user_ids and a.kth_scores == b.kth_scores
+
+
 # ----------------------------------------------------------------------
 # Surface snapshot
 # ----------------------------------------------------------------------

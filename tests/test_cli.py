@@ -84,6 +84,15 @@ def test_serve_command(capsys):
     assert "Per-stage wall time" in out
 
 
+def test_campaign_command(capsys):
+    assert main(["campaign", "--scale", "0.02", "--queries", "8",
+                 "--probes", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "campaign audience building" in out
+    assert "identical to brute force" in out
+    assert "True" in out
+
+
 def test_aip_command(capsys):
     assert main(["aip", "--scale", "0.02", "--queries", "6"]) == 0
     out = capsys.readouterr().out
